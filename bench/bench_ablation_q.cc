@@ -1,0 +1,63 @@
+// Ablation: the leverage-allocating parameter q (§IV-A4). We force a
+// deviated sketch0 by shifting it off-center, then sweep q' tiers to show
+// the deviation-balancing effect: without the q mechanism (q' = 1) the
+// leverage effect of the heavier region over-modulates the answer.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/block_solver.h"
+#include "core/boundaries.h"
+#include "harness.h"
+#include "sampling/samplers.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace isla;
+  bench::PrintHeader("Ablation — leverage allocating parameter q",
+                     "N(100, 20^2); sketch0 artificially offset by +1.0 "
+                     "(dev leaves the balanced window); sweep q' tiers");
+
+  auto ds = workload::MakeNormalDataset(10'000'000, 1, 100.0, 20.0, 33000);
+  if (!ds.ok()) return 1;
+  const storage::Block& block = *ds->data()->blocks()[0];
+
+  const double sigma = 20.0;
+  const double sketch0 = 101.0;  // True µ = 100: a severe +1.0 deviation.
+  auto boundaries = core::DataBoundaries::Create(sketch0, sigma, 0.5, 2.0);
+  if (!boundaries.ok()) return 1;
+
+  TablePrinter table(
+      {"q' (mild/severe)", "answer", "|err|", "alpha", "case", "dev"});
+  for (double q_prime : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    core::IslaOptions options;
+    options.precision = 0.1;
+    // Collapse both tiers to the swept q'.
+    options.q_prime_mild = q_prime;
+    options.q_prime_severe = q_prime;
+
+    Xoshiro256 rng(44000);
+    core::BlockParams params;
+    auto s = core::RunSamplingPhase(block, *boundaries, 150'000, 0.0, &rng,
+                                    &params);
+    if (!s.ok()) return 1;
+    auto ans = core::RunIterationPhase(params, sketch0, options);
+    if (!ans.ok()) return 1;
+    table.AddRow({TablePrinter::Fmt(q_prime, 0),
+                  TablePrinter::Fmt(ans->avg, 4),
+                  TablePrinter::Fmt(std::abs(ans->avg - 100.0), 4),
+                  TablePrinter::Fmt(ans->alpha, 4),
+                  std::string(core::ModulationCaseName(ans->strategy)),
+                  TablePrinter::Fmt(ans->dev, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: the meeting point of the two estimators is fixed by the "
+      "step geometry (λ), so the answer is flat in q' — what q' controls is "
+      "the leverage DEGREE α needed to get there. q' = 1 demands a much "
+      "larger α (Eq. 2 probabilities drift toward invalidity and can "
+      "saturate at the α = 1 bound on flatter objectives); the paper's q' "
+      "in [5, 10] reaches the same answer with a small, safe α.\n");
+  return 0;
+}

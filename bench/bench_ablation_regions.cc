@@ -1,0 +1,68 @@
+// Ablation: region selection (§IV-A2). ISLA computes from S and L samples
+// only — roughly 57% of the draw — and discards TS/N/TL. This bench
+// compares the l-estimator's uniform-probability starting point c (S+L
+// only), a plain uniform mean over ALL samples of the same draw, and the
+// full ISLA answer, showing what the leverage + iteration machinery adds on
+// top of the region restriction.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/estimators.h"
+#include "harness.h"
+#include "stats/confidence.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace isla;
+  bench::ExperimentDefaults defaults;
+  bench::PrintHeader("Ablation — S/L region selection",
+                     "N(100, 20^2), M=1e9, b=10, e=0.1; c (S+L uniform) vs "
+                     "US (all samples) vs full ISLA, 5 datasets");
+
+  auto m = stats::RequiredSampleSize(defaults.sigma, defaults.precision,
+                                     defaults.confidence);
+  if (!m.ok()) return 1;
+
+  TablePrinter table({"dataset", "c (S+L, alpha=0)", "US (all)", "ISLA",
+                      "|err| c", "|err| US", "|err| ISLA"});
+  for (uint64_t ds_id = 0; ds_id < 5; ++ds_id) {
+    auto ds = workload::MakeNormalDataset(defaults.rows, defaults.blocks,
+                                          defaults.mu, defaults.sigma,
+                                          36000 + ds_id);
+    if (!ds.ok()) return 1;
+
+    core::IslaOptions options = bench::DefaultOptions(defaults);
+    core::IslaEngine engine(options);
+    auto full = engine.AggregateAvg(*ds->data(), ds_id);
+    if (!full.ok()) return 1;
+
+    // c per block is d0 + sketch0; recover the block-weighted c.
+    double c_weighted = 0.0;
+    uint64_t rows = 0;
+    for (const auto& b : full->blocks) {
+      double c_block = b.answer.d0 + (full->sketch0 + full->shift);
+      c_weighted += c_block * static_cast<double>(b.block_rows);
+      rows += b.block_rows;
+    }
+    c_weighted = c_weighted / static_cast<double>(rows) - full->shift;
+
+    auto us = baselines::UniformSamplingAvg(*ds->data(), m.value(),
+                                            37000 + ds_id);
+    if (!us.ok()) return 1;
+
+    table.AddRow({std::to_string(ds_id + 1),
+                  TablePrinter::Fmt(c_weighted, 4),
+                  TablePrinter::Fmt(us->average, 4),
+                  TablePrinter::Fmt(full->average, 4),
+                  TablePrinter::Fmt(std::abs(c_weighted - 100.0), 4),
+                  TablePrinter::Fmt(std::abs(us->average - 100.0), 4),
+                  TablePrinter::Fmt(std::abs(full->average - 100.0), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: c alone (region restriction, no leverage/iteration) is "
+      "noisier than US; the full ISLA pipeline recovers the gap and "
+      "typically beats US — the iteration earns its keep.\n");
+  return 0;
+}

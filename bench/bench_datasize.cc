@@ -1,0 +1,50 @@
+// Reproduces §VIII-A "Varying Data Size": answers on 10⁸ … 10¹² rows
+// (100M … 1TB in the paper's .txt encoding). Generator-backed virtual
+// blocks make every scale run in milliseconds while sampling the identical
+// distribution the paper sampled — the sample size m depends only on
+// (σ, e, β), not M, which is exactly the experiment's point.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace isla;
+  bench::ExperimentDefaults defaults;
+  bench::PrintHeader("§VIII-A — varying data size",
+                     "N(100, 20^2), b=10, e=0.1, beta=0.95; one run per "
+                     "scale (paper: 100M .. 1TB)");
+
+  const std::vector<std::pair<const char*, uint64_t>> scales = {
+      {"100M (1e8 rows)", 100'000'000ull},
+      {"1G   (1e9 rows)", 1'000'000'000ull},
+      {"10G  (1e10 rows)", 10'000'000'000ull},
+      {"100G (1e11 rows)", 100'000'000'000ull},
+      {"1T   (1e12 rows)", 1'000'000'000'000ull},
+  };
+  TablePrinter table({"scale", "answer", "|err|", "samples", "time (ms)"});
+  for (size_t i = 0; i < scales.size(); ++i) {
+    auto ds = workload::MakeNormalDataset(scales[i].second, defaults.blocks,
+                                          defaults.mu, defaults.sigma,
+                                          5000 + i);
+    if (!ds.ok()) return 1;
+    core::IslaOptions options = bench::DefaultOptions(defaults);
+    core::IslaEngine engine(options);
+    Timer timer;
+    auto r = engine.AggregateAvg(*ds->data(), i);
+    if (!r.ok()) return 1;
+    table.AddRow({scales[i].first, TablePrinter::Fmt(r->average, 4),
+                  TablePrinter::Fmt(std::abs(r->average - 100.0), 4),
+                  std::to_string(r->total_samples),
+                  TablePrinter::Fmt(timer.ElapsedMillis(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: all scales satisfy e=0.1 (paper: 99.9927 .. 100.0119); "
+      "data size has hardly any influence because m = u^2*sigma^2/e^2 is "
+      "independent of M.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces §VIII-D: non-i.i.d. blocks. Five blocks with different
+// normals; accurate average 100; e = 0.5; five runs. Paper results:
+// 99.8538, 100.066, 100.194, 100.321, 99.8333 — all inside the band.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/noniid.h"
+#include "harness.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace isla;
+  bench::PrintHeader("§VIII-D — non-i.i.d. distributions",
+                     "Blocks: N(100,20^2) N(50,10^2) N(80,30^2) N(150,60^2) "
+                     "N(120,40^2), 1e8 rows each, e=0.5, 5 runs");
+
+  std::vector<workload::NonIidBlockSpec> specs = {{100.0, 20.0, 100'000'000},
+                                                  {50.0, 10.0, 100'000'000},
+                                                  {80.0, 30.0, 100'000'000},
+                                                  {150.0, 60.0, 100'000'000},
+                                                  {120.0, 40.0, 100'000'000}};
+
+  TablePrinter table({"run", "answer", "|err|", "samples"});
+  for (uint64_t run = 0; run < 5; ++run) {
+    auto ds = workload::MakeNonIidDataset(specs, 24000 + run);
+    if (!ds.ok()) return 1;
+    core::IslaOptions options;
+    options.precision = 0.5;
+    auto r = core::AggregateAvgNonIid(*ds->data(), options, run);
+    if (!r.ok()) {
+      std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(run + 1), TablePrinter::Fmt(r->average, 4),
+                  TablePrinter::Fmt(std::abs(r->average - 100.0), 4),
+                  std::to_string(r->total_samples)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper runs: 99.8538 100.066 100.194 100.321 99.8333 — all satisfy "
+      "e=0.5. Shape to check: every run within 0.5 of 100.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces §VIII-G: real-data experiments, with the documented
+// substitutions (DESIGN.md §3): a census-salary-like materialized dataset
+// (299,285 rows) and a TLC-trip-like skewed/clustered dataset. ISLA runs at
+// HALF the baselines' sample size, exactly as the paper sets it up
+// (ISLA 10k vs others 20k on salary).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/estimators.h"
+#include "core/engine.h"
+#include "harness.h"
+#include "sampling/samplers.h"
+#include "stats/confidence.h"
+#include "stats/moments.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace isla;
+
+void RunOne(const workload::Dataset& ds, uint64_t isla_samples,
+            uint64_t baseline_samples, uint64_t seed) {
+  std::printf("dataset: %s\n", ds.description.c_str());
+  std::printf("rows = %llu, accurate average (full scan) = %.4f\n",
+              static_cast<unsigned long long>(ds.data()->num_rows()),
+              ds.true_mean);
+
+  // ISLA: translate the fixed sample budget into an equivalent precision
+  // via Eq. (1) on a pilot sigma, as §VII-F prescribes for fixed budgets.
+  core::IslaOptions options;
+  options.sigma_pilot_size = 1000;
+  Xoshiro256 rng(seed);
+  stats::StreamingMoments pilot;
+  for (const auto& block : ds.data()->blocks()) {
+    auto s = sampling::SampleBlockValues(
+        *block, 1000 / ds.data()->num_blocks() + 1,
+        [&](double v) { pilot.Add(v); }, &rng);
+    if (!s.ok()) return;
+  }
+  double sigma = std::sqrt(pilot.Variance());
+  auto e = stats::AchievedHalfWidth(sigma, options.confidence, isla_samples);
+  if (!e.ok()) return;
+  options.precision = e.value();
+
+  core::IslaEngine engine(options);
+  auto isla = engine.AggregateAvg(*ds.data(), seed);
+  auto us = baselines::UniformSamplingAvg(*ds.data(), baseline_samples,
+                                          seed + 1);
+  auto sts = baselines::StratifiedSamplingAvg(*ds.data(), baseline_samples,
+                                              seed + 2);
+  auto mv = baselines::MeasureBiasedAvg(*ds.data(), baseline_samples,
+                                        seed + 3);
+  auto boundaries =
+      baselines::PilotBoundaries(*ds.data(), 1000, 0.5, 2.0, seed + 4);
+  if (!isla.ok() || !us.ok() || !sts.ok() || !mv.ok() || !boundaries.ok()) {
+    std::fprintf(stderr, "a method failed\n");
+    return;
+  }
+  auto mvb = baselines::MeasureBiasedBoundariesAvg(
+      *ds.data(), baseline_samples, *boundaries, seed + 5);
+  if (!mvb.ok()) return;
+
+  TablePrinter table({"Method", "samples", "answer", "|err|"});
+  auto add = [&](const char* name, uint64_t n, double answer) {
+    table.AddRow({name, std::to_string(n), TablePrinter::Fmt(answer, 2),
+                  TablePrinter::Fmt(std::abs(answer - ds.true_mean), 2)});
+  };
+  add("ISLA", isla_samples, isla->average);
+  add("MV", baseline_samples, mv->average);
+  add("MVB", baseline_samples, mvb->average);
+  add("US", baseline_samples, us->average);
+  add("STS", baseline_samples, sts->average);
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace isla;
+  bench::PrintHeader("§VIII-G — real data (simulated equivalents)",
+                     "Salary-like: 299,285 rows, ISLA 10k vs baselines "
+                     "20k samples. TLC-like: skewed + clustered, values "
+                     "x1000.");
+
+  auto salary = workload::MakeCensusSalaryLike(10, 25000);
+  if (!salary.ok()) return 1;
+  RunOne(*salary, 10'000, 20'000, 26000);
+
+  auto tlc = workload::MakeTlcTripLike(2'000'000, 10, 27000);
+  if (!tlc.ok()) return 1;
+  RunOne(*tlc, 10'000, 20'000, 28000);
+
+  std::printf(
+      "Paper shape (salary): ISLA |err| ~9 beats MV (~586) and MVB (~58) "
+      "with half their samples; US/STS competitive on mild skew.\n"
+      "Paper shape (TLC): clustering breaks MV/MVB/US hard (errors 1350 .. "
+      "2780); ISLA stays closest (|err| ~132).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table IV: per-block partial answers (modulation abilities) for
+// one dataset. Paper shape: ISLA's partials hover around 100 — each block's
+// iteration pulls sketch0 toward µ — while MV partials sit near 104 and MVB
+// near 100.5, both outside sketch0's confidence interval.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/estimators.h"
+#include "harness.h"
+#include "stats/confidence.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace isla;
+  bench::ExperimentDefaults defaults;
+  bench::PrintHeader("Table IV — modulation abilities (per-block partials)",
+                     "Dataset 1 of Table III; partial answers of the 10 "
+                     "blocks, e=0.1");
+
+  auto ds = workload::MakeNormalDataset(defaults.rows, defaults.blocks,
+                                        defaults.mu, defaults.sigma, 9000);
+  if (!ds.ok()) return 1;
+
+  core::IslaOptions options = bench::DefaultOptions(defaults);
+  core::IslaEngine engine(options);
+  auto r = engine.AggregateAvg(*ds->data(), 0);
+  if (!r.ok()) return 1;
+
+  auto m = stats::RequiredSampleSize(defaults.sigma, defaults.precision,
+                                     defaults.confidence);
+  if (!m.ok()) return 1;
+  uint64_t per_block = m.value() / defaults.blocks;
+
+  std::vector<std::string> headers = {"Partial"};
+  for (int i = 1; i <= 10; ++i) headers.push_back(std::to_string(i));
+  TablePrinter table(headers);
+
+  std::vector<std::string> isla_row = {"ISLA"};
+  std::vector<std::string> case_row = {"case"};
+  std::vector<std::string> mv_row = {"MV"};
+  std::vector<std::string> mvb_row = {"MVB"};
+
+  auto boundaries =
+      baselines::PilotBoundaries(*ds->data(), 1000, 0.5, 2.0, 13000);
+  if (!boundaries.ok()) return 1;
+
+  for (size_t j = 0; j < r->blocks.size(); ++j) {
+    isla_row.push_back(
+        TablePrinter::Fmt(r->blocks[j].answer.avg - r->shift, 3));
+    case_row.push_back(
+        std::string(core::ModulationCaseName(r->blocks[j].answer.strategy)));
+
+    // Per-block MV / MVB partials on the same block.
+    storage::Column single("v");
+    if (!single.AppendBlock(ds->data()->blocks()[j]).ok()) return 1;
+    auto mv = baselines::MeasureBiasedAvg(single, per_block, 14000 + j);
+    auto mvb = baselines::MeasureBiasedBoundariesAvg(single, per_block,
+                                                     *boundaries, 15000 + j);
+    if (!mv.ok() || !mvb.ok()) return 1;
+    mv_row.push_back(TablePrinter::Fmt(mv->average, 3));
+    mvb_row.push_back(TablePrinter::Fmt(mvb->average, 3));
+  }
+  table.AddRow(std::move(isla_row));
+  table.AddRow(std::move(case_row));
+  table.AddRow(std::move(mv_row));
+  table.AddRow(std::move(mvb_row));
+  table.Print();
+  std::printf("\nsketch0 = %.4f (paper: 99.676); final answers: ISLA %.4f, "
+              "paper ISLA 100.003 / MV 104.049 / MVB 100.558.\n",
+              r->sketch0, r->average);
+  std::printf(
+      "Paper shape: ISLA partials ~100 (good modulation); MV ~104 and MVB "
+      "~100.5 sit outside (sketch0-0.1, sketch0+0.1).\n");
+  return 0;
+}

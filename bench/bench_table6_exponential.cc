@@ -1,0 +1,56 @@
+// Reproduces Table VI: exponential distributions, γ ∈ {0.05, 0.1, 0.15,
+// 0.2}. Paper shape: ISLA tracks the true mean 1/γ with a mild
+// underestimate; MV lands near 2/γ (double!); MVB overshoots by ~10%.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/estimators.h"
+#include "harness.h"
+#include "stats/confidence.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace isla;
+  bench::ExperimentDefaults defaults;
+  bench::PrintHeader("Table VI — exponential distributions",
+                     "Exp(gamma), M=1e9 virtual rows, b=10, e=0.1");
+
+  TablePrinter table(
+      {"gamma", "Accurate", "ISLA", "MV", "MVB"});
+  const std::vector<double> gammas = {0.05, 0.1, 0.15, 0.2};
+  for (size_t i = 0; i < gammas.size(); ++i) {
+    double gamma = gammas[i];
+    auto ds = workload::MakeExponentialDataset(defaults.rows,
+                                               defaults.blocks, gamma,
+                                               16000 + i);
+    if (!ds.ok()) return 1;
+
+    double isla = bench::RunIsla(*ds, bench::DefaultOptions(defaults), i);
+
+    double sigma = 1.0 / gamma;  // Exponential: σ = mean.
+    auto m = stats::RequiredSampleSize(sigma, defaults.precision,
+                                       defaults.confidence);
+    if (!m.ok()) return 1;
+    auto mv =
+        baselines::MeasureBiasedAvg(*ds->data(), m.value(), 17000 + i);
+    auto boundaries = baselines::PilotBoundaries(*ds->data(), 1000, 0.5,
+                                                 2.0, 18000 + i);
+    if (!mv.ok() || !boundaries.ok()) return 1;
+    auto mvb = baselines::MeasureBiasedBoundariesAvg(
+        *ds->data(), m.value(), *boundaries, 19000 + i);
+    if (!mvb.ok()) return 1;
+
+    table.AddRow({TablePrinter::Fmt(gamma, 2),
+                  TablePrinter::Fmt(1.0 / gamma, 2),
+                  TablePrinter::Fmt(isla, 4),
+                  TablePrinter::Fmt(mv->average, 4),
+                  TablePrinter::Fmt(mvb->average, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper rows (gamma=0.05..0.2): ISLA 19.87/9.53/6.33/4.60, MV "
+      "39.7/20.3/13.2/10.3 (~2x), MVB 21.8/11.1/7.3/5.5 (~+10%%). Shape to "
+      "check: ISLA closest to 1/gamma at every gamma; MV doubles.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isla {
+namespace bench {
+
+core::IslaOptions DefaultOptions(const ExperimentDefaults& d) {
+  core::IslaOptions options;
+  options.precision = d.precision;
+  options.confidence = d.confidence;
+  return options;
+}
+
+double RunIsla(const workload::Dataset& dataset,
+               const core::IslaOptions& options, uint64_t salt) {
+  core::IslaEngine engine(options);
+  auto result = engine.AggregateAvg(*dataset.data(), salt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ISLA failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->average;
+}
+
+void PrintHeader(const std::string& experiment,
+                 const std::string& description) {
+  std::printf("== %s ==\n%s\n\n", experiment.c_str(), description.c_str());
+}
+
+}  // namespace bench
+}  // namespace isla

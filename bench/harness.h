@@ -1,0 +1,44 @@
+#ifndef ISLA_BENCH_HARNESS_H_
+#define ISLA_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/options.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace bench {
+
+/// The experiment section's default parameters (§VIII "Parameters"):
+/// M = 10¹⁰ in the paper — scaled to 10⁹ virtual rows here, which leaves
+/// every sample count identical (Eq. 1 is independent of M) while keeping
+/// the harnesses fast. µ = 100, σ = 20, b = 10, e = 0.1, β = 0.95, λ = 0.8,
+/// p1 = 0.5, p2 = 2.0.
+struct ExperimentDefaults {
+  uint64_t rows = 1'000'000'000;
+  uint64_t blocks = 10;
+  double mu = 100.0;
+  double sigma = 20.0;
+  double precision = 0.1;
+  double confidence = 0.95;
+};
+
+/// Default engine options for the experiment suite.
+core::IslaOptions DefaultOptions(const ExperimentDefaults& d = {});
+
+/// Runs ISLA on `dataset` and returns the AVG answer; aborts the process on
+/// engine errors (benches are deterministic, errors are bugs).
+double RunIsla(const workload::Dataset& dataset,
+               const core::IslaOptions& options, uint64_t salt = 0);
+
+/// Prints the standard bench header (experiment id + workload description).
+void PrintHeader(const std::string& experiment,
+                 const std::string& description);
+
+}  // namespace bench
+}  // namespace isla
+
+#endif  // ISLA_BENCH_HARNESS_H_

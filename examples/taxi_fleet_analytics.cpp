@@ -1,0 +1,70 @@
+// Taxi-fleet analytics: approximate AVG over a heavily skewed trip-distance
+// column (the paper's §VIII-G TLC scenario), plus the online-aggregation
+// mode (§VII-A) — start coarse, keep refining without re-sampling from
+// scratch, stop when the interval is tight enough.
+//
+//   $ ./taxi_fleet_analytics
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/estimators.h"
+#include "core/online.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace isla;
+
+  // 2M trips, distances ×1000, with the clustered short-hop / airport-run
+  // extremes that break value-proportional estimators.
+  auto trips = workload::MakeTlcTripLike(2'000'000, /*blocks=*/10,
+                                         /*seed=*/2024);
+  if (!trips.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", trips.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fleet data   : %s\n", trips->description.c_str());
+  std::printf("ground truth : %.2f (full scan of %llu trips)\n\n",
+              trips->true_mean,
+              static_cast<unsigned long long>(trips->data()->num_rows()));
+
+  // --- One-shot comparison: ISLA vs the measure-biased estimator. ---
+  core::IslaOptions options;
+  options.precision = 30.0;  // Distances are in the thousands.
+  core::IslaEngine engine(options);
+  auto isla = engine.AggregateAvg(*trips->data());
+  auto mv = baselines::MeasureBiasedAvg(*trips->data(), 20'000, 7);
+  if (!isla.ok() || !mv.ok()) return 1;
+  std::printf("ISLA         : %.2f  (err %+.2f, %llu samples)\n",
+              isla->average, isla->average - trips->true_mean,
+              static_cast<unsigned long long>(isla->total_samples));
+  std::printf("measure-bias : %.2f  (err %+.2f) — skew punishes "
+              "value-proportional weights\n\n",
+              mv->average, mv->average - trips->true_mean);
+
+  // --- Online mode: refine until the half-width drops below 15. ---
+  std::printf("online refinement (boundaries frozen, moments reused):\n");
+  core::IslaOptions online_options;
+  online_options.precision = 120.0;
+  core::OnlineAggregator agg(trips->data(), online_options);
+  auto round = agg.Start();
+  if (!round.ok()) return 1;
+  std::printf("  e=%7.1f -> avg %.2f (err %+7.2f, %llu samples total)\n",
+              agg.current_precision(), round->average,
+              round->average - trips->true_mean,
+              static_cast<unsigned long long>(agg.total_samples()));
+  for (double e = 60.0; e >= 15.0; e /= 2.0) {
+    round = agg.Refine(e);
+    if (!round.ok()) {
+      std::fprintf(stderr, "refine: %s\n",
+                   round.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  e=%7.1f -> avg %.2f (err %+7.2f, %llu samples total)\n",
+                e, round->average, round->average - trips->true_mean,
+                static_cast<unsigned long long>(agg.total_samples()));
+  }
+  std::printf("\nEach refinement drew only the Eq.(1) delta — no sample was "
+              "stored or re-drawn.\n");
+  return 0;
+}

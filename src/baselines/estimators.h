@@ -1,0 +1,79 @@
+#ifndef ISLA_BASELINES_ESTIMATORS_H_
+#define ISLA_BASELINES_ESTIMATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/boundaries.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace baselines {
+
+/// Output of a baseline estimator run.
+struct BaselineResult {
+  double average = 0.0;
+  uint64_t samples_used = 0;
+};
+
+/// US — plain uniform sampling (§VIII-B): draws `m` uniform samples across
+/// blocks proportionally to block sizes and returns their mean.
+Result<BaselineResult> UniformSamplingAvg(const storage::Column& column,
+                                          uint64_t m, uint64_t seed);
+
+/// STS — stratified sampling with blocks as strata (§VIII-B): proportional
+/// allocation, per-stratum means recombined with block-size weights
+/// (self-weighting design).
+Result<BaselineResult> StratifiedSamplingAvg(const storage::Column& column,
+                                             uint64_t m, uint64_t seed);
+
+/// STS variant with Neyman allocation (n_h ∝ N_h·σ_h), using per-block σ
+/// pilots of `pilot_per_block` samples. Exposed for the ablation benches.
+Result<BaselineResult> StratifiedNeymanAvg(const storage::Column& column,
+                                           uint64_t m,
+                                           uint64_t pilot_per_block,
+                                           uint64_t seed);
+
+/// MV — the measure-biased technique of sample+seek applied to AVG
+/// (§VIII-C, Eq. 4): uniform samples re-weighted with probabilities
+/// proportional to their values, answer = Σᵢ aᵢ·(aᵢ/Σⱼaⱼ) = Σa²/Σa.
+/// Systematically overestimates by ≈ σ²/µ — the effect Tables III/VI/VII
+/// demonstrate. Fails on samples whose sum is not positive.
+Result<BaselineResult> MeasureBiasedAvg(const storage::Column& column,
+                                        uint64_t m, uint64_t seed);
+
+/// MVB — measure-biased with data boundaries (§VIII-C, "probabilities on
+/// values and boundaries"): regions get probability mass proportional to
+/// their sample counts; within a region, mass is proportional to values:
+///
+///   answer = Σ_R (n_R/n)·(Σ_{i∈R} aᵢ²/Σ_{i∈R} aᵢ).
+///
+/// `boundaries` are typically built the ISLA way (sketch0 ± p·σ).
+Result<BaselineResult> MeasureBiasedBoundariesAvg(
+    const storage::Column& column, uint64_t m,
+    const core::DataBoundaries& boundaries, uint64_t seed);
+
+/// Builds MVB boundaries from a quick pilot of `pilot_m` samples on
+/// `column` using ISLA's construction (mean ± p1σ / p2σ).
+Result<core::DataBoundaries> PilotBoundaries(const storage::Column& column,
+                                             uint64_t pilot_m, double p1,
+                                             double p2, uint64_t seed);
+
+/// The sample+seek paper's *actual* measure-biased sampler: draws `m` rows
+/// with probability proportional to their values (two streaming passes over
+/// the column: one for the total measure, one to emit the rows at m sorted
+/// uniform positions of the cumulative measure — O(M + m·log m), no index).
+/// The AVG estimator under Pr(a) ∝ a is the harmonic mean m/Σ(1/aᵢ), which
+/// is unbiased in 1/µ. Requires strictly positive data.
+///
+/// This is the configuration §VIII-F times: the O(M) pass is the "off-line"
+/// cost that makes MV/MVB slower than ISLA at query time when no
+/// precomputed sample exists for the queried column.
+Result<BaselineResult> MeasureBiasedTrueSamplingAvg(
+    const storage::Column& column, uint64_t m, uint64_t seed);
+
+}  // namespace baselines
+}  // namespace isla
+
+#endif  // ISLA_BASELINES_ESTIMATORS_H_

@@ -1,0 +1,80 @@
+#ifndef ISLA_COMMON_RESULT_H_
+#define ISLA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace isla {
+
+/// Result<T> carries either a value of type T or a non-OK Status, in the
+/// spirit of absl::StatusOr / arrow::Result. Constructing a Result from an OK
+/// status is a programming error and is reported as an Internal error value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The carried status: OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access the value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Propagates the error from a Result-returning expression, or binds the
+/// value into `lhs`. Usable in functions returning Status or Result<U>.
+#define ISLA_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto ISLA_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!ISLA_CONCAT_(_res_, __LINE__).ok())        \
+    return ISLA_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(ISLA_CONCAT_(_res_, __LINE__)).value()
+
+#define ISLA_CONCAT_(a, b) ISLA_CONCAT_IMPL_(a, b)
+#define ISLA_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace isla
+
+#endif  // ISLA_COMMON_RESULT_H_

@@ -1,0 +1,96 @@
+#include "core/block_solver.h"
+
+#include "core/objective.h"
+#include "sampling/samplers.h"
+
+namespace isla {
+namespace core {
+
+Status RunSamplingPhase(const storage::Block& block,
+                        const DataBoundaries& boundaries,
+                        uint64_t sample_count, double shift, Xoshiro256* rng,
+                        BlockParams* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  out->block_rows = block.size();
+  ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
+      block, sample_count,
+      [&](double raw) {
+        double a = raw + shift;
+        ++out->samples_drawn;
+        switch (boundaries.Classify(a)) {
+          case Region::kSmall:
+            out->param_s.Add(a);
+            break;
+          case Region::kLarge:
+            out->param_l.Add(a);
+            break;
+          default:
+            break;  // TS/N/TL samples are dropped (Algorithm 1 line 12).
+        }
+      },
+      rng));
+  return Status::OK();
+}
+
+Result<BlockAnswer> RunIterationPhase(const BlockParams& params,
+                                      double sketch0,
+                                      const IslaOptions& options) {
+  ISLA_RETURN_NOT_OK(options.Validate());
+
+  BlockAnswer out;
+  out.s_count = params.param_s.count();
+  out.l_count = params.param_l.count();
+  out.dev = DeviationDegree(out.s_count, out.l_count);
+
+  // Degenerate sampling: with an S or L region empty the leverage math is
+  // undefined. sketch0 carries a relaxed-precision guarantee, so it is the
+  // safe answer (this is the Case-5 escape taken to its extreme).
+  if (out.s_count == 0 || out.l_count == 0) {
+    out.avg = sketch0;
+    out.strategy = ModulationCase::kCase5;
+    return out;
+  }
+
+  out.q = ChooseQ(out.dev, options);
+
+  auto obj_result =
+      ComputeObjective(params.param_s, params.param_l, out.q);
+  if (!obj_result.ok()) {
+    // Degenerate moments (e.g. all-zero samples): fall back to sketch0.
+    out.avg = sketch0;
+    out.strategy = ModulationCase::kCase5;
+    return out;
+  }
+  const ObjectiveCoefficients& obj = obj_result.value();
+  out.d0 = obj.D(/*alpha=*/0.0, sketch0);
+
+  ISLA_ASSIGN_OR_RETURN(
+      ModulationResult mod,
+      RunModulation(obj, sketch0, out.s_count, out.l_count, options));
+  out.avg = mod.mu_hat;
+  out.alpha = mod.alpha;
+  out.iterations = mod.iterations;
+  out.strategy = mod.strategy;
+
+  // §VII-B modulation boundary: sketch0's relaxed confidence interval
+  // (sketch0 ± t_e·e) is an assurance that µ lies inside it. An answer
+  // escaping the interval signals over-strong leverage effects (typical on
+  // asymmetric data, where |S| ≠ |L| is structural rather than evidence of
+  // sketch deviation); clip it back to the interval edge.
+  if (options.clamp_to_sketch_interval) {
+    double w = options.sketch_relaxation * options.precision;
+    double lo = sketch0 - w;
+    double hi = sketch0 + w;
+    if (out.avg < lo) {
+      out.avg = lo;
+      out.clamped = true;
+    } else if (out.avg > hi) {
+      out.avg = hi;
+      out.clamped = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace isla

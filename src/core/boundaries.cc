@@ -1,0 +1,56 @@
+#include "core/boundaries.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace isla {
+namespace core {
+
+std::string_view RegionName(Region r) {
+  switch (r) {
+    case Region::kTooSmall:
+      return "TS";
+    case Region::kSmall:
+      return "S";
+    case Region::kNormal:
+      return "N";
+    case Region::kLarge:
+      return "L";
+    case Region::kTooLarge:
+      return "TL";
+  }
+  return "?";
+}
+
+Result<DataBoundaries> DataBoundaries::Create(double sketch0, double sigma,
+                                              double p1, double p2) {
+  if (!(p1 > 0.0 && p1 < p2)) {
+    return Status::InvalidArgument("data boundaries require 0 < p1 < p2");
+  }
+  if (!(sigma > 0.0) || std::isnan(sigma) || std::isnan(sketch0)) {
+    return Status::InvalidArgument("boundaries require sigma > 0 and finite "
+                                   "sketch0");
+  }
+  return DataBoundaries(sketch0, sigma, sketch0 - p2 * sigma,
+                        sketch0 - p1 * sigma, sketch0 + p1 * sigma,
+                        sketch0 + p2 * sigma);
+}
+
+Region DataBoundaries::Classify(double value) const {
+  if (value <= lower_outer_) return Region::kTooSmall;
+  if (value < lower_inner_) return Region::kSmall;
+  if (value <= upper_inner_) return Region::kNormal;
+  if (value < upper_outer_) return Region::kLarge;
+  return Region::kTooLarge;
+}
+
+std::string DataBoundaries::DebugString() const {
+  std::ostringstream os;
+  os << "boundaries{TS <= " << lower_outer_ << " < S < " << lower_inner_
+     << " <= N <= " << upper_inner_ << " < L < " << upper_outer_
+     << " <= TL}";
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace isla

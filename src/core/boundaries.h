@@ -1,0 +1,73 @@
+#ifndef ISLA_CORE_BOUNDARIES_H_
+#define ISLA_CORE_BOUNDARIES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace core {
+
+/// The five regions of §IV-A1, cut at sketch0 ± p1σ and sketch0 ± p2σ.
+enum class Region {
+  kTooSmall,  // (-inf, sketch0 - p2σ]
+  kSmall,     // (sketch0 - p2σ, sketch0 - p1σ)
+  kNormal,    // [sketch0 - p1σ, sketch0 + p1σ]
+  kLarge,     // (sketch0 + p1σ, sketch0 + p2σ)
+  kTooLarge,  // [sketch0 + p2σ, +inf)
+};
+
+/// "TS" / "S" / "N" / "L" / "TL".
+std::string_view RegionName(Region r);
+
+/// Immutable data-division criteria for one aggregation run (or one block in
+/// non-i.i.d. mode). Classification is two comparisons on the hot path.
+class DataBoundaries {
+ public:
+  /// Builds boundaries from the sketch estimator's initial value and the
+  /// estimated deviation. Fails unless 0 < p1 < p2 and sigma > 0.
+  static Result<DataBoundaries> Create(double sketch0, double sigma,
+                                       double p1, double p2);
+
+  /// Region membership of `value`.
+  Region Classify(double value) const;
+
+  /// True when `value` lands in S or L — the only samples ISLA keeps.
+  bool Participates(double value) const {
+    Region r = Classify(value);
+    return r == Region::kSmall || r == Region::kLarge;
+  }
+
+  double lower_outer() const { return lower_outer_; }   // sketch0 - p2σ
+  double lower_inner() const { return lower_inner_; }   // sketch0 - p1σ
+  double upper_inner() const { return upper_inner_; }   // sketch0 + p1σ
+  double upper_outer() const { return upper_outer_; }   // sketch0 + p2σ
+  double sketch0() const { return sketch0_; }
+  double sigma() const { return sigma_; }
+
+  std::string DebugString() const;
+
+ private:
+  DataBoundaries(double sketch0, double sigma, double lo2, double lo1,
+                 double hi1, double hi2)
+      : sketch0_(sketch0),
+        sigma_(sigma),
+        lower_outer_(lo2),
+        lower_inner_(lo1),
+        upper_inner_(hi1),
+        upper_outer_(hi2) {}
+
+  double sketch0_;
+  double sigma_;
+  double lower_outer_;
+  double lower_inner_;
+  double upper_inner_;
+  double upper_outer_;
+};
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_BOUNDARIES_H_

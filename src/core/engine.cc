@@ -1,0 +1,106 @@
+#include "core/engine.h"
+
+#include <cmath>
+
+#include "core/summarizer.h"
+#include "sampling/samplers.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace core {
+
+namespace {
+
+/// The negative-data translation d (footnote 1): data are shifted to the
+/// positive axis before leveraging. The margin of 3σ̂ past the observed
+/// pilot minimum makes unseen negative tail values positive w.h.p.
+double ComputeShift(double min_value, double sigma) {
+  if (min_value > 0.0) return 0.0;
+  return -min_value + 3.0 * sigma + 1.0;
+}
+
+}  // namespace
+
+Result<AggregateResult> IslaEngine::AggregateAvg(const storage::Column& column,
+                                                 uint64_t seed_salt) const {
+  ISLA_RETURN_NOT_OK(options_.Validate());
+  if (column.num_rows() == 0) {
+    return Status::FailedPrecondition("cannot aggregate an empty column");
+  }
+
+  Xoshiro256 rng(SplitMix64::Hash(options_.seed, seed_salt));
+
+  // --- Pre-estimation module ---
+  ISLA_ASSIGN_OR_RETURN(PilotEstimate pilot,
+                        RunPreEstimation(column, options_, &rng));
+
+  AggregateResult res;
+  res.data_size = column.num_rows();
+  res.precision = options_.precision;
+  res.confidence = options_.confidence;
+  res.sigma_estimate = pilot.sigma;
+  res.pilot_samples = pilot.sigma_pilot_samples + pilot.sketch_pilot_samples;
+
+  // Constant data short-circuits: the pilot mean is exact.
+  if (!(pilot.sigma > 0.0)) {
+    res.average = pilot.sketch0;
+    res.sketch0 = pilot.sketch0;
+    res.sum = res.average * static_cast<double>(res.data_size);
+    return res;
+  }
+
+  const double shift = ComputeShift(pilot.min_value, pilot.sigma);
+  res.shift = shift;
+  const double sketch0 = pilot.sketch0 + shift;
+  res.sketch0 = pilot.sketch0;
+
+  ISLA_ASSIGN_OR_RETURN(
+      DataBoundaries boundaries,
+      DataBoundaries::Create(sketch0, pilot.sigma, options_.p1, options_.p2));
+
+  // --- Calculation module: per-block sampling + iteration ---
+  std::vector<uint64_t> sizes;
+  sizes.reserve(column.num_blocks());
+  for (const auto& b : column.blocks()) sizes.push_back(b->size());
+  std::vector<uint64_t> alloc =
+      sampling::ProportionalAllocation(sizes, pilot.target_sample_size);
+
+  std::vector<double> partials;
+  std::vector<uint64_t> partial_sizes;
+  partials.reserve(column.num_blocks());
+  partial_sizes.reserve(column.num_blocks());
+
+  for (size_t j = 0; j < column.num_blocks(); ++j) {
+    BlockParams params;
+    ISLA_RETURN_NOT_OK(RunSamplingPhase(*column.blocks()[j], boundaries,
+                                        alloc[j], shift, &rng, &params));
+    ISLA_ASSIGN_OR_RETURN(BlockAnswer answer,
+                          RunIterationPhase(params, sketch0, options_));
+
+    BlockReport report;
+    report.block_index = j;
+    report.block_rows = params.block_rows;
+    report.samples_drawn = params.samples_drawn;
+    report.answer = answer;
+    res.total_samples += params.samples_drawn;
+    res.blocks.push_back(report);
+
+    partials.push_back(answer.avg);
+    partial_sizes.push_back(params.block_rows);
+  }
+
+  // --- Summarization module ---
+  ISLA_ASSIGN_OR_RETURN(double avg_shifted,
+                        SummarizePartials(partials, partial_sizes));
+  res.average = avg_shifted - shift;
+  res.sum = res.average * static_cast<double>(res.data_size);
+  return res;
+}
+
+Result<AggregateResult> IslaEngine::AggregateSum(const storage::Column& column,
+                                                 uint64_t seed_salt) const {
+  return AggregateAvg(column, seed_salt);
+}
+
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,70 @@
+#ifndef ISLA_CORE_ENGINE_H_
+#define ISLA_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/block_solver.h"
+#include "core/boundaries.h"
+#include "core/options.h"
+#include "core/pre_estimation.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace core {
+
+/// Per-block diagnostics surfaced to callers (Table IV reproduces these).
+struct BlockReport {
+  uint64_t block_index = 0;
+  uint64_t block_rows = 0;
+  uint64_t samples_drawn = 0;
+  BlockAnswer answer;
+};
+
+/// Everything an aggregation run produces: the answer, its precision
+/// contract, and full per-block diagnostics.
+struct AggregateResult {
+  double average = 0.0;        // the AVG answer (shift removed)
+  double sum = 0.0;            // AVG · M (§I: SUM from AVG)
+  uint64_t data_size = 0;      // M
+  double precision = 0.0;      // requested e
+  double confidence = 0.0;     // requested β
+  double sigma_estimate = 0.0; // pilot σ̂
+  double sketch0 = 0.0;        // initial sketch (shift removed)
+  double shift = 0.0;          // negative-data translation applied
+  uint64_t total_samples = 0;  // main-pass samples across blocks
+  uint64_t pilot_samples = 0;  // σ pilot + sketch pilot
+  std::vector<BlockReport> blocks;
+};
+
+/// The ISLA aggregation engine: Pre-estimation → per-block Calculation →
+/// Summarization (§II-C), for i.i.d. blocks. Non-i.i.d. data uses
+/// core/noniid.h; incremental refinement uses core/online.h.
+///
+/// Thread-compatible: one engine may serve concurrent Aggregate calls, each
+/// call deriving its own RNG stream from options().seed and the call's salt.
+class IslaEngine {
+ public:
+  explicit IslaEngine(IslaOptions options) : options_(options) {}
+
+  const IslaOptions& options() const { return options_; }
+
+  /// Runs the full AVG pipeline over `column`. `seed_salt` decorrelates
+  /// repeated runs (dataset index in the experiment harnesses).
+  Result<AggregateResult> AggregateAvg(const storage::Column& column,
+                                       uint64_t seed_salt = 0) const;
+
+  /// SUM = AVG · M.
+  Result<AggregateResult> AggregateSum(const storage::Column& column,
+                                       uint64_t seed_salt = 0) const;
+
+ private:
+  IslaOptions options_;
+};
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_ENGINE_H_

@@ -1,0 +1,59 @@
+#ifndef ISLA_CORE_EXTREME_H_
+#define ISLA_CORE_EXTREME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace core {
+
+/// Which extreme to estimate.
+enum class ExtremeKind { kMax, kMin };
+
+/// Per-block diagnostics of an extreme-value run.
+struct ExtremeBlockReport {
+  uint64_t block_index = 0;
+  uint64_t block_rows = 0;
+  uint64_t samples_drawn = 0;
+  double block_leverage = 0.0;  // sampling-rate leverage blev_i
+  double local_extreme = 0.0;   // the only value the block records
+  double pilot_mean = 0.0;
+  double pilot_sigma = 0.0;
+};
+
+/// Result of a leverage-based extreme-value aggregation.
+struct ExtremeResult {
+  double value = 0.0;
+  uint64_t total_samples = 0;
+  std::vector<ExtremeBlockReport> blocks;
+};
+
+/// The paper's §VII-D extension (MAX/MIN), implemented as described: the
+/// same block architecture, but
+///
+///   1. each block records only its sampled extreme (no other state), and
+///   2. the per-block sampling rates are leverage-based on BOTH the local
+///      variance σ_i (dispersed blocks need more probes) and the block's
+///      general level (its pilot mean): for MAX, blocks with generally
+///      higher values are more likely to contain the maximum and get
+///      larger leverages; for MIN, generally lower blocks do.
+///
+/// `sample_budget` is the total probe budget across blocks. Sampling-based
+/// extremes are conservative (the sampled max underestimates the true max);
+/// the report exposes per-block leverages so callers can audit where the
+/// budget went.
+Result<ExtremeResult> AggregateExtreme(const storage::Column& column,
+                                       ExtremeKind kind,
+                                       uint64_t sample_budget,
+                                       const IslaOptions& options,
+                                       uint64_t seed_salt = 0);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_EXTREME_H_

@@ -1,0 +1,106 @@
+#include "core/leverage.h"
+
+#include <cmath>
+
+#include "stats/moments.h"
+
+namespace isla {
+namespace core {
+
+namespace {
+
+Status ValidateInputs(std::span<const double> xs, std::span<const double> ys,
+                      double q) {
+  if (xs.empty() || ys.empty()) {
+    return Status::FailedPrecondition(
+        "leverage computation requires non-empty S and L sample sets");
+  }
+  if (!(q > 0.0)) {
+    return Status::InvalidArgument("leverage allocating parameter q must be "
+                                   "> 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LeverageBreakdown> ComputeLeverages(std::span<const double> xs,
+                                           std::span<const double> ys,
+                                           double q) {
+  ISLA_RETURN_NOT_OK(ValidateInputs(xs, ys, q));
+
+  stats::CompensatedSum t2_acc;
+  for (double x : xs) t2_acc.Add(x * x);
+  for (double y : ys) t2_acc.Add(y * y);
+  const double t2 = t2_acc.Total();
+  if (!(t2 > 0.0)) {
+    return Status::FailedPrecondition(
+        "all participating samples are zero; leverages undefined");
+  }
+
+  const double u = static_cast<double>(xs.size());
+  const double v = static_cast<double>(ys.size());
+
+  LeverageBreakdown out;
+  out.raw_s.reserve(xs.size());
+  out.raw_l.reserve(ys.size());
+
+  stats::CompensatedSum sum_x2;
+  for (double x : xs) {
+    out.raw_s.push_back(1.0 - x * x / t2);
+    sum_x2.Add(x * x);
+  }
+  stats::CompensatedSum sum_y2;
+  for (double y : ys) {
+    out.raw_l.push_back(y * y / t2);
+    sum_y2.Add(y * y);
+  }
+
+  // Theoretical sums (Theorem 2 + Constraint 2): levSum_S : levSum_L = qu : v
+  // and levSum_S + levSum_L = 1.
+  //   fac_S = (u + v/q)·(1 − Σx²/(u·T2))   [Appendix A step 2]
+  //   fac_L = (q·u/v + 1)·(Σy²/T2)
+  out.fac_s = (u + v / q) * (1.0 - sum_x2.Total() / (u * t2));
+  out.fac_l = (q * u / v + 1.0) * (sum_y2.Total() / t2);
+  if (!(out.fac_s > 0.0) || !(out.fac_l > 0.0)) {
+    return Status::Internal("non-positive normalization factor");
+  }
+
+  out.lev_s.reserve(xs.size());
+  for (double raw : out.raw_s) out.lev_s.push_back(raw / out.fac_s);
+  out.lev_l.reserve(ys.size());
+  for (double raw : out.raw_l) out.lev_l.push_back(raw / out.fac_l);
+  return out;
+}
+
+Result<std::vector<double>> ComputeProbabilities(std::span<const double> xs,
+                                                 std::span<const double> ys,
+                                                 double q, double alpha) {
+  if (!(alpha >= -1.0 && alpha <= 1.0)) {
+    // The paper defines α in (0, 1) but Case 4 modulates it negative to
+    // balance unbalanced sampling; we accept [-1, 1].
+    return Status::InvalidArgument("alpha out of [-1, 1]");
+  }
+  ISLA_ASSIGN_OR_RETURN(LeverageBreakdown lb, ComputeLeverages(xs, ys, q));
+  const double unif = 1.0 / static_cast<double>(xs.size() + ys.size());
+  std::vector<double> probs;
+  probs.reserve(xs.size() + ys.size());
+  for (double lev : lb.lev_s) probs.push_back(alpha * lev + (1 - alpha) * unif);
+  for (double lev : lb.lev_l) probs.push_back(alpha * lev + (1 - alpha) * unif);
+  return probs;
+}
+
+Result<double> BruteForceLEstimator(std::span<const double> xs,
+                                    std::span<const double> ys, double q,
+                                    double alpha) {
+  ISLA_ASSIGN_OR_RETURN(std::vector<double> probs,
+                        ComputeProbabilities(xs, ys, q, alpha));
+  stats::CompensatedSum acc;
+  size_t i = 0;
+  for (double x : xs) acc.Add(probs[i++] * x);
+  for (double y : ys) acc.Add(probs[i++] * y);
+  return acc.Total();
+}
+
+}  // namespace core
+}  // namespace isla

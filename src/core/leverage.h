@@ -1,0 +1,56 @@
+#ifndef ISLA_CORE_LEVERAGE_H_
+#define ISLA_CORE_LEVERAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace core {
+
+/// Explicit (sample-materializing) leverage pipeline of §IV and the paper's
+/// Appendix A. The production solver never materializes samples — it uses
+/// the streamed-moment closed form in objective.h — but this brute-force
+/// path is the ground truth the closed form is property-tested against, and
+/// it powers the worked examples from the paper (Example 1, Table II).
+struct LeverageBreakdown {
+  /// Raw deviation scores: S sample x gets 1 − x²/T2, L sample y gets y²/T2,
+  /// with T2 = Σx² + Σy² over the participating samples.
+  std::vector<double> raw_s;
+  std::vector<double> raw_l;
+
+  /// Normalization factors fac_S, fac_L (Appendix A step 2).
+  double fac_s = 0.0;
+  double fac_l = 0.0;
+
+  /// Normalized leverages (step 3): sum to 1 split qu : v across S : L.
+  std::vector<double> lev_s;
+  std::vector<double> lev_l;
+};
+
+/// Computes the full leverage pipeline for S samples `xs` and L samples
+/// `ys` under leverage-allocating parameter `q`. Fails when either region is
+/// empty or all values are zero (T2 = 0).
+Result<LeverageBreakdown> ComputeLeverages(std::span<const double> xs,
+                                           std::span<const double> ys,
+                                           double q);
+
+/// Re-weighted probabilities prob_i = α·lev_i + (1−α)/(u+v) (Eq. 2), in the
+/// order [xs..., ys...].
+Result<std::vector<double>> ComputeProbabilities(std::span<const double> xs,
+                                                 std::span<const double> ys,
+                                                 double q, double alpha);
+
+/// The l-estimator µ̂ = Σ prob_i·a_i evaluated by brute force (Appendix A
+/// step 5). Equals objective.h's k·α + c up to rounding.
+Result<double> BruteForceLEstimator(std::span<const double> xs,
+                                    std::span<const double> ys, double q,
+                                    double alpha);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_LEVERAGE_H_

@@ -1,0 +1,193 @@
+#include "core/modulation.h"
+
+#include <cmath>
+#include <limits>
+
+namespace isla {
+namespace core {
+
+std::string_view ModulationCaseName(ModulationCase c) {
+  switch (c) {
+    case ModulationCase::kCase1:
+      return "case1";
+    case ModulationCase::kCase2:
+      return "case2";
+    case ModulationCase::kCase3:
+      return "case3";
+    case ModulationCase::kCase4:
+      return "case4";
+    case ModulationCase::kCase5:
+      return "case5(balanced)";
+    case ModulationCase::kDegenerate:
+      return "degenerate";
+  }
+  return "?";
+}
+
+double DeviationDegree(uint64_t s_count, uint64_t l_count) {
+  if (l_count == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(s_count) / static_cast<double>(l_count);
+}
+
+double ChooseQ(double dev, const IslaOptions& options) {
+  double q_prime = 1.0;
+  if (dev <= options.dev_severe_lo || dev >= options.dev_severe_hi) {
+    q_prime = options.q_prime_severe;
+  } else if (dev <= options.dev_mild_lo || dev >= options.dev_mild_hi) {
+    q_prime = options.q_prime_mild;
+  }
+  if (q_prime == 1.0) return 1.0;
+  // |S| > |L| (dev > 1): shrink the S allocation -> q = 1/q'. Otherwise
+  // q = q' (§IV-A4).
+  return dev > 1.0 ? 1.0 / q_prime : q_prime;
+}
+
+ModulationCase DetermineCase(double d0, uint64_t s_count, uint64_t l_count,
+                             const IslaOptions& options) {
+  double dev = DeviationDegree(s_count, l_count);
+  if (dev > options.dev_balanced_lo && dev < options.dev_balanced_hi) {
+    return ModulationCase::kCase5;
+  }
+  if (d0 == 0.0) return ModulationCase::kDegenerate;
+  if (d0 < 0.0) {
+    return s_count < l_count ? ModulationCase::kCase1 : ModulationCase::kCase2;
+  }
+  return s_count < l_count ? ModulationCase::kCase3 : ModulationCase::kCase4;
+}
+
+namespace {
+
+/// Per-case geometry: the sign of the µ̂ movement and which estimator takes
+/// the larger step.
+struct CaseGeometry {
+  double mu_hat_sign;   // +1: µ̂ increases, −1: decreases
+  double sketch_sign;   // +1: sketch increases, −1: decreases
+  bool mu_hat_larger;   // true when |kδα| > δsketch
+};
+
+CaseGeometry GeometryFor(ModulationCase c) {
+  switch (c) {
+    case ModulationCase::kCase1:
+      return {+1.0, +1.0, true};
+    case ModulationCase::kCase2:
+      return {+1.0, -1.0, false};
+    case ModulationCase::kCase3:
+      // µ̂ = c sits above sketch0 with µ between them (Fig. 1 first case):
+      // the estimators converge toward each other. q > 1 allocates extra
+      // leverage mass to S, making k < 0, so a positive α moves µ̂ down.
+      return {-1.0, +1.0, false};
+    case ModulationCase::kCase4:
+      return {-1.0, -1.0, true};
+    default:
+      return {0.0, 0.0, false};
+  }
+}
+
+}  // namespace
+
+Result<ModulationResult> RunModulation(const ObjectiveCoefficients& obj,
+                                       double sketch0, uint64_t s_count,
+                                       uint64_t l_count,
+                                       const IslaOptions& options) {
+  ISLA_RETURN_NOT_OK(options.Validate());
+
+  ModulationResult res;
+  res.sketch = sketch0;
+
+  const double d0 = obj.D(/*alpha=*/0.0, sketch0);
+  res.strategy = DetermineCase(d0, s_count, l_count, options);
+
+  if (res.strategy == ModulationCase::kCase5) {
+    // sketch0 is close to µ; return it untouched (Algorithm 2 lines 1-3).
+    res.mu_hat = sketch0;
+    res.final_d = d0;
+    return res;
+  }
+  if (res.strategy == ModulationCase::kDegenerate || obj.k == 0.0) {
+    // Either the estimators already agree, or the l-estimator cannot move
+    // (k = 0); the leverage-free answer c is the l-estimator's value.
+    res.mu_hat = obj.c;
+    res.final_d = obj.D(0.0, res.sketch);
+    res.strategy = ModulationCase::kDegenerate;
+    return res;
+  }
+
+  const double eta = options.convergence_rate;
+  const double lambda = options.step_length_factor;
+  const double thr = options.EffectiveThreshold();
+  const CaseGeometry geo = GeometryFor(res.strategy);
+
+  // The paper's iteration bound: t = ceil(log_{1/eta}(|D0|/thr)). A guard of
+  // +8 rounds absorbs floating-point drift.
+  const uint64_t max_iters =
+      d0 == 0.0 ? 0
+                : static_cast<uint64_t>(std::ceil(
+                      std::log(std::abs(d0) / thr) / std::log(1.0 / eta))) +
+                      8;
+
+  // Eq. (2) bounds the leverage degree: α ∈ (0, 1), extended to −1 for the
+  // unbalanced-sampling cases (§V-C Case 4: "α is negative"). This is what
+  // gives q its teeth — with q = 1 the objective slope k is nearly flat and
+  // the l-estimator simply cannot travel far before α saturates.
+  constexpr double kAlphaBound = 1.0;
+
+  double d = d0;
+  while (std::abs(d) > thr && res.iterations < max_iters) {
+    // Solve for this round's movements. Let K = signed µ̂ change and
+    // T = signed sketch change; the round must satisfy K − T = (η−1)·d, and
+    // the step-length constraint ties |K| and |T| via λ.
+    const double need = (eta - 1.0) * d;  // K − T
+    double k_move;                         // K
+    double t_move;                         // T
+    if (geo.mu_hat_larger) {
+      // |T| = λ|K| with signs fixed by the case. K·(1 − λ·sign(T)/sign(K))
+      // ... both cases here have sign(T) == sign(K), so K(1−λ) = need.
+      k_move = need / (1.0 - lambda * geo.sketch_sign * geo.mu_hat_sign);
+      t_move = lambda * std::abs(k_move) * geo.sketch_sign;
+    } else {
+      // |K| = λ|T|. Derivation: K = λ|T|·s_K, T = |T|·s_T, K − T = need
+      // → |T|·(λ·s_K − s_T) = need.
+      double abs_t = need / (lambda * geo.mu_hat_sign - geo.sketch_sign);
+      t_move = abs_t * geo.sketch_sign;
+      k_move = lambda * abs_t * geo.mu_hat_sign;
+    }
+    double new_alpha = res.alpha + k_move / obj.k;
+    if (new_alpha > kAlphaBound || new_alpha < -kAlphaBound) {
+      // α saturates: µ̂ contributes what it still can, the sketch absorbs
+      // the rest of this round's contraction so D still shrinks to ηd.
+      new_alpha = new_alpha > kAlphaBound ? kAlphaBound : -kAlphaBound;
+      double k_eff = obj.k * (new_alpha - res.alpha);
+      t_move = k_eff - need;
+    }
+    res.alpha = new_alpha;
+    res.sketch += t_move;
+    ++res.iterations;
+    d = obj.D(res.alpha, res.sketch);
+  }
+
+  res.mu_hat = obj.MuHat(res.alpha);
+  res.final_d = d;
+  return res;
+}
+
+double ClosedFormAnswer(ModulationCase strategy, double c, double d0,
+                        double lambda, double sketch0) {
+  switch (strategy) {
+    case ModulationCase::kCase1:
+      return c + std::abs(d0) / (1.0 - lambda);
+    case ModulationCase::kCase2:
+      return c + lambda * std::abs(d0) / (1.0 + lambda);
+    case ModulationCase::kCase3:
+      return c - lambda * d0 / (1.0 + lambda);
+    case ModulationCase::kCase4:
+      return c - d0 / (1.0 - lambda);
+    case ModulationCase::kCase5:
+      return sketch0;
+    case ModulationCase::kDegenerate:
+      return c;
+  }
+  return c;
+}
+
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,84 @@
+#ifndef ISLA_CORE_MODULATION_H_
+#define ISLA_CORE_MODULATION_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/objective.h"
+#include "core/options.h"
+
+namespace isla {
+namespace core {
+
+/// The five modulation strategies of §V-C, keyed on (sign(D0), |S| vs |L|).
+enum class ModulationCase {
+  kCase1,         // D0 < 0, |S| < |L|: c < sketch0 < µ (unbalanced sampling)
+  kCase2,         // D0 < 0, |S| > |L|: c, µ < sketch0
+  kCase3,         // D0 > 0, |S| < |L|: c, µ > sketch0
+  kCase4,         // D0 > 0, |S| > |L|: c > sketch0 > µ (unbalanced sampling)
+  kCase5,         // |S| ≈ |L|: sketch0 is already the answer
+  kDegenerate,    // D0 == 0: l-estimator already meets the sketch
+};
+
+std::string_view ModulationCaseName(ModulationCase c);
+
+/// Deviation degree dev = |S|/|L| (§IV-A4). Infinity when |L| = 0.
+double DeviationDegree(uint64_t s_count, uint64_t l_count);
+
+/// Chooses the leverage-allocating parameter q from dev per §IV-A4: q = 1
+/// inside the mild window; otherwise q' (5 for the mild band, 10 for the
+/// severe band) applied as q = 1/q' when |S| > |L| and q = q' when
+/// |S| < |L|.
+double ChooseQ(double dev, const IslaOptions& options);
+
+/// Picks the modulation case from the initial objective value and the
+/// region counts.
+ModulationCase DetermineCase(double d0, uint64_t s_count, uint64_t l_count,
+                             const IslaOptions& options);
+
+/// Result of running the Phase-2 iteration (Algorithm 2 lines 5-12).
+struct ModulationResult {
+  double alpha = 0.0;       // final leverage degree
+  double sketch = 0.0;      // final (modulated) sketch value
+  double mu_hat = 0.0;      // k·alpha + c: the block's answer
+  double final_d = 0.0;     // residual objective value
+  uint64_t iterations = 0;  // number of modulation rounds executed
+  ModulationCase strategy = ModulationCase::kDegenerate;
+};
+
+/// Runs the constrained iterative modulation: starting from α = 0 and
+/// sketch = sketch0, shrinks D = kα + c − sketch by the factor η each round,
+/// splitting each round's movement between µ̂ and sketch so that the smaller
+/// mover's step is λ times the larger's (§V-D), with directions fixed by the
+/// case table (§V-C):
+///
+///   Case 1: µ̂ ↑ (larger step), sketch ↑   [pursuit from below]
+///   Case 2: µ̂ ↑ (smaller step), sketch ↓  [converge toward each other]
+///   Case 3: µ̂ ↓ (smaller step), sketch ↑  [converge toward each other]
+///   Case 4: µ̂ ↓ (larger step), sketch ↓   [pursuit from above]
+///
+/// Stops when |D| <= thr; the paper's bound ⌈log_{1/η}(|D0|/thr)⌉ caps the
+/// round count. When k == 0 the l-estimator cannot move and µ̂ = c is
+/// returned directly.
+Result<ModulationResult> RunModulation(const ObjectiveCoefficients& obj,
+                                       double sketch0, uint64_t s_count,
+                                       uint64_t l_count,
+                                       const IslaOptions& options);
+
+/// Closed-form limit of the iteration as thr → 0, valid when |k| is large
+/// enough that α never saturates at ±1 (used by property tests and the
+/// convergence analysis in DESIGN.md):
+///
+///   Case 1: c + |D0|/(1−λ)        Case 2: c + λ|D0|/(1+λ)
+///   Case 3: c − λ·D0/(1+λ)        Case 4: c − D0/(1−λ)
+///
+/// Case 5 / degenerate return sketch0 / c respectively.
+double ClosedFormAnswer(ModulationCase strategy, double c, double d0,
+                        double lambda, double sketch0);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_MODULATION_H_

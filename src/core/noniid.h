@@ -1,0 +1,34 @@
+#ifndef ISLA_CORE_NONIID_H_
+#define ISLA_CORE_NONIID_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace core {
+
+/// Non-i.i.d. aggregation (§VII-C): blocks with different local
+/// distributions get
+///
+///   1. per-block sampling rates driven by block leverages
+///      blev_i = (1 + σ_i²)/(b + Σ σ_j²), so high-variance blocks are
+///      sampled more (sample count of B_i = r·M·blev_i), and
+///   2. per-block data boundaries built from a per-block pilot
+///      (sketch0_i, σ_i).
+///
+/// The overall rate r still comes from Eq. (1) on the pooled pilot. Each
+/// block is solved independently with its own boundaries, then summarized
+/// by block size as in the i.i.d. path.
+Result<AggregateResult> AggregateAvgNonIid(const storage::Column& column,
+                                           const IslaOptions& options,
+                                           uint64_t seed_salt = 0);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_NONIID_H_

@@ -1,0 +1,50 @@
+#include "core/objective.h"
+
+#include <cmath>
+
+namespace isla {
+namespace core {
+
+Result<ObjectiveCoefficients> ComputeObjective(
+    const stats::StreamingMoments& param_s,
+    const stats::StreamingMoments& param_l, double q) {
+  if (param_s.count() == 0 || param_l.count() == 0) {
+    return Status::FailedPrecondition(
+        "objective requires non-empty S and L moment sets");
+  }
+  if (!(q > 0.0)) {
+    return Status::InvalidArgument("q must be > 0");
+  }
+
+  const double u = static_cast<double>(param_s.count());
+  const double v = static_cast<double>(param_l.count());
+  const double sx = param_s.sum();
+  const double sx2 = param_s.sum_squares();
+  const double sx3 = param_s.sum_cubes();
+  const double sy = param_l.sum();
+  const double sy2 = param_l.sum_squares();
+  const double sy3 = param_l.sum_cubes();
+  const double t2 = sx2 + sy2;
+
+  if (!(t2 > 0.0)) {
+    return Status::FailedPrecondition("T2 = 0: all sampled values are zero");
+  }
+  if (!(sy2 > 0.0)) {
+    return Status::FailedPrecondition("Σy² = 0: degenerate L region");
+  }
+  const double denom_s = (1.0 + v / (q * u)) * (u * t2 - sx2);
+  if (denom_s == 0.0) {
+    return Status::FailedPrecondition("degenerate S region (u·T2 == Σx²)");
+  }
+
+  ObjectiveCoefficients out;
+  out.c = (sx + sy) / (u + v);
+  out.k = (t2 * sx - sx3) / denom_s + v * sy3 / ((q * u + v) * sy2) - out.c;
+  if (std::isnan(out.k) || std::isinf(out.k)) {
+    return Status::Internal("objective coefficient k is not finite");
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,43 @@
+#ifndef ISLA_CORE_OBJECTIVE_H_
+#define ISLA_CORE_OBJECTIVE_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "stats/moments.h"
+
+namespace isla {
+namespace core {
+
+/// Coefficients of the l-estimator as an affine function of the leverage
+/// degree: µ̂ = f(α) = k·α + c (Theorem 3). Computed purely from the
+/// streamed S/L moments, so no sample storage is needed and the result is
+/// independent of the sampling order (§V-A).
+struct ObjectiveCoefficients {
+  double k = 0.0;
+  double c = 0.0;
+
+  /// µ̂ at a given leverage degree.
+  double MuHat(double alpha) const { return k * alpha + c; }
+
+  /// The objective D(α, sketch) = µ̂ − sketch (Eq. 3).
+  double D(double alpha, double sketch) const {
+    return MuHat(alpha) - sketch;
+  }
+};
+
+/// Evaluates Theorem 3:
+///
+///   k = (T2·Σx − Σx³) / ((1 + v/(qu))·(u·T2 − Σx²))
+///       + v·Σy³ / ((qu + v)·Σy²)  −  (Σx + Σy)/(u + v)
+///   c = (Σx + Σy)/(u + v)
+///
+/// with T2 = Σx² + Σy², u = |S|, v = |L|. Fails when either region is empty
+/// or degenerate (Σy² = 0 or u·T2 = Σx²).
+Result<ObjectiveCoefficients> ComputeObjective(
+    const stats::StreamingMoments& param_s,
+    const stats::StreamingMoments& param_l, double q);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_OBJECTIVE_H_

@@ -1,0 +1,56 @@
+#include "core/options.h"
+
+namespace isla {
+namespace core {
+
+Status IslaOptions::Validate() const {
+  if (!(precision > 0.0)) {
+    return Status::InvalidArgument("precision must be > 0");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  if (!(sketch_relaxation > 1.0)) {
+    return Status::InvalidArgument("sketch_relaxation t_e must be > 1");
+  }
+  if (!(p1 > 0.0 && p1 < p2)) {
+    return Status::InvalidArgument("data boundaries require 0 < p1 < p2");
+  }
+  if (!(step_length_factor > 0.0 && step_length_factor < 1.0)) {
+    return Status::InvalidArgument("step_length_factor must be in (0, 1)");
+  }
+  if (!(convergence_rate > 0.0 && convergence_rate < 1.0)) {
+    return Status::InvalidArgument("convergence_rate must be in (0, 1)");
+  }
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("threshold must be >= 0");
+  }
+  if (threshold == 0.0 && !(threshold_fraction > 0.0)) {
+    return Status::InvalidArgument("threshold_fraction must be > 0");
+  }
+  if (!(dev_balanced_lo < 1.0 && 1.0 < dev_balanced_hi)) {
+    return Status::InvalidArgument("balanced-dev window must straddle 1");
+  }
+  if (!(dev_severe_lo < dev_mild_lo && dev_mild_lo < dev_balanced_lo)) {
+    return Status::InvalidArgument(
+        "dev thresholds must satisfy severe_lo < mild_lo < balanced_lo");
+  }
+  if (!(dev_balanced_hi < dev_mild_hi && dev_mild_hi < dev_severe_hi)) {
+    return Status::InvalidArgument(
+        "dev thresholds must satisfy balanced_hi < mild_hi < severe_hi");
+  }
+  if (!(q_prime_mild >= 1.0) || !(q_prime_severe >= q_prime_mild)) {
+    return Status::InvalidArgument(
+        "q' tiers must satisfy 1 <= q_prime_mild <= q_prime_severe");
+  }
+  if (sigma_pilot_size < 2) {
+    return Status::InvalidArgument("sigma pilot needs at least 2 samples");
+  }
+  if (!(sampling_rate_scale > 0.0 && sampling_rate_scale <= 1.0)) {
+    return Status::InvalidArgument("sampling_rate_scale must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace isla

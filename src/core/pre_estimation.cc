@@ -1,0 +1,99 @@
+#include "core/pre_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sampling/samplers.h"
+#include "stats/confidence.h"
+#include "stats/moments.h"
+
+namespace isla {
+namespace core {
+
+namespace {
+
+/// Draws `m` samples across the column's blocks, proportionally to block
+/// sizes, folding every value into `moments` and tracking the minimum.
+Status DrawProportionalPilot(const storage::Column& column, uint64_t m,
+                             Xoshiro256* rng, stats::StreamingMoments* moments,
+                             double* min_value) {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(column.num_blocks());
+  for (const auto& b : column.blocks()) sizes.push_back(b->size());
+  std::vector<uint64_t> alloc = sampling::ProportionalAllocation(sizes, m);
+  for (size_t i = 0; i < alloc.size(); ++i) {
+    if (alloc[i] == 0) continue;
+    ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
+        *column.blocks()[i], alloc[i],
+        [&](double v) {
+          moments->Add(v);
+          *min_value = std::min(*min_value, v);
+        },
+        rng));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PilotEstimate> RunPreEstimation(const storage::Column& column,
+                                       const IslaOptions& options,
+                                       Xoshiro256* rng) {
+  ISLA_RETURN_NOT_OK(options.Validate());
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (column.num_rows() == 0) {
+    return Status::FailedPrecondition("cannot aggregate an empty column");
+  }
+
+  PilotEstimate out;
+  out.min_value = std::numeric_limits<double>::infinity();
+
+  // Stage 1: σ pilot (system-specified size, §III-A).
+  uint64_t sigma_pilot =
+      std::min<uint64_t>(options.sigma_pilot_size, column.num_rows());
+  stats::StreamingMoments sigma_moments;
+  ISLA_RETURN_NOT_OK(DrawProportionalPilot(column, sigma_pilot, rng,
+                                           &sigma_moments, &out.min_value));
+  out.sigma_pilot_samples = sigma_moments.count();
+  out.sigma = std::sqrt(sigma_moments.Variance());
+
+  // Stage 2: sketch pilot at the relaxed precision t_e·e (§III-B). With a
+  // degenerate σ̂ the sketch pilot reuses the σ pilot's mean.
+  double relaxed = options.sketch_relaxation * options.precision;
+  if (out.sigma > 0.0) {
+    ISLA_ASSIGN_OR_RETURN(
+        uint64_t m_sketch,
+        stats::RequiredSampleSize(out.sigma, relaxed, options.confidence));
+    m_sketch = std::min<uint64_t>(m_sketch, column.num_rows());
+    stats::StreamingMoments sketch_moments;
+    ISLA_RETURN_NOT_OK(DrawProportionalPilot(column, m_sketch, rng,
+                                             &sketch_moments, &out.min_value));
+    out.sketch_pilot_samples = sketch_moments.count();
+    out.sketch0 = sketch_moments.Mean();
+  } else {
+    out.sketch_pilot_samples = 0;
+    out.sketch0 = sigma_moments.Mean();
+  }
+
+  // Main-pass sizing (Eq. 1), scaled by sampling_rate_scale (Table V's r/3).
+  if (out.sigma > 0.0) {
+    ISLA_ASSIGN_OR_RETURN(uint64_t m,
+                          stats::RequiredSampleSize(
+                              out.sigma, options.precision,
+                              options.confidence));
+    double scaled = std::ceil(static_cast<double>(m) *
+                              options.sampling_rate_scale);
+    out.target_sample_size = std::min<uint64_t>(
+        static_cast<uint64_t>(scaled), column.num_rows());
+  } else {
+    out.target_sample_size = std::min<uint64_t>(2, column.num_rows());
+  }
+  out.sampling_rate = static_cast<double>(out.target_sample_size) /
+                      static_cast<double>(column.num_rows());
+  return out;
+}
+
+}  // namespace core
+}  // namespace isla

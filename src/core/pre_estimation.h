@@ -1,0 +1,49 @@
+#ifndef ISLA_CORE_PRE_ESTIMATION_H_
+#define ISLA_CORE_PRE_ESTIMATION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace core {
+
+/// Output of the Pre-estimation module (§III): the σ estimate, the sketch
+/// estimator's initial value, and the derived main-pass sampling plan.
+struct PilotEstimate {
+  /// Estimated overall standard deviation σ̂ from the small pilot.
+  double sigma = 0.0;
+
+  /// Initial sketch estimator, computed at the relaxed precision t_e·e.
+  double sketch0 = 0.0;
+
+  /// Smallest pilot value seen; drives the negative-data translation
+  /// (footnote 1 of the paper: shift by d, aggregate, shift back).
+  double min_value = 0.0;
+
+  /// Pilot sizes actually drawn.
+  uint64_t sigma_pilot_samples = 0;
+  uint64_t sketch_pilot_samples = 0;
+
+  /// Main-pass plan from Eq. (1): m = u²σ̂²/e² and r = m/M, after applying
+  /// options.sampling_rate_scale and clamping to the population size.
+  uint64_t target_sample_size = 0;
+  double sampling_rate = 0.0;
+};
+
+/// Runs the Pre-estimation module over `column`: draws the σ pilot and the
+/// sketch pilot with per-block allocations proportional to block sizes
+/// (§III-B), then sizes the main pass. Fails on empty columns or invalid
+/// options.
+Result<PilotEstimate> RunPreEstimation(const storage::Column& column,
+                                       const IslaOptions& options,
+                                       Xoshiro256* rng);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_PRE_ESTIMATION_H_

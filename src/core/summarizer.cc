@@ -1,0 +1,30 @@
+#include "core/summarizer.h"
+
+#include "stats/moments.h"
+
+namespace isla {
+namespace core {
+
+Result<double> SummarizePartials(std::span<const double> partial_avgs,
+                                 std::span<const uint64_t> block_sizes) {
+  if (partial_avgs.size() != block_sizes.size()) {
+    return Status::InvalidArgument(
+        "partial answers and block sizes must have equal length");
+  }
+  if (partial_avgs.empty()) {
+    return Status::InvalidArgument("no partial answers to summarize");
+  }
+  stats::CompensatedSum weighted;
+  uint64_t total = 0;
+  for (size_t i = 0; i < partial_avgs.size(); ++i) {
+    weighted.Add(partial_avgs[i] * static_cast<double>(block_sizes[i]));
+    total += block_sizes[i];
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("all block sizes are zero");
+  }
+  return weighted.Total() / static_cast<double>(total);
+}
+
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,25 @@
+#ifndef ISLA_CORE_SUMMARIZER_H_
+#define ISLA_CORE_SUMMARIZER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace core {
+
+/// The Summarization module (§II-C): merges per-block partial answers with
+/// weights proportional to block sizes,
+///
+///   final = Σ_j avg_j·|B_j| / M,   M = Σ_j |B_j|.
+///
+/// Fails when the spans disagree in length, are empty, or all sizes are 0.
+Result<double> SummarizePartials(std::span<const double> partial_avgs,
+                                 std::span<const uint64_t> block_sizes);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_SUMMARIZER_H_

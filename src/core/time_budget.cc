@@ -1,0 +1,75 @@
+#include "core/time_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pre_estimation.h"
+#include "sampling/samplers.h"
+#include "stats/confidence.h"
+#include "stats/moments.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace isla {
+namespace core {
+
+namespace {
+
+/// Fraction of the budget reserved for the pilot + iteration overhead.
+constexpr double kSamplingBudgetFraction = 0.7;
+
+/// Probe size used to measure sampling throughput.
+constexpr uint64_t kProbeSamples = 4096;
+
+}  // namespace
+
+Result<TimeBudgetResult> AggregateWithTimeBudget(
+    const storage::Column& column, double budget_millis,
+    const IslaOptions& options, uint64_t seed_salt) {
+  if (!(budget_millis > 0.0)) {
+    return Status::InvalidArgument("time budget must be > 0");
+  }
+  ISLA_RETURN_NOT_OK(options.Validate());
+  if (column.num_rows() == 0) {
+    return Status::FailedPrecondition("cannot aggregate an empty column");
+  }
+
+  // --- Probe: measure samples/ms on the actual storage. ---
+  Xoshiro256 rng(SplitMix64::Hash(options.seed, seed_salt ^ 0x7b6dULL));
+  const storage::Block& probe_block = *column.blocks()[0];
+  uint64_t probe_n = std::min<uint64_t>(kProbeSamples, probe_block.size());
+  stats::StreamingMoments probe_moments;
+  Timer probe_timer;
+  ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
+      probe_block, probe_n, [&](double v) { probe_moments.Add(v); }, &rng));
+  double probe_ms = std::max(probe_timer.ElapsedMillis(), 1e-3);
+  double rate = static_cast<double>(probe_n) / probe_ms;
+
+  TimeBudgetResult out;
+  out.probe_rate = rate;
+  out.budget_samples = static_cast<uint64_t>(
+      rate * budget_millis * kSamplingBudgetFraction);
+  out.budget_samples = std::max<uint64_t>(out.budget_samples, 16);
+  out.budget_samples = std::min<uint64_t>(out.budget_samples,
+                                          column.num_rows());
+
+  // --- Derive the precision the budget affords: e = u·σ̂/√m. The probe's σ̂
+  // stands in for the pilot estimate at this point.
+  double sigma = std::sqrt(probe_moments.Variance());
+  if (!(sigma > 0.0)) sigma = 1.0;
+  ISLA_ASSIGN_OR_RETURN(
+      double achievable,
+      stats::AchievedHalfWidth(sigma, options.confidence,
+                               out.budget_samples));
+  out.achieved_precision = achievable;
+
+  IslaOptions budget_options = options;
+  budget_options.precision = achievable;
+  IslaEngine engine(budget_options);
+  ISLA_ASSIGN_OR_RETURN(out.aggregate,
+                        engine.AggregateAvg(column, seed_salt));
+  return out;
+}
+
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,40 @@
+#ifndef ISLA_CORE_TIME_BUDGET_H_
+#define ISLA_CORE_TIME_BUDGET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace core {
+
+/// Result of a time-constrained aggregation (§VII-F): the answer plus the
+/// precision contract that the time budget could afford.
+struct TimeBudgetResult {
+  AggregateResult aggregate;
+  /// The confidence-interval half-width achievable within the budget
+  /// (e = u·σ̂/√m for the affordable m).
+  double achieved_precision = 0.0;
+  /// Sample size the budget affords.
+  uint64_t budget_samples = 0;
+  /// Measured probe throughput (samples per millisecond).
+  double probe_rate = 0.0;
+};
+
+/// Aggregates under a wall-clock budget: a short probe measures sampling
+/// throughput, the affordable sample size is derived, and the run proceeds
+/// with the precision that sample size guarantees (§VII-F: "the system then
+/// generates the precision assurance — the confidence interval — to ensure
+/// accuracy"). `options.precision` is ignored; everything else applies.
+Result<TimeBudgetResult> AggregateWithTimeBudget(
+    const storage::Column& column, double budget_millis,
+    const IslaOptions& options, uint64_t seed_salt = 0);
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_TIME_BUDGET_H_

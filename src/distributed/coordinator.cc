@@ -1,0 +1,168 @@
+#include "distributed/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/summarizer.h"
+#include "sampling/samplers.h"
+#include "stats/confidence.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace distributed {
+
+LoopbackTransport::LoopbackTransport(
+    std::vector<std::unique_ptr<Worker>> workers)
+    : workers_(std::move(workers)) {}
+
+Result<std::string> LoopbackTransport::Call(uint64_t worker_id,
+                                            const std::string& frame) {
+  if (worker_id >= workers_.size()) {
+    return Status::NotFound("no such worker");
+  }
+  return workers_[worker_id]->HandleRequest(frame);
+}
+
+Coordinator::Coordinator(Transport* transport, core::IslaOptions options)
+    : transport_(transport), options_(options) {}
+
+Result<DistributedResult> Coordinator::AggregateAvg(uint64_t query_id) {
+  if (transport_ == nullptr || transport_->size() == 0) {
+    return Status::FailedPrecondition("no workers attached");
+  }
+  ISLA_RETURN_NOT_OK(options_.Validate());
+  const size_t n_workers = transport_->size();
+
+  // --- Phase 1: pilot broadcast. Pool the Welford fragments with Chan's
+  // formula to get the global σ̂ and pilot mean.
+  PilotRequest pilot_req;
+  pilot_req.query_id = query_id;
+  pilot_req.sample_count =
+      std::max<uint64_t>(2, options_.sigma_pilot_size / n_workers);
+  pilot_req.seed = SplitMix64::Hash(options_.seed, query_id);
+
+  std::vector<uint64_t> shard_rows(n_workers, 0);
+  double pooled_mean = 0.0;
+  double pooled_m2 = 0.0;
+  uint64_t pooled_n = 0;
+  double min_value = std::numeric_limits<double>::infinity();
+  uint64_t data_size = 0;
+
+  for (uint64_t w = 0; w < n_workers; ++w) {
+    ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
+                          transport_->Call(w, Encode(pilot_req)));
+    ISLA_ASSIGN_OR_RETURN(PilotResponse resp,
+                          DecodePilotResponse(resp_frame));
+    if (resp.query_id != query_id) {
+      return Status::Internal("pilot response for wrong query");
+    }
+    shard_rows[w] = resp.block_rows;
+    data_size += resp.block_rows;
+    min_value = std::min(min_value, resp.min_value);
+    // Chan merge of (count, mean, m2).
+    if (resp.count > 0) {
+      double na = static_cast<double>(pooled_n);
+      double nb = static_cast<double>(resp.count);
+      double delta = resp.mean - pooled_mean;
+      if (pooled_n == 0) {
+        pooled_mean = resp.mean;
+        pooled_m2 = resp.m2;
+      } else {
+        pooled_mean += delta * nb / (na + nb);
+        pooled_m2 += resp.m2 + delta * delta * na * nb / (na + nb);
+      }
+      pooled_n += resp.count;
+    }
+  }
+  if (pooled_n < 2 || data_size == 0) {
+    return Status::FailedPrecondition("pilot returned too little data");
+  }
+  double sigma = std::sqrt(pooled_m2 / static_cast<double>(pooled_n - 1));
+
+  DistributedResult out;
+  out.data_size = data_size;
+  out.sigma_estimate = sigma;
+  if (!(sigma > 0.0)) {
+    out.average = pooled_mean;
+    out.sketch0 = pooled_mean;
+    out.sum = out.average * static_cast<double>(data_size);
+    return out;
+  }
+
+  // --- Phase 2: sketch pilot at the relaxed precision, reusing the pilot
+  // protocol with a larger share.
+  ISLA_ASSIGN_OR_RETURN(
+      uint64_t m_sketch,
+      stats::RequiredSampleSize(
+          sigma, options_.sketch_relaxation * options_.precision,
+          options_.confidence));
+  std::vector<uint64_t> sketch_alloc =
+      sampling::ProportionalAllocation(shard_rows, m_sketch);
+  double sketch_weighted = 0.0;
+  uint64_t sketch_n = 0;
+  for (uint64_t w = 0; w < n_workers; ++w) {
+    if (sketch_alloc[w] == 0) continue;
+    PilotRequest req;
+    req.query_id = query_id;
+    req.sample_count = sketch_alloc[w];
+    req.seed = SplitMix64::Hash(options_.seed, query_id ^ 0x5ce7cbULL);
+    ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
+                          transport_->Call(w, Encode(req)));
+    ISLA_ASSIGN_OR_RETURN(PilotResponse resp,
+                          DecodePilotResponse(resp_frame));
+    sketch_weighted += resp.mean * static_cast<double>(resp.count);
+    sketch_n += resp.count;
+    min_value = std::min(min_value, resp.min_value);
+  }
+  if (sketch_n == 0) {
+    return Status::Internal("sketch pilot drew nothing");
+  }
+  double sketch0 = sketch_weighted / static_cast<double>(sketch_n);
+  out.sketch0 = sketch0;
+
+  double shift =
+      min_value > 0.0 ? 0.0 : -min_value + 3.0 * sigma + 1.0;
+
+  // --- Phase 3: plan broadcast (Eq. 1 share per shard) + gather.
+  ISLA_ASSIGN_OR_RETURN(uint64_t m,
+                        stats::RequiredSampleSize(sigma, options_.precision,
+                                                  options_.confidence));
+  m = static_cast<uint64_t>(std::ceil(static_cast<double>(m) *
+                                      options_.sampling_rate_scale));
+  std::vector<uint64_t> alloc =
+      sampling::ProportionalAllocation(shard_rows, m);
+
+  std::vector<double> partial_avgs;
+  std::vector<uint64_t> partial_rows;
+  for (uint64_t w = 0; w < n_workers; ++w) {
+    QueryPlan plan;
+    plan.query_id = query_id;
+    plan.sample_count = alloc[w];
+    plan.seed = SplitMix64::Hash(options_.seed, query_id ^ 0x91a7ULL);
+    plan.sketch0 = sketch0 + shift;
+    plan.sigma = sigma;
+    plan.shift = shift;
+    plan.options = options_;
+    ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
+                          transport_->Call(w, Encode(plan)));
+    ISLA_ASSIGN_OR_RETURN(PartialResult partial,
+                          DecodePartialResult(resp_frame));
+    if (partial.query_id != query_id) {
+      return Status::Internal("partial result for wrong query");
+    }
+    out.total_samples += partial.samples_drawn;
+    partial_avgs.push_back(partial.avg);
+    partial_rows.push_back(partial.block_rows);
+    out.partials.push_back(partial);
+  }
+
+  ISLA_ASSIGN_OR_RETURN(double avg_shifted,
+                        core::SummarizePartials(partial_avgs, partial_rows));
+  out.average = avg_shifted - shift;
+  out.sum = out.average * static_cast<double>(data_size);
+  return out;
+}
+
+}  // namespace distributed
+}  // namespace isla

@@ -1,0 +1,77 @@
+#ifndef ISLA_DISTRIBUTED_COORDINATOR_H_
+#define ISLA_DISTRIBUTED_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "distributed/message.h"
+#include "distributed/worker.h"
+
+namespace isla {
+namespace distributed {
+
+/// The transport between coordinator and workers: a request frame in, a
+/// response frame out. Implementations may add latency, drop frames, or
+/// corrupt bytes (the fault-injection tests do exactly that).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers `frame` to worker `worker_id` and returns its response.
+  virtual Result<std::string> Call(uint64_t worker_id,
+                                   const std::string& frame) = 0;
+
+  /// Number of reachable workers; worker ids are [0, size).
+  virtual size_t size() const = 0;
+};
+
+/// In-process transport over a set of workers. Every call still serializes
+/// and deserializes both frames, so the protocol is exercised end to end.
+class LoopbackTransport : public Transport {
+ public:
+  explicit LoopbackTransport(std::vector<std::unique_ptr<Worker>> workers);
+
+  Result<std::string> Call(uint64_t worker_id,
+                           const std::string& frame) override;
+  size_t size() const override { return workers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+/// Outcome of a distributed aggregation.
+struct DistributedResult {
+  double average = 0.0;
+  double sum = 0.0;
+  uint64_t data_size = 0;
+  uint64_t total_samples = 0;
+  double sigma_estimate = 0.0;
+  double sketch0 = 0.0;
+  std::vector<PartialResult> partials;
+};
+
+/// The center node (§VII-E): runs pre-estimation by broadcasting pilot
+/// requests, sizes the per-worker sample shares by Eq. (1), broadcasts the
+/// query plan, and summarizes the gathered partial answers weighted by
+/// shard sizes. All state crosses Transport as serialized frames.
+class Coordinator {
+ public:
+  Coordinator(Transport* transport, core::IslaOptions options);
+
+  /// Executes one distributed AVG aggregation.
+  Result<DistributedResult> AggregateAvg(uint64_t query_id = 1);
+
+ private:
+  Transport* transport_;
+  core::IslaOptions options_;
+};
+
+}  // namespace distributed
+}  // namespace isla
+
+#endif  // ISLA_DISTRIBUTED_COORDINATOR_H_

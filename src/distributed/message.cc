@@ -1,0 +1,248 @@
+#include "distributed/message.h"
+
+#include <cstring>
+
+namespace isla {
+namespace distributed {
+
+namespace {
+
+/// Append-only little-endian writer.
+class Writer {
+ public:
+  explicit Writer(MessageType type) { PutU32(static_cast<uint32_t>(type)); }
+
+  void PutU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void PutF64(double v) { Append(&v, sizeof(v)); }
+
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  void Append(const void* data, size_t len) {
+    buffer_.append(static_cast<const char*>(data), len);
+  }
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  explicit Reader(const std::string& frame) : frame_(frame) {}
+
+  Status ExpectType(MessageType want) {
+    uint32_t tag = 0;
+    ISLA_RETURN_NOT_OK(Get(&tag, sizeof(tag)));
+    if (tag != static_cast<uint32_t>(want)) {
+      return Status::Corruption("unexpected message type tag");
+    }
+    return Status::OK();
+  }
+
+  Status GetU64(uint64_t* v) { return Get(v, sizeof(*v)); }
+  Status GetF64(double* v) { return Get(v, sizeof(*v)); }
+
+  Status Finish() const {
+    if (offset_ != frame_.size()) {
+      return Status::Corruption("trailing bytes in message frame");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Get(void* out, size_t len) {
+    if (offset_ + len > frame_.size()) {
+      return Status::Corruption("truncated message frame");
+    }
+    std::memcpy(out, frame_.data() + offset_, len);
+    offset_ += len;
+    return Status::OK();
+  }
+
+  const std::string& frame_;
+  size_t offset_ = 0;
+};
+
+void PutOptions(Writer* w, const core::IslaOptions& o) {
+  w->PutF64(o.precision);
+  w->PutF64(o.confidence);
+  w->PutF64(o.sketch_relaxation);
+  w->PutF64(o.p1);
+  w->PutF64(o.p2);
+  w->PutF64(o.step_length_factor);
+  w->PutF64(o.convergence_rate);
+  w->PutF64(o.threshold);
+  w->PutF64(o.threshold_fraction);
+  w->PutF64(o.dev_balanced_lo);
+  w->PutF64(o.dev_balanced_hi);
+  w->PutF64(o.dev_mild_lo);
+  w->PutF64(o.dev_mild_hi);
+  w->PutF64(o.dev_severe_lo);
+  w->PutF64(o.dev_severe_hi);
+  w->PutF64(o.q_prime_mild);
+  w->PutF64(o.q_prime_severe);
+  w->PutU64(o.clamp_to_sketch_interval ? 1 : 0);
+  w->PutU64(o.sigma_pilot_size);
+  w->PutU64(o.seed);
+  w->PutF64(o.sampling_rate_scale);
+}
+
+Status GetOptions(Reader* r, core::IslaOptions* o) {
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->precision));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->confidence));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->sketch_relaxation));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->p1));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->p2));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->step_length_factor));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->convergence_rate));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->threshold));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->threshold_fraction));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->dev_balanced_lo));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->dev_balanced_hi));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->dev_mild_lo));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->dev_mild_hi));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->dev_severe_lo));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->dev_severe_hi));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->q_prime_mild));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->q_prime_severe));
+  uint64_t clamp = 0;
+  ISLA_RETURN_NOT_OK(r->GetU64(&clamp));
+  o->clamp_to_sketch_interval = clamp != 0;
+  ISLA_RETURN_NOT_OK(r->GetU64(&o->sigma_pilot_size));
+  ISLA_RETURN_NOT_OK(r->GetU64(&o->seed));
+  ISLA_RETURN_NOT_OK(r->GetF64(&o->sampling_rate_scale));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Encode(const PilotRequest& m) {
+  Writer w(MessageType::kPilotRequest);
+  w.PutU64(m.query_id);
+  w.PutU64(m.sample_count);
+  w.PutU64(m.seed);
+  return w.Take();
+}
+
+std::string Encode(const PilotResponse& m) {
+  Writer w(MessageType::kPilotResponse);
+  w.PutU64(m.query_id);
+  w.PutU64(m.worker_id);
+  w.PutU64(m.block_rows);
+  w.PutU64(m.count);
+  w.PutF64(m.mean);
+  w.PutF64(m.m2);
+  w.PutF64(m.min_value);
+  return w.Take();
+}
+
+std::string Encode(const QueryPlan& m) {
+  Writer w(MessageType::kQueryPlan);
+  w.PutU64(m.query_id);
+  w.PutU64(m.sample_count);
+  w.PutU64(m.seed);
+  w.PutF64(m.sketch0);
+  w.PutF64(m.sigma);
+  w.PutF64(m.shift);
+  PutOptions(&w, m.options);
+  return w.Take();
+}
+
+std::string Encode(const PartialResult& m) {
+  Writer w(MessageType::kPartialResult);
+  w.PutU64(m.query_id);
+  w.PutU64(m.worker_id);
+  w.PutU64(m.block_rows);
+  w.PutU64(m.samples_drawn);
+  w.PutF64(m.avg);
+  w.PutU64(m.s_count);
+  w.PutU64(m.l_count);
+  w.PutU64(m.iterations);
+  w.PutF64(m.alpha);
+  w.PutF64(m.s_sum);
+  w.PutF64(m.s_sum2);
+  w.PutF64(m.s_sum3);
+  w.PutF64(m.l_sum);
+  w.PutF64(m.l_sum2);
+  w.PutF64(m.l_sum3);
+  return w.Take();
+}
+
+Result<MessageType> PeekType(const std::string& frame) {
+  if (frame.size() < sizeof(uint32_t)) {
+    return Status::Corruption("frame shorter than a type tag");
+  }
+  uint32_t tag = 0;
+  std::memcpy(&tag, frame.data(), sizeof(tag));
+  if (tag < 1 || tag > 4) {
+    return Status::Corruption("unknown message type tag");
+  }
+  return static_cast<MessageType>(tag);
+}
+
+Result<PilotRequest> DecodePilotRequest(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kPilotRequest));
+  PilotRequest m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.sample_count));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.seed));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<PilotResponse> DecodePilotResponse(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kPilotResponse));
+  PilotResponse m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.worker_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.block_rows));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.count));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.mean));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.m2));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.min_value));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<QueryPlan> DecodeQueryPlan(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kQueryPlan));
+  QueryPlan m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.sample_count));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.seed));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.sketch0));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.sigma));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.shift));
+  ISLA_RETURN_NOT_OK(GetOptions(&r, &m.options));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<PartialResult> DecodePartialResult(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kPartialResult));
+  PartialResult m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.worker_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.block_rows));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.samples_drawn));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.avg));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.s_count));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.l_count));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.iterations));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.alpha));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.s_sum));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.s_sum2));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.s_sum3));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.l_sum));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.l_sum2));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.l_sum3));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+}  // namespace distributed
+}  // namespace isla

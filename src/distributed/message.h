@@ -1,0 +1,92 @@
+#ifndef ISLA_DISTRIBUTED_MESSAGE_H_
+#define ISLA_DISTRIBUTED_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "stats/moments.h"
+
+namespace isla {
+namespace distributed {
+
+/// Wire-format message kinds. The distributed mode (§VII-E: "computations
+/// are processed in each subsidiary; the center node then collects the
+/// partial results") is simulated in-process, but every coordinator/worker
+/// exchange round-trips through these serialized frames so the message
+/// protocol is real.
+enum class MessageType : uint32_t {
+  kPilotRequest = 1,
+  kPilotResponse = 2,
+  kQueryPlan = 3,
+  kPartialResult = 4,
+};
+
+/// Coordinator → worker: draw `sample_count` uniform pilot samples.
+struct PilotRequest {
+  uint64_t query_id = 0;
+  uint64_t sample_count = 0;
+  uint64_t seed = 0;
+};
+
+/// Worker → coordinator: mergeable pilot statistics of the local shard.
+struct PilotResponse {
+  uint64_t query_id = 0;
+  uint64_t worker_id = 0;
+  uint64_t block_rows = 0;    // local |B_j|
+  uint64_t count = 0;         // pilot samples drawn
+  double mean = 0.0;          // Welford mean (Chan-mergeable with m2)
+  double m2 = 0.0;            // Welford sum of squared deviations
+  double min_value = 0.0;     // local minimum seen
+};
+
+/// Coordinator → worker: everything needed to run Algorithms 1 + 2 locally.
+struct QueryPlan {
+  uint64_t query_id = 0;
+  uint64_t sample_count = 0;  // this worker's share of m
+  uint64_t seed = 0;
+  double sketch0 = 0.0;       // shifted domain
+  double sigma = 0.0;
+  double shift = 0.0;
+  core::IslaOptions options;
+};
+
+/// Worker → coordinator: the block's partial answer plus the streamed
+/// moments (so the coordinator could continue in online mode, §VII-A).
+struct PartialResult {
+  uint64_t query_id = 0;
+  uint64_t worker_id = 0;
+  uint64_t block_rows = 0;
+  uint64_t samples_drawn = 0;
+  double avg = 0.0;           // shifted domain
+  uint64_t s_count = 0;
+  uint64_t l_count = 0;
+  uint64_t iterations = 0;
+  double alpha = 0.0;
+  // S/L power sums for continuation.
+  double s_sum = 0.0, s_sum2 = 0.0, s_sum3 = 0.0;
+  double l_sum = 0.0, l_sum2 = 0.0, l_sum3 = 0.0;
+};
+
+/// Serialization: little-endian fixed-width frames with a leading
+/// MessageType tag. Decoding validates the tag and the exact frame length
+/// and fails with Corruption otherwise.
+std::string Encode(const PilotRequest& m);
+std::string Encode(const PilotResponse& m);
+std::string Encode(const QueryPlan& m);
+std::string Encode(const PartialResult& m);
+
+/// Peeks the type tag of a frame.
+Result<MessageType> PeekType(const std::string& frame);
+
+Result<PilotRequest> DecodePilotRequest(const std::string& frame);
+Result<PilotResponse> DecodePilotResponse(const std::string& frame);
+Result<QueryPlan> DecodeQueryPlan(const std::string& frame);
+Result<PartialResult> DecodePartialResult(const std::string& frame);
+
+}  // namespace distributed
+}  // namespace isla
+
+#endif  // ISLA_DISTRIBUTED_MESSAGE_H_

@@ -1,0 +1,97 @@
+#include "distributed/worker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/block_solver.h"
+#include "core/boundaries.h"
+#include "sampling/samplers.h"
+#include "stats/moments.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace distributed {
+
+Worker::Worker(uint64_t worker_id, storage::BlockPtr block)
+    : worker_id_(worker_id), block_(std::move(block)) {}
+
+Result<std::string> Worker::HandleRequest(const std::string& frame) const {
+  ISLA_ASSIGN_OR_RETURN(MessageType type, PeekType(frame));
+  switch (type) {
+    case MessageType::kPilotRequest: {
+      ISLA_ASSIGN_OR_RETURN(PilotRequest req, DecodePilotRequest(frame));
+      return HandlePilot(req);
+    }
+    case MessageType::kQueryPlan: {
+      ISLA_ASSIGN_OR_RETURN(QueryPlan plan, DecodeQueryPlan(frame));
+      return HandlePlan(plan);
+    }
+    default:
+      return Status::InvalidArgument(
+          "worker cannot handle this message type");
+  }
+}
+
+Result<std::string> Worker::HandlePilot(const PilotRequest& request) const {
+  Xoshiro256 rng(SplitMix64::Hash(request.seed, worker_id_));
+  stats::StreamingMoments moments;
+  double min_value = std::numeric_limits<double>::infinity();
+  uint64_t want = std::min<uint64_t>(request.sample_count, block_->size());
+  ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
+      *block_, want,
+      [&](double v) {
+        moments.Add(v);
+        min_value = std::min(min_value, v);
+      },
+      &rng));
+
+  PilotResponse resp;
+  resp.query_id = request.query_id;
+  resp.worker_id = worker_id_;
+  resp.block_rows = block_->size();
+  resp.count = moments.count();
+  resp.mean = moments.Mean();
+  // Recover Welford's M2 from the unbiased variance.
+  resp.m2 = moments.Variance() * static_cast<double>(
+                                     moments.count() > 1 ? moments.count() - 1
+                                                         : 0);
+  resp.min_value = min_value;
+  return Encode(resp);
+}
+
+Result<std::string> Worker::HandlePlan(const QueryPlan& plan) const {
+  ISLA_RETURN_NOT_OK(plan.options.Validate());
+  ISLA_ASSIGN_OR_RETURN(
+      core::DataBoundaries boundaries,
+      core::DataBoundaries::Create(plan.sketch0, plan.sigma, plan.options.p1,
+                                   plan.options.p2));
+  Xoshiro256 rng(SplitMix64::Hash(plan.seed, worker_id_ ^ 0xd157ULL));
+  core::BlockParams params;
+  ISLA_RETURN_NOT_OK(core::RunSamplingPhase(*block_, boundaries,
+                                            plan.sample_count, plan.shift,
+                                            &rng, &params));
+  ISLA_ASSIGN_OR_RETURN(
+      core::BlockAnswer answer,
+      core::RunIterationPhase(params, plan.sketch0, plan.options));
+
+  PartialResult out;
+  out.query_id = plan.query_id;
+  out.worker_id = worker_id_;
+  out.block_rows = block_->size();
+  out.samples_drawn = params.samples_drawn;
+  out.avg = answer.avg;
+  out.s_count = answer.s_count;
+  out.l_count = answer.l_count;
+  out.iterations = answer.iterations;
+  out.alpha = answer.alpha;
+  out.s_sum = params.param_s.sum();
+  out.s_sum2 = params.param_s.sum_squares();
+  out.s_sum3 = params.param_s.sum_cubes();
+  out.l_sum = params.param_l.sum();
+  out.l_sum2 = params.param_l.sum_squares();
+  out.l_sum3 = params.param_l.sum_cubes();
+  return Encode(out);
+}
+
+}  // namespace distributed
+}  // namespace isla

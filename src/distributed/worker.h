@@ -1,0 +1,42 @@
+#ifndef ISLA_DISTRIBUTED_WORKER_H_
+#define ISLA_DISTRIBUTED_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "distributed/message.h"
+#include "storage/block.h"
+
+namespace isla {
+namespace distributed {
+
+/// A worker node owning one shard (block) of the column — the paper's
+/// "subsidiary" (§VII-E). It speaks only the serialized message protocol:
+/// the coordinator never touches the worker's data directly.
+class Worker {
+ public:
+  Worker(uint64_t worker_id, storage::BlockPtr block);
+
+  /// Dispatches one serialized request frame and returns a serialized
+  /// response frame. Supported requests: PilotRequest → PilotResponse,
+  /// QueryPlan → PartialResult.
+  Result<std::string> HandleRequest(const std::string& frame) const;
+
+  uint64_t worker_id() const { return worker_id_; }
+  uint64_t block_rows() const { return block_->size(); }
+
+ private:
+  Result<std::string> HandlePilot(const PilotRequest& request) const;
+  Result<std::string> HandlePlan(const QueryPlan& plan) const;
+
+  uint64_t worker_id_;
+  storage::BlockPtr block_;
+};
+
+}  // namespace distributed
+}  // namespace isla
+
+#endif  // ISLA_DISTRIBUTED_WORKER_H_

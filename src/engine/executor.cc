@@ -1,0 +1,148 @@
+#include "engine/executor.h"
+
+#include <cmath>
+
+#include "baselines/estimators.h"
+#include "core/noniid.h"
+#include "core/pre_estimation.h"
+#include "stats/moments.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace isla {
+namespace engine {
+
+namespace {
+
+/// Eq. (1) sample size for the baseline methods, from a quick pilot.
+Result<uint64_t> BaselineSampleSize(const storage::Column& column,
+                                    const core::IslaOptions& options) {
+  Xoshiro256 rng(SplitMix64::Hash(options.seed, 0xba5e11e));
+  ISLA_ASSIGN_OR_RETURN(core::PilotEstimate pilot,
+                        core::RunPreEstimation(column, options, &rng));
+  return pilot.target_sample_size == 0 ? uint64_t{2}
+                                       : pilot.target_sample_size;
+}
+
+/// Exact AVG by full scan: the ground-truth method for materialized data.
+Result<double> ExactAvg(const storage::Column& column) {
+  stats::CompensatedSum sum;
+  std::vector<double> buffer;
+  for (const auto& block : column.blocks()) {
+    constexpr uint64_t kBatch = 1 << 16;
+    for (uint64_t start = 0; start < block->size(); start += kBatch) {
+      uint64_t n = std::min<uint64_t>(kBatch, block->size() - start);
+      ISLA_RETURN_NOT_OK(block->ReadRange(start, n, &buffer));
+      for (double v : buffer) sum.Add(v);
+    }
+  }
+  return sum.Total() / static_cast<double>(column.num_rows());
+}
+
+}  // namespace
+
+Result<QueryResult> QueryExecutor::Execute(std::string_view sql) const {
+  ISLA_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(sql));
+  return Execute(spec);
+}
+
+Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
+  if (catalog_ == nullptr) {
+    return Status::FailedPrecondition("executor has no catalog");
+  }
+  ISLA_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Table> table,
+                        catalog_->GetTable(spec.table));
+  ISLA_ASSIGN_OR_RETURN(const storage::Column* column,
+                        table->GetColumn(spec.column));
+
+  core::IslaOptions options = base_options_;
+  options.precision = spec.precision;
+  options.confidence = spec.confidence;
+  ISLA_RETURN_NOT_OK(options.Validate());
+
+  QueryResult out;
+  out.aggregate = spec.aggregate;
+  out.method = spec.method;
+  Timer timer;
+
+  // Decorrelate the RNG streams of different methods so that e.g. uniform
+  // and stratified runs in the same session do not consume identical
+  // sample sequences.
+  const uint64_t method_seed = SplitMix64::Hash(
+      options.seed, static_cast<uint64_t>(spec.method) + 0x5eedULL);
+
+  double average = 0.0;
+  switch (spec.method) {
+    case Method::kIsla: {
+      core::IslaEngine engine(options);
+      ISLA_ASSIGN_OR_RETURN(core::AggregateResult agg,
+                            engine.AggregateAvg(*column));
+      average = agg.average;
+      out.samples_used = agg.total_samples + agg.pilot_samples;
+      out.isla_details = std::move(agg);
+      break;
+    }
+    case Method::kIslaNonIid: {
+      ISLA_ASSIGN_OR_RETURN(core::AggregateResult agg,
+                            core::AggregateAvgNonIid(*column, options));
+      average = agg.average;
+      out.samples_used = agg.total_samples + agg.pilot_samples;
+      out.isla_details = std::move(agg);
+      break;
+    }
+    case Method::kUniform: {
+      ISLA_ASSIGN_OR_RETURN(uint64_t m, BaselineSampleSize(*column, options));
+      ISLA_ASSIGN_OR_RETURN(
+          baselines::BaselineResult r,
+          baselines::UniformSamplingAvg(*column, m, method_seed));
+      average = r.average;
+      out.samples_used = r.samples_used;
+      break;
+    }
+    case Method::kStratified: {
+      ISLA_ASSIGN_OR_RETURN(uint64_t m, BaselineSampleSize(*column, options));
+      ISLA_ASSIGN_OR_RETURN(
+          baselines::BaselineResult r,
+          baselines::StratifiedSamplingAvg(*column, m, method_seed));
+      average = r.average;
+      out.samples_used = r.samples_used;
+      break;
+    }
+    case Method::kMv: {
+      ISLA_ASSIGN_OR_RETURN(uint64_t m, BaselineSampleSize(*column, options));
+      ISLA_ASSIGN_OR_RETURN(
+          baselines::BaselineResult r,
+          baselines::MeasureBiasedAvg(*column, m, method_seed));
+      average = r.average;
+      out.samples_used = r.samples_used;
+      break;
+    }
+    case Method::kMvb: {
+      ISLA_ASSIGN_OR_RETURN(uint64_t m, BaselineSampleSize(*column, options));
+      ISLA_ASSIGN_OR_RETURN(
+          core::DataBoundaries boundaries,
+          baselines::PilotBoundaries(*column, options.sigma_pilot_size,
+                                     options.p1, options.p2, method_seed));
+      ISLA_ASSIGN_OR_RETURN(baselines::BaselineResult r,
+                            baselines::MeasureBiasedBoundariesAvg(
+                                *column, m, boundaries, method_seed));
+      average = r.average;
+      out.samples_used = r.samples_used;
+      break;
+    }
+    case Method::kExact: {
+      ISLA_ASSIGN_OR_RETURN(average, ExactAvg(*column));
+      out.samples_used = 0;
+      break;
+    }
+  }
+
+  out.value = spec.aggregate == AggregateKind::kSum
+                  ? average * static_cast<double>(column->num_rows())
+                  : average;
+  out.elapsed_millis = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace engine
+}  // namespace isla

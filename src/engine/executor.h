@@ -1,0 +1,51 @@
+#ifndef ISLA_ENGINE_EXECUTOR_H_
+#define ISLA_ENGINE_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/options.h"
+#include "engine/query.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace engine {
+
+/// Outcome of executing one query.
+struct QueryResult {
+  double value = 0.0;               // the AVG or SUM answer
+  AggregateKind aggregate = AggregateKind::kAvg;
+  Method method = Method::kIsla;
+  uint64_t samples_used = 0;        // 0 for exact scans
+  double elapsed_millis = 0.0;
+  /// Full engine diagnostics when the ISLA paths ran.
+  std::optional<core::AggregateResult> isla_details;
+};
+
+/// Binds the mini-SQL front end to a catalog and runs queries with the
+/// method the query names. Baseline sample sizes follow Eq. (1) computed
+/// from a pilot, so `USING uniform` et al. are apples-to-apples with ISLA.
+class QueryExecutor {
+ public:
+  QueryExecutor(const storage::Catalog* catalog, core::IslaOptions base)
+      : catalog_(catalog), base_options_(base) {}
+
+  /// Parses and executes `sql`.
+  Result<QueryResult> Execute(std::string_view sql) const;
+
+  /// Executes a pre-parsed spec.
+  Result<QueryResult> Execute(const QuerySpec& spec) const;
+
+ private:
+  const storage::Catalog* catalog_;
+  core::IslaOptions base_options_;
+};
+
+}  // namespace engine
+}  // namespace isla
+
+#endif  // ISLA_ENGINE_EXECUTOR_H_

@@ -1,0 +1,223 @@
+#include "engine/query.h"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace isla {
+namespace engine {
+
+std::string_view MethodName(Method m) {
+  switch (m) {
+    case Method::kIsla:
+      return "isla";
+    case Method::kIslaNonIid:
+      return "isla_noniid";
+    case Method::kUniform:
+      return "uniform";
+    case Method::kStratified:
+      return "stratified";
+    case Method::kMv:
+      return "mv";
+    case Method::kMvb:
+      return "mvb";
+    case Method::kExact:
+      return "exact";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Token {
+  std::string text;   // lower-cased for keywords/identifiers
+  std::string raw;    // original spelling
+  size_t position;
+};
+
+/// Splits on whitespace; '(' ')' ',' are standalone tokens.
+std::vector<Token> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      tokens.push_back({std::string(1, c), std::string(1, c), i});
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < sql.size()) {
+      char d = sql[i];
+      if (std::isspace(static_cast<unsigned char>(d)) || d == '(' ||
+          d == ')' || d == ',' || d == ';') {
+        break;
+      }
+      ++i;
+    }
+    std::string raw(sql.substr(start, i - start));
+    std::string lowered = raw;
+    for (char& ch : lowered) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    tokens.push_back({std::move(lowered), std::move(raw), start});
+  }
+  return tokens;
+}
+
+Status ErrorAt(const std::string& what, size_t pos) {
+  return Status::InvalidArgument(what + " (at offset " + std::to_string(pos) +
+                                 ")");
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> Run() {
+    QuerySpec spec;
+    ISLA_RETURN_NOT_OK(Expect("select"));
+
+    // Aggregate function.
+    const Token* fn = Peek();
+    if (fn == nullptr) return ErrorAt("expected AVG or SUM", End());
+    if (fn->text == "avg") {
+      spec.aggregate = AggregateKind::kAvg;
+    } else if (fn->text == "sum") {
+      spec.aggregate = AggregateKind::kSum;
+    } else {
+      return ErrorAt("expected AVG or SUM, got '" + fn->raw + "'",
+                     fn->position);
+    }
+    Advance();
+    ISLA_RETURN_NOT_OK(Expect("("));
+    ISLA_ASSIGN_OR_RETURN(spec.column, Identifier("column name"));
+    ISLA_RETURN_NOT_OK(Expect(")"));
+
+    ISLA_RETURN_NOT_OK(Expect("from"));
+    ISLA_ASSIGN_OR_RETURN(spec.table, Identifier("table name"));
+
+    // Optional clauses in any order.
+    while (const Token* t = Peek()) {
+      if (t->text == ";") {
+        Advance();
+        continue;
+      }
+      if (t->text == "within") {
+        Advance();
+        ISLA_ASSIGN_OR_RETURN(spec.precision, Number("precision"));
+        if (!(spec.precision > 0.0)) {
+          return ErrorAt("precision must be > 0", t->position);
+        }
+        continue;
+      }
+      if (t->text == "confidence") {
+        Advance();
+        ISLA_ASSIGN_OR_RETURN(spec.confidence, Number("confidence"));
+        if (!(spec.confidence > 0.0 && spec.confidence < 1.0)) {
+          return ErrorAt("confidence must be in (0, 1)", t->position);
+        }
+        continue;
+      }
+      if (t->text == "using") {
+        Advance();
+        ISLA_ASSIGN_OR_RETURN(std::string name, Identifier("method"));
+        ISLA_ASSIGN_OR_RETURN(spec.method, MethodFromName(name, t->position));
+        continue;
+      }
+      return ErrorAt("unexpected token '" + t->raw + "'", t->position);
+    }
+    return spec;
+  }
+
+ private:
+  const Token* Peek() const {
+    return index_ < tokens_.size() ? &tokens_[index_] : nullptr;
+  }
+  void Advance() { ++index_; }
+  size_t End() const {
+    return tokens_.empty() ? 0 : tokens_.back().position + 1;
+  }
+
+  Status Expect(std::string_view keyword) {
+    const Token* t = Peek();
+    if (t == nullptr) {
+      return ErrorAt("expected '" + std::string(keyword) + "'", End());
+    }
+    if (t->text != keyword) {
+      return ErrorAt("expected '" + std::string(keyword) + "', got '" +
+                         t->raw + "'",
+                     t->position);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> Identifier(std::string_view what) {
+    const Token* t = Peek();
+    if (t == nullptr) {
+      return ErrorAt("expected " + std::string(what), End());
+    }
+    if (t->text == "(" || t->text == ")" || t->text == ",") {
+      return ErrorAt("expected " + std::string(what) + ", got '" + t->raw +
+                         "'",
+                     t->position);
+    }
+    std::string out = t->raw;
+    Advance();
+    return out;
+  }
+
+  Result<double> Number(std::string_view what) {
+    const Token* t = Peek();
+    if (t == nullptr) {
+      return ErrorAt("expected " + std::string(what), End());
+    }
+    double value = 0.0;
+    const char* begin = t->raw.data();
+    const char* end = begin + t->raw.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) {
+      return ErrorAt("expected a number for " + std::string(what) +
+                         ", got '" + t->raw + "'",
+                     t->position);
+    }
+    Advance();
+    return value;
+  }
+
+  static Result<Method> MethodFromName(const std::string& name, size_t pos) {
+    std::string lowered = name;
+    for (char& ch : lowered) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    if (lowered == "isla") return Method::kIsla;
+    if (lowered == "isla_noniid" || lowered == "noniid") {
+      return Method::kIslaNonIid;
+    }
+    if (lowered == "uniform" || lowered == "us") return Method::kUniform;
+    if (lowered == "stratified" || lowered == "sts") {
+      return Method::kStratified;
+    }
+    if (lowered == "mv") return Method::kMv;
+    if (lowered == "mvb") return Method::kMvb;
+    if (lowered == "exact") return Method::kExact;
+    return ErrorAt("unknown method '" + name + "'", pos);
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(std::string_view sql) {
+  return Parser(Tokenize(sql)).Run();
+}
+
+}  // namespace engine
+}  // namespace isla

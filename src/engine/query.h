@@ -1,0 +1,52 @@
+#ifndef ISLA_ENGINE_QUERY_H_
+#define ISLA_ENGINE_QUERY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace engine {
+
+/// Aggregate function of a query.
+enum class AggregateKind { kAvg, kSum };
+
+/// Estimation method requested via `USING <method>`.
+enum class Method {
+  kIsla,        // the paper's engine (default)
+  kIslaNonIid,  // ISLA with per-block boundaries and variance-driven rates
+  kUniform,     // US baseline
+  kStratified,  // STS baseline
+  kMv,          // measure-biased on values
+  kMvb,         // measure-biased on values and boundaries
+  kExact,       // full scan (ground truth; memory/file blocks only)
+};
+
+std::string_view MethodName(Method m);
+
+/// A parsed approximate-aggregation query. The surface syntax follows the
+/// paper's §II-C query form, extended with explicit keywords:
+///
+///   SELECT AVG(col) FROM table [WITHIN e] [CONFIDENCE b] [USING method]
+///
+/// Keywords are case-insensitive; `WITHIN` is the desired precision e and
+/// `CONFIDENCE` the level β. Defaults: e = 0.1, β = 0.95, method = isla.
+struct QuerySpec {
+  AggregateKind aggregate = AggregateKind::kAvg;
+  std::string column;
+  std::string table;
+  double precision = 0.1;
+  double confidence = 0.95;
+  Method method = Method::kIsla;
+};
+
+/// Parses the mini-SQL dialect above. Returns InvalidArgument with a
+/// position-annotated message on malformed input.
+Result<QuerySpec> ParseQuery(std::string_view sql);
+
+}  // namespace engine
+}  // namespace isla
+
+#endif  // ISLA_ENGINE_QUERY_H_

@@ -1,0 +1,302 @@
+#include "engine/session.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "stats/distribution.h"
+#include "storage/block.h"
+#include "storage/file_block.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace engine {
+
+namespace {
+
+constexpr char kDefaultColumn[] = "value";
+
+/// Splits a statement into tokens; parentheses and commas stand alone.
+struct DdlToken {
+  std::string lower;
+  std::string raw;
+};
+
+std::vector<DdlToken> Lex(std::string_view s) {
+  std::vector<DdlToken> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ';') {
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',') {
+      out.push_back({std::string(1, c), std::string(1, c)});
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      // Quoted path literal.
+      char quote = c;
+      size_t end = s.find(quote, i + 1);
+      if (end == std::string_view::npos) end = s.size();
+      std::string body(s.substr(i + 1, end - i - 1));
+      out.push_back({body, body});
+      i = end + 1;
+      continue;
+    }
+    size_t start = i;
+    while (i < s.size()) {
+      char d = s[i];
+      if (std::isspace(static_cast<unsigned char>(d)) || d == '(' ||
+          d == ')' || d == ',' || d == ';') {
+        break;
+      }
+      ++i;
+    }
+    std::string raw(s.substr(start, i - start));
+    std::string lower = raw;
+    for (char& ch : lower) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    out.push_back({std::move(lower), std::move(raw)});
+  }
+  return out;
+}
+
+class DdlParser {
+ public:
+  explicit DdlParser(std::vector<DdlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool AtEnd() const { return index_ >= tokens_.size(); }
+
+  const DdlToken* Peek() const {
+    return AtEnd() ? nullptr : &tokens_[index_];
+  }
+
+  bool Accept(std::string_view keyword) {
+    if (!AtEnd() && tokens_[index_].lower == keyword) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view keyword) {
+    if (Accept(keyword)) return Status::OK();
+    return Status::InvalidArgument(
+        "expected '" + std::string(keyword) + "'" +
+        (AtEnd() ? " at end of statement"
+                 : ", got '" + tokens_[index_].raw + "'"));
+  }
+
+  Result<std::string> Identifier(std::string_view what) {
+    if (AtEnd()) {
+      return Status::InvalidArgument("expected " + std::string(what));
+    }
+    std::string out = tokens_[index_].raw;
+    ++index_;
+    return out;
+  }
+
+  Result<double> Number(std::string_view what) {
+    if (AtEnd()) {
+      return Status::InvalidArgument("expected " + std::string(what));
+    }
+    const std::string& raw = tokens_[index_].raw;
+    // std::from_chars handles scientific notation for double.
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+    if (ec != std::errc() || ptr != raw.data() + raw.size()) {
+      return Status::InvalidArgument("expected a number for " +
+                                     std::string(what) + ", got '" + raw +
+                                     "'");
+    }
+    ++index_;
+    return v;
+  }
+
+ private:
+  std::vector<DdlToken> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Session::Session(core::IslaOptions options) : options_(options) {}
+
+Result<std::string> Session::Execute(std::string_view statement) {
+  std::vector<DdlToken> tokens = Lex(statement);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+  const std::string& head = tokens.front().lower;
+  if (head == "create") return CreateTable(statement);
+  if (head == "drop") return DropTable(statement);
+  if (head == "show") return ShowTables();
+  if (head == "describe" || head == "desc") return Describe(statement);
+  if (head == "select") return Select(statement);
+  return Status::InvalidArgument("unknown statement: '" + tokens.front().raw +
+                                 "'");
+}
+
+Result<std::string> Session::CreateTable(std::string_view statement) {
+  DdlParser p(Lex(statement));
+  ISLA_RETURN_NOT_OK(p.Expect("create"));
+  ISLA_RETURN_NOT_OK(p.Expect("table"));
+  ISLA_ASSIGN_OR_RETURN(std::string name, p.Identifier("table name"));
+  ISLA_RETURN_NOT_OK(p.Expect("from"));
+
+  auto table = std::make_shared<storage::Table>(name);
+  ISLA_RETURN_NOT_OK(table->AddColumn(kDefaultColumn));
+
+  std::ostringstream response;
+  if (p.Accept("files")) {
+    ISLA_RETURN_NOT_OK(p.Expect("("));
+    uint64_t rows = 0;
+    size_t shards = 0;
+    while (true) {
+      ISLA_ASSIGN_OR_RETURN(std::string path, p.Identifier("file path"));
+      ISLA_ASSIGN_OR_RETURN(auto block, storage::FileBlock::Open(path));
+      rows += block->size();
+      ++shards;
+      ISLA_RETURN_NOT_OK(table->AppendBlock(kDefaultColumn, block));
+      if (p.Accept(")")) break;
+      ISLA_RETURN_NOT_OK(p.Expect(","));
+    }
+    response << "created table " << name << " from " << shards
+             << " shard file(s), " << rows << " rows";
+  } else {
+    // Distribution-backed virtual table.
+    std::shared_ptr<const stats::Distribution> dist;
+    if (p.Accept("normal")) {
+      ISLA_RETURN_NOT_OK(p.Expect("("));
+      ISLA_ASSIGN_OR_RETURN(double mu, p.Number("mu"));
+      ISLA_RETURN_NOT_OK(p.Expect(","));
+      ISLA_ASSIGN_OR_RETURN(double sigma, p.Number("sigma"));
+      ISLA_RETURN_NOT_OK(p.Expect(")"));
+      if (!(sigma > 0.0)) {
+        return Status::InvalidArgument("sigma must be > 0");
+      }
+      dist = std::make_shared<stats::NormalDistribution>(mu, sigma);
+    } else if (p.Accept("exponential")) {
+      ISLA_RETURN_NOT_OK(p.Expect("("));
+      ISLA_ASSIGN_OR_RETURN(double gamma, p.Number("gamma"));
+      ISLA_RETURN_NOT_OK(p.Expect(")"));
+      if (!(gamma > 0.0)) {
+        return Status::InvalidArgument("gamma must be > 0");
+      }
+      dist = std::make_shared<stats::ExponentialDistribution>(gamma);
+    } else if (p.Accept("uniform")) {
+      ISLA_RETURN_NOT_OK(p.Expect("("));
+      ISLA_ASSIGN_OR_RETURN(double lo, p.Number("lo"));
+      ISLA_RETURN_NOT_OK(p.Expect(","));
+      ISLA_ASSIGN_OR_RETURN(double hi, p.Number("hi"));
+      ISLA_RETURN_NOT_OK(p.Expect(")"));
+      if (!(lo < hi)) return Status::InvalidArgument("need lo < hi");
+      dist = std::make_shared<stats::UniformDistribution>(lo, hi);
+    } else {
+      return Status::InvalidArgument(
+          "expected NORMAL/EXPONENTIAL/UNIFORM/FILES source");
+    }
+
+    ISLA_RETURN_NOT_OK(p.Expect("rows"));
+    ISLA_ASSIGN_OR_RETURN(double rows_d, p.Number("row count"));
+    ISLA_RETURN_NOT_OK(p.Expect("blocks"));
+    ISLA_ASSIGN_OR_RETURN(double blocks_d, p.Number("block count"));
+    uint64_t seed = options_.seed;
+    if (p.Accept("seed")) {
+      ISLA_ASSIGN_OR_RETURN(double seed_d, p.Number("seed"));
+      seed = static_cast<uint64_t>(seed_d);
+    }
+    if (!(rows_d >= 1.0) || !(blocks_d >= 1.0) || blocks_d > rows_d) {
+      return Status::InvalidArgument("need rows >= blocks >= 1");
+    }
+    uint64_t rows = static_cast<uint64_t>(rows_d);
+    uint64_t blocks = static_cast<uint64_t>(blocks_d);
+    uint64_t base = rows / blocks;
+    uint64_t extra = rows % blocks;
+    for (uint64_t j = 0; j < blocks; ++j) {
+      uint64_t block_rows = base + (j < extra ? 1 : 0);
+      ISLA_RETURN_NOT_OK(table->AppendBlock(
+          kDefaultColumn,
+          std::make_shared<storage::GeneratorBlock>(
+              dist, block_rows, SplitMix64::Hash(seed, j))));
+    }
+    response << "created table " << name << " from " << dist->Name() << ", "
+             << rows << " virtual rows in " << blocks << " blocks";
+  }
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after CREATE TABLE");
+  }
+  ISLA_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
+  return response.str();
+}
+
+Result<std::string> Session::DropTable(std::string_view statement) {
+  DdlParser p(Lex(statement));
+  ISLA_RETURN_NOT_OK(p.Expect("drop"));
+  ISLA_RETURN_NOT_OK(p.Expect("table"));
+  ISLA_ASSIGN_OR_RETURN(std::string name, p.Identifier("table name"));
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after DROP TABLE");
+  }
+  ISLA_RETURN_NOT_OK(catalog_.DropTable(name));
+  return "dropped table " + name;
+}
+
+Result<std::string> Session::ShowTables() const {
+  std::ostringstream os;
+  auto names = catalog_.TableNames();
+  if (names.empty()) return std::string("(no tables)");
+  for (const auto& n : names) os << n << "\n";
+  std::string out = os.str();
+  out.pop_back();
+  return out;
+}
+
+Result<std::string> Session::Describe(std::string_view statement) const {
+  DdlParser p(Lex(statement));
+  if (!p.Accept("describe")) ISLA_RETURN_NOT_OK(p.Expect("desc"));
+  ISLA_ASSIGN_OR_RETURN(std::string name, p.Identifier("table name"));
+  ISLA_ASSIGN_OR_RETURN(auto table, catalog_.GetTable(name));
+  std::ostringstream os;
+  os << "table " << table->name() << "\n";
+  for (const auto& col_name : table->ColumnNames()) {
+    auto col = table->GetColumn(col_name);
+    if (!col.ok()) continue;
+    os << "  column " << col_name << ": " << (*col)->num_rows() << " rows in "
+       << (*col)->num_blocks() << " blocks\n";
+    for (const auto& block : (*col)->blocks()) {
+      os << "    " << block->DebugString() << "\n";
+    }
+  }
+  std::string out = os.str();
+  out.pop_back();
+  return out;
+}
+
+Result<std::string> Session::Select(std::string_view statement) const {
+  QueryExecutor executor(&catalog_, options_);
+  ISLA_ASSIGN_OR_RETURN(QueryResult r, executor.Execute(statement));
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << (r.aggregate == AggregateKind::kAvg ? "AVG" : "SUM") << " = "
+     << r.value << "  [method=" << MethodName(r.method)
+     << ", samples=" << r.samples_used << ", " << r.elapsed_millis << " ms]";
+  if (r.isla_details.has_value()) {
+    os << "\n  sketch0=" << r.isla_details->sketch0
+       << " sigma=" << r.isla_details->sigma_estimate << " blocks="
+       << r.isla_details->blocks.size() << " precision=+/-"
+       << r.isla_details->precision << " @" << r.isla_details->confidence;
+  }
+  return os.str();
+}
+
+}  // namespace engine
+}  // namespace isla

@@ -1,0 +1,57 @@
+#ifndef ISLA_ENGINE_SESSION_H_
+#define ISLA_ENGINE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "engine/executor.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace engine {
+
+/// An interactive session: owns a catalog and understands a small DDL on
+/// top of the approximate-query dialect. Statements:
+///
+///   CREATE TABLE t FROM NORMAL(mu, sigma) ROWS n BLOCKS b [SEED s]
+///   CREATE TABLE t FROM EXPONENTIAL(gamma) ROWS n BLOCKS b [SEED s]
+///   CREATE TABLE t FROM UNIFORM(lo, hi) ROWS n BLOCKS b [SEED s]
+///   CREATE TABLE t FROM FILES(path1, path2, ...)      -- .islb shards
+///   DROP TABLE t
+///   SHOW TABLES
+///   DESCRIBE t
+///   SELECT AVG(c)|SUM(c) FROM t [WITHIN e] [CONFIDENCE b] [USING method]
+///
+/// Distribution-backed tables create generator (virtual) blocks under a
+/// single column named "value"; n may use scientific notation (1e9).
+/// Execute() returns a human-readable response string for the REPL.
+class Session {
+ public:
+  explicit Session(core::IslaOptions options = {});
+
+  /// Parses and runs one statement.
+  Result<std::string> Execute(std::string_view statement);
+
+  /// Direct access for embedding (tests, tools).
+  storage::Catalog* catalog() { return &catalog_; }
+  const core::IslaOptions& options() const { return options_; }
+
+ private:
+  Result<std::string> CreateTable(std::string_view statement);
+  Result<std::string> DropTable(std::string_view statement);
+  Result<std::string> ShowTables() const;
+  Result<std::string> Describe(std::string_view statement) const;
+  Result<std::string> Select(std::string_view statement) const;
+
+  storage::Catalog catalog_;
+  core::IslaOptions options_;
+};
+
+}  // namespace engine
+}  // namespace isla
+
+#endif  // ISLA_ENGINE_SESSION_H_

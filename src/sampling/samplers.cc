@@ -1,0 +1,153 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace isla {
+namespace sampling {
+
+std::vector<uint64_t> SampleIndicesWithReplacement(uint64_t n, uint64_t k,
+                                                   Xoshiro256* rng) {
+  std::vector<uint64_t> out;
+  if (n == 0) return out;
+  out.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) out.push_back(rng->NextBounded(n));
+  return out;
+}
+
+Result<std::vector<uint64_t>> SampleIndicesWithoutReplacement(
+    uint64_t n, uint64_t k, Xoshiro256* rng) {
+  if (k > n) {
+    return Status::InvalidArgument(
+        "cannot sample more distinct indices than the population size");
+  }
+  // Robert Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t
+  // unless already present, else insert j.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng->NextBounded(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Status BernoulliSample(uint64_t n, double p,
+                       const std::function<void(uint64_t)>& emit,
+                       Xoshiro256* rng) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("Bernoulli probability must be in [0, 1]");
+  }
+  if (p == 0.0 || n == 0) return Status::OK();
+  if (p == 1.0) {
+    for (uint64_t i = 0; i < n; ++i) emit(i);
+    return Status::OK();
+  }
+  // Geometric skips: gap ~ floor(log(U)/log(1-p)).
+  const double log1mp = std::log1p(-p);
+  double i = -1.0;
+  while (true) {
+    double u = rng->NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    i += 1.0 + std::floor(std::log(u) / log1mp);
+    if (i >= static_cast<double>(n)) break;
+    emit(static_cast<uint64_t>(i));
+  }
+  return Status::OK();
+}
+
+ReservoirSampler::ReservoirSampler(uint64_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  reservoir_.reserve(capacity);
+}
+
+void ReservoirSampler::Offer(double value) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(value);
+    return;
+  }
+  uint64_t j = rng_.NextBounded(seen_);
+  if (j < capacity_) reservoir_[j] = value;
+}
+
+std::vector<uint64_t> ProportionalAllocation(
+    const std::vector<uint64_t>& sizes, uint64_t m) {
+  std::vector<uint64_t> out(sizes.size(), 0);
+  uint64_t total = 0;
+  for (uint64_t s : sizes) total += s;
+  if (total == 0 || m == 0) return out;
+
+  // Largest remainder (Hamilton) method.
+  std::vector<double> remainders(sizes.size());
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    double exact = static_cast<double>(m) * static_cast<double>(sizes[i]) /
+                   static_cast<double>(total);
+    out[i] = static_cast<uint64_t>(exact);
+    remainders[i] = exact - static_cast<double>(out[i]);
+    assigned += out[i];
+  }
+  std::vector<size_t> order(sizes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (size_t i = 0; assigned < m && i < order.size(); ++i, ++assigned) {
+    ++out[order[i]];
+  }
+  return out;
+}
+
+std::vector<uint64_t> NeymanAllocation(const std::vector<uint64_t>& sizes,
+                                       const std::vector<double>& sigmas,
+                                       uint64_t m) {
+  std::vector<double> weights(sizes.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    double sigma = i < sigmas.size() ? std::max(sigmas[i], 0.0) : 0.0;
+    weights[i] = static_cast<double>(sizes[i]) * sigma;
+    total += weights[i];
+  }
+  if (total <= 0.0) return ProportionalAllocation(sizes, m);
+
+  // Reuse the largest-remainder machinery on the Neyman weights by scaling
+  // them into integer pseudo-sizes.
+  std::vector<uint64_t> pseudo(sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    pseudo[i] = static_cast<uint64_t>(weights[i] / total * 1e12);
+  }
+  return ProportionalAllocation(pseudo, m);
+}
+
+Status SampleBlockValues(const storage::Block& block, uint64_t k,
+                         const std::function<void(double)>& visit,
+                         Xoshiro256* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  uint64_t n = block.size();
+  if (n == 0) return Status::FailedPrecondition("cannot sample empty block");
+  for (uint64_t i = 0; i < k; ++i) {
+    visit(block.ValueAt(rng->NextBounded(n)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> DrawBlockSample(const storage::Block& block,
+                                            uint64_t k, Xoshiro256* rng) {
+  std::vector<double> out;
+  out.reserve(k);
+  ISLA_RETURN_NOT_OK(SampleBlockValues(
+      block, k, [&](double v) { out.push_back(v); }, rng));
+  return out;
+}
+
+}  // namespace sampling
+}  // namespace isla

@@ -1,0 +1,54 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace isla {
+namespace stats {
+
+namespace {
+Status ValidateBetaPrecision(double precision, double beta) {
+  if (!(precision > 0.0)) {
+    return Status::InvalidArgument("precision must be > 0");
+  }
+  if (!(beta > 0.0 && beta < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<uint64_t> RequiredSampleSize(double sigma, double precision,
+                                    double beta) {
+  ISLA_RETURN_NOT_OK(ValidateBetaPrecision(precision, beta));
+  if (!(sigma >= 0.0) || std::isnan(sigma)) {
+    return Status::InvalidArgument("sigma must be >= 0");
+  }
+  double u = TwoSidedZ(beta);
+  double m = u * u * sigma * sigma / (precision * precision);
+  uint64_t rounded = static_cast<uint64_t>(std::ceil(m));
+  return rounded < 2 ? uint64_t{2} : rounded;
+}
+
+Result<double> SamplingRate(double sigma, double precision, double beta,
+                            uint64_t data_size) {
+  if (data_size == 0) {
+    return Status::InvalidArgument("data size must be > 0");
+  }
+  ISLA_ASSIGN_OR_RETURN(uint64_t m,
+                        RequiredSampleSize(sigma, precision, beta));
+  double r = static_cast<double>(m) / static_cast<double>(data_size);
+  return r > 1.0 ? 1.0 : r;
+}
+
+Result<double> AchievedHalfWidth(double sigma, double beta, uint64_t m) {
+  if (m == 0) return Status::InvalidArgument("sample size must be > 0");
+  if (!(beta > 0.0 && beta < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  return TwoSidedZ(beta) * sigma / std::sqrt(static_cast<double>(m));
+}
+
+}  // namespace stats
+}  // namespace isla

@@ -1,0 +1,40 @@
+#ifndef ISLA_STATS_CONFIDENCE_H_
+#define ISLA_STATS_CONFIDENCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace stats {
+
+/// A two-sided confidence interval (z̄ − e, z̄ + e) for the mean, per the
+/// paper's Definition 1.
+struct ConfidenceInterval {
+  double center = 0.0;
+  double half_width = 0.0;
+
+  double lower() const { return center - half_width; }
+  double upper() const { return center + half_width; }
+  bool Contains(double v) const { return v > lower() && v < upper(); }
+};
+
+/// Required sample size m = u²σ²/e² (Eq. 1) for desired half-width
+/// `precision` at confidence `beta`, given standard deviation `sigma`.
+/// Rounds up and enforces a floor of 2 samples.
+Result<uint64_t> RequiredSampleSize(double sigma, double precision,
+                                    double beta);
+
+/// Sampling rate r = m/M (Eq. 1). Clamped to (0, 1]; fails when the inputs
+/// are non-positive or M = 0.
+Result<double> SamplingRate(double sigma, double precision, double beta,
+                            uint64_t data_size);
+
+/// Half-width e = u·σ/√m achieved by a sample of size m at confidence beta.
+Result<double> AchievedHalfWidth(double sigma, double beta, uint64_t m);
+
+}  // namespace stats
+}  // namespace isla
+
+#endif  // ISLA_STATS_CONFIDENCE_H_

@@ -1,0 +1,50 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/moments.h"
+
+namespace isla {
+namespace stats {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  CompensatedSum s;
+  for (double x : xs) s.Add(x);
+  return s.Total() / static_cast<double>(xs.size());
+}
+
+double SampleVariance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  CompensatedSum s;
+  for (double x : xs) s.Add((x - m) * (x - m));
+  double var = s.Total() / static_cast<double>(xs.size() - 1);
+  return var < 0.0 ? 0.0 : var;
+}
+
+double SampleStdDev(std::span<const double> xs) {
+  return std::sqrt(SampleVariance(xs));
+}
+
+double Median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+  double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  double lo = *std::max_element(copy.begin(), copy.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double MaxAbs(std::span<const double> xs) {
+  double best = 0.0;
+  for (double x : xs) best = std::max(best, std::abs(x));
+  return best;
+}
+
+}  // namespace stats
+}  // namespace isla

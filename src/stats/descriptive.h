@@ -1,0 +1,28 @@
+#ifndef ISLA_STATS_DESCRIPTIVE_H_
+#define ISLA_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace isla {
+namespace stats {
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Unbiased sample variance; 0 when size < 2.
+double SampleVariance(std::span<const double> xs);
+
+/// Square root of SampleVariance.
+double SampleStdDev(std::span<const double> xs);
+
+/// Median (copies and partially sorts); 0 for an empty span.
+double Median(std::span<const double> xs);
+
+/// Largest absolute value; 0 for an empty span.
+double MaxAbs(std::span<const double> xs);
+
+}  // namespace stats
+}  // namespace isla
+
+#endif  // ISLA_STATS_DESCRIPTIVE_H_

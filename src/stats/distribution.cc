@@ -1,0 +1,211 @@
+#include "stats/distribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "stats/normal.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace stats {
+
+namespace {
+
+// Maps 64 random bits to a uniform double strictly inside (0, 1) so that
+// quantile transforms never see 0 or 1.
+double BitsToOpenUnitInterval(uint64_t bits) {
+  double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  constexpr double kTiny = 0x1.0p-54;
+  if (u <= 0.0) return kTiny;
+  if (u >= 1.0) return 1.0 - kTiny;
+  return u;
+}
+
+// Secondary stream for mixtures: decorrelated from the primary stream.
+constexpr uint64_t kSecondaryStreamSalt = 0xa0761d6478bd642fULL;
+
+}  // namespace
+
+double Distribution::Sample(uint64_t seed, uint64_t index) const {
+  return Quantile(BitsToOpenUnitInterval(SplitMix64::Hash(seed, index)));
+}
+
+NormalDistribution::NormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  assert(sigma >= 0.0);
+}
+
+double NormalDistribution::Quantile(double u) const {
+  return mu_ + sigma_ * NormalQuantile(u);
+}
+
+std::string NormalDistribution::Name() const {
+  std::ostringstream os;
+  os << "Normal(" << mu_ << ", " << sigma_ << "^2)";
+  return os.str();
+}
+
+ExponentialDistribution::ExponentialDistribution(double gamma)
+    : gamma_(gamma) {
+  assert(gamma > 0.0);
+}
+
+double ExponentialDistribution::Quantile(double u) const {
+  return -std::log1p(-u) / gamma_;
+}
+
+std::string ExponentialDistribution::Name() const {
+  std::ostringstream os;
+  os << "Exponential(" << gamma_ << ")";
+  return os.str();
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  assert(lo <= hi);
+}
+
+double UniformDistribution::Quantile(double u) const {
+  return lo_ + u * (hi_ - lo_);
+}
+
+double UniformDistribution::StdDev() const {
+  return (hi_ - lo_) / std::sqrt(12.0);
+}
+
+std::string UniformDistribution::Name() const {
+  std::ostringstream os;
+  os << "Uniform[" << lo_ << ", " << hi_ << "]";
+  return os.str();
+}
+
+LognormalDistribution::LognormalDistribution(double mu_log, double sigma_log)
+    : mu_log_(mu_log), sigma_log_(sigma_log) {
+  assert(sigma_log >= 0.0);
+}
+
+double LognormalDistribution::Quantile(double u) const {
+  return std::exp(mu_log_ + sigma_log_ * NormalQuantile(u));
+}
+
+double LognormalDistribution::Mean() const {
+  return std::exp(mu_log_ + 0.5 * sigma_log_ * sigma_log_);
+}
+
+double LognormalDistribution::StdDev() const {
+  double s2 = sigma_log_ * sigma_log_;
+  return Mean() * std::sqrt(std::expm1(s2));
+}
+
+std::string LognormalDistribution::Name() const {
+  std::ostringstream os;
+  os << "Lognormal(" << mu_log_ << ", " << sigma_log_ << "^2)";
+  return os.str();
+}
+
+std::string ConstantDistribution::Name() const {
+  std::ostringstream os;
+  os << "Constant(" << value_ << ")";
+  return os.str();
+}
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    assert(c.weight >= 0.0);
+    assert(c.dist != nullptr);
+    total += c.weight;
+  }
+  assert(total > 0.0);
+  cumulative_.reserve(components_.size());
+  double acc = 0.0;
+  for (auto& c : components_) {
+    c.weight /= total;
+    acc += c.weight;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // Guard against rounding.
+}
+
+double MixtureDistribution::Sample(uint64_t seed, uint64_t index) const {
+  double pick = BitsToOpenUnitInterval(
+      SplitMix64::Hash(seed ^ kSecondaryStreamSalt, index));
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), pick);
+  size_t comp = static_cast<size_t>(it - cumulative_.begin());
+  if (comp >= components_.size()) comp = components_.size() - 1;
+  return components_[comp].dist->Sample(seed, index);
+}
+
+double MixtureDistribution::Quantile(double u) const {
+  // Bisection on F(x) = Σ wᵢ Fᵢ(x). Component CDFs are themselves recovered
+  // by bisection on the component quantiles; adequate for tests only.
+  double lo = components_[0].dist->Quantile(1e-9);
+  double hi = components_[0].dist->Quantile(1.0 - 1e-9);
+  for (const auto& c : components_) {
+    lo = std::min(lo, c.dist->Quantile(1e-9));
+    hi = std::max(hi, c.dist->Quantile(1.0 - 1e-9));
+  }
+  auto mixture_cdf = [&](double x) {
+    double f = 0.0;
+    for (const auto& c : components_) {
+      // Invert the component quantile by bisection in u.
+      double a = 0.0, b = 1.0;
+      for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (a + b);
+        if (c.dist->Quantile(mid) < x) {
+          a = mid;
+        } else {
+          b = mid;
+        }
+      }
+      f += c.weight * 0.5 * (a + b);
+    }
+    return f;
+  };
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (mixture_cdf(mid) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double MixtureDistribution::Mean() const {
+  double m = 0.0;
+  for (const auto& c : components_) m += c.weight * c.dist->Mean();
+  return m;
+}
+
+double MixtureDistribution::StdDev() const {
+  // Var = Σ w (σᵢ² + µᵢ²) − µ².
+  double mu = Mean();
+  double second = 0.0;
+  for (const auto& c : components_) {
+    double s = c.dist->StdDev();
+    double m = c.dist->Mean();
+    second += c.weight * (s * s + m * m);
+  }
+  double var = second - mu * mu;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+std::string MixtureDistribution::Name() const {
+  std::ostringstream os;
+  os << "Mixture[";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i) os << ", ";
+    os << components_[i].weight << "*" << components_[i].dist->Name();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace stats
+}  // namespace isla

@@ -1,0 +1,127 @@
+#ifndef ISLA_STATS_MOMENTS_H_
+#define ISLA_STATS_MOMENTS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace isla {
+namespace stats {
+
+/// Neumaier (improved Kahan) compensated accumulator. Streaming the paper's
+/// power sums Σa, Σa², Σa³ over hundreds of thousands of doubles loses
+/// precision with naive accumulation; the compensation keeps the objective
+/// function coefficients k, c stable.
+class CompensatedSum {
+ public:
+  CompensatedSum() = default;
+
+  /// Adds one term.
+  void Add(double v) {
+    double t = sum_ + v;
+    if (std::abs(sum_) >= std::abs(v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// Merges another accumulator (for distributed partials).
+  void Merge(const CompensatedSum& other) {
+    Add(other.sum_);
+    comp_ += other.comp_;
+  }
+
+  /// The compensated total.
+  double Total() const { return sum_ + comp_; }
+
+  /// Resets to zero.
+  void Reset() {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// The per-region streaming state of Algorithm 1: `paramS` / `paramL` in the
+/// paper. Records count, Σa, Σa², Σa³ without storing samples, which makes
+/// the scheme insensitive to sampling order (§V-A) and enables the online
+/// continuation mode (§VII-A).
+class StreamingMoments {
+ public:
+  StreamingMoments() = default;
+
+  /// Folds one sample into the running sums (updateParams in Algorithm 1).
+  void Add(double a) {
+    ++count_;
+    sum_.Add(a);
+    sum2_.Add(a * a);
+    sum3_.Add(a * a * a);
+    // Welford update: keeps Variance() stable even when the data sit on a
+    // huge offset (where the power-sum formula cancels catastrophically).
+    double delta = a - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (a - mean_);
+  }
+
+  /// Merges moments from another worker/round (online & distributed modes).
+  void Merge(const StreamingMoments& other) {
+    if (other.count_ == 0) return;
+    // Chan's parallel variance combination.
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    if (count_ == 0) {
+      mean_ = other.mean_;
+      m2_ = other.m2_;
+    } else {
+      mean_ += delta * nb / (na + nb);
+      m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    }
+    count_ += other.count_;
+    sum_.Merge(other.sum_);
+    sum2_.Merge(other.sum2_);
+    sum3_.Merge(other.sum3_);
+  }
+
+  /// Clears all state.
+  void Reset() {
+    count_ = 0;
+    sum_.Reset();
+    sum2_.Reset();
+    sum3_.Reset();
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_.Total(); }
+  double sum_squares() const { return sum2_.Total(); }
+  double sum_cubes() const { return sum3_.Total(); }
+
+  /// Sample mean; 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : sum() / count_; }
+
+  /// Unbiased sample variance via Welford's M2; 0 when count < 2.
+  double Variance() const {
+    if (count_ < 2) return 0.0;
+    double var = m2_ / static_cast<double>(count_ - 1);
+    return var < 0.0 ? 0.0 : var;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  CompensatedSum sum_;
+  CompensatedSum sum2_;
+  CompensatedSum sum3_;
+  double mean_ = 0.0;  // Welford running mean
+  double m2_ = 0.0;    // Welford sum of squared deviations
+};
+
+}  // namespace stats
+}  // namespace isla
+
+#endif  // ISLA_STATS_MOMENTS_H_

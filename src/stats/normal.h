@@ -1,0 +1,27 @@
+#ifndef ISLA_STATS_NORMAL_H_
+#define ISLA_STATS_NORMAL_H_
+
+namespace isla {
+namespace stats {
+
+/// Standard normal probability density φ(x).
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution Φ(x), accurate to ~1e-15
+/// (computed via erfc).
+double NormalCdf(double x);
+
+/// Standard normal quantile Φ⁻¹(p) for p in (0, 1). Uses Acklam's rational
+/// approximation refined with one Halley step, giving ~1e-15 relative
+/// accuracy. Returns ±infinity at p = 0 / 1 and NaN outside [0, 1].
+double NormalQuantile(double p);
+
+/// Two-sided z-value for confidence level `beta` in (0, 1): the u such that
+/// P(|Z| <= u) = beta, i.e. Φ⁻¹((1+beta)/2). This is the `u` of the paper's
+/// Eq. (1). Example: beta = 0.95 -> 1.95996...
+double TwoSidedZ(double beta);
+
+}  // namespace stats
+}  // namespace isla
+
+#endif  // ISLA_STATS_NORMAL_H_

@@ -1,0 +1,66 @@
+#include "storage/block.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace isla {
+namespace storage {
+
+Status Block::ReadRange(uint64_t start, uint64_t count,
+                        std::vector<double>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (start > size() || count > size() - start) {
+    return Status::OutOfRange("ReadRange past end of block");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) out->push_back(ValueAt(start + i));
+  return Status::OK();
+}
+
+MemoryBlock::MemoryBlock(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+double MemoryBlock::ValueAt(uint64_t index) const {
+  if (index >= values_.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return values_[index];
+}
+
+Status MemoryBlock::ReadRange(uint64_t start, uint64_t count,
+                              std::vector<double>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (start > values_.size() || count > values_.size() - start) {
+    return Status::OutOfRange("ReadRange past end of block");
+  }
+  out->assign(values_.begin() + static_cast<ptrdiff_t>(start),
+              values_.begin() + static_cast<ptrdiff_t>(start + count));
+  return Status::OK();
+}
+
+std::string MemoryBlock::DebugString() const {
+  std::ostringstream os;
+  os << "memory[" << values_.size() << "]";
+  return os.str();
+}
+
+GeneratorBlock::GeneratorBlock(
+    std::shared_ptr<const stats::Distribution> dist, uint64_t size,
+    uint64_t seed)
+    : dist_(std::move(dist)), size_(size), seed_(seed) {}
+
+double GeneratorBlock::ValueAt(uint64_t index) const {
+  if (index >= size_) return std::numeric_limits<double>::quiet_NaN();
+  return dist_->Sample(seed_, index);
+}
+
+std::string GeneratorBlock::DebugString() const {
+  std::ostringstream os;
+  os << "gen[" << size_ << " " << dist_->Name() << " seed=" << seed_ << "]";
+  return os.str();
+}
+
+}  // namespace storage
+}  // namespace isla

@@ -1,0 +1,86 @@
+#ifndef ISLA_STORAGE_BLOCK_H_
+#define ISLA_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "stats/distribution.h"
+
+namespace isla {
+namespace storage {
+
+/// A block is the paper's unit of distribution: one machine's shard of a
+/// column (§II-C). ISLA never scans blocks; it samples them, so the only
+/// mandatory access path is positional reads. Implementations must be
+/// thread-compatible for concurrent const access.
+class Block {
+ public:
+  virtual ~Block() = default;
+
+  /// Number of rows stored in this block.
+  virtual uint64_t size() const = 0;
+
+  /// The value at `index`. Precondition: index < size(). Out-of-range access
+  /// on checked implementations returns quiet NaN in release builds.
+  virtual double ValueAt(uint64_t index) const = 0;
+
+  /// Bulk positional read; the default loops over ValueAt. File-backed
+  /// blocks override this with a single vectored read.
+  virtual Status ReadRange(uint64_t start, uint64_t count,
+                           std::vector<double>* out) const;
+
+  /// Short description for logs ("memory[10000]", "gen[1e10 Normal(...)]").
+  virtual std::string DebugString() const = 0;
+};
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+/// An in-memory block: a plain vector of doubles. The workhorse for tests
+/// and small experiments.
+class MemoryBlock : public Block {
+ public:
+  explicit MemoryBlock(std::vector<double> values);
+
+  uint64_t size() const override { return values_.size(); }
+  double ValueAt(uint64_t index) const override;
+  Status ReadRange(uint64_t start, uint64_t count,
+                   std::vector<double>* out) const override;
+  std::string DebugString() const override;
+
+  /// Direct access for baselines that stream the whole block.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// A generator-backed *virtual* block: row i is a pure function of
+/// (seed, i) under a Distribution. This reproduces the paper's 10⁸–10¹²-row
+/// experiments without materializing the data: ISLA touches only m =
+/// u²σ²/e² rows, and every one of them is reproducible from the seed.
+class GeneratorBlock : public Block {
+ public:
+  GeneratorBlock(std::shared_ptr<const stats::Distribution> dist,
+                 uint64_t size, uint64_t seed);
+
+  uint64_t size() const override { return size_; }
+  double ValueAt(uint64_t index) const override;
+  std::string DebugString() const override;
+
+  const stats::Distribution& distribution() const { return *dist_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  std::shared_ptr<const stats::Distribution> dist_;
+  uint64_t size_;
+  uint64_t seed_;
+};
+
+}  // namespace storage
+}  // namespace isla
+
+#endif  // ISLA_STORAGE_BLOCK_H_

@@ -1,0 +1,190 @@
+#include "storage/file_block.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace isla {
+namespace storage {
+
+namespace {
+
+constexpr uint64_t kHeaderBytes = 16;
+
+// Generates the CRC32 lookup table at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  const auto& table = Crc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+Status WriteBlockFile(const std::string& path,
+                      std::span<const double> values) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  uint64_t count = values.size();
+  bool ok = std::fwrite(kBlockMagic, 1, 4, f) == 4;
+  uint32_t version = kBlockFormatVersion;
+  ok = ok && std::fwrite(&version, sizeof(version), 1, f) == 1;
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  if (count > 0) {
+    ok = ok &&
+         std::fwrite(values.data(), sizeof(double), values.size(), f) ==
+             values.size();
+  }
+  uint32_t crc = Crc32(values.data(), values.size() * sizeof(double));
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, f) == 1;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+FileBlock::FileBlock(std::string path, std::FILE* file, uint64_t count)
+    : path_(std::move(path)), file_(file), count_(count) {}
+
+FileBlock::~FileBlock() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::shared_ptr<FileBlock>> FileBlock::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::fread(&version, sizeof(version), 1, f) != 1 ||
+      std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Corruption("truncated header in " + path);
+  }
+  if (std::memcmp(magic, kBlockMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (version != kBlockFormatVersion) {
+    std::fclose(f);
+    std::ostringstream os;
+    os << "unsupported block format version " << version << " in " << path;
+    return Status::Corruption(os.str());
+  }
+
+  // Verify the payload CRC by streaming once.
+  uint32_t crc = 0xffffffffu;
+  const auto& table = Crc32Table();
+  std::vector<unsigned char> buf(1 << 16);
+  uint64_t remaining = count * sizeof(double);
+  while (remaining > 0) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(remaining, buf.size()));
+    if (std::fread(buf.data(), 1, want, f) != want) {
+      std::fclose(f);
+      return Status::Corruption("truncated payload in " + path);
+    }
+    for (size_t i = 0; i < want; ++i) {
+      crc = table[(crc ^ buf[i]) & 0xffu] ^ (crc >> 8);
+    }
+    remaining -= want;
+  }
+  crc ^= 0xffffffffu;
+  uint32_t stored = 0;
+  if (std::fread(&stored, sizeof(stored), 1, f) != 1) {
+    std::fclose(f);
+    return Status::Corruption("missing CRC footer in " + path);
+  }
+  if (stored != crc) {
+    std::fclose(f);
+    return Status::Corruption("CRC mismatch in " + path);
+  }
+
+  return std::shared_ptr<FileBlock>(new FileBlock(path, f, count));
+}
+
+Status FileBlock::LoadChunkLocked(uint64_t index) const {
+  uint64_t chunk_start = (index / kChunkRows) * kChunkRows;
+  if (chunk_valid_ && chunk_start == chunk_start_) return Status::OK();
+  uint64_t rows =
+      std::min<uint64_t>(kChunkRows, count_ - chunk_start);
+  long offset = static_cast<long>(kHeaderBytes + chunk_start * sizeof(double));
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path_);
+  }
+  chunk_.resize(rows);
+  if (std::fread(chunk_.data(), sizeof(double), rows, file_) != rows) {
+    chunk_valid_ = false;
+    return Status::IOError("read failed in " + path_);
+  }
+  chunk_start_ = chunk_start;
+  chunk_valid_ = true;
+  return Status::OK();
+}
+
+double FileBlock::ValueAt(uint64_t index) const {
+  if (index >= count_) return std::numeric_limits<double>::quiet_NaN();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!LoadChunkLocked(index).ok()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return chunk_[index - chunk_start_];
+}
+
+Status FileBlock::ReadRange(uint64_t start, uint64_t count,
+                            std::vector<double>* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (start > count_ || count > count_ - start) {
+    return Status::OutOfRange("ReadRange past end of block");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  long offset = static_cast<long>(kHeaderBytes + start * sizeof(double));
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path_);
+  }
+  out->resize(count);
+  if (count > 0 &&
+      std::fread(out->data(), sizeof(double), count, file_) != count) {
+    return Status::IOError("read failed in " + path_);
+  }
+  chunk_valid_ = false;  // File position moved; invalidate cache bookkeeping.
+  return Status::OK();
+}
+
+std::string FileBlock::DebugString() const {
+  std::ostringstream os;
+  os << "file[" << count_ << " " << path_ << "]";
+  return os.str();
+}
+
+Result<std::shared_ptr<MemoryBlock>> FileBlock::LoadToMemory() const {
+  std::vector<double> values;
+  ISLA_RETURN_NOT_OK(ReadRange(0, count_, &values));
+  return std::make_shared<MemoryBlock>(std::move(values));
+}
+
+}  // namespace storage
+}  // namespace isla

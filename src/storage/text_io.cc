@@ -1,0 +1,83 @@
+#include "storage/text_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "storage/file_block.h"
+
+namespace isla {
+namespace storage {
+
+namespace {
+
+/// Parses one line into a double; empty/whitespace-only lines return false
+/// with OK status, malformed lines return a Corruption status.
+Result<bool> ParseLine(const std::string& line, uint64_t line_number,
+                       double* out) {
+  size_t begin = 0;
+  while (begin < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[begin]))) {
+    ++begin;
+  }
+  size_t end = line.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  if (begin == end) return false;  // Blank line.
+  const char* first = line.data() + begin;
+  const char* last = line.data() + end;
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec != std::errc() || ptr != last) {
+    std::ostringstream os;
+    os << "unparseable value at line " << line_number << ": '"
+       << line.substr(begin, end - begin) << "'";
+    return Status::Corruption(os.str());
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<MemoryBlock>> ReadTextColumn(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::vector<double> values;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    double v = 0.0;
+    ISLA_ASSIGN_OR_RETURN(bool has_value, ParseLine(line, line_number, &v));
+    if (has_value) values.push_back(v);
+  }
+  if (in.bad()) return Status::IOError("read error in: " + path);
+  return std::make_shared<MemoryBlock>(std::move(values));
+}
+
+Status WriteTextColumn(const std::string& path,
+                       std::span<const double> values) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  bool ok = true;
+  for (double v : values) {
+    ok = ok && std::fprintf(f, "%.17g\n", v) > 0;
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<uint64_t> ConvertTextToBlockFile(const std::string& text_path,
+                                        const std::string& islb_path) {
+  ISLA_ASSIGN_OR_RETURN(auto block, ReadTextColumn(text_path));
+  ISLA_RETURN_NOT_OK(WriteBlockFile(islb_path, block->values()));
+  return block->size();
+}
+
+}  // namespace storage
+}  // namespace isla

@@ -1,0 +1,34 @@
+#ifndef ISLA_STORAGE_TEXT_IO_H_
+#define ISLA_STORAGE_TEXT_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/block.h"
+
+namespace isla {
+namespace storage {
+
+/// Reads a text column file — one numeric value per line, the format the
+/// paper stores its blocks in ("each line records a data point"). Blank
+/// lines are skipped; any unparseable line fails with Corruption carrying
+/// the 1-based line number. Returns the values as a MemoryBlock.
+Result<std::shared_ptr<MemoryBlock>> ReadTextColumn(const std::string& path);
+
+/// Writes one value per line with full round-trip precision (%.17g).
+Status WriteTextColumn(const std::string& path,
+                       std::span<const double> values);
+
+/// Converts a paper-style .txt column into the binary ISLB block format.
+/// Returns the number of rows converted.
+Result<uint64_t> ConvertTextToBlockFile(const std::string& text_path,
+                                        const std::string& islb_path);
+
+}  // namespace storage
+}  // namespace isla
+
+#endif  // ISLA_STORAGE_TEXT_IO_H_

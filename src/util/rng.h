@@ -1,0 +1,102 @@
+#ifndef ISLA_UTIL_RNG_H_
+#define ISLA_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace isla {
+
+/// SplitMix64: tiny, fast 64-bit PRNG. Used to seed Xoshiro and as a
+/// stateless counter-based hash (`SplitMix64::Hash`), which gives O(1)
+/// random access into virtual datasets: value i of a generated block is a
+/// pure function of (seed, i).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return Mix(state_);
+  }
+
+  /// Stateless mix of a single 64-bit input; a high-quality finalizer.
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Counter-based hash: deterministic 64 bits for (seed, counter).
+  static uint64_t Hash(uint64_t seed, uint64_t counter) {
+    return Mix(seed + counter * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256++: the main sequential PRNG for sampling decisions.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four lanes from SplitMix64(seed), per the reference
+  /// implementation's recommendation.
+  explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 mantissa bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction
+  /// with rejection).
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift. Rejection keeps the distribution exact.
+    while (true) {
+      uint64_t x = Next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t low = static_cast<uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace isla
+
+#endif  // ISLA_UTIL_RNG_H_

@@ -1,0 +1,35 @@
+#ifndef ISLA_UTIL_TABLE_PRINTER_H_
+#define ISLA_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace isla {
+
+/// Fixed-width ASCII table writer used by the benchmark harnesses to print
+/// paper-style result tables (Tables III-VII, Fig. 6 series).
+class TablePrinter {
+ public:
+  /// Creates a printer with one column per header.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string Fmt(double v, int precision = 4);
+
+  /// Renders the table with a header rule.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace isla
+
+#endif  // ISLA_UTIL_TABLE_PRINTER_H_

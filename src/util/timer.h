@@ -1,0 +1,34 @@
+#ifndef ISLA_UTIL_TIMER_H_
+#define ISLA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace isla {
+
+/// Wall-clock stopwatch used by the benchmark harnesses and the
+/// time-constrained execution mode (paper §VII-F).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace isla
+
+#endif  // ISLA_UTIL_TIMER_H_

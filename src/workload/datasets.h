@@ -1,0 +1,83 @@
+#ifndef ISLA_WORKLOAD_DATASETS_H_
+#define ISLA_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace workload {
+
+/// A ready-to-query dataset: a table, the column under aggregation, and the
+/// ground-truth mean (analytic for generator-backed data, full-scan for
+/// materialized data).
+struct Dataset {
+  std::shared_ptr<storage::Table> table;
+  std::string column;
+  double true_mean = 0.0;
+  std::string description;
+
+  /// The column under aggregation; never null for a valid dataset.
+  const storage::Column* data() const {
+    auto col = table->GetColumn(column);
+    return col.ok() ? col.value() : nullptr;
+  }
+};
+
+/// N(mu, sigma²) split into `blocks` generator-backed virtual blocks of
+/// `rows_total / blocks` rows (§VIII default: µ=100, σ=20, M=10¹⁰, b=10).
+Result<Dataset> MakeNormalDataset(uint64_t rows_total, uint64_t blocks,
+                                  double mu, double sigma, uint64_t seed);
+
+/// Exponential(γ) dataset (Table VI; true mean 1/γ).
+Result<Dataset> MakeExponentialDataset(uint64_t rows_total, uint64_t blocks,
+                                       double gamma, uint64_t seed);
+
+/// Uniform[lo, hi] dataset (Table VII uses [1, 199]).
+Result<Dataset> MakeUniformDataset(uint64_t rows_total, uint64_t blocks,
+                                   double lo, double hi, uint64_t seed);
+
+/// Spec for one non-i.i.d. block.
+struct NonIidBlockSpec {
+  double mu;
+  double sigma;
+  uint64_t rows;
+};
+
+/// Blocks with different local normals (§VIII-D uses five: N(100,20²),
+/// N(50,10²), N(80,30²), N(150,60²), N(120,40²), 10⁸ rows each).
+Result<Dataset> MakeNonIidDataset(std::span<const NonIidBlockSpec> specs,
+                                  uint64_t seed);
+
+/// Census-salary-like data (§VIII-G substitution, see DESIGN.md §3):
+/// 299,285 rows, a zero-inflated right-skewed mixture matching the real
+/// column's headline statistics (mean ≈ 1740). Materialized in memory so
+/// the exact mean is a true full scan.
+Result<Dataset> MakeCensusSalaryLike(uint64_t blocks, uint64_t seed);
+
+/// TLC-trip-distance-like data (§VIII-G substitution): values ×1000 as in
+/// the paper, with heavy clustering of very small and very large values —
+/// the regime where MV/MVB/US break down. Materialized.
+Result<Dataset> MakeTlcTripLike(uint64_t rows_total, uint64_t blocks,
+                                uint64_t seed);
+
+/// TPC-H LINEITEM l_extendedprice-like column (§VIII-F substitution):
+/// price ≈ quantity × unit-price shape, virtual blocks.
+Result<Dataset> MakeTpchLineitemLike(uint64_t rows_total, uint64_t blocks,
+                                     uint64_t seed);
+
+/// Normal dataset materialized into MemoryBlocks (for tests that need exact
+/// scans or file round-trips). Caps rows at 16M to stay in RAM.
+Result<Dataset> MakeMaterializedNormalDataset(uint64_t rows_total,
+                                              uint64_t blocks, double mu,
+                                              double sigma, uint64_t seed);
+
+}  // namespace workload
+}  // namespace isla
+
+#endif  // ISLA_WORKLOAD_DATASETS_H_

@@ -1,0 +1,180 @@
+// Unit tests for baselines/estimators.h: US, STS, MV, MVB — including the
+// analytic MV bias the paper's Tables III/VI/VII hinge on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/estimators.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace baselines {
+namespace {
+
+workload::Dataset Normal(uint64_t rows = 10'000'000, uint64_t blocks = 10,
+                         double mu = 100.0, double sigma = 20.0,
+                         uint64_t seed = 1) {
+  auto ds = workload::MakeNormalDataset(rows, blocks, mu, sigma, seed);
+  EXPECT_TRUE(ds.ok());
+  return *ds;
+}
+
+TEST(UniformSampling, UnbiasedOnNormal) {
+  auto ds = Normal();
+  auto r = UniformSamplingAvg(*ds.data(), 150'000, /*seed=*/11);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 100.0, 0.3);
+  EXPECT_EQ(r->samples_used, 150'000u);
+}
+
+TEST(UniformSampling, RejectsBadInputs) {
+  auto ds = Normal(1000, 2);
+  EXPECT_TRUE(UniformSamplingAvg(*ds.data(), 0, 1).status()
+                  .IsInvalidArgument());
+  storage::Column empty("v");
+  EXPECT_TRUE(
+      UniformSamplingAvg(empty, 10, 1).status().IsFailedPrecondition());
+}
+
+TEST(StratifiedSampling, UnbiasedOnNormal) {
+  auto ds = Normal();
+  auto r = StratifiedSamplingAvg(*ds.data(), 150'000, 12);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 100.0, 0.3);
+}
+
+TEST(StratifiedSampling, HandlesHeterogeneousBlocks) {
+  std::vector<workload::NonIidBlockSpec> specs = {{10.0, 1.0, 1'000'000},
+                                                  {30.0, 1.0, 3'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 2);
+  ASSERT_TRUE(ds.ok());
+  auto r = StratifiedSamplingAvg(*ds->data(), 10'000, 13);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 25.0, 0.2);  // (10 + 3·30)/4.
+}
+
+TEST(StratifiedNeyman, AllocatesBySigmaAndStaysUnbiased) {
+  std::vector<workload::NonIidBlockSpec> specs = {{100.0, 5.0, 1'000'000},
+                                                  {100.0, 50.0, 1'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 3);
+  ASSERT_TRUE(ds.ok());
+  auto r = StratifiedNeymanAvg(*ds->data(), 20'000, /*pilot_per_block=*/200,
+                               14);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 100.0, 1.0);
+}
+
+TEST(StratifiedNeyman, RejectsTinyPilot) {
+  auto ds = Normal(1000, 2);
+  EXPECT_TRUE(StratifiedNeymanAvg(*ds.data(), 100, 1, 1).status()
+                  .IsInvalidArgument());
+}
+
+TEST(MeasureBiased, OverestimatesBySigmaSqOverMu) {
+  // E[MV] = E[a²]/E[a] = µ + σ²/µ: for N(100, 20²) that is 104 — exactly
+  // the paper's Table III MV row.
+  auto ds = Normal();
+  auto r = MeasureBiasedAvg(*ds.data(), 200'000, 15);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 104.0, 0.4);
+}
+
+TEST(MeasureBiased, UniformDataOverestimatesWorse) {
+  // U[1,199]: E[a²]/E[a] = (µ² + σ²)/µ with σ² = 198²/12 → ≈ 132.67,
+  // matching Table VII's ~132.
+  auto ds = workload::MakeUniformDataset(10'000'000, 10, 1.0, 199.0, 4);
+  ASSERT_TRUE(ds.ok());
+  auto r = MeasureBiasedAvg(*ds->data(), 200'000, 16);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 132.67, 1.0);
+}
+
+TEST(MeasureBiased, FailsOnNonPositiveSums) {
+  auto ds = Normal(1'000'000, 2, -100.0, 5.0, 5);
+  auto r = MeasureBiasedAvg(*ds.data(), 10'000, 17);
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(MeasureBiasedBoundaries, LessBiasedThanMv) {
+  auto ds = Normal();
+  auto boundaries = PilotBoundaries(*ds.data(), 1000, 0.5, 2.0, 18);
+  ASSERT_TRUE(boundaries.ok());
+  auto mvb = MeasureBiasedBoundariesAvg(*ds.data(), 200'000, *boundaries, 19);
+  auto mv = MeasureBiasedAvg(*ds.data(), 200'000, 19);
+  ASSERT_TRUE(mvb.ok() && mv.ok());
+  // Table III: MVB ≈ 100.5 vs MV ≈ 104.
+  EXPECT_LT(std::abs(mvb->average - 100.0), std::abs(mv->average - 100.0));
+  EXPECT_NEAR(mvb->average, 100.5, 0.5);
+}
+
+TEST(MeasureBiasedBoundaries, StillBiasedUpOnNormal) {
+  auto ds = Normal();
+  auto boundaries = PilotBoundaries(*ds.data(), 1000, 0.5, 2.0, 20);
+  ASSERT_TRUE(boundaries.ok());
+  auto r = MeasureBiasedBoundariesAvg(*ds.data(), 200'000, *boundaries, 21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->average, 100.05);
+}
+
+TEST(PilotBoundaries, CentersNearMean) {
+  auto ds = Normal();
+  auto b = PilotBoundaries(*ds.data(), 2000, 0.5, 2.0, 22);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->sketch0(), 100.0, 2.0);
+  EXPECT_NEAR(b->sigma(), 20.0, 2.0);
+}
+
+TEST(PilotBoundaries, ConstantDataFails) {
+  auto table = std::make_shared<storage::Table>("t");
+  ASSERT_TRUE(table->AddColumn("v").ok());
+  ASSERT_TRUE(table
+                  ->AppendBlock("v", std::make_shared<storage::MemoryBlock>(
+                                         std::vector<double>(1000, 1.0)))
+                  .ok());
+  auto col = table->GetColumn("v");
+  EXPECT_TRUE(PilotBoundaries(**col, 100, 0.5, 2.0, 23)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(MeasureBiasedTrueSampling, HarmonicEstimatorIsConsistent) {
+  // Under Pr(a) ∝ a, E[1/a] = 1/µ, so m/Σ(1/aᵢ) → µ.
+  auto ds = workload::MakeMaterializedNormalDataset(400'000, 4, 100.0, 10.0,
+                                                    30);
+  ASSERT_TRUE(ds.ok());
+  auto r = baselines::MeasureBiasedTrueSamplingAvg(*ds->data(), 50'000, 31);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->average, ds->true_mean, 1.0);
+  EXPECT_EQ(r->samples_used, 50'000u);
+}
+
+TEST(MeasureBiasedTrueSampling, RejectsNonPositiveValues) {
+  auto ds = workload::MakeMaterializedNormalDataset(10'000, 2, 0.0, 1.0, 32);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(
+      baselines::MeasureBiasedTrueSamplingAvg(*ds->data(), 100, 33)
+          .status()
+          .IsFailedPrecondition());
+}
+
+TEST(MeasureBiasedTrueSampling, DrawsExactlyM) {
+  auto ds =
+      workload::MakeMaterializedNormalDataset(50'000, 2, 50.0, 5.0, 34);
+  ASSERT_TRUE(ds.ok());
+  auto r = baselines::MeasureBiasedTrueSamplingAvg(*ds->data(), 1234, 35);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->samples_used, 1234u);
+}
+
+TEST(Baselines, DeterministicForFixedSeeds) {
+  auto ds = Normal(1'000'000, 4);
+  auto a = UniformSamplingAvg(*ds.data(), 10'000, 99);
+  auto b = UniformSamplingAvg(*ds.data(), 10'000, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->average, b->average);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace isla

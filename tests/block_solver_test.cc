@@ -1,0 +1,154 @@
+// Unit tests for core/block_solver.h — Algorithms 1 and 2.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/block_solver.h"
+#include "stats/distribution.h"
+#include "storage/block.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+IslaOptions Defaults() {
+  IslaOptions o;
+  o.precision = 0.1;
+  return o;
+}
+
+DataBoundaries MakeBoundaries(double sketch0 = 100.0, double sigma = 20.0) {
+  auto b = DataBoundaries::Create(sketch0, sigma, 0.5, 2.0);
+  EXPECT_TRUE(b.ok());
+  return *b;
+}
+
+TEST(RunSamplingPhase, ClassifiesIntoSAndLOnly) {
+  // A block whose values span all five regions.
+  storage::MemoryBlock block({10.0, 70.0, 100.0, 130.0, 200.0});
+  BlockParams params;
+  Xoshiro256 rng(1);
+  ASSERT_TRUE(RunSamplingPhase(block, MakeBoundaries(), 5000, 0.0, &rng,
+                               &params)
+                  .ok());
+  EXPECT_EQ(params.samples_drawn, 5000u);
+  EXPECT_EQ(params.block_rows, 5u);
+  // Only the values 70 (S) and 130 (L) are retained; each is hit ~1/5 of
+  // the time.
+  EXPECT_NEAR(static_cast<double>(params.param_s.count()), 1000.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(params.param_l.count()), 1000.0, 150.0);
+  // Power sums reflect the retained values exactly.
+  EXPECT_NEAR(params.param_s.Mean(), 70.0, 1e-9);
+  EXPECT_NEAR(params.param_l.Mean(), 130.0, 1e-9);
+}
+
+TEST(RunSamplingPhase, ShiftIsAppliedBeforeClassification) {
+  // Raw value -30 lands in S only after shifting by +100 (→ 70).
+  storage::MemoryBlock block({-30.0});
+  BlockParams params;
+  Xoshiro256 rng(2);
+  ASSERT_TRUE(RunSamplingPhase(block, MakeBoundaries(), 100, 100.0, &rng,
+                               &params)
+                  .ok());
+  EXPECT_EQ(params.param_s.count(), 100u);
+  EXPECT_NEAR(params.param_s.Mean(), 70.0, 1e-9);
+}
+
+TEST(RunSamplingPhase, CubeSumsAccumulate) {
+  storage::MemoryBlock block({70.0});
+  BlockParams params;
+  Xoshiro256 rng(3);
+  ASSERT_TRUE(
+      RunSamplingPhase(block, MakeBoundaries(), 10, 0.0, &rng, &params).ok());
+  EXPECT_NEAR(params.param_s.sum_cubes(), 10.0 * 70.0 * 70.0 * 70.0, 1e-6);
+}
+
+TEST(RunSamplingPhase, NullOutputRejected) {
+  storage::MemoryBlock block({70.0});
+  Xoshiro256 rng(4);
+  EXPECT_TRUE(RunSamplingPhase(block, MakeBoundaries(), 10, 0.0, &rng, nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST(RunSamplingPhase, MergeSupportsOnlineRounds) {
+  storage::MemoryBlock block({70.0, 130.0});
+  Xoshiro256 rng(5);
+  BlockParams round1, round2;
+  ASSERT_TRUE(
+      RunSamplingPhase(block, MakeBoundaries(), 500, 0.0, &rng, &round1).ok());
+  ASSERT_TRUE(
+      RunSamplingPhase(block, MakeBoundaries(), 500, 0.0, &rng, &round2).ok());
+  uint64_t s_total = round1.param_s.count() + round2.param_s.count();
+  round1.Merge(round2);
+  EXPECT_EQ(round1.param_s.count(), s_total);
+  EXPECT_EQ(round1.samples_drawn, 1000u);
+}
+
+TEST(RunIterationPhase, EmptyRegionFallsBackToSketch0) {
+  BlockParams params;  // Nothing sampled.
+  params.block_rows = 100;
+  auto ans = RunIterationPhase(params, 101.5, Defaults());
+  ASSERT_TRUE(ans.ok());
+  EXPECT_DOUBLE_EQ(ans->avg, 101.5);
+  EXPECT_EQ(ans->strategy, ModulationCase::kCase5);
+}
+
+TEST(RunIterationPhase, OnlySRegionFallsBackToSketch0) {
+  BlockParams params;
+  params.param_s.Add(70.0);
+  params.param_s.Add(75.0);
+  auto ans = RunIterationPhase(params, 101.5, Defaults());
+  ASSERT_TRUE(ans.ok());
+  EXPECT_DOUBLE_EQ(ans->avg, 101.5);
+}
+
+TEST(RunIterationPhase, BalancedCountsReturnSketch0) {
+  BlockParams params;
+  for (int i = 0; i < 100; ++i) {
+    params.param_s.Add(70.0 + i * 0.1);
+    params.param_l.Add(120.0 + i * 0.1);
+  }
+  auto ans = RunIterationPhase(params, 99.7, Defaults());
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->strategy, ModulationCase::kCase5);
+  EXPECT_DOUBLE_EQ(ans->avg, 99.7);
+}
+
+TEST(RunIterationPhase, UnbalancedCountsIterate) {
+  BlockParams params;
+  for (int i = 0; i < 90; ++i) params.param_s.Add(75.0 + (i % 10));
+  for (int i = 0; i < 110; ++i) params.param_l.Add(115.0 + (i % 10));
+  auto ans = RunIterationPhase(params, 99.0, Defaults());
+  ASSERT_TRUE(ans.ok());
+  EXPECT_NE(ans->strategy, ModulationCase::kCase5);
+  EXPECT_GT(ans->iterations, 0u);
+  EXPECT_NEAR(ans->dev, 90.0 / 110.0, 1e-12);
+  // dev ≈ 0.818 < 0.94 → severe tier → q = 10 (|S| < |L|).
+  EXPECT_DOUBLE_EQ(ans->q, 10.0);
+}
+
+TEST(RunIterationPhase, ReportsCountsAndD0) {
+  BlockParams params;
+  for (int i = 0; i < 80; ++i) params.param_s.Add(75.0);
+  for (int i = 0; i < 120; ++i) params.param_l.Add(115.0);
+  auto ans = RunIterationPhase(params, 99.0, Defaults());
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->s_count, 80u);
+  EXPECT_EQ(ans->l_count, 120u);
+  // c = (80·75 + 120·115)/200 = 99; D0 = c − sketch0 = 0.
+  EXPECT_NEAR(ans->d0, 0.0, 1e-9);
+}
+
+TEST(RunIterationPhase, InvalidOptionsRejected) {
+  BlockParams params;
+  params.param_s.Add(70.0);
+  params.param_l.Add(120.0);
+  IslaOptions bad = Defaults();
+  bad.convergence_rate = 0.0;
+  EXPECT_FALSE(RunIterationPhase(params, 100.0, bad).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

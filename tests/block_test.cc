@@ -1,0 +1,113 @@
+// Unit tests for storage/block.h: memory and generator blocks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/distribution.h"
+#include "storage/block.h"
+
+namespace isla {
+namespace storage {
+namespace {
+
+TEST(MemoryBlock, SizeAndValues) {
+  MemoryBlock b({1.0, 2.0, 3.0});
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.ValueAt(2), 3.0);
+}
+
+TEST(MemoryBlock, OutOfRangeIsNaN) {
+  MemoryBlock b({1.0});
+  EXPECT_TRUE(std::isnan(b.ValueAt(1)));
+  EXPECT_TRUE(std::isnan(b.ValueAt(1000)));
+}
+
+TEST(MemoryBlock, ReadRange) {
+  MemoryBlock b({1.0, 2.0, 3.0, 4.0, 5.0});
+  std::vector<double> out;
+  ASSERT_TRUE(b.ReadRange(1, 3, &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(MemoryBlock, ReadRangeBoundsChecked) {
+  MemoryBlock b({1.0, 2.0});
+  std::vector<double> out;
+  EXPECT_TRUE(b.ReadRange(0, 3, &out).IsOutOfRange());
+  EXPECT_TRUE(b.ReadRange(3, 0, &out).IsOutOfRange());
+  EXPECT_TRUE(b.ReadRange(0, 1, nullptr).IsInvalidArgument());
+}
+
+TEST(MemoryBlock, ReadRangeEmptySlice) {
+  MemoryBlock b({1.0, 2.0});
+  std::vector<double> out = {9.0};
+  ASSERT_TRUE(b.ReadRange(1, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MemoryBlock, DebugString) {
+  MemoryBlock b({1.0, 2.0});
+  EXPECT_EQ(b.DebugString(), "memory[2]");
+}
+
+TEST(GeneratorBlock, DeterministicRandomAccess) {
+  auto dist = std::make_shared<stats::NormalDistribution>(100.0, 20.0);
+  GeneratorBlock b(dist, 1000000, /*seed=*/5);
+  EXPECT_EQ(b.size(), 1000000u);
+  EXPECT_DOUBLE_EQ(b.ValueAt(12345), b.ValueAt(12345));
+  EXPECT_NE(b.ValueAt(12345), b.ValueAt(12346));
+}
+
+TEST(GeneratorBlock, DifferentSeedsDifferentData) {
+  auto dist = std::make_shared<stats::NormalDistribution>(0.0, 1.0);
+  GeneratorBlock a(dist, 100, 1);
+  GeneratorBlock b(dist, 100, 2);
+  int same = 0;
+  for (uint64_t i = 0; i < 100; ++i) same += (a.ValueAt(i) == b.ValueAt(i));
+  EXPECT_EQ(same, 0);
+}
+
+TEST(GeneratorBlock, HugeVirtualSizeHasO1Access) {
+  // 10¹² rows — the paper's 1TB experiment — costs nothing to "store".
+  auto dist = std::make_shared<stats::NormalDistribution>(100.0, 20.0);
+  GeneratorBlock b(dist, 1'000'000'000'000ull, 3);
+  EXPECT_EQ(b.size(), 1'000'000'000'000ull);
+  double v = b.ValueAt(999'999'999'999ull);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GeneratorBlock, OutOfRangeIsNaN) {
+  auto dist = std::make_shared<stats::ConstantDistribution>(1.0);
+  GeneratorBlock b(dist, 10, 4);
+  EXPECT_TRUE(std::isnan(b.ValueAt(10)));
+}
+
+TEST(GeneratorBlock, ValuesFollowDistribution) {
+  auto dist = std::make_shared<stats::UniformDistribution>(0.0, 1.0);
+  GeneratorBlock b(dist, 100000, 6);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < b.size(); ++i) sum += b.ValueAt(i);
+  EXPECT_NEAR(sum / static_cast<double>(b.size()), 0.5, 0.01);
+}
+
+TEST(GeneratorBlock, DefaultReadRangeWorks) {
+  auto dist = std::make_shared<stats::ConstantDistribution>(2.5);
+  GeneratorBlock b(dist, 100, 7);
+  std::vector<double> out;
+  ASSERT_TRUE(b.ReadRange(10, 5, &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(GeneratorBlock, DebugStringMentionsDistribution) {
+  auto dist = std::make_shared<stats::NormalDistribution>(1.0, 2.0);
+  GeneratorBlock b(dist, 50, 8);
+  EXPECT_NE(b.DebugString().find("Normal"), std::string::npos);
+  EXPECT_NE(b.DebugString().find("seed=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace isla

@@ -1,0 +1,111 @@
+// Unit tests for core/boundaries.h: the five-region data division of
+// §IV-A1, including the paper's Example 1 geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/boundaries.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+TEST(DataBoundaries, CreateComputesCuts) {
+  auto b = DataBoundaries::Create(100.0, 20.0, 0.5, 2.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b->lower_outer(), 60.0);
+  EXPECT_DOUBLE_EQ(b->lower_inner(), 90.0);
+  EXPECT_DOUBLE_EQ(b->upper_inner(), 110.0);
+  EXPECT_DOUBLE_EQ(b->upper_outer(), 140.0);
+  EXPECT_DOUBLE_EQ(b->sketch0(), 100.0);
+  EXPECT_DOUBLE_EQ(b->sigma(), 20.0);
+}
+
+TEST(DataBoundaries, RejectsBadParameters) {
+  EXPECT_FALSE(DataBoundaries::Create(100.0, 20.0, 0.0, 2.0).ok());
+  EXPECT_FALSE(DataBoundaries::Create(100.0, 20.0, 2.0, 0.5).ok());
+  EXPECT_FALSE(DataBoundaries::Create(100.0, 20.0, 0.5, 0.5).ok());
+  EXPECT_FALSE(DataBoundaries::Create(100.0, 0.0, 0.5, 2.0).ok());
+  EXPECT_FALSE(DataBoundaries::Create(100.0, -1.0, 0.5, 2.0).ok());
+  EXPECT_FALSE(
+      DataBoundaries::Create(std::nan(""), 20.0, 0.5, 2.0).ok());
+}
+
+TEST(DataBoundaries, ClassifiesFiveRegions) {
+  auto b = DataBoundaries::Create(100.0, 20.0, 0.5, 2.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->Classify(0.0), Region::kTooSmall);
+  EXPECT_EQ(b->Classify(59.9), Region::kTooSmall);
+  EXPECT_EQ(b->Classify(75.0), Region::kSmall);
+  EXPECT_EQ(b->Classify(100.0), Region::kNormal);
+  EXPECT_EQ(b->Classify(125.0), Region::kLarge);
+  EXPECT_EQ(b->Classify(140.1), Region::kTooLarge);
+  EXPECT_EQ(b->Classify(1e9), Region::kTooLarge);
+}
+
+TEST(DataBoundaries, EdgeInclusionMatchesPaperDefinitions) {
+  // TS = (-inf, s-p2σ]; S = open; N = [s-p1σ, s+p1σ]; L open;
+  // TL = [s+p2σ, +inf).
+  auto b = DataBoundaries::Create(100.0, 20.0, 0.5, 2.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->Classify(60.0), Region::kTooSmall);   // boundary in TS
+  EXPECT_EQ(b->Classify(60.0001), Region::kSmall);
+  EXPECT_EQ(b->Classify(90.0), Region::kNormal);     // boundary in N
+  EXPECT_EQ(b->Classify(110.0), Region::kNormal);    // boundary in N
+  EXPECT_EQ(b->Classify(110.0001), Region::kLarge);
+  EXPECT_EQ(b->Classify(140.0), Region::kTooLarge);  // boundary in TL
+}
+
+TEST(DataBoundaries, ParticipatesOnlySAndL) {
+  auto b = DataBoundaries::Create(100.0, 20.0, 0.5, 2.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b->Participates(50.0));   // TS
+  EXPECT_TRUE(b->Participates(80.0));    // S
+  EXPECT_FALSE(b->Participates(100.0));  // N
+  EXPECT_TRUE(b->Participates(120.0));   // L
+  EXPECT_FALSE(b->Participates(150.0));  // TL
+}
+
+TEST(DataBoundaries, PaperExampleOneGeometry) {
+  // Example 1 (§IV-B): sketch0 = 6.2, p1σ = 1, p2σ = 3 → S = (3.2, 5.2),
+  // L = (7.2, 9.2). Samples {2,3,4,5,6,7,8,15}: only 4, 5 (S) and 8 (L)
+  // participate.
+  auto b = DataBoundaries::Create(6.2, 1.0, 1.0, 3.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->Classify(4.0), Region::kSmall);
+  EXPECT_EQ(b->Classify(5.0), Region::kSmall);
+  EXPECT_EQ(b->Classify(8.0), Region::kLarge);
+  EXPECT_FALSE(b->Participates(2.0));
+  EXPECT_FALSE(b->Participates(3.0));
+  EXPECT_FALSE(b->Participates(6.0));
+  EXPECT_FALSE(b->Participates(7.0));
+  EXPECT_FALSE(b->Participates(15.0));
+}
+
+TEST(DataBoundaries, NegativeDomainWorks) {
+  auto b = DataBoundaries::Create(-100.0, 10.0, 0.5, 2.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->Classify(-100.0), Region::kNormal);
+  EXPECT_EQ(b->Classify(-112.0), Region::kSmall);
+  EXPECT_EQ(b->Classify(-88.0), Region::kLarge);
+}
+
+TEST(RegionName, AllNames) {
+  EXPECT_EQ(RegionName(Region::kTooSmall), "TS");
+  EXPECT_EQ(RegionName(Region::kSmall), "S");
+  EXPECT_EQ(RegionName(Region::kNormal), "N");
+  EXPECT_EQ(RegionName(Region::kLarge), "L");
+  EXPECT_EQ(RegionName(Region::kTooLarge), "TL");
+}
+
+TEST(DataBoundaries, DebugStringMentionsCuts) {
+  auto b = DataBoundaries::Create(100.0, 20.0, 0.5, 2.0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b->DebugString().find("60"), std::string::npos);
+  EXPECT_NE(b->DebugString().find("140"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

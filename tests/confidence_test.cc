@@ -1,0 +1,129 @@
+// Unit tests for stats/confidence.h — Eq. (1) of the paper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/confidence.h"
+#include "stats/normal.h"
+
+namespace isla {
+namespace stats {
+namespace {
+
+TEST(ConfidenceInterval, BoundsAndContains) {
+  ConfidenceInterval ci{100.0, 0.5};
+  EXPECT_DOUBLE_EQ(ci.lower(), 99.5);
+  EXPECT_DOUBLE_EQ(ci.upper(), 100.5);
+  EXPECT_TRUE(ci.Contains(100.0));
+  EXPECT_TRUE(ci.Contains(99.51));
+  EXPECT_FALSE(ci.Contains(99.5));   // Open interval.
+  EXPECT_FALSE(ci.Contains(101.0));
+}
+
+TEST(RequiredSampleSize, PaperDefaults) {
+  // σ = 20, e = 0.1, β = 0.95 → m = 1.96² · 400 / 0.01 ≈ 153658.
+  auto m = RequiredSampleSize(20.0, 0.1, 0.95);
+  ASSERT_TRUE(m.ok());
+  double expected =
+      TwoSidedZ(0.95) * TwoSidedZ(0.95) * 400.0 / 0.01;
+  EXPECT_EQ(m.value(), static_cast<uint64_t>(std::ceil(expected)));
+  EXPECT_NEAR(static_cast<double>(m.value()), 153658.0, 2.0);
+}
+
+TEST(RequiredSampleSize, ScalesInverselyWithPrecisionSquared) {
+  auto m1 = RequiredSampleSize(20.0, 0.1, 0.95);
+  auto m2 = RequiredSampleSize(20.0, 0.2, 0.95);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_NEAR(static_cast<double>(m1.value()) /
+                  static_cast<double>(m2.value()),
+              4.0, 0.01);
+}
+
+TEST(RequiredSampleSize, GrowsWithConfidence) {
+  auto lo = RequiredSampleSize(20.0, 0.1, 0.8);
+  auto hi = RequiredSampleSize(20.0, 0.1, 0.99);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_GT(hi.value(), lo.value());
+}
+
+TEST(RequiredSampleSize, ZeroSigmaGivesFloor) {
+  auto m = RequiredSampleSize(0.0, 0.1, 0.95);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value(), 2u);
+}
+
+TEST(RequiredSampleSize, RejectsBadInputs) {
+  EXPECT_FALSE(RequiredSampleSize(20.0, 0.0, 0.95).ok());
+  EXPECT_FALSE(RequiredSampleSize(20.0, -1.0, 0.95).ok());
+  EXPECT_FALSE(RequiredSampleSize(20.0, 0.1, 0.0).ok());
+  EXPECT_FALSE(RequiredSampleSize(20.0, 0.1, 1.0).ok());
+  EXPECT_FALSE(RequiredSampleSize(-1.0, 0.1, 0.95).ok());
+  EXPECT_FALSE(RequiredSampleSize(std::nan(""), 0.1, 0.95).ok());
+}
+
+TEST(SamplingRate, MatchesEquationOne) {
+  // r = m/M.
+  auto r = SamplingRate(20.0, 0.1, 0.95, 10'000'000'000ull);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 153658.0 / 1e10, 1e-9);
+}
+
+TEST(SamplingRate, ClampsToOne) {
+  auto r = SamplingRate(20.0, 0.1, 0.95, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(SamplingRate, RejectsEmptyPopulation) {
+  EXPECT_FALSE(SamplingRate(20.0, 0.1, 0.95, 0).ok());
+}
+
+TEST(AchievedHalfWidth, InvertsRequiredSampleSize) {
+  auto m = RequiredSampleSize(20.0, 0.1, 0.95);
+  ASSERT_TRUE(m.ok());
+  auto e = AchievedHalfWidth(20.0, 0.95, m.value());
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(e.value(), 0.1 + 1e-9);
+  EXPECT_GT(e.value(), 0.0999);
+}
+
+TEST(AchievedHalfWidth, RejectsBadInputs) {
+  EXPECT_FALSE(AchievedHalfWidth(20.0, 0.95, 0).ok());
+  EXPECT_FALSE(AchievedHalfWidth(20.0, 1.5, 100).ok());
+}
+
+/// Property sweep: round-tripping m → e → m' is stable within rounding for
+/// a grid of (σ, e, β).
+struct RoundTripParam {
+  double sigma;
+  double e;
+  double beta;
+};
+
+class SampleSizeRoundTrip : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(SampleSizeRoundTrip, Stable) {
+  auto p = GetParam();
+  auto m = RequiredSampleSize(p.sigma, p.e, p.beta);
+  ASSERT_TRUE(m.ok());
+  auto e2 = AchievedHalfWidth(p.sigma, p.beta, m.value());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_LE(e2.value(), p.e * (1.0 + 1e-6));
+  auto m2 = RequiredSampleSize(p.sigma, e2.value(), p.beta);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_GE(m2.value() + 1, m.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampleSizeRoundTrip,
+    ::testing::Values(RoundTripParam{20.0, 0.1, 0.95},
+                      RoundTripParam{20.0, 0.025, 0.95},
+                      RoundTripParam{20.0, 0.5, 0.8},
+                      RoundTripParam{1.0, 0.01, 0.99},
+                      RoundTripParam{60.0, 0.5, 0.98},
+                      RoundTripParam{0.5, 0.001, 0.9}));
+
+}  // namespace
+}  // namespace stats
+}  // namespace isla

@@ -1,0 +1,81 @@
+// Unit tests for stats/descriptive.h.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace isla {
+namespace stats {
+namespace {
+
+TEST(Mean, Basic) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.0);
+}
+
+TEST(Mean, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Mean, SingleElement) {
+  std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 42.0);
+}
+
+TEST(SampleVariance, KnownValue) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(SampleVariance(xs), 2.5);
+}
+
+TEST(SampleVariance, DegenerateSizes) {
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(SampleVariance(one), 0.0);
+}
+
+TEST(SampleVariance, ConstantData) {
+  std::vector<double> xs(100, 7.0);
+  EXPECT_NEAR(SampleVariance(xs), 0.0, 1e-12);
+}
+
+TEST(SampleStdDev, SqrtOfVariance) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(SampleStdDev(xs) * SampleStdDev(xs), SampleVariance(xs),
+              1e-12);
+}
+
+TEST(Median, OddCount) {
+  std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Median(xs), 5.0);
+}
+
+TEST(Median, EvenCount) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(Median, DoesNotMutateInput) {
+  std::vector<double> xs = {3.0, 1.0, 2.0};
+  Median(xs);
+  EXPECT_EQ(xs[0], 3.0);
+  EXPECT_EQ(xs[1], 1.0);
+}
+
+TEST(Median, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(MaxAbs, MixedSigns) {
+  std::vector<double> xs = {-7.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(MaxAbs(xs), 7.0);
+}
+
+TEST(MaxAbs, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(MaxAbs({}), 0.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace isla

@@ -1,0 +1,271 @@
+// Tests for the distributed execution simulation (§VII-E): message
+// round-trips, worker behaviour, coordinator aggregation, and transport
+// fault injection.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "distributed/coordinator.h"
+#include "distributed/message.h"
+#include "distributed/worker.h"
+#include "stats/distribution.h"
+#include "storage/block.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace distributed {
+namespace {
+
+TEST(Messages, PilotRequestRoundTrip) {
+  PilotRequest m{/*query_id=*/7, /*sample_count=*/1000, /*seed=*/42};
+  auto decoded = DecodePilotRequest(Encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_id, 7u);
+  EXPECT_EQ(decoded->sample_count, 1000u);
+  EXPECT_EQ(decoded->seed, 42u);
+}
+
+TEST(Messages, PilotResponseRoundTrip) {
+  PilotResponse m;
+  m.query_id = 3;
+  m.worker_id = 2;
+  m.block_rows = 999;
+  m.count = 100;
+  m.mean = 99.5;
+  m.m2 = 400.25;
+  m.min_value = -3.5;
+  auto decoded = DecodePilotResponse(Encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->worker_id, 2u);
+  EXPECT_DOUBLE_EQ(decoded->mean, 99.5);
+  EXPECT_DOUBLE_EQ(decoded->m2, 400.25);
+  EXPECT_DOUBLE_EQ(decoded->min_value, -3.5);
+}
+
+TEST(Messages, QueryPlanRoundTripsOptions) {
+  QueryPlan m;
+  m.query_id = 5;
+  m.sample_count = 12345;
+  m.seed = 777;
+  m.sketch0 = 101.25;
+  m.sigma = 19.5;
+  m.shift = 250.0;
+  m.options.precision = 0.25;
+  m.options.step_length_factor = 0.6;
+  m.options.clamp_to_sketch_interval = false;
+  m.options.q_prime_severe = 12.0;
+  auto decoded = DecodeQueryPlan(Encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->sketch0, 101.25);
+  EXPECT_DOUBLE_EQ(decoded->shift, 250.0);
+  EXPECT_DOUBLE_EQ(decoded->options.precision, 0.25);
+  EXPECT_DOUBLE_EQ(decoded->options.step_length_factor, 0.6);
+  EXPECT_FALSE(decoded->options.clamp_to_sketch_interval);
+  EXPECT_DOUBLE_EQ(decoded->options.q_prime_severe, 12.0);
+}
+
+TEST(Messages, PartialResultRoundTrip) {
+  PartialResult m;
+  m.query_id = 9;
+  m.worker_id = 4;
+  m.avg = 100.125;
+  m.s_count = 10;
+  m.l_count = 12;
+  m.iterations = 8;
+  m.alpha = -0.25;
+  m.s_sum = 1.0;
+  m.l_sum3 = 7.0;
+  auto decoded = DecodePartialResult(Encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->avg, 100.125);
+  EXPECT_DOUBLE_EQ(decoded->alpha, -0.25);
+  EXPECT_DOUBLE_EQ(decoded->l_sum3, 7.0);
+}
+
+TEST(Messages, DecodeRejectsWrongType) {
+  PilotRequest m{1, 2, 3};
+  EXPECT_TRUE(DecodeQueryPlan(Encode(m)).status().IsCorruption());
+  EXPECT_TRUE(DecodePilotResponse(Encode(m)).status().IsCorruption());
+}
+
+TEST(Messages, DecodeRejectsTruncationAndTrailing) {
+  std::string frame = Encode(PilotRequest{1, 2, 3});
+  std::string truncated = frame.substr(0, frame.size() - 1);
+  EXPECT_TRUE(DecodePilotRequest(truncated).status().IsCorruption());
+  std::string padded = frame + "x";
+  EXPECT_TRUE(DecodePilotRequest(padded).status().IsCorruption());
+}
+
+TEST(Messages, PeekTypeValidates) {
+  EXPECT_TRUE(PeekType("ab").status().IsCorruption());
+  std::string bogus(8, '\xff');
+  EXPECT_TRUE(PeekType(bogus).status().IsCorruption());
+  auto t = PeekType(Encode(PilotRequest{1, 2, 3}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, MessageType::kPilotRequest);
+}
+
+std::unique_ptr<Worker> NormalWorker(uint64_t id, uint64_t rows,
+                                     double mu = 100.0, double sigma = 20.0) {
+  return std::make_unique<Worker>(
+      id, std::make_shared<storage::GeneratorBlock>(
+              std::make_shared<stats::NormalDistribution>(mu, sigma), rows,
+              SplitMix64::Hash(5150, id)));
+}
+
+TEST(Worker, PilotResponseCarriesLocalStats) {
+  auto worker = NormalWorker(0, 1'000'000);
+  PilotRequest req{1, 5000, 11};
+  auto resp_frame = worker->HandleRequest(Encode(req));
+  ASSERT_TRUE(resp_frame.ok());
+  auto resp = DecodePilotResponse(*resp_frame);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->block_rows, 1'000'000u);
+  EXPECT_EQ(resp->count, 5000u);
+  EXPECT_NEAR(resp->mean, 100.0, 1.5);
+  double sigma = std::sqrt(resp->m2 / (resp->count - 1));
+  EXPECT_NEAR(sigma, 20.0, 1.5);
+}
+
+TEST(Worker, RejectsForeignMessageTypes) {
+  auto worker = NormalWorker(0, 1000);
+  PartialResult pr;
+  EXPECT_TRUE(
+      worker->HandleRequest(Encode(pr)).status().IsInvalidArgument());
+  EXPECT_TRUE(worker->HandleRequest("junk").status().IsCorruption());
+}
+
+TEST(Coordinator, DistributedMatchesTruth) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (uint64_t w = 0; w < 8; ++w) {
+    workers.push_back(NormalWorker(w, 10'000'000));
+  }
+  LoopbackTransport transport(std::move(workers));
+  core::IslaOptions options;
+  options.precision = 0.2;
+  Coordinator coordinator(&transport, options);
+  auto r = coordinator.AggregateAvg();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->average, 100.0, 0.4);
+  EXPECT_EQ(r->data_size, 80'000'000u);
+  EXPECT_EQ(r->partials.size(), 8u);
+  EXPECT_GT(r->total_samples, 0u);
+}
+
+TEST(Coordinator, HeterogeneousShardSizesWeightCorrectly) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.push_back(NormalWorker(0, 9'000'000, 10.0, 1.0));
+  workers.push_back(NormalWorker(1, 3'000'000, 50.0, 1.0));
+  LoopbackTransport transport(std::move(workers));
+  core::IslaOptions options;
+  options.precision = 0.2;
+  Coordinator coordinator(&transport, options);
+  auto r = coordinator.AggregateAvg();
+  ASSERT_TRUE(r.ok());
+  // True mean = (9M·10 + 3M·50)/12M = 20.
+  EXPECT_NEAR(r->average, 20.0, 1.0);
+}
+
+TEST(Coordinator, SumEqualsAvgTimesRows) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.push_back(NormalWorker(0, 2'000'000));
+  LoopbackTransport transport(std::move(workers));
+  core::IslaOptions options;
+  options.precision = 0.5;
+  Coordinator coordinator(&transport, options);
+  auto r = coordinator.AggregateAvg();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->sum, r->average * 2e6);
+}
+
+TEST(Coordinator, NoWorkersFails) {
+  LoopbackTransport transport({});
+  Coordinator coordinator(&transport, core::IslaOptions{});
+  EXPECT_TRUE(
+      coordinator.AggregateAvg().status().IsFailedPrecondition());
+}
+
+/// Fault injection: a transport that corrupts response frames.
+class CorruptingTransport : public Transport {
+ public:
+  explicit CorruptingTransport(std::unique_ptr<Worker> worker)
+      : worker_(std::move(worker)) {}
+
+  Result<std::string> Call(uint64_t, const std::string& frame) override {
+    ISLA_ASSIGN_OR_RETURN(std::string resp, worker_->HandleRequest(frame));
+    resp[resp.size() / 2] ^= 0x01;  // Flip a payload bit.
+    resp.pop_back();                // And truncate.
+    return resp;
+  }
+  size_t size() const override { return 1; }
+
+ private:
+  std::unique_ptr<Worker> worker_;
+};
+
+TEST(Coordinator, CorruptedFramesSurfaceAsErrors) {
+  CorruptingTransport transport(NormalWorker(0, 100'000));
+  Coordinator coordinator(&transport, core::IslaOptions{});
+  auto r = coordinator.AggregateAvg();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+/// Fault injection: a transport where one worker is unreachable.
+class FlakyTransport : public Transport {
+ public:
+  explicit FlakyTransport(std::vector<std::unique_ptr<Worker>> workers)
+      : inner_(std::move(workers)) {}
+
+  Result<std::string> Call(uint64_t worker_id,
+                           const std::string& frame) override {
+    if (worker_id == 1) return Status::IOError("worker 1 unreachable");
+    return inner_.Call(worker_id, frame);
+  }
+  size_t size() const override { return inner_.size(); }
+
+ private:
+  LoopbackTransport inner_;
+};
+
+TEST(Coordinator, UnreachableWorkerPropagates) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.push_back(NormalWorker(0, 100'000));
+  workers.push_back(NormalWorker(1, 100'000));
+  FlakyTransport transport(std::move(workers));
+  Coordinator coordinator(&transport, core::IslaOptions{});
+  auto r = coordinator.AggregateAvg();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(Coordinator, AgreesWithSingleNodeEngine) {
+  // The distributed answer over loopback must be statistically equivalent
+  // to the single-node engine on the same logical column.
+  auto ds = workload::MakeNormalDataset(40'000'000, 4, 100.0, 20.0, 5150);
+  ASSERT_TRUE(ds.ok());
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (uint64_t w = 0; w < 4; ++w) {
+    workers.push_back(
+        std::make_unique<Worker>(w, ds->data()->blocks()[w]));
+  }
+  LoopbackTransport transport(std::move(workers));
+  core::IslaOptions options;
+  options.precision = 0.2;
+  Coordinator coordinator(&transport, options);
+  auto dist = coordinator.AggregateAvg();
+  ASSERT_TRUE(dist.ok());
+
+  core::IslaEngine engine(options);
+  auto local = engine.AggregateAvg(*ds->data());
+  ASSERT_TRUE(local.ok());
+  EXPECT_NEAR(dist->average, local->average, 0.5);
+}
+
+}  // namespace
+}  // namespace distributed
+}  // namespace isla

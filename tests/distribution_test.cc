@@ -1,0 +1,172 @@
+// Unit + property tests for stats/distribution.h: quantile correctness,
+// counter-based determinism, and moment agreement for every distribution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/distribution.h"
+#include "stats/moments.h"
+
+namespace isla {
+namespace stats {
+namespace {
+
+TEST(NormalDistribution, QuantileMedianIsMu) {
+  NormalDistribution d(100.0, 20.0);
+  EXPECT_NEAR(d.Quantile(0.5), 100.0, 1e-10);
+  EXPECT_DOUBLE_EQ(d.Mean(), 100.0);
+  EXPECT_DOUBLE_EQ(d.StdDev(), 20.0);
+}
+
+TEST(NormalDistribution, QuantileMatchesSigmaScaling) {
+  NormalDistribution d(0.0, 2.0);
+  NormalDistribution unit(0.0, 1.0);
+  EXPECT_NEAR(d.Quantile(0.9), 2.0 * unit.Quantile(0.9), 1e-12);
+}
+
+TEST(ExponentialDistribution, QuantileInvertsCdf) {
+  ExponentialDistribution d(0.1);
+  // F(x) = 1 - exp(-γx); F(Q(u)) == u.
+  for (double u : {0.1, 0.5, 0.9, 0.99}) {
+    double x = d.Quantile(u);
+    EXPECT_NEAR(1.0 - std::exp(-0.1 * x), u, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(d.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.StdDev(), 10.0);
+}
+
+TEST(UniformDistribution, QuantileIsLinear) {
+  UniformDistribution d(1.0, 199.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 199.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 100.0);
+  EXPECT_NEAR(d.StdDev(), 198.0 / std::sqrt(12.0), 1e-12);
+}
+
+TEST(LognormalDistribution, MomentFormulas) {
+  LognormalDistribution d(0.0, 1.0);
+  EXPECT_NEAR(d.Mean(), std::exp(0.5), 1e-12);
+  double var = (std::exp(1.0) - 1.0) * std::exp(1.0);
+  EXPECT_NEAR(d.StdDev(), std::sqrt(var), 1e-12);
+  EXPECT_NEAR(d.Quantile(0.5), 1.0, 1e-10);  // Median = exp(mu_log).
+}
+
+TEST(ConstantDistribution, AlwaysSameValue) {
+  ConstantDistribution d(42.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.1), 42.0);
+  EXPECT_DOUBLE_EQ(d.Sample(1, 2), 42.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(d.StdDev(), 0.0);
+}
+
+TEST(Distribution, SampleIsDeterministicInSeedAndIndex) {
+  NormalDistribution d(100.0, 20.0);
+  EXPECT_DOUBLE_EQ(d.Sample(7, 123), d.Sample(7, 123));
+  EXPECT_NE(d.Sample(7, 123), d.Sample(7, 124));
+  EXPECT_NE(d.Sample(7, 123), d.Sample(8, 123));
+}
+
+TEST(MixtureDistribution, NormalizesWeights) {
+  std::vector<MixtureDistribution::Component> parts;
+  parts.push_back({2.0, std::make_shared<ConstantDistribution>(0.0)});
+  parts.push_back({2.0, std::make_shared<ConstantDistribution>(10.0)});
+  MixtureDistribution mix(std::move(parts));
+  EXPECT_NEAR(mix.Mean(), 5.0, 1e-12);
+}
+
+TEST(MixtureDistribution, MeanAndStdDevFormulas) {
+  std::vector<MixtureDistribution::Component> parts;
+  parts.push_back({0.5, std::make_shared<ConstantDistribution>(0.0)});
+  parts.push_back({0.5, std::make_shared<ConstantDistribution>(10.0)});
+  MixtureDistribution mix(std::move(parts));
+  EXPECT_NEAR(mix.Mean(), 5.0, 1e-12);
+  EXPECT_NEAR(mix.StdDev(), 5.0, 1e-12);  // Bernoulli spread.
+}
+
+TEST(MixtureDistribution, EmpiricalComponentFrequencies) {
+  std::vector<MixtureDistribution::Component> parts;
+  parts.push_back({0.25, std::make_shared<ConstantDistribution>(1.0)});
+  parts.push_back({0.75, std::make_shared<ConstantDistribution>(2.0)});
+  MixtureDistribution mix(std::move(parts));
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.Sample(3, i) == 1.0) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.25, 0.01);
+}
+
+TEST(MixtureDistribution, QuantileBisectionOnSimpleMixture) {
+  std::vector<MixtureDistribution::Component> parts;
+  parts.push_back({1.0, std::make_shared<UniformDistribution>(0.0, 1.0)});
+  MixtureDistribution mix(std::move(parts));
+  EXPECT_NEAR(mix.Quantile(0.5), 0.5, 1e-3);
+  EXPECT_NEAR(mix.Quantile(0.9), 0.9, 1e-3);
+}
+
+/// Property: for every distribution, the empirical mean/stddev of 200k
+/// counter-based samples agree with the analytic Mean()/StdDev().
+class MomentAgreement
+    : public ::testing::TestWithParam<
+          std::shared_ptr<const Distribution>> {};
+
+TEST_P(MomentAgreement, EmpiricalMatchesAnalytic) {
+  const auto& dist = *GetParam();
+  StreamingMoments m;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) m.Add(dist.Sample(11, i));
+  double se = dist.StdDev() / std::sqrt(static_cast<double>(n));
+  EXPECT_NEAR(m.Mean(), dist.Mean(), 6.0 * se + 1e-9) << dist.Name();
+  if (dist.StdDev() > 0.0) {
+    EXPECT_NEAR(std::sqrt(m.Variance()), dist.StdDev(), 0.05 * dist.StdDev())
+        << dist.Name();
+  }
+}
+
+std::shared_ptr<const Distribution> MakeTestMixture() {
+  std::vector<MixtureDistribution::Component> parts;
+  parts.push_back({0.3, std::make_shared<ConstantDistribution>(5.0)});
+  parts.push_back({0.5, std::make_shared<NormalDistribution>(50.0, 5.0)});
+  parts.push_back({0.2, std::make_shared<ExponentialDistribution>(0.05)});
+  return std::make_shared<MixtureDistribution>(std::move(parts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, MomentAgreement,
+    ::testing::Values(
+        std::make_shared<NormalDistribution>(100.0, 20.0),
+        std::make_shared<NormalDistribution>(-50.0, 5.0),
+        std::make_shared<ExponentialDistribution>(0.1),
+        std::make_shared<ExponentialDistribution>(0.05),
+        std::make_shared<UniformDistribution>(1.0, 199.0),
+        std::make_shared<LognormalDistribution>(7.4, 0.9),
+        std::make_shared<ConstantDistribution>(3.0), MakeTestMixture()));
+
+/// Property: quantiles are monotone in u for all continuous distributions.
+class QuantileMonotoneDist
+    : public ::testing::TestWithParam<
+          std::shared_ptr<const Distribution>> {};
+
+TEST_P(QuantileMonotoneDist, Monotone) {
+  const auto& dist = *GetParam();
+  double prev = dist.Quantile(0.001);
+  for (double u = 0.05; u < 1.0; u += 0.05) {
+    double q = dist.Quantile(u);
+    EXPECT_GE(q, prev) << dist.Name() << " at u=" << u;
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Continuous, QuantileMonotoneDist,
+    ::testing::Values(std::make_shared<NormalDistribution>(100.0, 20.0),
+                      std::make_shared<ExponentialDistribution>(0.2),
+                      std::make_shared<UniformDistribution>(-5.0, 5.0),
+                      std::make_shared<LognormalDistribution>(0.0, 0.5)));
+
+}  // namespace
+}  // namespace stats
+}  // namespace isla

@@ -1,0 +1,162 @@
+// Wider end-to-end sweeps: engine invariants across distribution families,
+// clamp configurations, and sampling-rate scales.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/engine.h"
+#include "stats/distribution.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace {
+
+/// Structural invariants that must hold for ANY successful aggregation,
+/// regardless of data: block reports complete and consistent, per-block
+/// answers inside the clamp interval when clamping is on, SUM = AVG·M.
+void CheckStructuralInvariants(const core::AggregateResult& r,
+                               const core::IslaOptions& options) {
+  EXPECT_GT(r.data_size, 0u);
+  EXPECT_DOUBLE_EQ(r.sum, r.average * static_cast<double>(r.data_size));
+  uint64_t samples = 0;
+  uint64_t rows = 0;
+  for (const auto& b : r.blocks) {
+    samples += b.samples_drawn;
+    rows += b.block_rows;
+    EXPECT_GE(b.answer.dev, 0.0);
+    if (options.clamp_to_sketch_interval) {
+      double w = options.sketch_relaxation * options.precision;
+      EXPECT_LE(b.answer.avg, r.sketch0 + r.shift + w + 1e-9);
+      EXPECT_GE(b.answer.avg, r.sketch0 + r.shift - w - 1e-9);
+    }
+  }
+  EXPECT_EQ(samples, r.total_samples);
+  EXPECT_EQ(rows, r.data_size);
+}
+
+struct SweepParam {
+  const char* family;
+  double true_mean;
+  double precision;
+  bool clamp;
+  uint64_t seed;
+};
+
+class EngineSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  workload::Dataset MakeDataset(const SweepParam& p) {
+    std::string family = p.family;
+    Result<workload::Dataset> ds = Status::Internal("unset");
+    if (family == "normal") {
+      ds = workload::MakeNormalDataset(20'000'000, 10, 100.0, 20.0, p.seed);
+    } else if (family == "exponential") {
+      ds = workload::MakeExponentialDataset(20'000'000, 10, 0.1, p.seed);
+    } else if (family == "uniform") {
+      ds = workload::MakeUniformDataset(20'000'000, 10, 1.0, 199.0, p.seed);
+    } else if (family == "lognormal") {
+      auto dist = std::make_shared<stats::LognormalDistribution>(4.0, 0.5);
+      auto table = std::make_shared<storage::Table>("t");
+      EXPECT_TRUE(table->AddColumn("value").ok());
+      for (int j = 0; j < 10; ++j) {
+        EXPECT_TRUE(
+            table
+                ->AppendBlock("value",
+                              std::make_shared<storage::GeneratorBlock>(
+                                  dist, 2'000'000,
+                                  SplitMix64::Hash(p.seed, j)))
+                .ok());
+      }
+      workload::Dataset out;
+      out.table = table;
+      out.column = "value";
+      out.true_mean = dist->Mean();
+      ds = out;
+    }
+    EXPECT_TRUE(ds.ok());
+    return *ds;
+  }
+};
+
+TEST_P(EngineSweep, InvariantsAndAccuracyBand) {
+  auto p = GetParam();
+  auto ds = MakeDataset(p);
+  core::IslaOptions options;
+  options.precision = p.precision;
+  options.clamp_to_sketch_interval = p.clamp;
+  core::IslaEngine engine(options);
+  auto r = engine.AggregateAvg(*ds.data(), p.seed);
+  ASSERT_TRUE(r.ok()) << r.status();
+  CheckStructuralInvariants(*r, options);
+  // Symmetric families must respect ~2e; skewed ones a loose 15% band
+  // (§VIII-E: the precision contract does not extend to heavy asymmetry).
+  std::string family = p.family;
+  if (family == "normal" || family == "uniform") {
+    EXPECT_NEAR(r->average, p.true_mean, 2.0 * p.precision) << family;
+  } else {
+    EXPECT_NEAR(r->average, p.true_mean, 0.15 * std::abs(p.true_mean))
+        << family;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EngineSweep,
+    ::testing::Values(
+        SweepParam{"normal", 100.0, 0.1, true, 81},
+        SweepParam{"normal", 100.0, 0.1, false, 82},
+        SweepParam{"normal", 100.0, 0.5, true, 83},
+        SweepParam{"uniform", 100.0, 0.2, true, 84},
+        SweepParam{"uniform", 100.0, 0.2, false, 85},
+        SweepParam{"exponential", 10.0, 0.1, true, 86},
+        SweepParam{"exponential", 10.0, 0.25, true, 87},
+        SweepParam{"lognormal", 61.86781, 0.5, true, 88},
+        SweepParam{"lognormal", 61.86781, 0.5, false, 89}));
+
+/// Sampling-rate scale: Table V's r/3 configuration must draw a third of
+/// the samples for any family.
+class RateScaleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RateScaleSweep, ScaledRunDrawsProportionallyFewerSamples) {
+  auto ds = workload::MakeNormalDataset(20'000'000, 10, 100.0, 20.0,
+                                        GetParam());
+  ASSERT_TRUE(ds.ok());
+  core::IslaOptions full;
+  full.precision = 0.2;
+  core::IslaOptions third = full;
+  third.sampling_rate_scale = 1.0 / 3.0;
+  auto rf = core::IslaEngine(full).AggregateAvg(*ds->data());
+  auto rt = core::IslaEngine(third).AggregateAvg(*ds->data());
+  ASSERT_TRUE(rf.ok() && rt.ok());
+  double ratio = static_cast<double>(rf->total_samples) /
+                 static_cast<double>(rt->total_samples);
+  EXPECT_NEAR(ratio, 3.0, 0.35);
+  EXPECT_NEAR(rt->average, 100.0, 3.0 * 0.2 * std::sqrt(3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateScaleSweep,
+                         ::testing::Range<uint64_t>(90, 95));
+
+/// The clamp never binds on well-behaved symmetric data: answers with and
+/// without it must agree bit-for-bit for the same seed.
+class ClampNeutralitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClampNeutralitySweep, ClampIsNoOpOnNormalData) {
+  auto ds = workload::MakeNormalDataset(20'000'000, 10, 100.0, 20.0,
+                                        GetParam());
+  ASSERT_TRUE(ds.ok());
+  core::IslaOptions on;
+  on.precision = 0.1;
+  core::IslaOptions off = on;
+  off.clamp_to_sketch_interval = false;
+  auto ra = core::IslaEngine(on).AggregateAvg(*ds->data());
+  auto rb = core::IslaEngine(off).AggregateAvg(*ds->data());
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->average, rb->average);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClampNeutralitySweep,
+                         ::testing::Range<uint64_t>(95, 100));
+
+}  // namespace
+}  // namespace isla

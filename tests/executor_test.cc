@@ -1,0 +1,120 @@
+// Unit tests for engine/executor.h — end-to-end query execution across all
+// methods.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/executor.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace engine {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds =
+        workload::MakeMaterializedNormalDataset(200'000, 4, 100.0, 20.0, 1);
+    ASSERT_TRUE(ds.ok());
+    true_mean_ = ds->true_mean;
+    auto table = std::make_shared<storage::Table>("sales");
+    ASSERT_TRUE(table->AddColumn("price").ok());
+    for (const auto& block : ds->data()->blocks()) {
+      ASSERT_TRUE(table->AppendBlock("price", block).ok());
+    }
+    ASSERT_TRUE(catalog_.AddTable(table).ok());
+  }
+
+  storage::Catalog catalog_;
+  double true_mean_ = 0.0;
+};
+
+TEST_F(ExecutorTest, IslaQueryWithinBand) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute("SELECT AVG(price) FROM sales WITHIN 0.5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // 2e band: the precision contract is probabilistic (β = 0.95).
+  EXPECT_NEAR(r->value, true_mean_, 1.0);
+  EXPECT_TRUE(r->isla_details.has_value());
+  EXPECT_GT(r->samples_used, 0u);
+}
+
+TEST_F(ExecutorTest, ExactQueryMatchesGroundTruth) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute("SELECT AVG(price) FROM sales USING exact");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->value, true_mean_, 1e-9);
+  EXPECT_EQ(r->samples_used, 0u);
+}
+
+TEST_F(ExecutorTest, SumQueryScalesByRowCount) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto avg = ex.Execute("SELECT AVG(price) FROM sales USING exact");
+  auto sum = ex.Execute("SELECT SUM(price) FROM sales USING exact");
+  ASSERT_TRUE(avg.ok() && sum.ok());
+  EXPECT_NEAR(sum->value, avg->value * 200'000.0, 1e-4);
+}
+
+TEST_F(ExecutorTest, EveryApproximateMethodRuns) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  for (const char* method :
+       {"isla", "isla_noniid", "uniform", "stratified", "mv", "mvb"}) {
+    std::string sql = std::string("SELECT AVG(price) FROM sales WITHIN 0.5 "
+                                  "USING ") +
+                      method;
+    auto r = ex.Execute(sql);
+    ASSERT_TRUE(r.ok()) << method << ": " << r.status();
+    // MV is biased to ≈ µ + σ²/µ = +4; everything else should be close.
+    double band = std::string(method) == "mv" ? 6.0 : 2.0;
+    EXPECT_NEAR(r->value, true_mean_, band) << method;
+  }
+}
+
+TEST_F(ExecutorTest, MissingTableFails) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  EXPECT_TRUE(
+      ex.Execute("SELECT AVG(price) FROM ghosts").status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, MissingColumnFails) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  EXPECT_TRUE(
+      ex.Execute("SELECT AVG(ghost) FROM sales").status().IsNotFound());
+}
+
+TEST_F(ExecutorTest, ParseErrorsPropagate) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  EXPECT_TRUE(ex.Execute("SELECT MIN(price) FROM sales")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ExecutorTest, NullCatalogFails) {
+  QueryExecutor ex(nullptr, core::IslaOptions{});
+  EXPECT_TRUE(ex.Execute("SELECT AVG(price) FROM sales")
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ExecutorTest, QueryPrecisionOverridesBaseOptions) {
+  core::IslaOptions base;
+  base.precision = 0.01;  // Would demand ~15M samples.
+  QueryExecutor ex(&catalog_, base);
+  auto r = ex.Execute("SELECT AVG(price) FROM sales WITHIN 2.0");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->isla_details.has_value());
+  EXPECT_DOUBLE_EQ(r->isla_details->precision, 2.0);
+}
+
+TEST_F(ExecutorTest, ElapsedTimeIsReported) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute("SELECT AVG(price) FROM sales WITHIN 1.0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->elapsed_millis, 0.0);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace isla

@@ -1,0 +1,130 @@
+// Unit tests for core/extreme.h — the §VII-D MIN/MAX extension.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/extreme.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+IslaOptions Defaults() {
+  IslaOptions o;
+  o.precision = 0.1;
+  return o;
+}
+
+TEST(Extreme, MaxOnUniformApproachesUpperBound) {
+  auto ds = workload::MakeUniformDataset(10'000'000, 10, 1.0, 199.0, 1);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 100'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok()) << r.status();
+  // With 100k of 10M probed, expected max ≈ 199 − 198/10001·... within a
+  // hair of the top; certainly above 198.5.
+  EXPECT_GT(r->value, 198.5);
+  EXPECT_LE(r->value, 199.0);
+}
+
+TEST(Extreme, MinOnUniformApproachesLowerBound) {
+  auto ds = workload::MakeUniformDataset(10'000'000, 10, 1.0, 199.0, 2);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMin, 100'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->value, 1.5);
+  EXPECT_GE(r->value, 1.0);
+}
+
+TEST(Extreme, HighLevelBlocksGetMoreSamplesForMax) {
+  // Blocks at different general levels: the §VII-D leverage must send more
+  // probes to the high-mean block when hunting the MAX.
+  std::vector<workload::NonIidBlockSpec> specs = {{10.0, 1.0, 1'000'000},
+                                                  {200.0, 1.0, 1'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 3);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 50'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->blocks.size(), 2u);
+  EXPECT_GT(r->blocks[1].samples_drawn, r->blocks[0].samples_drawn);
+  EXPECT_GT(r->blocks[1].block_leverage, r->blocks[0].block_leverage);
+  // And the answer comes from the high block.
+  EXPECT_GT(r->value, 200.0);
+}
+
+TEST(Extreme, LowLevelBlocksGetMoreSamplesForMin) {
+  std::vector<workload::NonIidBlockSpec> specs = {{10.0, 1.0, 1'000'000},
+                                                  {200.0, 1.0, 1'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 4);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMin, 50'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->blocks[0].samples_drawn, r->blocks[1].samples_drawn);
+  EXPECT_LT(r->value, 10.0);
+}
+
+TEST(Extreme, DispersedBlocksGetMoreSamples) {
+  // Equal means, very different σ: the variance component drives the
+  // allocation (as in §VII-C).
+  std::vector<workload::NonIidBlockSpec> specs = {{100.0, 1.0, 1'000'000},
+                                                  {100.0, 50.0, 1'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 5);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 50'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->blocks[1].samples_drawn, r->blocks[0].samples_drawn);
+}
+
+TEST(Extreme, EveryBlockIsProbed) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 20, 100.0, 20.0, 6);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 1'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok());
+  for (const auto& blk : r->blocks) {
+    EXPECT_GE(blk.samples_drawn, 1u);
+  }
+}
+
+TEST(Extreme, DeterministicForFixedSeed) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 5, 100.0, 20.0, 7);
+  ASSERT_TRUE(ds.ok());
+  auto a = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 10'000,
+                           Defaults(), 9);
+  auto b = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 10'000,
+                           Defaults(), 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->value, b->value);
+}
+
+TEST(Extreme, RejectsBadInputs) {
+  auto ds = workload::MakeNormalDataset(1'000, 2, 100.0, 20.0, 8);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(AggregateExtreme(*ds->data(), ExtremeKind::kMax, 0, Defaults())
+                  .status()
+                  .IsInvalidArgument());
+  storage::Column empty("v");
+  EXPECT_TRUE(AggregateExtreme(empty, ExtremeKind::kMax, 10, Defaults())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(Extreme, SampledMaxNeverExceedsTrueSupport) {
+  auto ds = workload::MakeUniformDataset(100'000, 4, -5.0, 5.0, 9);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateExtreme(*ds->data(), ExtremeKind::kMax, 5'000,
+                           Defaults());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->value, 5.0);
+  EXPECT_GE(r->value, -5.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

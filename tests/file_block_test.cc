@@ -1,0 +1,167 @@
+// Unit tests for storage/file_block.h: the on-disk block format, CRC
+// verification, and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "storage/file_block.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace storage {
+namespace {
+
+class FileBlockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("isla_fb_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileBlockTest, RoundTripSmall) {
+  std::vector<double> values = {1.5, -2.5, 3.25, 0.0};
+  ASSERT_TRUE(WriteBlockFile(Path("a.islb"), values).ok());
+  auto block = FileBlock::Open(Path("a.islb"));
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ((*block)->size(), 4u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*block)->ValueAt(i), values[i]);
+  }
+}
+
+TEST_F(FileBlockTest, RoundTripLargeCrossesChunks) {
+  std::vector<double> values;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.NextDouble() * 100);
+  ASSERT_TRUE(WriteBlockFile(Path("b.islb"), values).ok());
+  auto block = FileBlock::Open(Path("b.islb"));
+  ASSERT_TRUE(block.ok());
+  // Random access pattern forces chunk cache churn.
+  Xoshiro256 access(2);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t idx = access.NextBounded(values.size());
+    EXPECT_DOUBLE_EQ((*block)->ValueAt(idx), values[idx]);
+  }
+}
+
+TEST_F(FileBlockTest, ReadRangeMatchesPayload) {
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(static_cast<double>(i));
+  ASSERT_TRUE(WriteBlockFile(Path("c.islb"), values).ok());
+  auto block = FileBlock::Open(Path("c.islb"));
+  ASSERT_TRUE(block.ok());
+  std::vector<double> out;
+  ASSERT_TRUE((*block)->ReadRange(4000, 1000, &out).ok());
+  EXPECT_EQ(out.size(), 1000u);
+  EXPECT_DOUBLE_EQ(out.front(), 4000.0);
+  EXPECT_DOUBLE_EQ(out.back(), 4999.0);
+}
+
+TEST_F(FileBlockTest, ReadRangeOutOfBounds) {
+  ASSERT_TRUE(WriteBlockFile(Path("d.islb"), std::vector<double>{1.0}).ok());
+  auto block = FileBlock::Open(Path("d.islb"));
+  ASSERT_TRUE(block.ok());
+  std::vector<double> out;
+  EXPECT_TRUE((*block)->ReadRange(0, 2, &out).IsOutOfRange());
+}
+
+TEST_F(FileBlockTest, EmptyPayloadRoundTrips) {
+  ASSERT_TRUE(WriteBlockFile(Path("e.islb"), std::vector<double>{}).ok());
+  auto block = FileBlock::Open(Path("e.islb"));
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->size(), 0u);
+}
+
+TEST_F(FileBlockTest, MissingFileIsIOError) {
+  auto block = FileBlock::Open(Path("nope.islb"));
+  EXPECT_TRUE(block.status().IsIOError());
+}
+
+TEST_F(FileBlockTest, BadMagicIsCorruption) {
+  std::ofstream f(Path("bad.islb"), std::ios::binary);
+  f << "XXXXGARBAGEGARBAGEGARBAGE";
+  f.close();
+  auto block = FileBlock::Open(Path("bad.islb"));
+  EXPECT_TRUE(block.status().IsCorruption());
+}
+
+TEST_F(FileBlockTest, TruncatedHeaderIsCorruption) {
+  std::ofstream f(Path("trunc.islb"), std::ios::binary);
+  f << "IS";
+  f.close();
+  auto block = FileBlock::Open(Path("trunc.islb"));
+  EXPECT_TRUE(block.status().IsCorruption());
+}
+
+TEST_F(FileBlockTest, FlippedPayloadBitFailsCrc) {
+  std::vector<double> values(100, 1.0);
+  ASSERT_TRUE(WriteBlockFile(Path("flip.islb"), values).ok());
+  // Flip one payload byte in place.
+  std::fstream f(Path("flip.islb"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(16 + 50 * 8 + 3);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(16 + 50 * 8 + 3);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+  auto block = FileBlock::Open(Path("flip.islb"));
+  EXPECT_TRUE(block.status().IsCorruption())
+      << "expected CRC mismatch, got: " << block.status();
+}
+
+TEST_F(FileBlockTest, TruncatedPayloadIsCorruption) {
+  std::vector<double> values(100, 2.0);
+  ASSERT_TRUE(WriteBlockFile(Path("short.islb"), values).ok());
+  std::filesystem::resize_file(Path("short.islb"), 16 + 40 * 8);
+  auto block = FileBlock::Open(Path("short.islb"));
+  EXPECT_TRUE(block.status().IsCorruption());
+}
+
+TEST_F(FileBlockTest, LoadToMemoryCopiesEverything) {
+  std::vector<double> values = {5.0, 6.0, 7.0};
+  ASSERT_TRUE(WriteBlockFile(Path("mem.islb"), values).ok());
+  auto block = FileBlock::Open(Path("mem.islb"));
+  ASSERT_TRUE(block.ok());
+  auto mem = (*block)->LoadToMemory();
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ((*mem)->values(), values);
+}
+
+TEST_F(FileBlockTest, Crc32KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE check value).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST_F(FileBlockTest, Crc32EmptyIsZero) {
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST_F(FileBlockTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(WriteBlockFile(Path("o.islb"), std::vector<double>{1.0}).ok());
+  ASSERT_TRUE(
+      WriteBlockFile(Path("o.islb"), std::vector<double>{9.0, 8.0}).ok());
+  auto block = FileBlock::Open(Path("o.islb"));
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->size(), 2u);
+  EXPECT_DOUBLE_EQ((*block)->ValueAt(0), 9.0);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace isla

@@ -1,0 +1,152 @@
+// Unit tests for core/leverage.h. The paper's Example 1 / Table II provides
+// exact rational oracles for every stage of the leverage pipeline.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/leverage.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+// Example 1 of §IV-B: S samples {4, 5}, L samples {8}, q = 1.
+// T2 = 16 + 25 + 64 = 105.
+const std::vector<double> kXs = {4.0, 5.0};
+const std::vector<double> kYs = {8.0};
+
+TEST(ComputeLeverages, PaperTableIIRawScores) {
+  auto lb = ComputeLeverages(kXs, kYs, /*q=*/1.0);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_NEAR(lb->raw_s[0], 89.0 / 105.0, 1e-12);   // 1 - 16/105
+  EXPECT_NEAR(lb->raw_s[1], 16.0 / 21.0, 1e-12);    // 1 - 25/105 = 80/105
+  EXPECT_NEAR(lb->raw_l[0], 64.0 / 105.0, 1e-12);
+}
+
+TEST(ComputeLeverages, PaperTableIINormalizationFactors) {
+  auto lb = ComputeLeverages(kXs, kYs, 1.0);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_NEAR(lb->fac_s, 169.0 / 70.0, 1e-12);
+  EXPECT_NEAR(lb->fac_l, 64.0 / 35.0, 1e-12);
+}
+
+TEST(ComputeLeverages, PaperTableIINormalizedLeverages) {
+  auto lb = ComputeLeverages(kXs, kYs, 1.0);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_NEAR(lb->lev_s[0], 178.0 / 507.0, 1e-12);
+  EXPECT_NEAR(lb->lev_s[1], 160.0 / 507.0, 1e-12);
+  EXPECT_NEAR(lb->lev_l[0], 1.0 / 3.0, 1e-12);
+}
+
+TEST(ComputeLeverages, LeveragesSumToOne) {
+  // Theorem 2: Σ lev = 1.
+  auto lb = ComputeLeverages(kXs, kYs, 1.0);
+  ASSERT_TRUE(lb.ok());
+  double total = 0.0;
+  for (double l : lb->lev_s) total += l;
+  for (double l : lb->lev_l) total += l;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ComputeLeverages, Constraint2RegionSplit) {
+  // levSum_S : levSum_L = q·u : v.
+  for (double q : {0.2, 1.0, 5.0, 10.0}) {
+    auto lb = ComputeLeverages(kXs, kYs, q);
+    ASSERT_TRUE(lb.ok());
+    double sum_s = lb->lev_s[0] + lb->lev_s[1];
+    double sum_l = lb->lev_l[0];
+    EXPECT_NEAR(sum_s / sum_l, q * 2.0 / 1.0, 1e-10) << "q=" << q;
+    EXPECT_NEAR(sum_s + sum_l, 1.0, 1e-12);
+  }
+}
+
+TEST(ComputeLeverages, FartherFromAxisGetsLargerLeverage) {
+  // §IV-A2: within S, smaller values (farther from the middle axis) get
+  // larger leverage; within L, larger values do.
+  std::vector<double> xs = {70.0, 75.0, 80.0, 85.0};
+  std::vector<double> ys = {115.0, 120.0, 125.0, 130.0};
+  auto lb = ComputeLeverages(xs, ys, 1.0);
+  ASSERT_TRUE(lb.ok());
+  for (size_t i = 1; i < lb->lev_s.size(); ++i) {
+    EXPECT_GT(lb->lev_s[i - 1], lb->lev_s[i]);  // Decreasing in value.
+  }
+  for (size_t i = 1; i < lb->lev_l.size(); ++i) {
+    EXPECT_LT(lb->lev_l[i - 1], lb->lev_l[i]);  // Increasing in value.
+  }
+}
+
+TEST(ComputeLeverages, RejectsEmptyRegions) {
+  EXPECT_TRUE(ComputeLeverages({}, kYs, 1.0).status().IsFailedPrecondition());
+  EXPECT_TRUE(ComputeLeverages(kXs, {}, 1.0).status().IsFailedPrecondition());
+}
+
+TEST(ComputeLeverages, RejectsBadQ) {
+  EXPECT_TRUE(ComputeLeverages(kXs, kYs, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(ComputeLeverages(kXs, kYs, -1.0).status().IsInvalidArgument());
+}
+
+TEST(ComputeLeverages, RejectsAllZeroSamples) {
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_TRUE(ComputeLeverages(zeros, std::vector<double>{0.0}, 1.0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ComputeProbabilities, SumToOneForAnyAlpha) {
+  for (double alpha : {-0.5, 0.0, 0.1, 0.5, 0.99}) {
+    auto probs = ComputeProbabilities(kXs, kYs, 1.0, alpha);
+    ASSERT_TRUE(probs.ok()) << "alpha=" << alpha;
+    double total = std::accumulate(probs->begin(), probs->end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(ComputeProbabilities, AlphaZeroIsUniform) {
+  auto probs = ComputeProbabilities(kXs, kYs, 1.0, 0.0);
+  ASSERT_TRUE(probs.ok());
+  for (double p : *probs) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ComputeProbabilities, PaperTableIIProbForm) {
+  // Table II: prob(4) = (178/507)α + (1−α)/3.
+  double alpha = 0.1;
+  auto probs = ComputeProbabilities(kXs, kYs, 1.0, alpha);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR((*probs)[0], 178.0 / 507.0 * alpha + (1 - alpha) / 3.0, 1e-12);
+  EXPECT_NEAR((*probs)[2], 1.0 / 3.0 * alpha + (1 - alpha) / 3.0, 1e-12);
+}
+
+TEST(ComputeProbabilities, RejectsAlphaOutsideRange) {
+  EXPECT_FALSE(ComputeProbabilities(kXs, kYs, 1.0, 1.5).ok());
+  EXPECT_FALSE(ComputeProbabilities(kXs, kYs, 1.0, -1.5).ok());
+}
+
+TEST(BruteForceLEstimator, PaperExampleOneAnswer) {
+  // Example 1: α = 0.1 → answer ≈ 5.67 (exact: 2864/5070 + 0.9·17/3).
+  auto mu_hat = BruteForceLEstimator(kXs, kYs, 1.0, 0.1);
+  ASSERT_TRUE(mu_hat.ok());
+  EXPECT_NEAR(mu_hat.value(), 5.6649, 5e-4);
+}
+
+TEST(BruteForceLEstimator, AlphaZeroIsSampleMean) {
+  auto mu_hat = BruteForceLEstimator(kXs, kYs, 1.0, 0.0);
+  ASSERT_TRUE(mu_hat.ok());
+  EXPECT_NEAR(mu_hat.value(), 17.0 / 3.0, 1e-12);
+}
+
+TEST(BruteForceLEstimator, LeverageDampensOutlierInfluence) {
+  // With a strong leverage degree, the S/L re-weighting moves the estimate
+  // toward the S side when S holds more probability mass (q > 1).
+  std::vector<double> xs = {4.0, 5.0};
+  std::vector<double> ys = {8.0};
+  auto weak = BruteForceLEstimator(xs, ys, 5.0, 0.1);
+  auto strong = BruteForceLEstimator(xs, ys, 5.0, 0.9);
+  ASSERT_TRUE(weak.ok() && strong.ok());
+  EXPECT_LT(strong.value(), weak.value());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

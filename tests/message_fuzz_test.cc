@@ -1,0 +1,127 @@
+// Fuzz-style robustness tests for the distributed wire format: every
+// truncation point of every message type must fail cleanly (no crash, no
+// bogus acceptance), and random bit flips must never produce an
+// out-of-protocol decode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "distributed/message.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace distributed {
+namespace {
+
+std::vector<std::string> AllFrames() {
+  PilotRequest pr{1, 2, 3};
+  PilotResponse resp;
+  resp.query_id = 4;
+  resp.worker_id = 1;
+  resp.block_rows = 100;
+  resp.count = 10;
+  resp.mean = 99.0;
+  resp.m2 = 5.0;
+  resp.min_value = -1.0;
+  QueryPlan plan;
+  plan.query_id = 6;
+  plan.sample_count = 1000;
+  plan.sketch0 = 100.0;
+  plan.sigma = 20.0;
+  PartialResult part;
+  part.query_id = 7;
+  part.avg = 100.0;
+  return {Encode(pr), Encode(resp), Encode(plan), Encode(part)};
+}
+
+/// Attempts every decoder against a frame; returns how many accepted.
+int CountAccepts(const std::string& frame) {
+  int accepts = 0;
+  accepts += DecodePilotRequest(frame).ok();
+  accepts += DecodePilotResponse(frame).ok();
+  accepts += DecodeQueryPlan(frame).ok();
+  accepts += DecodePartialResult(frame).ok();
+  return accepts;
+}
+
+TEST(MessageFuzz, IntactFramesAcceptedByExactlyOneDecoder) {
+  for (const auto& frame : AllFrames()) {
+    EXPECT_EQ(CountAccepts(frame), 1);
+  }
+}
+
+/// Parameterized over message index: every strict prefix must be rejected
+/// by every decoder.
+class TruncationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationFuzz, EveryPrefixRejected) {
+  std::string frame = AllFrames()[static_cast<size_t>(GetParam())];
+  for (size_t len = 0; len < frame.size(); ++len) {
+    std::string prefix = frame.substr(0, len);
+    EXPECT_EQ(CountAccepts(prefix), 0) << "prefix length " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMessages, TruncationFuzz,
+                         ::testing::Range(0, 4));
+
+/// Every single-byte extension must also be rejected (frames are
+/// fixed-length per type).
+class ExtensionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtensionFuzz, PaddedFramesRejected) {
+  std::string frame = AllFrames()[static_cast<size_t>(GetParam())];
+  for (char pad : {'\0', 'x', '\xff'}) {
+    std::string padded = frame + pad;
+    EXPECT_EQ(CountAccepts(padded), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMessages, ExtensionFuzz, ::testing::Range(0, 4));
+
+TEST(MessageFuzz, RandomBitFlipsNeverCrashAndTagFlipsAreCaught) {
+  Xoshiro256 rng(0xf122);
+  for (const auto& original : AllFrames()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string frame = original;
+      size_t pos = rng.NextBounded(frame.size());
+      frame[pos] = static_cast<char>(frame[pos] ^
+                                     (1u << rng.NextBounded(8)));
+      // Must not crash; if the flip hit the type tag, all decoders reject
+      // or exactly one (the newly-indicated type, when lengths collide)
+      // sees a length mismatch.
+      int accepts = CountAccepts(frame);
+      if (pos < 4) {
+        EXPECT_EQ(accepts, 0) << "tag flip accepted";
+      } else {
+        // Payload flips keep the frame structurally valid for its own
+        // decoder only.
+        EXPECT_LE(accepts, 1);
+      }
+    }
+  }
+}
+
+TEST(MessageFuzz, RandomGarbageRejected) {
+  Xoshiro256 rng(0x6a47);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t len = rng.NextBounded(200);
+    std::string garbage;
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    // Garbage may collide with a valid tag + length by chance, but decoded
+    // numeric fields must then still be readable without UB; we simply
+    // require no crash and a deterministic verdict.
+    int first = CountAccepts(garbage);
+    int second = CountAccepts(garbage);
+    EXPECT_EQ(first, second);
+  }
+}
+
+}  // namespace
+}  // namespace distributed
+}  // namespace isla

@@ -1,0 +1,277 @@
+// Unit + property tests for core/modulation.h: case selection, q tiers,
+// step-length geometry, convergence, and Theorem 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/modulation.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+IslaOptions Defaults() {
+  IslaOptions o;
+  o.precision = 0.1;
+  return o;
+}
+
+TEST(DeviationDegree, Ratio) {
+  EXPECT_DOUBLE_EQ(DeviationDegree(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(DeviationDegree(150, 100), 1.5);
+  EXPECT_DOUBLE_EQ(DeviationDegree(50, 100), 0.5);
+  EXPECT_TRUE(std::isinf(DeviationDegree(1, 0)));
+}
+
+TEST(ChooseQ, BalancedGivesOne) {
+  IslaOptions o = Defaults();
+  EXPECT_DOUBLE_EQ(ChooseQ(1.0, o), 1.0);
+  EXPECT_DOUBLE_EQ(ChooseQ(0.98, o), 1.0);
+  EXPECT_DOUBLE_EQ(ChooseQ(1.02, o), 1.0);
+}
+
+TEST(ChooseQ, MildDeviationUsesQPrimeFive) {
+  IslaOptions o = Defaults();
+  // dev in (0.94, 0.97]: |S| < |L| → q = q' = 5.
+  EXPECT_DOUBLE_EQ(ChooseQ(0.95, o), 5.0);
+  // dev in [1.03, 1.06): |S| > |L| → q = 1/5.
+  EXPECT_DOUBLE_EQ(ChooseQ(1.05, o), 0.2);
+}
+
+TEST(ChooseQ, SevereDeviationUsesQPrimeTen) {
+  IslaOptions o = Defaults();
+  EXPECT_DOUBLE_EQ(ChooseQ(0.90, o), 10.0);
+  EXPECT_DOUBLE_EQ(ChooseQ(1.20, o), 0.1);
+  EXPECT_DOUBLE_EQ(ChooseQ(0.5, o), 10.0);
+}
+
+TEST(ChooseQ, TierBoundaries) {
+  IslaOptions o = Defaults();
+  EXPECT_DOUBLE_EQ(ChooseQ(o.dev_mild_lo, o), 5.0);     // 0.97 inclusive
+  EXPECT_DOUBLE_EQ(ChooseQ(o.dev_severe_lo, o), 10.0);  // 0.94 inclusive
+  EXPECT_DOUBLE_EQ(ChooseQ(o.dev_mild_hi, o), 0.2);
+  EXPECT_DOUBLE_EQ(ChooseQ(o.dev_severe_hi, o), 0.1);
+}
+
+TEST(DetermineCase, FourQuadrants) {
+  IslaOptions o = Defaults();
+  EXPECT_EQ(DetermineCase(-1.0, 100, 200, o), ModulationCase::kCase1);
+  EXPECT_EQ(DetermineCase(-1.0, 200, 100, o), ModulationCase::kCase2);
+  EXPECT_EQ(DetermineCase(+1.0, 100, 200, o), ModulationCase::kCase3);
+  EXPECT_EQ(DetermineCase(+1.0, 200, 100, o), ModulationCase::kCase4);
+}
+
+TEST(DetermineCase, BalancedWindowIsCase5) {
+  IslaOptions o = Defaults();
+  EXPECT_EQ(DetermineCase(-1.0, 1000, 1000, o), ModulationCase::kCase5);
+  EXPECT_EQ(DetermineCase(+1.0, 999, 1000, o), ModulationCase::kCase5);
+}
+
+TEST(DetermineCase, ZeroD0IsDegenerate) {
+  IslaOptions o = Defaults();
+  EXPECT_EQ(DetermineCase(0.0, 100, 200, o), ModulationCase::kDegenerate);
+}
+
+TEST(RunModulation, Case5ReturnsSketch0Unchanged) {
+  ObjectiveCoefficients obj{/*k=*/1.0, /*c=*/99.0};
+  auto res = RunModulation(obj, 100.0, 1000, 1000, Defaults());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->strategy, ModulationCase::kCase5);
+  EXPECT_DOUBLE_EQ(res->mu_hat, 100.0);
+  EXPECT_EQ(res->iterations, 0u);
+}
+
+TEST(RunModulation, ZeroKReturnsC) {
+  ObjectiveCoefficients obj{/*k=*/0.0, /*c=*/99.0};
+  auto res = RunModulation(obj, 100.0, 100, 200, Defaults());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->strategy, ModulationCase::kDegenerate);
+  EXPECT_DOUBLE_EQ(res->mu_hat, 99.0);
+}
+
+TEST(RunModulation, ConvergesBelowThreshold) {
+  ObjectiveCoefficients obj{/*k=*/-2.0, /*c=*/100.5};
+  IslaOptions o = Defaults();
+  auto res = RunModulation(obj, 100.0, 100, 200, o);  // Case 3.
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(std::abs(res->final_d), o.EffectiveThreshold() + 1e-12);
+}
+
+TEST(RunModulation, IterationCountMatchesPaperBound) {
+  // t = ceil(log_{1/η}(|D0|/thr)) with η = 0.5.
+  ObjectiveCoefficients obj{/*k=*/-2.0, /*c=*/100.5};
+  IslaOptions o = Defaults();
+  o.threshold = 0.001;
+  auto res = RunModulation(obj, 100.0, 100, 200, o);
+  ASSERT_TRUE(res.ok());
+  double d0 = 0.5;
+  uint64_t expected =
+      static_cast<uint64_t>(std::ceil(std::log2(d0 / o.threshold)));
+  EXPECT_EQ(res->iterations, expected);
+}
+
+TEST(RunModulation, EachRoundShrinksDByEta) {
+  // With η = 0.5 and thr tiny, final |D| ≈ |D0|·η^t.
+  ObjectiveCoefficients obj{/*k=*/1.5, /*c=*/99.0};
+  IslaOptions o = Defaults();
+  o.threshold = 1e-6;
+  auto res = RunModulation(obj, 100.0, 200, 100, o);  // Case 2.
+  ASSERT_TRUE(res.ok());
+  double expected_final =
+      -1.0 * std::pow(o.convergence_rate, static_cast<double>(res->iterations));
+  EXPECT_NEAR(res->final_d, expected_final, 1e-9);
+}
+
+/// Property: the iterative answer converges to the closed-form limit for
+/// all four cases and several (λ, η) settings.
+struct CaseParam {
+  double d0_sign;
+  bool s_larger;
+  double lambda;
+  double eta;
+};
+
+class ClosedFormAgreement : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(ClosedFormAgreement, IterativeMatchesLimit) {
+  auto p = GetParam();
+  IslaOptions o = Defaults();
+  o.step_length_factor = p.lambda;
+  o.convergence_rate = p.eta;
+  o.threshold = 1e-10;
+
+  double sketch0 = 100.0;
+  double c = sketch0 + p.d0_sign * 0.4;
+  // |k| large enough that alpha never saturates, so the closed form holds.
+  ObjectiveCoefficients obj{/*k=*/p.d0_sign > 0 ? -8.0 : 8.0, c};
+  uint64_t s_count = p.s_larger ? 220 : 100;
+  uint64_t l_count = p.s_larger ? 100 : 220;
+
+  auto res = RunModulation(obj, sketch0, s_count, l_count, o);
+  ASSERT_TRUE(res.ok());
+  double d0 = c - sketch0;
+  double limit =
+      ClosedFormAnswer(res->strategy, c, d0, p.lambda, sketch0);
+  EXPECT_NEAR(res->mu_hat, limit, 1e-7)
+      << ModulationCaseName(res->strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, ClosedFormAgreement,
+    ::testing::Values(CaseParam{-1.0, false, 0.8, 0.5},   // Case 1
+                      CaseParam{-1.0, true, 0.8, 0.5},    // Case 2
+                      CaseParam{+1.0, false, 0.8, 0.5},   // Case 3
+                      CaseParam{+1.0, true, 0.8, 0.5},    // Case 4
+                      CaseParam{-1.0, true, 0.5, 0.5},    // λ sweep
+                      CaseParam{+1.0, false, 0.3, 0.5},
+                      CaseParam{+1.0, true, 0.8, 0.25},   // η sweep
+                      CaseParam{-1.0, false, 0.6, 0.75}));
+
+TEST(RunModulation, Theorem1UnbiasedWhenLambdaMatchesDeviations) {
+  // Theorem 1: estimators at deviations ε (near) and ε+ε' (far) on opposite
+  // sides of µ meet exactly at µ when λ = ε/(ε+ε'). Case 3 geometry:
+  // sketch0 below µ (far), µ̂ = c above µ (near).
+  const double mu = 100.0;
+  const double eps_near = 0.1;   // c's deviation (µ̂ is the λ-scaled mover)
+  const double eps_far = 0.4;    // sketch0's deviation
+  const double lambda = eps_near / eps_far;
+
+  IslaOptions o = Defaults();
+  o.step_length_factor = lambda;
+  o.threshold = 1e-12;
+
+  double sketch0 = mu - eps_far;
+  double c = mu + eps_near;
+  ObjectiveCoefficients obj{/*k=*/-1.0, c};
+  auto res = RunModulation(obj, sketch0, 100, 220, o);  // Case 3.
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->strategy, ModulationCase::kCase3);
+  EXPECT_NEAR(res->mu_hat, mu, 1e-9);
+  EXPECT_NEAR(res->sketch, mu, 1e-9);
+}
+
+TEST(RunModulation, Case4ProducesNegativeAlpha) {
+  // §V-C Case 4: "α is negative to balance such unbalanced sampling."
+  // c > sketch0 > µ with |S| > |L| → q < 1 → k > 0 → µ̂ must decrease.
+  ObjectiveCoefficients obj{/*k=*/2.0, /*c=*/100.6};
+  auto res = RunModulation(obj, 100.0, 220, 100, Defaults());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->strategy, ModulationCase::kCase4);
+  EXPECT_LT(res->alpha, 0.0);
+  EXPECT_LT(res->mu_hat, 100.6);
+}
+
+TEST(RunModulation, AlphaSaturatesAtBound) {
+  // A nearly flat objective (k ≈ 0, the q = 1 regime) cannot carry the
+  // l-estimator far: α pins at ±1, µ̂ stays near c, and the sketch absorbs
+  // the contraction. This is how q controls the strength of the leverage
+  // effect.
+  ObjectiveCoefficients obj{/*k=*/0.01, /*c=*/99.4};
+  IslaOptions o = Defaults();
+  o.threshold = 1e-9;
+  auto res = RunModulation(obj, 100.0, 220, 100, o);  // Case 2.
+  ASSERT_TRUE(res.ok());
+  EXPECT_DOUBLE_EQ(res->alpha, 1.0);
+  EXPECT_NEAR(res->mu_hat, obj.c + 0.01, 1e-12);  // µ̂ moved only k·1.
+  EXPECT_LE(std::abs(res->final_d), 1e-8);        // D still converged.
+}
+
+TEST(RunModulation, LargerKEscapesSaturation) {
+  // Same geometry, strong slope: the λ meeting point is reached and α
+  // stays interior — q > 1 "turns the leverage effect on".
+  ObjectiveCoefficients obj{/*k=*/8.0, /*c=*/99.4};
+  IslaOptions o = Defaults();
+  o.threshold = 1e-9;
+  auto res = RunModulation(obj, 100.0, 220, 100, o);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LT(res->alpha, 1.0);
+  EXPECT_NEAR(res->mu_hat,
+              ClosedFormAnswer(ModulationCase::kCase2, 99.4, -0.6, 0.8,
+                               100.0),
+              1e-6);
+}
+
+TEST(RunModulation, Case2ProducesPositiveAlpha) {
+  // Case 2 with k > 0 (q < 1): µ̂ increases via positive α.
+  ObjectiveCoefficients obj{/*k=*/2.0, /*c=*/99.5};
+  auto res = RunModulation(obj, 100.0, 220, 100, Defaults());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->strategy, ModulationCase::kCase2);
+  EXPECT_GT(res->alpha, 0.0);
+  EXPECT_GT(res->mu_hat, 99.5);
+}
+
+TEST(RunModulation, FinalMuHatEqualsKAlphaPlusC) {
+  ObjectiveCoefficients obj{/*k=*/-1.7, /*c=*/100.3};
+  auto res = RunModulation(obj, 100.0, 100, 220, Defaults());
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->mu_hat, obj.k * res->alpha + obj.c, 1e-12);
+}
+
+TEST(RunModulation, EstimatorsMeetAtConvergence) {
+  // |µ̂_final − sketch_final| = |D_final| <= thr.
+  ObjectiveCoefficients obj{/*k=*/-1.7, /*c=*/100.3};
+  IslaOptions o = Defaults();
+  o.threshold = 1e-8;
+  auto res = RunModulation(obj, 100.0, 100, 220, o);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res->mu_hat, res->sketch, 1e-7);
+}
+
+TEST(RunModulation, InvalidOptionsRejected) {
+  ObjectiveCoefficients obj{1.0, 100.0};
+  IslaOptions bad = Defaults();
+  bad.step_length_factor = 1.5;
+  EXPECT_FALSE(RunModulation(obj, 100.0, 100, 200, bad).ok());
+}
+
+TEST(ModulationCaseName, AllCases) {
+  EXPECT_EQ(ModulationCaseName(ModulationCase::kCase1), "case1");
+  EXPECT_EQ(ModulationCaseName(ModulationCase::kCase5), "case5(balanced)");
+  EXPECT_EQ(ModulationCaseName(ModulationCase::kDegenerate), "degenerate");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

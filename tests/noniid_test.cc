@@ -1,0 +1,98 @@
+// Unit tests for core/noniid.h — non-i.i.d. aggregation (§VII-C, §VIII-D).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/noniid.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+IslaOptions Defaults(double e = 0.5) {
+  IslaOptions o;
+  o.precision = e;
+  return o;
+}
+
+workload::Dataset PaperBlocks(uint64_t rows_per_block = 1'000'000,
+                              uint64_t seed = 1) {
+  // §VIII-D: N(100,20²), N(50,10²), N(80,30²), N(150,60²), N(120,40²).
+  std::vector<workload::NonIidBlockSpec> specs = {
+      {100.0, 20.0, rows_per_block}, {50.0, 10.0, rows_per_block},
+      {80.0, 30.0, rows_per_block},  {150.0, 60.0, rows_per_block},
+      {120.0, 40.0, rows_per_block}};
+  auto ds = workload::MakeNonIidDataset(specs, seed);
+  EXPECT_TRUE(ds.ok());
+  return *ds;
+}
+
+TEST(NonIid, PaperExperimentWithinPrecision) {
+  auto ds = PaperBlocks();
+  EXPECT_DOUBLE_EQ(ds.true_mean, 100.0);
+  auto r = AggregateAvgNonIid(*ds.data(), Defaults(0.5));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->average, 100.0, 0.5);
+}
+
+TEST(NonIid, HighVarianceBlocksGetMoreSamples) {
+  auto ds = PaperBlocks();
+  auto r = AggregateAvgNonIid(*ds.data(), Defaults(0.5));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->blocks.size(), 5u);
+  // Block 3 is N(150, 60²) (σ=60) and block 1 is N(50, 10²) (σ=10):
+  // blev ∝ 1 + σ² ⇒ the σ=60 block must be sampled far more.
+  EXPECT_GT(r->blocks[3].samples_drawn, 10 * r->blocks[1].samples_drawn);
+}
+
+TEST(NonIid, UnequalBlockSizesWeightedCorrectly) {
+  std::vector<workload::NonIidBlockSpec> specs = {{10.0, 1.0, 3'000'000},
+                                                  {20.0, 1.0, 1'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 2);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds->true_mean, 12.5);
+  auto r = AggregateAvgNonIid(*ds->data(), Defaults(0.2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 12.5, 0.2);
+}
+
+TEST(NonIid, NegativeBlocksHandledPerBlockShift) {
+  std::vector<workload::NonIidBlockSpec> specs = {{-100.0, 5.0, 1'000'000},
+                                                  {100.0, 5.0, 1'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 3);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateAvgNonIid(*ds->data(), Defaults(0.3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->average, 0.0, 0.3);
+}
+
+TEST(NonIid, SingleBlockDegeneratesToIid) {
+  std::vector<workload::NonIidBlockSpec> specs = {{100.0, 20.0, 4'000'000}};
+  auto ds = workload::MakeNonIidDataset(specs, 4);
+  ASSERT_TRUE(ds.ok());
+  auto r = AggregateAvgNonIid(*ds->data(), Defaults(0.5));
+  ASSERT_TRUE(r.ok());
+  // 2e band: the contract is probabilistic.
+  EXPECT_NEAR(r->average, 100.0, 1.0);
+}
+
+TEST(NonIid, EmptyColumnFails) {
+  storage::Column empty("v");
+  EXPECT_TRUE(AggregateAvgNonIid(empty, Defaults())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(NonIid, DeterministicForFixedSeed) {
+  auto ds = PaperBlocks();
+  auto a = AggregateAvgNonIid(*ds.data(), Defaults(0.5), /*seed_salt=*/9);
+  auto b = AggregateAvgNonIid(*ds.data(), Defaults(0.5), /*seed_salt=*/9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->average, b->average);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,108 @@
+// Unit + property tests for stats/normal.h: CDF/quantile accuracy and
+// round-trip identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.h"
+
+namespace isla {
+namespace stats {
+namespace {
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-16);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(2.0), 0.9772498680518208, 1e-12);
+  EXPECT_NEAR(NormalCdf(-2.0), 1.0 - NormalCdf(2.0), 1e-12);
+}
+
+TEST(NormalCdf, TailsSaturate) {
+  EXPECT_NEAR(NormalCdf(10.0), 1.0, 1e-15);
+  EXPECT_LT(NormalCdf(-10.0), 1e-20);
+}
+
+TEST(NormalQuantile, MedianIsZero) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-14);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.9), 1.2815515655446004, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.99), 2.3263478740408408, 1e-9);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-10);
+  }
+}
+
+TEST(NormalQuantile, EdgesAndInvalid) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+  EXPECT_TRUE(std::isnan(NormalQuantile(-0.1)));
+  EXPECT_TRUE(std::isnan(NormalQuantile(1.1)));
+  EXPECT_TRUE(std::isnan(NormalQuantile(std::nan(""))));
+}
+
+TEST(TwoSidedZ, PaperValue) {
+  // β = 0.95 → u ≈ 1.96 (the u of Eq. 1).
+  EXPECT_NEAR(TwoSidedZ(0.95), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(TwoSidedZ(0.99), 2.5758293035489004, 1e-8);
+  EXPECT_NEAR(TwoSidedZ(0.8), 1.2815515655446004, 1e-9);
+}
+
+TEST(TwoSidedZ, MonotoneInConfidence) {
+  double prev = 0.0;
+  for (double beta : {0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.999}) {
+    double z = TwoSidedZ(beta);
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+/// Property sweep: Φ(Φ⁻¹(p)) == p across the full domain, including deep
+/// tails where Acklam's branches switch.
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  double p = GetParam();
+  double x = NormalQuantile(p);
+  EXPECT_NEAR(NormalCdf(x), p, 1e-12 + 1e-9 * p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullDomain, QuantileRoundTrip,
+    ::testing::Values(1e-12, 1e-9, 1e-6, 1e-4, 0.01, 0.02425, 0.025, 0.1,
+                      0.25, 0.5, 0.75, 0.9, 0.975, 0.99, 0.9999, 1.0 - 1e-6,
+                      1.0 - 1e-9));
+
+/// Property sweep: quantile is strictly monotone.
+class QuantileMonotone
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(QuantileMonotone, StrictlyIncreasing) {
+  auto [p1, p2] = GetParam();
+  EXPECT_LT(NormalQuantile(p1), NormalQuantile(p2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, QuantileMonotone,
+    ::testing::Values(std::pair{1e-6, 1e-3}, std::pair{0.1, 0.2},
+                      std::pair{0.49, 0.51}, std::pair{0.9, 0.95},
+                      std::pair{0.999, 0.9999}));
+
+}  // namespace
+}  // namespace stats
+}  // namespace isla

@@ -1,0 +1,127 @@
+// Unit + property tests for core/objective.h: Theorem 3's closed form must
+// agree with the brute-force leverage pipeline for arbitrary inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/leverage.h"
+#include "core/objective.h"
+#include "stats/moments.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+stats::StreamingMoments MomentsOf(const std::vector<double>& values) {
+  stats::StreamingMoments m;
+  for (double v : values) m.Add(v);
+  return m;
+}
+
+TEST(ComputeObjective, PaperExampleOneCoefficients) {
+  // Example 1: S = {4, 5}, L = {8}, q = 1. c = 17/3, and µ̂(0.1) ≈ 5.6649.
+  auto obj = ComputeObjective(MomentsOf({4.0, 5.0}), MomentsOf({8.0}), 1.0);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_NEAR(obj->c, 17.0 / 3.0, 1e-12);
+  EXPECT_NEAR(obj->MuHat(0.1), 5.6649, 5e-4);
+}
+
+TEST(ComputeObjective, CIsUniformAnswerOverSAndL) {
+  auto obj = ComputeObjective(MomentsOf({80.0, 85.0}),
+                              MomentsOf({115.0, 120.0}), 1.0);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_NEAR(obj->c, (80.0 + 85.0 + 115.0 + 120.0) / 4.0, 1e-12);
+}
+
+TEST(ComputeObjective, DRelation) {
+  auto obj = ComputeObjective(MomentsOf({4.0, 5.0}), MomentsOf({8.0}), 1.0);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_NEAR(obj->D(0.0, 6.2), obj->c - 6.2, 1e-12);
+  EXPECT_NEAR(obj->D(0.3, 6.2), obj->k * 0.3 + obj->c - 6.2, 1e-12);
+}
+
+TEST(ComputeObjective, RejectsEmptyRegions) {
+  stats::StreamingMoments empty;
+  EXPECT_TRUE(ComputeObjective(empty, MomentsOf({8.0}), 1.0)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(ComputeObjective(MomentsOf({4.0}), empty, 1.0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ComputeObjective, RejectsBadQ) {
+  EXPECT_TRUE(ComputeObjective(MomentsOf({4.0}), MomentsOf({8.0}), 0.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ComputeObjective, RejectsDegenerateZeroData) {
+  EXPECT_TRUE(ComputeObjective(MomentsOf({0.0, 0.0}), MomentsOf({0.0}), 1.0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+/// The central property (Theorem 3): the streamed closed form k·α + c must
+/// equal the brute-force pipeline (raw leverages → normalization →
+/// probabilities → Σ prob·a) for random sample sets, all q tiers, and a
+/// sweep of α — including the negative α of Case 4.
+class Theorem3Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem3Property, ClosedFormMatchesBruteForce) {
+  Xoshiro256 rng(GetParam());
+  // Random S region (values below 90) and L region (values above 110).
+  size_t u = 2 + rng.NextBounded(60);
+  size_t v = 1 + rng.NextBounded(60);
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < u; ++i) xs.push_back(60.0 + 30.0 * rng.NextDouble());
+  for (size_t j = 0; j < v; ++j) ys.push_back(110.0 + 30.0 * rng.NextDouble());
+
+  for (double q : {0.1, 0.2, 1.0, 5.0, 10.0}) {
+    auto obj = ComputeObjective(MomentsOf(xs), MomentsOf(ys), q);
+    ASSERT_TRUE(obj.ok());
+    for (double alpha : {-0.9, -0.3, 0.0, 0.05, 0.2, 0.5, 0.95}) {
+      auto brute = BruteForceLEstimator(xs, ys, q, alpha);
+      ASSERT_TRUE(brute.ok());
+      EXPECT_NEAR(obj->MuHat(alpha), brute.value(),
+                  1e-9 * std::abs(brute.value()) + 1e-9)
+          << "q=" << q << " alpha=" << alpha << " u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSampleSets, Theorem3Property,
+                         ::testing::Range<uint64_t>(1, 21));
+
+/// Property: k and c are insensitive to the sampling order (§V-A) — the
+/// moments commute, so any permutation of the stream yields identical
+/// coefficients.
+TEST(ComputeObjective, OrderInsensitive) {
+  std::vector<double> xs = {70.0, 75.0, 80.0, 85.0, 88.0};
+  std::vector<double> ys = {112.0, 118.0, 125.0};
+  auto forward = ComputeObjective(MomentsOf(xs), MomentsOf(ys), 5.0);
+  std::reverse(xs.begin(), xs.end());
+  std::reverse(ys.begin(), ys.end());
+  auto backward = ComputeObjective(MomentsOf(xs), MomentsOf(ys), 5.0);
+  ASSERT_TRUE(forward.ok() && backward.ok());
+  EXPECT_NEAR(forward->k, backward->k, 1e-12);
+  EXPECT_NEAR(forward->c, backward->c, 1e-12);
+}
+
+TEST(ComputeObjective, QShiftsMassBetweenRegions) {
+  // Larger q gives S more leverage mass, pulling the pure-leverage answer
+  // (α = 1) down; smaller q pulls it up toward L.
+  auto lo = ComputeObjective(MomentsOf({80.0, 82.0}),
+                             MomentsOf({118.0, 120.0}), 0.2);
+  auto hi = ComputeObjective(MomentsOf({80.0, 82.0}),
+                             MomentsOf({118.0, 120.0}), 5.0);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_GT(lo->MuHat(1.0), hi->MuHat(1.0));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,104 @@
+// Unit tests for core/online.h — the online-aggregation extension (§VII-A).
+
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+IslaOptions Defaults(double e = 0.5) {
+  IslaOptions o;
+  o.precision = e;
+  return o;
+}
+
+TEST(OnlineAggregator, StartProducesAnswer) {
+  auto ds = workload::MakeNormalDataset(10'000'000, 5, 100.0, 20.0, 1);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults(0.5));
+  auto r = agg.Start();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->average, 100.0, 0.5);
+  EXPECT_GT(agg.total_samples(), 0u);
+}
+
+TEST(OnlineAggregator, StartTwiceFails) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 5, 100.0, 20.0, 2);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults());
+  ASSERT_TRUE(agg.Start().ok());
+  EXPECT_TRUE(agg.Start().status().IsFailedPrecondition());
+}
+
+TEST(OnlineAggregator, RefineBeforeStartFails) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 5, 100.0, 20.0, 3);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults());
+  EXPECT_TRUE(agg.Refine(0.1).status().IsFailedPrecondition());
+  EXPECT_TRUE(agg.CurrentAnswer().status().IsFailedPrecondition());
+}
+
+TEST(OnlineAggregator, RefineDrawsOnlyTheDelta) {
+  auto ds = workload::MakeNormalDataset(100'000'000, 5, 100.0, 20.0, 4);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults(0.5));
+  ASSERT_TRUE(agg.Start().ok());
+  uint64_t round1 = agg.total_samples();
+  auto r = agg.Refine(0.25);
+  ASSERT_TRUE(r.ok());
+  uint64_t round2 = agg.total_samples();
+  // Eq. (1): halving e quadruples m, so the delta ≈ 3× round 1.
+  EXPECT_GT(round2, round1 * 3);
+  EXPECT_LT(round2, round1 * 5);
+  EXPECT_NEAR(r->average, 100.0, 0.5);  // 2e band.
+}
+
+TEST(OnlineAggregator, RefineMustTightenPrecision) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 5, 100.0, 20.0, 5);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults(0.5));
+  ASSERT_TRUE(agg.Start().ok());
+  EXPECT_TRUE(agg.Refine(0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(agg.Refine(0.8).status().IsInvalidArgument());
+  EXPECT_TRUE(agg.Refine(-0.1).status().IsInvalidArgument());
+}
+
+TEST(OnlineAggregator, CurrentAnswerIsStableWithoutSampling) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 5, 100.0, 20.0, 6);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults(0.5));
+  ASSERT_TRUE(agg.Start().ok());
+  auto a = agg.CurrentAnswer();
+  auto b = agg.CurrentAnswer();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->average, b->average);
+}
+
+TEST(OnlineAggregator, SuccessiveRefinementsTrackTruth) {
+  auto ds = workload::MakeNormalDataset(100'000'000, 10, 100.0, 20.0, 7);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults(1.0));
+  ASSERT_TRUE(agg.Start().ok());
+  double errors[3];
+  double precisions[3] = {0.5, 0.25, 0.1};
+  for (int i = 0; i < 3; ++i) {
+    auto r = agg.Refine(precisions[i]);
+    ASSERT_TRUE(r.ok());
+    errors[i] = std::abs(r->average - 100.0);
+    EXPECT_LE(errors[i], precisions[i] * 3.0) << "round " << i;
+  }
+  EXPECT_DOUBLE_EQ(agg.current_precision(), 0.1);
+}
+
+TEST(OnlineAggregator, EmptyColumnFailsAtStart) {
+  storage::Column empty("v");
+  OnlineAggregator agg(&empty, Defaults());
+  EXPECT_TRUE(agg.Start().status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,107 @@
+// Unit tests for core/options.h validation.
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+TEST(IslaOptions, DefaultsAreValid) {
+  EXPECT_TRUE(IslaOptions{}.Validate().ok());
+}
+
+TEST(IslaOptions, PaperParameterTableIsValid) {
+  IslaOptions o;
+  o.precision = 0.1;
+  o.confidence = 0.95;
+  o.p1 = 0.5;
+  o.p2 = 2.0;
+  o.step_length_factor = 0.8;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(IslaOptions, RejectsBadPrecision) {
+  IslaOptions o;
+  o.precision = 0.0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+  o.precision = -0.5;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(IslaOptions, RejectsBadConfidence) {
+  IslaOptions o;
+  for (double beta : {0.0, 1.0, -0.5, 1.5}) {
+    o.confidence = beta;
+    EXPECT_FALSE(o.Validate().ok()) << beta;
+  }
+}
+
+TEST(IslaOptions, RejectsRelaxationNotAboveOne) {
+  IslaOptions o;
+  o.sketch_relaxation = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.sketch_relaxation = 0.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IslaOptions, RejectsBadBoundaries) {
+  IslaOptions o;
+  o.p1 = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.p1 = 2.5;  // > p2 = 2.0
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IslaOptions, RejectsBadStepFactorAndRate) {
+  IslaOptions o;
+  o.step_length_factor = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = IslaOptions{};
+  o.convergence_rate = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IslaOptions, RejectsInvertedDevTiers) {
+  IslaOptions o;
+  o.dev_mild_lo = 0.93;  // Below severe_lo = 0.94.
+  EXPECT_FALSE(o.Validate().ok());
+  o = IslaOptions{};
+  o.dev_severe_hi = 1.02;  // Below mild_hi = 1.03.
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IslaOptions, RejectsBadQPrimes) {
+  IslaOptions o;
+  o.q_prime_mild = 0.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = IslaOptions{};
+  o.q_prime_severe = 2.0;  // Below mild = 5.
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IslaOptions, RejectsBadPilotAndScale) {
+  IslaOptions o;
+  o.sigma_pilot_size = 1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = IslaOptions{};
+  o.sampling_rate_scale = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.sampling_rate_scale = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(IslaOptions, EffectiveThresholdDerivesFromPrecision) {
+  IslaOptions o;
+  o.precision = 0.5;
+  o.threshold = 0.0;
+  o.threshold_fraction = 0.01;
+  EXPECT_DOUBLE_EQ(o.EffectiveThreshold(), 0.005);
+  o.threshold = 0.002;
+  EXPECT_DOUBLE_EQ(o.EffectiveThreshold(), 0.002);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

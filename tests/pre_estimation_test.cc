@@ -1,0 +1,125 @@
+// Unit tests for core/pre_estimation.h — the Pre-estimation module (§III).
+
+#include <gtest/gtest.h>
+
+#include "core/pre_estimation.h"
+#include "stats/confidence.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+IslaOptions Defaults() {
+  IslaOptions o;
+  o.precision = 0.1;
+  return o;
+}
+
+workload::Dataset Normal(uint64_t rows = 10'000'000, uint64_t blocks = 10,
+                         double mu = 100.0, double sigma = 20.0,
+                         uint64_t seed = 42) {
+  auto ds = workload::MakeNormalDataset(rows, blocks, mu, sigma, seed);
+  EXPECT_TRUE(ds.ok());
+  return *ds;
+}
+
+TEST(PreEstimation, EstimatesSigmaAndSketch) {
+  auto ds = Normal();
+  Xoshiro256 rng(1);
+  auto pilot = RunPreEstimation(*ds.data(), Defaults(), &rng);
+  ASSERT_TRUE(pilot.ok()) << pilot.status();
+  EXPECT_NEAR(pilot->sigma, 20.0, 2.0);       // σ pilot of 1000 → ±~5%.
+  EXPECT_NEAR(pilot->sketch0, 100.0, 1.0);    // relaxed-precision estimate.
+  EXPECT_EQ(pilot->sigma_pilot_samples, 1000u);
+  EXPECT_GT(pilot->sketch_pilot_samples, 1000u);
+}
+
+TEST(PreEstimation, SampleSizeFollowsEquationOne) {
+  auto ds = Normal();
+  IslaOptions o = Defaults();
+  Xoshiro256 rng(2);
+  auto pilot = RunPreEstimation(*ds.data(), o, &rng);
+  ASSERT_TRUE(pilot.ok());
+  auto expected =
+      stats::RequiredSampleSize(pilot->sigma, o.precision, o.confidence);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(pilot->target_sample_size, expected.value());
+  EXPECT_NEAR(pilot->sampling_rate,
+              static_cast<double>(expected.value()) / 1e7, 1e-12);
+}
+
+TEST(PreEstimation, SamplingRateScaleShrinksTarget) {
+  auto ds = Normal();
+  IslaOptions o = Defaults();
+  Xoshiro256 rng1(3), rng2(3);
+  auto full = RunPreEstimation(*ds.data(), o, &rng1);
+  o.sampling_rate_scale = 1.0 / 3.0;
+  auto third = RunPreEstimation(*ds.data(), o, &rng2);
+  ASSERT_TRUE(full.ok() && third.ok());
+  EXPECT_NEAR(static_cast<double>(third->target_sample_size),
+              static_cast<double>(full->target_sample_size) / 3.0, 2.0);
+}
+
+TEST(PreEstimation, TracksMinimumForNegativeShift) {
+  auto ds = Normal(1'000'000, 4, -50.0, 5.0, 7);
+  Xoshiro256 rng(4);
+  auto pilot = RunPreEstimation(*ds.data(), Defaults(), &rng);
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_LT(pilot->min_value, -50.0);  // Pilot saw the negative bulk.
+}
+
+TEST(PreEstimation, ConstantDataHasZeroSigma) {
+  auto table = std::make_shared<storage::Table>("t");
+  ASSERT_TRUE(table->AddColumn("v").ok());
+  ASSERT_TRUE(
+      table->AppendBlock(
+               "v", std::make_shared<storage::MemoryBlock>(
+                        std::vector<double>(5000, 3.5)))
+          .ok());
+  workload::Dataset ds;
+  ds.table = table;
+  ds.column = "v";
+  Xoshiro256 rng(5);
+  auto pilot = RunPreEstimation(*ds.data(), Defaults(), &rng);
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_DOUBLE_EQ(pilot->sigma, 0.0);
+  EXPECT_DOUBLE_EQ(pilot->sketch0, 3.5);
+  EXPECT_LE(pilot->target_sample_size, 2u);
+}
+
+TEST(PreEstimation, EmptyColumnFails) {
+  storage::Column empty("v");
+  Xoshiro256 rng(6);
+  EXPECT_TRUE(RunPreEstimation(empty, Defaults(), &rng)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PreEstimation, NullRngFails) {
+  auto ds = Normal();
+  EXPECT_TRUE(RunPreEstimation(*ds.data(), Defaults(), nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PreEstimation, InvalidOptionsFail) {
+  auto ds = Normal();
+  IslaOptions bad = Defaults();
+  bad.precision = -1.0;
+  Xoshiro256 rng(7);
+  EXPECT_FALSE(RunPreEstimation(*ds.data(), bad, &rng).ok());
+}
+
+TEST(PreEstimation, TinyPopulationClampsTarget) {
+  auto ds = Normal(500, 2, 100.0, 20.0, 8);
+  Xoshiro256 rng(8);
+  auto pilot = RunPreEstimation(*ds.data(), Defaults(), &rng);
+  ASSERT_TRUE(pilot.ok());
+  EXPECT_LE(pilot->target_sample_size, 500u);
+  EXPECT_LE(pilot->sampling_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,196 @@
+// Property-based sweeps over the whole engine: precision contracts across
+// (distribution × precision × block count) grids, plus algebraic
+// invariants that must hold for any input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/engine.h"
+#include "core/leverage.h"
+#include "core/modulation.h"
+#include "util/rng.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace {
+
+/// Sweep: ISLA's answer stays within a small multiple of the requested
+/// precision for normals of varying µ, σ, e, and block counts. The paper's
+/// confidence contract is 95%, so the test multiplies the band by 3 to make
+/// flakes essentially impossible while still catching systematic bias.
+struct EngineParam {
+  double mu;
+  double sigma;
+  double precision;
+  uint64_t blocks;
+  uint64_t seed;
+};
+
+class EnginePrecisionSweep : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EnginePrecisionSweep, AnswerWithinThreePrecisions) {
+  auto p = GetParam();
+  auto ds =
+      workload::MakeNormalDataset(50'000'000, p.blocks, p.mu, p.sigma,
+                                  p.seed);
+  ASSERT_TRUE(ds.ok());
+  core::IslaOptions options;
+  options.precision = p.precision;
+  core::IslaEngine engine(options);
+  auto r = engine.AggregateAvg(*ds->data(), p.seed);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->average, p.mu, 3.0 * p.precision)
+      << "mu=" << p.mu << " sigma=" << p.sigma << " e=" << p.precision
+      << " b=" << p.blocks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EnginePrecisionSweep,
+    ::testing::Values(EngineParam{100.0, 20.0, 0.1, 10, 1},
+                      EngineParam{100.0, 20.0, 0.5, 10, 2},
+                      EngineParam{100.0, 20.0, 0.1, 6, 3},
+                      EngineParam{100.0, 20.0, 0.1, 24, 4},
+                      EngineParam{100.0, 5.0, 0.1, 10, 5},
+                      EngineParam{100.0, 60.0, 0.5, 10, 6},
+                      EngineParam{1000.0, 20.0, 0.5, 10, 7},
+                      EngineParam{5.0, 1.0, 0.05, 10, 8},
+                      EngineParam{-200.0, 20.0, 0.5, 10, 9},
+                      EngineParam{0.0, 10.0, 0.25, 10, 10},
+                      EngineParam{100.0, 20.0, 0.2, 1, 11},
+                      EngineParam{100.0, 20.0, 0.3, 17, 12}));
+
+/// Invariant: probabilities generated from any leverage configuration sum
+/// to 1 and the l-estimator stays inside [min, max] of the samples for
+/// α ∈ [0, 1).
+class LeverageInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeverageInvariants, ProbabilitiesFormADistribution) {
+  Xoshiro256 rng(GetParam());
+  size_t u = 2 + rng.NextBounded(40);
+  size_t v = 2 + rng.NextBounded(40);
+  std::vector<double> xs, ys;
+  double lo = 1e300, hi = -1e300;
+  for (size_t i = 0; i < u; ++i) {
+    xs.push_back(50.0 + 40.0 * rng.NextDouble());
+    lo = std::min(lo, xs.back());
+    hi = std::max(hi, xs.back());
+  }
+  for (size_t j = 0; j < v; ++j) {
+    ys.push_back(110.0 + 40.0 * rng.NextDouble());
+    lo = std::min(lo, ys.back());
+    hi = std::max(hi, ys.back());
+  }
+  for (double q : {0.1, 1.0, 10.0}) {
+    for (double alpha : {0.0, 0.3, 0.7, 0.99}) {
+      auto probs = core::ComputeProbabilities(xs, ys, q, alpha);
+      ASSERT_TRUE(probs.ok());
+      double total = std::accumulate(probs->begin(), probs->end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-10);
+      auto mu_hat = core::BruteForceLEstimator(xs, ys, q, alpha);
+      ASSERT_TRUE(mu_hat.ok());
+      if (alpha < 0.99) {
+        // A convex-ish combination stays within the sample hull as long as
+        // probabilities are non-negative; α close to 1 with extreme q can
+        // push individual probabilities negative, so only check α ≤ 0.7.
+        bool all_nonneg = true;
+        for (double p : *probs) all_nonneg &= (p >= -1e-12);
+        if (all_nonneg) {
+          EXPECT_GE(mu_hat.value(), lo - 1e-9);
+          EXPECT_LE(mu_hat.value(), hi + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, LeverageInvariants,
+                         ::testing::Range<uint64_t>(100, 115));
+
+/// Invariant: RunModulation's residual |D| never exceeds the threshold and
+/// iteration counts never exceed the paper's bound, across a grid of
+/// objective geometries.
+struct ModParam {
+  double k;
+  double c_offset;   // c − sketch0
+  uint64_t s_count;
+  uint64_t l_count;
+};
+
+class ModulationInvariants : public ::testing::TestWithParam<ModParam> {};
+
+TEST_P(ModulationInvariants, ResidualAndBound) {
+  auto p = GetParam();
+  core::ObjectiveCoefficients obj{p.k, 100.0 + p.c_offset};
+  core::IslaOptions options;
+  options.precision = 0.1;
+  auto res = core::RunModulation(obj, 100.0, p.s_count, p.l_count, options);
+  ASSERT_TRUE(res.ok());
+  if (res->strategy == core::ModulationCase::kCase5 ||
+      res->strategy == core::ModulationCase::kDegenerate) {
+    return;  // No iteration performed.
+  }
+  double thr = options.EffectiveThreshold();
+  EXPECT_LE(std::abs(res->final_d), thr * (1.0 + 1e-9));
+  double bound = std::ceil(std::log2(std::abs(p.c_offset) / thr)) + 8;
+  EXPECT_LE(static_cast<double>(res->iterations), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ModulationInvariants,
+    ::testing::Values(ModParam{-2.0, 0.4, 100, 200},
+                      ModParam{2.0, 0.4, 200, 100},
+                      ModParam{-2.0, -0.4, 100, 200},
+                      ModParam{2.0, -0.4, 200, 100},
+                      ModParam{-0.01, 0.7, 90, 110},
+                      ModParam{0.01, -0.7, 110, 90},
+                      ModParam{-50.0, 0.05, 80, 120},
+                      ModParam{50.0, -0.05, 120, 80}));
+
+/// Invariant: ISLA's SUM equals AVG × M exactly, for any dataset.
+class SumConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SumConsistency, SumIsAvgTimesM) {
+  auto ds =
+      workload::MakeNormalDataset(1'000'000, 4, 100.0, 20.0, GetParam());
+  ASSERT_TRUE(ds.ok());
+  core::IslaOptions options;
+  options.precision = 0.5;
+  core::IslaEngine engine(options);
+  auto r = engine.AggregateAvg(*ds->data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->sum, r->average * 1e6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SumConsistency,
+                         ::testing::Range<uint64_t>(40, 45));
+
+/// Failure injection: blocks that return NaN values (simulated media
+/// corruption past CRC) must not poison the whole aggregation silently —
+/// the per-block moments go NaN and so does that block's answer, surfacing
+/// the corruption in the diagnostics rather than a crash.
+TEST(FailureInjection, NanValuesSurfaceInAnswerNotCrash) {
+  class NanBlock : public storage::Block {
+   public:
+    uint64_t size() const override { return 1000; }
+    double ValueAt(uint64_t) const override {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    std::string DebugString() const override { return "nan[1000]"; }
+  };
+  storage::Column col("v");
+  ASSERT_TRUE(col.AppendBlock(std::make_shared<NanBlock>()).ok());
+  core::IslaOptions options;
+  options.precision = 0.5;
+  core::IslaEngine engine(options);
+  auto r = engine.AggregateAvg(col);
+  // Either a clean error or a NaN answer is acceptable; silent plausible
+  // numbers are not.
+  if (r.ok()) {
+    EXPECT_TRUE(std::isnan(r->average) || std::isnan(r->sigma_estimate));
+  }
+}
+
+}  // namespace
+}  // namespace isla

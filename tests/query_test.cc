@@ -1,0 +1,139 @@
+// Unit tests for engine/query.h — the mini-SQL parser.
+
+#include <gtest/gtest.h>
+
+#include "engine/query.h"
+
+namespace isla {
+namespace engine {
+namespace {
+
+TEST(ParseQuery, MinimalAvg) {
+  auto q = ParseQuery("SELECT AVG(price) FROM sales");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->aggregate, AggregateKind::kAvg);
+  EXPECT_EQ(q->column, "price");
+  EXPECT_EQ(q->table, "sales");
+  EXPECT_DOUBLE_EQ(q->precision, 0.1);
+  EXPECT_DOUBLE_EQ(q->confidence, 0.95);
+  EXPECT_EQ(q->method, Method::kIsla);
+}
+
+TEST(ParseQuery, SumAggregate) {
+  auto q = ParseQuery("SELECT SUM(qty) FROM inventory");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->aggregate, AggregateKind::kSum);
+}
+
+TEST(ParseQuery, FullClauseSet) {
+  auto q = ParseQuery(
+      "SELECT AVG(v) FROM t WITHIN 0.25 CONFIDENCE 0.99 USING uniform");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->precision, 0.25);
+  EXPECT_DOUBLE_EQ(q->confidence, 0.99);
+  EXPECT_EQ(q->method, Method::kUniform);
+}
+
+TEST(ParseQuery, ClausesInAnyOrder) {
+  auto q = ParseQuery(
+      "SELECT AVG(v) FROM t USING mvb WITHIN 0.5 CONFIDENCE 0.9");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->method, Method::kMvb);
+  EXPECT_DOUBLE_EQ(q->precision, 0.5);
+}
+
+TEST(ParseQuery, KeywordsAreCaseInsensitive) {
+  auto q = ParseQuery("select avg(V) from T within 0.2 confidence 0.8");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->column, "V");  // Identifiers keep their case.
+  EXPECT_EQ(q->table, "T");
+}
+
+TEST(ParseQuery, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseQuery("SELECT AVG(v) FROM t;").ok());
+}
+
+TEST(ParseQuery, ExtraWhitespaceTolerated) {
+  EXPECT_TRUE(ParseQuery("  SELECT   AVG( v )  FROM   t  ").ok());
+}
+
+TEST(ParseQuery, AllMethodNames) {
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING isla")->method,
+            Method::kIsla);
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING isla_noniid")->method,
+            Method::kIslaNonIid);
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING noniid")->method,
+            Method::kIslaNonIid);
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING us")->method,
+            Method::kUniform);
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING sts")->method,
+            Method::kStratified);
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING mv")->method, Method::kMv);
+  EXPECT_EQ(ParseQuery("SELECT AVG(v) FROM t USING exact")->method,
+            Method::kExact);
+}
+
+TEST(ParseQuery, UnknownMethodFails) {
+  auto q = ParseQuery("SELECT AVG(v) FROM t USING magic");
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("magic"), std::string::npos);
+}
+
+TEST(ParseQuery, RejectsUnknownAggregate) {
+  auto q = ParseQuery("SELECT MAX(v) FROM t");
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(ParseQuery, RejectsMissingParens) {
+  EXPECT_FALSE(ParseQuery("SELECT AVG v FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v FROM t").ok());
+}
+
+TEST(ParseQuery, RejectsMissingFrom) {
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v)").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) t").ok());
+}
+
+TEST(ParseQuery, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t WITHIN abc").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t WITHIN").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t CONFIDENCE 0.25abc").ok());
+}
+
+TEST(ParseQuery, RejectsOutOfRangeValues) {
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t WITHIN 0").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t WITHIN -0.1").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t CONFIDENCE 1.0").ok());
+  EXPECT_FALSE(ParseQuery("SELECT AVG(v) FROM t CONFIDENCE 0").ok());
+}
+
+TEST(ParseQuery, RejectsTrailingGarbage) {
+  auto q = ParseQuery("SELECT AVG(v) FROM t EXTRA");
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("EXTRA"), std::string::npos);
+}
+
+TEST(ParseQuery, ErrorsCarryOffsets) {
+  auto q = ParseQuery("SELECT AVG(v) FROM t WITHIN zero");
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParseQuery, EmptyInputFails) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("   ").ok());
+}
+
+TEST(MethodName, RoundTripNames) {
+  EXPECT_EQ(MethodName(Method::kIsla), "isla");
+  EXPECT_EQ(MethodName(Method::kIslaNonIid), "isla_noniid");
+  EXPECT_EQ(MethodName(Method::kUniform), "uniform");
+  EXPECT_EQ(MethodName(Method::kStratified), "stratified");
+  EXPECT_EQ(MethodName(Method::kMv), "mv");
+  EXPECT_EQ(MethodName(Method::kMvb), "mvb");
+  EXPECT_EQ(MethodName(Method::kExact), "exact");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace isla

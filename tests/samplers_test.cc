@@ -1,0 +1,203 @@
+// Unit + property tests for sampling/samplers.h.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sampling/samplers.h"
+#include "storage/block.h"
+
+namespace isla {
+namespace sampling {
+namespace {
+
+TEST(WithReplacement, CountAndRange) {
+  Xoshiro256 rng(1);
+  auto idx = SampleIndicesWithReplacement(100, 50, &rng);
+  EXPECT_EQ(idx.size(), 50u);
+  for (uint64_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(WithReplacement, EmptyPopulation) {
+  Xoshiro256 rng(2);
+  EXPECT_TRUE(SampleIndicesWithReplacement(0, 10, &rng).empty());
+}
+
+TEST(WithReplacement, CoarselyUniform) {
+  Xoshiro256 rng(3);
+  std::vector<int> counts(10, 0);
+  auto idx = SampleIndicesWithReplacement(10, 100000, &rng);
+  for (uint64_t i : idx) ++counts[i];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 5.0 * std::sqrt(10000.0));
+  }
+}
+
+TEST(WithoutReplacement, DistinctAndInRange) {
+  Xoshiro256 rng(4);
+  auto idx = SampleIndicesWithoutReplacement(1000, 100, &rng);
+  ASSERT_TRUE(idx.ok());
+  std::set<uint64_t> unique(idx->begin(), idx->end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint64_t i : *idx) EXPECT_LT(i, 1000u);
+}
+
+TEST(WithoutReplacement, FullPopulation) {
+  Xoshiro256 rng(5);
+  auto idx = SampleIndicesWithoutReplacement(50, 50, &rng);
+  ASSERT_TRUE(idx.ok());
+  std::set<uint64_t> unique(idx->begin(), idx->end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(WithoutReplacement, KGreaterThanNFails) {
+  Xoshiro256 rng(6);
+  EXPECT_FALSE(SampleIndicesWithoutReplacement(10, 11, &rng).ok());
+}
+
+TEST(Bernoulli, ZeroAndOneProbabilities) {
+  Xoshiro256 rng(7);
+  int count = 0;
+  ASSERT_TRUE(
+      BernoulliSample(1000, 0.0, [&](uint64_t) { ++count; }, &rng).ok());
+  EXPECT_EQ(count, 0);
+  ASSERT_TRUE(
+      BernoulliSample(1000, 1.0, [&](uint64_t) { ++count; }, &rng).ok());
+  EXPECT_EQ(count, 1000);
+}
+
+TEST(Bernoulli, ExpectedCount) {
+  Xoshiro256 rng(8);
+  int count = 0;
+  ASSERT_TRUE(
+      BernoulliSample(1000000, 0.01, [&](uint64_t) { ++count; }, &rng).ok());
+  EXPECT_NEAR(static_cast<double>(count), 10000.0, 500.0);
+}
+
+TEST(Bernoulli, IndicesStrictlyIncreasing) {
+  Xoshiro256 rng(9);
+  uint64_t prev = 0;
+  bool first = true;
+  ASSERT_TRUE(BernoulliSample(
+                  100000, 0.05,
+                  [&](uint64_t i) {
+                    if (!first) {
+                      EXPECT_GT(i, prev);
+                    }
+                    prev = i;
+                    first = false;
+                  },
+                  &rng)
+                  .ok());
+}
+
+TEST(Bernoulli, RejectsBadProbability) {
+  Xoshiro256 rng(10);
+  EXPECT_FALSE(BernoulliSample(10, -0.1, [](uint64_t) {}, &rng).ok());
+  EXPECT_FALSE(BernoulliSample(10, 1.1, [](uint64_t) {}, &rng).ok());
+}
+
+TEST(Reservoir, KeepsAllWhenUnderCapacity) {
+  ReservoirSampler r(10, 1);
+  for (int i = 0; i < 5; ++i) r.Offer(static_cast<double>(i));
+  EXPECT_EQ(r.reservoir().size(), 5u);
+  EXPECT_EQ(r.seen(), 5u);
+}
+
+TEST(Reservoir, CapsAtCapacity) {
+  ReservoirSampler r(10, 2);
+  for (int i = 0; i < 1000; ++i) r.Offer(static_cast<double>(i));
+  EXPECT_EQ(r.reservoir().size(), 10u);
+  EXPECT_EQ(r.seen(), 1000u);
+}
+
+TEST(Reservoir, UniformInclusionProbability) {
+  // Element 0's inclusion frequency across many runs ≈ k/n.
+  int included = 0;
+  const int runs = 2000;
+  for (int run = 0; run < runs; ++run) {
+    ReservoirSampler r(5, static_cast<uint64_t>(run));
+    for (int i = 0; i < 50; ++i) r.Offer(i == 0 ? -1.0 : 1.0);
+    for (double v : r.reservoir()) included += (v == -1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(included) / runs, 0.1, 0.03);
+}
+
+TEST(Proportional, ExactTotalAndProportions) {
+  auto alloc = ProportionalAllocation({100, 200, 700}, 100);
+  EXPECT_EQ(alloc.size(), 3u);
+  EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 100u);
+  EXPECT_EQ(alloc[0], 10u);
+  EXPECT_EQ(alloc[1], 20u);
+  EXPECT_EQ(alloc[2], 70u);
+}
+
+TEST(Proportional, LargestRemainderRounding) {
+  // 3 equal strata, m = 10: shares 3.33 each → 4/3/3 in some order.
+  auto alloc = ProportionalAllocation({1, 1, 1}, 10);
+  EXPECT_EQ(alloc[0] + alloc[1] + alloc[2], 10u);
+  std::sort(alloc.begin(), alloc.end());
+  EXPECT_EQ(alloc[0], 3u);
+  EXPECT_EQ(alloc[2], 4u);
+}
+
+TEST(Proportional, ZeroBudgetOrEmpty) {
+  EXPECT_EQ(ProportionalAllocation({10, 20}, 0),
+            (std::vector<uint64_t>{0, 0}));
+  EXPECT_EQ(ProportionalAllocation({0, 0}, 10),
+            (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(Neyman, WeightsBySigma) {
+  // Equal sizes, σ = {1, 3}: allocation ≈ 1:3.
+  auto alloc = NeymanAllocation({1000, 1000}, {1.0, 3.0}, 100);
+  EXPECT_EQ(alloc[0] + alloc[1], 100u);
+  EXPECT_NEAR(static_cast<double>(alloc[0]), 25.0, 1.0);
+}
+
+TEST(Neyman, FallsBackToProportionalWithZeroSigmas) {
+  auto alloc = NeymanAllocation({100, 300}, {0.0, 0.0}, 40);
+  EXPECT_EQ(alloc[0], 10u);
+  EXPECT_EQ(alloc[1], 30u);
+}
+
+TEST(SampleBlockValues, VisitsExactlyK) {
+  storage::MemoryBlock block({1.0, 2.0, 3.0});
+  Xoshiro256 rng(11);
+  int visits = 0;
+  ASSERT_TRUE(
+      SampleBlockValues(block, 1000, [&](double) { ++visits; }, &rng).ok());
+  EXPECT_EQ(visits, 1000);
+}
+
+TEST(SampleBlockValues, EmptyBlockFails) {
+  storage::MemoryBlock block(std::vector<double>{});
+  Xoshiro256 rng(12);
+  EXPECT_TRUE(SampleBlockValues(block, 1, [](double) {}, &rng)
+                  .IsFailedPrecondition());
+}
+
+TEST(SampleBlockValues, NullRngFails) {
+  storage::MemoryBlock block({1.0});
+  EXPECT_TRUE(
+      SampleBlockValues(block, 1, [](double) {}, nullptr).IsInvalidArgument());
+}
+
+TEST(DrawBlockSample, MeanConverges) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i));
+  storage::MemoryBlock block(std::move(values));
+  Xoshiro256 rng(13);
+  auto sample = DrawBlockSample(block, 100000, &rng);
+  ASSERT_TRUE(sample.ok());
+  double sum = 0.0;
+  for (double v : *sample) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(sample->size()), 499.5, 10.0);
+}
+
+}  // namespace
+}  // namespace sampling
+}  // namespace isla

@@ -1,0 +1,169 @@
+// Unit tests for engine/session.h — the DDL + query session layer.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "engine/session.h"
+#include "storage/file_block.h"
+
+namespace isla {
+namespace engine {
+namespace {
+
+TEST(Session, CreateNormalTableAndQuery) {
+  Session s;
+  auto created = s.Execute(
+      "CREATE TABLE sensors FROM NORMAL(100, 20) ROWS 1e7 BLOCKS 10");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_NE(created->find("sensors"), std::string::npos);
+  EXPECT_NE(created->find("10000000"), std::string::npos);
+
+  auto answer =
+      s.Execute("SELECT AVG(value) FROM sensors WITHIN 0.5");
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_NE(answer->find("AVG = "), std::string::npos);
+  EXPECT_NE(answer->find("100."), std::string::npos);
+}
+
+TEST(Session, CreateExponentialAndUniform) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE e FROM EXPONENTIAL(0.1) ROWS 1e6 BLOCKS 4")
+          .ok());
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE u FROM UNIFORM(1, 199) ROWS 1e6 BLOCKS 4")
+          .ok());
+  auto show = s.Execute("SHOW TABLES");
+  ASSERT_TRUE(show.ok());
+  EXPECT_NE(show->find("e"), std::string::npos);
+  EXPECT_NE(show->find("u"), std::string::npos);
+}
+
+TEST(Session, SeedControlsData) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute(
+           "CREATE TABLE a FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 2 SEED 7")
+          .ok());
+  auto table = s.catalog()->GetTable("a");
+  ASSERT_TRUE(table.ok());
+  auto col = (*table)->GetColumn("value");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->num_rows(), 1'000'000u);
+}
+
+TEST(Session, DuplicateCreateFails) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(0, 1) ROWS 100 BLOCKS 2").ok());
+  auto dup =
+      s.Execute("CREATE TABLE t FROM NORMAL(0, 1) ROWS 100 BLOCKS 2");
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(Session, DropTable) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(0, 1) ROWS 100 BLOCKS 2").ok());
+  auto dropped = s.Execute("DROP TABLE t");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_TRUE(s.Execute("DROP TABLE t").status().IsNotFound());
+  auto show = s.Execute("SHOW TABLES");
+  ASSERT_TRUE(show.ok());
+  EXPECT_EQ(*show, "(no tables)");
+}
+
+TEST(Session, DescribeListsBlocks) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(5, 1) ROWS 1000 BLOCKS 3").ok());
+  auto desc = s.Execute("DESCRIBE t");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_NE(desc->find("1000 rows in 3 blocks"), std::string::npos);
+  EXPECT_NE(desc->find("gen["), std::string::npos);
+}
+
+TEST(Session, CreateFromFiles) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "isla_session_test";
+  fs::create_directories(dir);
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0};
+  std::string pa = (dir / "a.islb").string();
+  std::string pb = (dir / "b.islb").string();
+  ASSERT_TRUE(storage::WriteBlockFile(pa, a).ok());
+  ASSERT_TRUE(storage::WriteBlockFile(pb, b).ok());
+
+  Session s;
+  auto created = s.Execute("CREATE TABLE f FROM FILES('" + pa + "', '" + pb +
+                           "')");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_NE(created->find("5 rows"), std::string::npos);
+
+  auto exact = s.Execute("SELECT AVG(value) FROM f USING exact");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NE(exact->find("3.0000"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Session, CreateFromMissingFileFails) {
+  Session s;
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE f FROM FILES('/nope/missing.islb')").ok());
+}
+
+TEST(Session, RejectsMalformedStatements) {
+  Session s;
+  EXPECT_FALSE(s.Execute("").ok());
+  EXPECT_FALSE(s.Execute("FROB TABLE t").ok());
+  EXPECT_FALSE(s.Execute("CREATE TABLE").ok());
+  EXPECT_FALSE(s.Execute("CREATE TABLE t FROM GAUSSIAN(1,2) ROWS 10 "
+                         "BLOCKS 2")
+                   .ok());
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM NORMAL(1) ROWS 10 BLOCKS 2").ok());
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM NORMAL(1, 2) ROWS 1 BLOCKS 5").ok());
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM NORMAL(1, 2) ROWS 10 BLOCKS 2 junk")
+          .ok());
+}
+
+TEST(Session, RejectsBadDistributionParams) {
+  Session s;
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM NORMAL(0, -1) ROWS 10 BLOCKS 2").ok());
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM EXPONENTIAL(0) ROWS 10 BLOCKS 2").ok());
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM UNIFORM(5, 5) ROWS 10 BLOCKS 2").ok());
+}
+
+TEST(Session, SelectWithMethodAndSum) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(50, 5) ROWS 1e6 BLOCKS 4").ok());
+  auto sum = s.Execute("SELECT SUM(value) FROM t WITHIN 0.5");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NE(sum->find("SUM = "), std::string::npos);
+  auto us = s.Execute("SELECT AVG(value) FROM t WITHIN 0.5 USING uniform");
+  ASSERT_TRUE(us.ok());
+  EXPECT_NE(us->find("method=uniform"), std::string::npos);
+}
+
+TEST(Session, SelectMissingTableFails) {
+  Session s;
+  EXPECT_TRUE(
+      s.Execute("SELECT AVG(value) FROM ghost").status().IsNotFound());
+}
+
+TEST(Session, DescribeMissingTableFails) {
+  Session s;
+  EXPECT_TRUE(s.Execute("DESCRIBE ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace isla

@@ -1,0 +1,27 @@
+// End-to-end smoke test: ISLA answers an AVG query on N(100, 20²) within
+// the requested precision band.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace {
+
+TEST(Smoke, IslaAnswersWithinPrecision) {
+  auto ds = workload::MakeNormalDataset(/*rows_total=*/10'000'000,
+                                        /*blocks=*/10, /*mu=*/100.0,
+                                        /*sigma=*/20.0, /*seed=*/7);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  core::IslaOptions options;
+  options.precision = 0.5;
+  core::IslaEngine engine(options);
+  auto result = engine.AggregateAvg(*ds->data());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->average, 100.0, 0.5);
+  EXPECT_GT(result->total_samples, 0u);
+}
+
+}  // namespace
+}  // namespace isla

@@ -1,0 +1,153 @@
+// Unit tests for common/status.h and common/result.h.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(Status, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad p1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad p1");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad p1");
+}
+
+TEST(Status, EachFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(Status, CopyAndMovePreserveState) {
+  Status s = Status::Corruption("bits flipped");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(copy);
+  EXPECT_EQ(moved, s);
+}
+
+TEST(Status, StatusCodeToStringCoversAll) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(Status, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::IOError("disk gone");
+  EXPECT_EQ(os.str(), "IOError: disk gone");
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  ISLA_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesReturnNotOk(-1).IsInvalidArgument());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+TEST(Result, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(Result, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(Result, ArrowOperatorReachesMembers) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  ISLA_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, AssignOrReturnChains) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+}
+
+TEST(Result, AssignOrReturnPropagatesInnerError) {
+  Result<int> r = Quarter(6);  // 6/2 = 3 is odd.
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace isla

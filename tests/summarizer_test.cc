@@ -1,0 +1,73 @@
+// Unit tests for core/summarizer.h — the Summarization module.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/summarizer.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+TEST(Summarize, WeightsBySizes) {
+  std::vector<double> avgs = {100.0, 50.0};
+  std::vector<uint64_t> sizes = {300, 100};
+  auto r = SummarizePartials(avgs, sizes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), (100.0 * 300 + 50.0 * 100) / 400.0);
+}
+
+TEST(Summarize, SingleBlockIsIdentity) {
+  std::vector<double> avgs = {42.5};
+  std::vector<uint64_t> sizes = {7};
+  auto r = SummarizePartials(avgs, sizes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 42.5);
+}
+
+TEST(Summarize, EqualSizesIsPlainMean) {
+  std::vector<double> avgs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<uint64_t> sizes = {10, 10, 10, 10};
+  auto r = SummarizePartials(avgs, sizes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 2.5);
+}
+
+TEST(Summarize, MismatchedLengthsFail) {
+  std::vector<double> avgs = {1.0};
+  std::vector<uint64_t> sizes = {10, 20};
+  EXPECT_TRUE(SummarizePartials(avgs, sizes).status().IsInvalidArgument());
+}
+
+TEST(Summarize, EmptyFails) {
+  EXPECT_TRUE(SummarizePartials({}, {}).status().IsInvalidArgument());
+}
+
+TEST(Summarize, AllZeroSizesFail) {
+  std::vector<double> avgs = {1.0, 2.0};
+  std::vector<uint64_t> sizes = {0, 0};
+  EXPECT_TRUE(SummarizePartials(avgs, sizes).status().IsInvalidArgument());
+}
+
+TEST(Summarize, ResultBoundedByPartials) {
+  // The weighted mean must lie within [min, max] of the partial answers.
+  std::vector<double> avgs = {99.7, 100.2, 100.05};
+  std::vector<uint64_t> sizes = {17, 5, 100};
+  auto r = SummarizePartials(avgs, sizes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value(), 99.7);
+  EXPECT_LE(r.value(), 100.2);
+}
+
+TEST(Summarize, NegativePartialsSupported) {
+  std::vector<double> avgs = {-10.0, 10.0};
+  std::vector<uint64_t> sizes = {1, 3};
+  auto r = SummarizePartials(avgs, sizes);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 5.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

@@ -1,0 +1,48 @@
+// Unit tests for util/table_printer.h.
+
+#include <gtest/gtest.h>
+
+#include "util/table_printer.h"
+
+namespace isla {
+namespace {
+
+TEST(TablePrinter, HeaderOnly) {
+  TablePrinter t({"a", "b"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| a | b |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+}
+
+TEST(TablePrinter, RowsWidenColumns) {
+  TablePrinter t({"x"});
+  t.AddRow({"longvalue"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| longvalue |"), std::string::npos);
+  EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(TablePrinter, MultipleRowsKeepOrder) {
+  TablePrinter t({"n"});
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  std::string out = t.ToString();
+  EXPECT_LT(out.find("| 1 |"), out.find("| 2 |"));
+}
+
+TEST(TablePrinter, FmtFixedDecimals) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(100.0, 4), "100.0000");
+  EXPECT_EQ(TablePrinter::Fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, EndsWithNewline) {
+  TablePrinter t({"h"});
+  t.AddRow({"v"});
+  std::string out = t.ToString();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace isla

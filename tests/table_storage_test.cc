@@ -1,0 +1,108 @@
+// Unit tests for storage/table.h: columns, tables, catalogs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/block.h"
+#include "storage/table.h"
+
+namespace isla {
+namespace storage {
+namespace {
+
+BlockPtr Mem(std::vector<double> values) {
+  return std::make_shared<MemoryBlock>(std::move(values));
+}
+
+TEST(Column, AppendsAccumulateRows) {
+  Column c("v");
+  ASSERT_TRUE(c.AppendBlock(Mem({1, 2})).ok());
+  ASSERT_TRUE(c.AppendBlock(Mem({3, 4, 5})).ok());
+  EXPECT_EQ(c.num_blocks(), 2u);
+  EXPECT_EQ(c.num_rows(), 5u);
+  EXPECT_EQ(c.name(), "v");
+}
+
+TEST(Column, RejectsNullAndEmptyBlocks) {
+  Column c("v");
+  EXPECT_TRUE(c.AppendBlock(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(c.AppendBlock(Mem({})).IsInvalidArgument());
+  EXPECT_EQ(c.num_rows(), 0u);
+}
+
+TEST(Table, AddAndGetColumn) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a").ok());
+  ASSERT_TRUE(t.AppendBlock("a", Mem({1})).ok());
+  auto col = t.GetColumn("a");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->num_rows(), 1u);
+}
+
+TEST(Table, DuplicateColumnFails) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a").ok());
+  EXPECT_EQ(t.AddColumn("a").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Table, MissingColumnFails) {
+  Table t("t");
+  EXPECT_TRUE(t.GetColumn("nope").status().IsNotFound());
+  EXPECT_TRUE(t.AppendBlock("nope", Mem({1})).IsNotFound());
+}
+
+TEST(Table, ColumnNamesPreserveInsertionOrder) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("z").ok());
+  ASSERT_TRUE(t.AddColumn("a").ok());
+  ASSERT_TRUE(t.AddColumn("m").ok());
+  EXPECT_EQ(t.ColumnNames(), (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Table, ColumnsMayHaveDifferentRowCounts) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a").ok());
+  ASSERT_TRUE(t.AddColumn("b").ok());
+  ASSERT_TRUE(t.AppendBlock("a", Mem({1, 2, 3})).ok());
+  ASSERT_TRUE(t.AppendBlock("b", Mem({1})).ok());
+  EXPECT_EQ((*t.GetColumn("a"))->num_rows(), 3u);
+  EXPECT_EQ((*t.GetColumn("b"))->num_rows(), 1u);
+}
+
+TEST(Catalog, AddAndGet) {
+  Catalog cat;
+  auto t = std::make_shared<Table>("sales");
+  ASSERT_TRUE(cat.AddTable(t).ok());
+  auto got = cat.GetTable("sales");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->name(), "sales");
+}
+
+TEST(Catalog, DuplicateTableFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(std::make_shared<Table>("t")).ok());
+  EXPECT_EQ(cat.AddTable(std::make_shared<Table>("t")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Catalog, MissingTableFails) {
+  Catalog cat;
+  EXPECT_TRUE(cat.GetTable("ghost").status().IsNotFound());
+}
+
+TEST(Catalog, NullTableRejected) {
+  Catalog cat;
+  EXPECT_TRUE(cat.AddTable(nullptr).IsInvalidArgument());
+}
+
+TEST(Catalog, TableNamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(std::make_shared<Table>("b")).ok());
+  ASSERT_TRUE(cat.AddTable(std::make_shared<Table>("a")).ok());
+  EXPECT_EQ(cat.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace isla

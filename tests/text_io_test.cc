@@ -1,0 +1,100 @@
+// Unit tests for storage/text_io.h — the paper's .txt column format.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/file_block.h"
+#include "storage/text_io.h"
+
+namespace isla {
+namespace storage {
+namespace {
+
+class TextIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("isla_txt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    std::string path = (dir_ / name).string();
+    std::ofstream(path) << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TextIoTest, ReadsOneValuePerLine) {
+  std::string path = Write("a.txt", "1.5\n-2\n3e2\n");
+  auto block = ReadTextColumn(path);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ((*block)->values(), (std::vector<double>{1.5, -2.0, 300.0}));
+}
+
+TEST_F(TextIoTest, SkipsBlankLinesAndWhitespace) {
+  std::string path = Write("b.txt", "  1 \n\n \t \n2\n");
+  auto block = ReadTextColumn(path);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->size(), 2u);
+}
+
+TEST_F(TextIoTest, MalformedLineReportsLineNumber) {
+  std::string path = Write("c.txt", "1\n2\nnot-a-number\n4\n");
+  auto block = ReadTextColumn(path);
+  ASSERT_TRUE(block.status().IsCorruption());
+  EXPECT_NE(block.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(TextIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadTextColumn((dir_ / "none.txt").string())
+                  .status()
+                  .IsIOError());
+}
+
+TEST_F(TextIoTest, EmptyFileYieldsEmptyBlock) {
+  std::string path = Write("d.txt", "");
+  auto block = ReadTextColumn(path);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->size(), 0u);
+}
+
+TEST_F(TextIoTest, WriteReadRoundTripPreservesPrecision) {
+  std::vector<double> values = {3.141592653589793, -1e-300, 1e300,
+                                0.1 + 0.2};
+  std::string path = (dir_ / "rt.txt").string();
+  ASSERT_TRUE(WriteTextColumn(path, values).ok());
+  auto block = ReadTextColumn(path);
+  ASSERT_TRUE(block.ok());
+  ASSERT_EQ((*block)->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*block)->values()[i], values[i]);
+  }
+}
+
+TEST_F(TextIoTest, ConvertTextToBlockFileRoundTrips) {
+  std::string txt = Write("e.txt", "10\n20\n30\n");
+  std::string islb = (dir_ / "e.islb").string();
+  auto rows = ConvertTextToBlockFile(txt, islb);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), 3u);
+  auto block = FileBlock::Open(islb);
+  ASSERT_TRUE(block.ok());
+  EXPECT_DOUBLE_EQ((*block)->ValueAt(1), 20.0);
+}
+
+TEST_F(TextIoTest, ConvertPropagatesParseErrors) {
+  std::string txt = Write("f.txt", "1\nx\n");
+  std::string islb = (dir_ / "f.islb").string();
+  EXPECT_TRUE(ConvertTextToBlockFile(txt, islb).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace isla

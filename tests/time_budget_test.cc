@@ -1,0 +1,68 @@
+// Unit tests for core/time_budget.h — time-constrained execution (§VII-F).
+
+#include <gtest/gtest.h>
+
+#include "core/time_budget.h"
+#include "workload/datasets.h"
+
+namespace isla {
+namespace core {
+namespace {
+
+TEST(TimeBudget, ProducesAnswerAndContract) {
+  auto ds = workload::MakeNormalDataset(100'000'000, 5, 100.0, 20.0, 1);
+  ASSERT_TRUE(ds.ok());
+  IslaOptions o;
+  auto r = AggregateWithTimeBudget(*ds->data(), /*budget_millis=*/200.0, o);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->achieved_precision, 0.0);
+  EXPECT_GT(r->budget_samples, 0u);
+  EXPECT_GT(r->probe_rate, 0.0);
+  // The answer must respect the precision the budget affords (loosely; the
+  // contract is probabilistic).
+  EXPECT_NEAR(r->aggregate.average, 100.0, 4.0 * r->achieved_precision + 0.1);
+}
+
+TEST(TimeBudget, BiggerBudgetTightensPrecision) {
+  auto ds = workload::MakeNormalDataset(100'000'000, 5, 100.0, 20.0, 2);
+  ASSERT_TRUE(ds.ok());
+  IslaOptions o;
+  auto small = AggregateWithTimeBudget(*ds->data(), 50.0, o);
+  auto large = AggregateWithTimeBudget(*ds->data(), 2000.0, o);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(large->achieved_precision, small->achieved_precision);
+  EXPECT_GT(large->budget_samples, small->budget_samples);
+}
+
+TEST(TimeBudget, RejectsNonPositiveBudget) {
+  auto ds = workload::MakeNormalDataset(1'000'000, 2, 100.0, 20.0, 3);
+  ASSERT_TRUE(ds.ok());
+  IslaOptions o;
+  EXPECT_TRUE(AggregateWithTimeBudget(*ds->data(), 0.0, o)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AggregateWithTimeBudget(*ds->data(), -5.0, o)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TimeBudget, EmptyColumnFails) {
+  storage::Column empty("v");
+  IslaOptions o;
+  EXPECT_TRUE(AggregateWithTimeBudget(empty, 100.0, o)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(TimeBudget, SamplesClampedToPopulation) {
+  auto ds = workload::MakeNormalDataset(10'000, 2, 100.0, 20.0, 4);
+  ASSERT_TRUE(ds.ok());
+  IslaOptions o;
+  auto r = AggregateWithTimeBudget(*ds->data(), 10'000.0, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->budget_samples, 10'000u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace isla

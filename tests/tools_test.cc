@@ -1,0 +1,101 @@
+// Integration tests for the command-line tools: isla_shell (driven through
+// a pipe) and isla_import (via system()). These exercise the binaries end
+// to end, the way a user would.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace isla {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Locates a tool binary relative to the test binary's build tree.
+std::string ToolPath(const std::string& name) {
+  // Tests run from build/tests/<test>; tools live in build/tools/.
+  fs::path candidates[] = {
+      fs::path("tools") / name,
+      fs::path("..") / "tools" / name,
+      fs::path("build") / "tools" / name,
+  };
+  for (const auto& c : candidates) {
+    if (fs::exists(c)) return c.string();
+  }
+  return name;  // Hope it's on PATH.
+}
+
+/// Runs `command`, feeding `input` on stdin, returning captured stdout.
+std::string RunWithInput(const std::string& command,
+                         const std::string& input) {
+  fs::path dir = fs::temp_directory_path();
+  fs::path in_file = dir / ("isla_tool_in_" + std::to_string(::getpid()));
+  fs::path out_file = dir / ("isla_tool_out_" + std::to_string(::getpid()));
+  std::ofstream(in_file) << input;
+  std::string full = command + " < " + in_file.string() + " > " +
+                     out_file.string() + " 2>&1";
+  int rc = std::system(full.c_str());
+  (void)rc;
+  std::ifstream out(out_file);
+  std::string captured((std::istreambuf_iterator<char>(out)),
+                       std::istreambuf_iterator<char>());
+  fs::remove(in_file);
+  fs::remove(out_file);
+  return captured;
+}
+
+TEST(IslaShell, CreateQueryDescribeRoundTrip) {
+  std::string out = RunWithInput(
+      ToolPath("isla_shell"),
+      "CREATE TABLE s FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4\n"
+      "SELECT AVG(value) FROM s WITHIN 0.5\n"
+      "SHOW TABLES\n"
+      "quit\n");
+  EXPECT_NE(out.find("created table s"), std::string::npos) << out;
+  EXPECT_NE(out.find("AVG = "), std::string::npos) << out;
+  EXPECT_NE(out.find("method=isla"), std::string::npos) << out;
+}
+
+TEST(IslaShell, ErrorsAreReportedNotFatal) {
+  std::string out = RunWithInput(ToolPath("isla_shell"),
+                                 "SELECT AVG(value) FROM ghost\n"
+                                 "SHOW TABLES\n");
+  EXPECT_NE(out.find("error: NotFound"), std::string::npos) << out;
+  EXPECT_NE(out.find("(no tables)"), std::string::npos) << out;
+}
+
+TEST(IslaImport, ConvertsTextAndShellReadsIt) {
+  fs::path dir = fs::temp_directory_path() / "isla_tools_test";
+  fs::create_directories(dir);
+  fs::path txt = dir / "col.txt";
+  std::ofstream(txt) << "2\n4\n6\n8\n";
+
+  std::string import_out =
+      RunWithInput(ToolPath("isla_import") + " " + txt.string(), "");
+  EXPECT_NE(import_out.find("4 rows"), std::string::npos) << import_out;
+
+  fs::path islb = dir / "col.islb";
+  ASSERT_TRUE(fs::exists(islb));
+
+  std::string shell_out = RunWithInput(
+      ToolPath("isla_shell"),
+      "CREATE TABLE c FROM FILES('" + islb.string() + "')\n"
+      "SELECT AVG(value) FROM c USING exact\n");
+  EXPECT_NE(shell_out.find("AVG = 5.0000"), std::string::npos) << shell_out;
+  fs::remove_all(dir);
+}
+
+TEST(IslaImport, FailsCleanlyOnMissingFile) {
+  std::string out = RunWithInput(
+      "( " + ToolPath("isla_import") + " /nope/missing.txt; echo rc=$? )",
+      "");
+  EXPECT_NE(out.find("IOError"), std::string::npos) << out;
+  EXPECT_NE(out.find("rc=1"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace isla

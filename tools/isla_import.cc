@@ -1,0 +1,37 @@
+// isla_import — converts paper-style text columns (one value per line) into
+// the checksummed ISLB block format that FileBlock serves.
+//
+//   $ ./isla_import input1.txt [input2.txt ...]
+//
+// Each input.txt becomes input.islb next to it. Exit code 0 only when every
+// file converted.
+
+#include <cstdio>
+#include <string>
+
+#include "storage/text_io.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s input.txt [more.txt ...]\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string in = argv[i];
+    std::string out = in;
+    size_t dot = out.rfind('.');
+    if (dot != std::string::npos) out.resize(dot);
+    out += ".islb";
+    auto rows = isla::storage::ConvertTextToBlockFile(in, out);
+    if (rows.ok()) {
+      std::printf("%s -> %s (%llu rows)\n", in.c_str(), out.c_str(),
+                  static_cast<unsigned long long>(rows.value()));
+    } else {
+      std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                   rows.status().ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
