@@ -1,0 +1,102 @@
+// Parallel block-execution scaling: wall-clock of the full ISLA pipeline
+// vs options.parallelism, swept over thread counts x block counts on a
+// materialized in-memory workload.
+//
+// Two properties are demonstrated per row:
+//   1. speedup: elapsed(1 thread) / elapsed(t threads);
+//   2. determinism: the t-thread answer is bit-identical to the 1-thread
+//      answer (per-block RNG streams make the schedule irrelevant).
+// The "identical" column is a hard check — any mismatch flips it to
+// DIFF and the bench exits non-zero, so a harness can diff these rows
+// against the sequential baseline.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Medians are sturdier than means on a noisy machine; 3 repetitions keep
+/// the sweep short (4 thread counts x 3 block counts x reps).
+double MedianElapsedMillis(const isla::workload::Dataset& ds,
+                          const isla::core::IslaOptions& options,
+                          double* answer) {
+  std::vector<double> times;
+  for (int rep = 0; rep < 3; ++rep) {
+    isla::core::IslaEngine engine(options);
+    isla::Timer timer;
+    auto r = engine.AggregateAvg(*ds.data());
+    times.push_back(timer.ElapsedMillis());
+    if (!r.ok()) {
+      std::fprintf(stderr, "engine failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    *answer = r->average;
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace isla;
+  bench::PrintHeader(
+      "Parallel block execution scaling",
+      "Materialized N(100, 20^2) blocks, e=0.02 (heavy sampling), "
+      "3 reps/cell, median wall-clock; answers must be bit-identical "
+      "to parallelism=1");
+
+  const std::vector<uint64_t> block_counts = {8, 32, 64};
+  const std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  const uint64_t rows = 8'000'000;
+  bool all_identical = true;
+
+  TablePrinter table({"blocks", "threads", "millis", "speedup", "identical",
+                      "avg"});
+  for (uint64_t blocks : block_counts) {
+    auto ds = workload::MakeMaterializedNormalDataset(rows, blocks, 100.0,
+                                                      20.0, 4242);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "dataset failed: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    core::IslaOptions options;
+    options.precision = 0.02;  // m = u^2 sigma^2 / e^2 ~ 3.8M samples.
+
+    double base_answer = 0.0;
+    double base_millis = 0.0;
+    for (uint32_t threads : thread_counts) {
+      options.parallelism = threads;
+      double answer = 0.0;
+      double millis = MedianElapsedMillis(*ds, options, &answer);
+      if (threads == 1) {
+        base_answer = answer;
+        base_millis = millis;
+      }
+      const bool identical = answer == base_answer;
+      all_identical = all_identical && identical;
+      table.AddRow({std::to_string(blocks), std::to_string(threads),
+                    TablePrinter::Fmt(millis, 1),
+                    TablePrinter::Fmt(base_millis / millis, 2),
+                    identical ? "yes" : "DIFF",
+                    TablePrinter::Fmt(answer, 6)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: speedup approaches min(threads, cores, blocks); "
+      "identical=yes everywhere.\n");
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a parallel run diverged from parallelism=1\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/summarizer.h"
+#include "runtime/parallel_for.h"
 #include "sampling/samplers.h"
 #include "util/rng.h"
 
@@ -18,6 +19,10 @@ double ComputeShift(double min_value, double sigma) {
   if (min_value > 0.0) return 0.0;
   return -min_value + 3.0 * sigma + 1.0;
 }
+
+/// Domain-separation salt for the Calculation phase: per-block streams must
+/// not collide with the pilot stream derived from (seed, salt) alone.
+constexpr uint64_t kCalcPhaseSalt = 0xca1cULL;
 
 }  // namespace
 
@@ -46,6 +51,7 @@ Result<AggregateResult> IslaEngine::AggregateAvg(const storage::Column& column,
     res.average = pilot.sketch0;
     res.sketch0 = pilot.sketch0;
     res.sum = res.average * static_cast<double>(res.data_size);
+    res.value = res.average;
     return res;
   }
 
@@ -58,48 +64,62 @@ Result<AggregateResult> IslaEngine::AggregateAvg(const storage::Column& column,
       DataBoundaries boundaries,
       DataBoundaries::Create(sketch0, pilot.sigma, options_.p1, options_.p2));
 
-  // --- Calculation module: per-block sampling + iteration ---
+  // --- Calculation module: per-block sampling + iteration, executed
+  // concurrently across blocks. Each block owns an independent RNG stream
+  // derived from (seed, salt, block index), so the partials — and therefore
+  // the final answer — are bit-identical for every parallelism setting.
+  const size_t num_blocks = column.num_blocks();
   std::vector<uint64_t> sizes;
-  sizes.reserve(column.num_blocks());
+  sizes.reserve(num_blocks);
   for (const auto& b : column.blocks()) sizes.push_back(b->size());
   std::vector<uint64_t> alloc =
       sampling::ProportionalAllocation(sizes, pilot.target_sample_size);
 
+  std::vector<BlockReport> reports(num_blocks);
+  ISLA_RETURN_NOT_OK(runtime::ParallelFor(
+      num_blocks, options_.parallelism, [&](uint64_t j) -> Status {
+        Xoshiro256 block_rng(SplitMix64::Hash(
+            options_.seed, seed_salt ^ kCalcPhaseSalt, j));
+        BlockParams params;
+        ISLA_RETURN_NOT_OK(RunSamplingPhase(*column.blocks()[j], boundaries,
+                                            alloc[j], shift, &block_rng,
+                                            &params));
+        ISLA_ASSIGN_OR_RETURN(BlockAnswer answer,
+                              RunIterationPhase(params, sketch0, options_));
+        reports[j].block_index = j;
+        reports[j].block_rows = params.block_rows;
+        reports[j].samples_drawn = params.samples_drawn;
+        reports[j].answer = answer;
+        return Status::OK();
+      }));
+
+  // Deterministic merge in block order.
   std::vector<double> partials;
   std::vector<uint64_t> partial_sizes;
-  partials.reserve(column.num_blocks());
-  partial_sizes.reserve(column.num_blocks());
-
-  for (size_t j = 0; j < column.num_blocks(); ++j) {
-    BlockParams params;
-    ISLA_RETURN_NOT_OK(RunSamplingPhase(*column.blocks()[j], boundaries,
-                                        alloc[j], shift, &rng, &params));
-    ISLA_ASSIGN_OR_RETURN(BlockAnswer answer,
-                          RunIterationPhase(params, sketch0, options_));
-
-    BlockReport report;
-    report.block_index = j;
-    report.block_rows = params.block_rows;
-    report.samples_drawn = params.samples_drawn;
-    report.answer = answer;
-    res.total_samples += params.samples_drawn;
-    res.blocks.push_back(report);
-
-    partials.push_back(answer.avg);
-    partial_sizes.push_back(params.block_rows);
+  partials.reserve(num_blocks);
+  partial_sizes.reserve(num_blocks);
+  for (const BlockReport& report : reports) {
+    res.total_samples += report.samples_drawn;
+    partials.push_back(report.answer.avg);
+    partial_sizes.push_back(report.block_rows);
   }
+  res.blocks = std::move(reports);
 
   // --- Summarization module ---
   ISLA_ASSIGN_OR_RETURN(double avg_shifted,
                         SummarizePartials(partials, partial_sizes));
   res.average = avg_shifted - shift;
   res.sum = res.average * static_cast<double>(res.data_size);
+  res.value = res.average;
   return res;
 }
 
 Result<AggregateResult> IslaEngine::AggregateSum(const storage::Column& column,
                                                  uint64_t seed_salt) const {
-  return AggregateAvg(column, seed_salt);
+  ISLA_ASSIGN_OR_RETURN(AggregateResult res,
+                        AggregateAvg(column, seed_salt));
+  res.value = res.sum;
+  return res;
 }
 
 }  // namespace core

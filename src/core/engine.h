@@ -26,6 +26,10 @@ struct BlockReport {
 /// Everything an aggregation run produces: the answer, its precision
 /// contract, and full per-block diagnostics.
 struct AggregateResult {
+  /// The requested aggregate's answer: `average` for AggregateAvg runs,
+  /// `sum` for AggregateSum runs. Callers that only want "the number" read
+  /// this field and never have to remember the AVG→SUM multiplication.
+  double value = 0.0;
   double average = 0.0;        // the AVG answer (shift removed)
   double sum = 0.0;            // AVG · M (§I: SUM from AVG)
   uint64_t data_size = 0;      // M
@@ -43,6 +47,12 @@ struct AggregateResult {
 /// Summarization (§II-C), for i.i.d. blocks. Non-i.i.d. data uses
 /// core/noniid.h; incremental refinement uses core/online.h.
 ///
+/// The Calculation phase runs blocks concurrently across
+/// options().parallelism threads (blocks are independent shards). Every
+/// block draws from its own RNG stream — SplitMix64::Hash(seed, salt,
+/// block_index) — so the answer is bit-identical for any thread count,
+/// including 1.
+///
 /// Thread-compatible: one engine may serve concurrent Aggregate calls, each
 /// call deriving its own RNG stream from options().seed and the call's salt.
 class IslaEngine {
@@ -56,7 +66,8 @@ class IslaEngine {
   Result<AggregateResult> AggregateAvg(const storage::Column& column,
                                        uint64_t seed_salt = 0) const;
 
-  /// SUM = AVG · M.
+  /// SUM = AVG · M. The returned result is SUM-shaped: `value` holds the
+  /// SUM answer (not the AVG), so no caller-side multiplication is needed.
   Result<AggregateResult> AggregateSum(const storage::Column& column,
                                        uint64_t seed_salt = 0) const;
 

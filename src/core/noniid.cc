@@ -97,6 +97,7 @@ Result<AggregateResult> AggregateAvgNonIid(const storage::Column& column,
   if (!(res.sigma_estimate > 0.0)) {
     res.average = pooled.Mean();
     res.sum = res.average * static_cast<double>(res.data_size);
+    res.value = res.average;
     return res;
   }
 
@@ -163,6 +164,7 @@ Result<AggregateResult> AggregateAvgNonIid(const storage::Column& column,
                         SummarizePartials(partials, partial_sizes));
   res.average = avg;
   res.sum = res.average * static_cast<double>(res.data_size);
+  res.value = res.average;
   return res;
 }
 

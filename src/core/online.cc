@@ -158,6 +158,7 @@ Result<AggregateResult> OnlineAggregator::Solve() const {
                         SummarizePartials(partials, partial_sizes));
   res.average = avg_shifted - shift_;
   res.sum = res.average * static_cast<double>(res.data_size);
+  res.value = res.average;
   return res;
 }
 

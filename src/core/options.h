@@ -66,6 +66,13 @@ struct IslaOptions {
   /// PRNG seed: every run is reproducible from this value.
   uint64_t seed = 0x15a15a15aULL;
 
+  /// Threads for the per-block Calculation phase (and the coordinator's
+  /// plan fan-out in distributed mode). 0 = all hardware threads. Any value
+  /// yields bit-identical answers: each block samples from its own RNG
+  /// stream derived as SplitMix64::Hash(seed, salt, block_index), and
+  /// partials merge in block order regardless of completion order.
+  uint32_t parallelism = 0;
+
   /// Scale factor applied to the Eq. (1) sampling rate. 1.0 reproduces the
   /// paper's default; Table V sets it to 1/3 to show ISLA matching US/STS
   /// with a third of the samples.

@@ -1,10 +1,12 @@
 #include "distributed/coordinator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "core/summarizer.h"
+#include "runtime/parallel_for.h"
 #include "sampling/samplers.h"
 #include "stats/confidence.h"
 #include "util/rng.h"
@@ -133,9 +135,15 @@ Result<DistributedResult> Coordinator::AggregateAvg(uint64_t query_id) {
   std::vector<uint64_t> alloc =
       sampling::ProportionalAllocation(shard_rows, m);
 
-  std::vector<double> partial_avgs;
-  std::vector<uint64_t> partial_rows;
-  for (uint64_t w = 0; w < n_workers; ++w) {
+  // The plan round is the heavy one (each worker runs Algorithms 1 + 2 on
+  // its shard), so fan it out across options_.parallelism threads. Workers
+  // derive their RNG streams from (seed, worker_id), so responses are
+  // independent of dispatch order; collecting them into indexed slots and
+  // merging in worker order keeps the distributed answer deterministic.
+  // Transport::Call must be thread-safe (LoopbackTransport is: workers are
+  // const and FileBlock serializes its I/O).
+  std::vector<PartialResult> partials(n_workers);
+  auto run_shard = [&](uint64_t w) -> Status {
     QueryPlan plan;
     plan.query_id = query_id;
     plan.sample_count = alloc[w];
@@ -146,11 +154,38 @@ Result<DistributedResult> Coordinator::AggregateAvg(uint64_t query_id) {
     plan.options = options_;
     ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
                           transport_->Call(w, Encode(plan)));
-    ISLA_ASSIGN_OR_RETURN(PartialResult partial,
-                          DecodePartialResult(resp_frame));
-    if (partial.query_id != query_id) {
+    ISLA_ASSIGN_OR_RETURN(partials[w], DecodePartialResult(resp_frame));
+    if (partials[w].query_id != query_id) {
       return Status::Internal("partial result for wrong query");
     }
+    return Status::OK();
+  };
+  // ParallelFor runs every iteration even after a failure, but the whole
+  // round is discarded on any error — so shards above a failed one are
+  // skipped instead of paying for their full sampling pass. Skipping only
+  // *higher* indices keeps the reported error deterministic: the
+  // smallest-index failing shard is never skipped (a skip would need an
+  // even smaller failure), so ParallelFor's smallest-failing-index rule
+  // still yields the same error no matter how the schedule interleaves.
+  std::atomic<uint64_t> first_failed{std::numeric_limits<uint64_t>::max()};
+  ISLA_RETURN_NOT_OK(runtime::ParallelFor(
+      n_workers, options_.parallelism, [&](uint64_t w) -> Status {
+        if (first_failed.load(std::memory_order_relaxed) < w) {
+          return Status::OK();
+        }
+        Status s = run_shard(w);
+        if (!s.ok()) {
+          uint64_t seen = first_failed.load(std::memory_order_relaxed);
+          while (w < seen && !first_failed.compare_exchange_weak(
+                                 seen, w, std::memory_order_relaxed)) {
+          }
+        }
+        return s;
+      }));
+
+  std::vector<double> partial_avgs;
+  std::vector<uint64_t> partial_rows;
+  for (const PartialResult& partial : partials) {
     out.total_samples += partial.samples_drawn;
     partial_avgs.push_back(partial.avg);
     partial_rows.push_back(partial.block_rows);

@@ -17,7 +17,9 @@ namespace distributed {
 
 /// The transport between coordinator and workers: a request frame in, a
 /// response frame out. Implementations may add latency, drop frames, or
-/// corrupt bytes (the fault-injection tests do exactly that).
+/// corrupt bytes (the fault-injection tests do exactly that). Call must be
+/// safe to invoke concurrently from different threads: the coordinator
+/// fans the plan round out across options.parallelism threads.
 class Transport {
  public:
   virtual ~Transport() = default;

@@ -85,6 +85,7 @@ void PutOptions(Writer* w, const core::IslaOptions& o) {
   w->PutU64(o.sigma_pilot_size);
   w->PutU64(o.seed);
   w->PutF64(o.sampling_rate_scale);
+  w->PutU64(o.parallelism);
 }
 
 Status GetOptions(Reader* r, core::IslaOptions* o) {
@@ -111,6 +112,9 @@ Status GetOptions(Reader* r, core::IslaOptions* o) {
   ISLA_RETURN_NOT_OK(r->GetU64(&o->sigma_pilot_size));
   ISLA_RETURN_NOT_OK(r->GetU64(&o->seed));
   ISLA_RETURN_NOT_OK(r->GetF64(&o->sampling_rate_scale));
+  uint64_t parallelism = 0;
+  ISLA_RETURN_NOT_OK(r->GetU64(&parallelism));
+  o->parallelism = static_cast<uint32_t>(parallelism);
   return Status::OK();
 }
 

@@ -65,7 +65,11 @@ Result<std::string> Worker::HandlePlan(const QueryPlan& plan) const {
       core::DataBoundaries boundaries,
       core::DataBoundaries::Create(plan.sketch0, plan.sigma, plan.options.p1,
                                    plan.options.p2));
-  Xoshiro256 rng(SplitMix64::Hash(plan.seed, worker_id_ ^ 0xd157ULL));
+  // Same stream-derivation scheme as the single-node engine's per-block
+  // streams: (seed, phase salt, shard index) → independent Xoshiro stream.
+  // Shards can therefore be solved in any order — or concurrently by the
+  // coordinator's fan-out — with bit-identical partial results.
+  Xoshiro256 rng(SplitMix64::Hash(plan.seed, 0xd157ULL, worker_id_));
   core::BlockParams params;
   ISLA_RETURN_NOT_OK(core::RunSamplingPhase(*block_, boundaries,
                                             plan.sample_count, plan.shift,

@@ -75,8 +75,12 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
   switch (spec.method) {
     case Method::kIsla: {
       core::IslaEngine engine(options);
+      // AggregateSum returns the SUM-shaped result (value == sum), so the
+      // epilogue's AVG→SUM rescale reproduces agg.value bit-for-bit.
       ISLA_ASSIGN_OR_RETURN(core::AggregateResult agg,
-                            engine.AggregateAvg(*column));
+                            spec.aggregate == AggregateKind::kSum
+                                ? engine.AggregateSum(*column)
+                                : engine.AggregateAvg(*column));
       average = agg.average;
       out.samples_used = agg.total_samples + agg.pilot_samples;
       out.isla_details = std::move(agg);
@@ -85,6 +89,7 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
     case Method::kIslaNonIid: {
       ISLA_ASSIGN_OR_RETURN(core::AggregateResult agg,
                             core::AggregateAvgNonIid(*column, options));
+      if (spec.aggregate == AggregateKind::kSum) agg.value = agg.sum;
       average = agg.average;
       out.samples_used = agg.total_samples + agg.pilot_samples;
       out.isla_details = std::move(agg);

@@ -1,0 +1,87 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace isla {
+namespace runtime {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = std::max(1u, num_threads);
+  shards_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(shards_[i].get()); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shutdown_ = true;
+    shard->cv.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  uint64_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  SubmitToShard(static_cast<unsigned>(shard), std::move(task));
+}
+
+void ThreadPool::SubmitToShard(unsigned shard, std::function<void()> task) {
+  Shard& s = *shards_[shard % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!shutdown_.load(std::memory_order_relaxed)) {
+      s.queue.push_back(std::move(task));
+      s.cv.notify_one();
+      return;
+    }
+  }
+  // Shutdown has begun: the shard's worker may already have drained its
+  // queue and exited, so an enqueued task could be dropped. Run it on the
+  // submitting thread instead — "destruction never discards pending work"
+  // holds even for tasks submitted from a draining worker. (Per-shard FIFO
+  // order is not preserved for these stragglers.)
+  task();
+}
+
+void ThreadPool::WorkerLoop(Shard* shard) {
+  t_in_pool_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock,
+                     [&] { return shutdown_ || !shard->queue.empty(); });
+      if (shard->queue.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(shard->queue.front());
+      shard->queue.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
+ThreadPool* ThreadPool::Shared() {
+  // Leaked intentionally: joining workers during static destruction would
+  // race with other teardown. The OS reclaims the threads at exit.
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace runtime
+}  // namespace isla

@@ -1,0 +1,75 @@
+#ifndef ISLA_RUNTIME_THREAD_POOL_H_
+#define ISLA_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isla {
+namespace runtime {
+
+/// A sharded fixed-size thread pool. Each worker owns one task queue and
+/// Submit distributes tasks round-robin, so there is no shared run queue to
+/// contend on and no work stealing: a task submitted to shard s runs on
+/// worker s, in submission order. That trade keeps the pool simple and —
+/// together with per-task RNG streams — makes parallel runs reproducible;
+/// ISLA's block tasks are near-uniform in cost, so stealing would buy
+/// little.
+///
+/// Thread-safe: Submit may be called from any thread, including pool
+/// workers (the task is queued, never run inline, so submission cannot
+/// deadlock).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Blocks until every queued task has run, then joins the workers.
+  /// Destruction never discards pending work.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// Enqueues `task` on the next shard (round-robin).
+  void Submit(std::function<void()> task);
+
+  /// Enqueues `task` on a specific shard in [0, num_threads()).
+  void SubmitToShard(unsigned shard, std::function<void()> task);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool). Used to run nested parallel sections inline instead of
+  /// risking queue-cycle deadlocks.
+  static bool InWorkerThread();
+
+  /// Process-wide pool sized to the hardware concurrency, created on first
+  /// use. Never destroyed before exit.
+  static ThreadPool* Shared();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void WorkerLoop(Shard* shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> next_shard_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace runtime
+}  // namespace isla
+
+#endif  // ISLA_RUNTIME_THREAD_POOL_H_

@@ -134,8 +134,19 @@ Status SampleBlockValues(const storage::Block& block, uint64_t k,
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
   uint64_t n = block.size();
   if (n == 0) return Status::FailedPrecondition("cannot sample empty block");
-  for (uint64_t i = 0; i < k; ++i) {
-    visit(block.ValueAt(rng->NextBounded(n)));
+  std::vector<uint64_t> indices;
+  std::vector<double> values;
+  indices.reserve(std::min<uint64_t>(k, kGatherBatch));
+  values.resize(std::min<uint64_t>(k, kGatherBatch));
+  for (uint64_t done = 0; done < k;) {
+    const uint64_t batch = std::min<uint64_t>(kGatherBatch, k - done);
+    indices.clear();
+    for (uint64_t i = 0; i < batch; ++i) {
+      indices.push_back(rng->NextBounded(n));
+    }
+    ISLA_RETURN_NOT_OK(block.GatherAt(indices, values.data()));
+    for (uint64_t i = 0; i < batch; ++i) visit(values[i]);
+    done += batch;
   }
   return Status::OK();
 }

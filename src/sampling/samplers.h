@@ -68,9 +68,17 @@ std::vector<uint64_t> NeymanAllocation(const std::vector<uint64_t>& sizes,
                                        const std::vector<double>& sigmas,
                                        uint64_t m);
 
+/// Index batch size for the gather path below: virtual dispatch, bounds
+/// checks, and (for file blocks) seek ordering are paid once per
+/// kGatherBatch samples instead of once per sample.
+inline constexpr uint64_t kGatherBatch = 4096;
+
 /// Draws `k` uniform (with replacement) values from `block`, invoking
 /// `visit` per value. The visitation order is the sampling order, which the
-/// streaming ISLA solver consumes directly.
+/// streaming ISLA solver consumes directly. Internally the indices are
+/// drawn in kGatherBatch chunks and resolved with Block::GatherAt, so the
+/// RNG stream and visit order are identical to a value-at-a-time loop while
+/// the data access is batched.
 Status SampleBlockValues(const storage::Block& block, uint64_t k,
                          const std::function<void(double)>& visit,
                          Xoshiro256* rng);

@@ -19,6 +19,16 @@ Status Block::ReadRange(uint64_t start, uint64_t count,
   return Status::OK();
 }
 
+Status Block::GatherAt(std::span<const uint64_t> indices, double* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  const uint64_t n = size();
+  for (uint64_t index : indices) {
+    if (index >= n) return Status::OutOfRange("GatherAt index past end");
+  }
+  for (size_t i = 0; i < indices.size(); ++i) out[i] = ValueAt(indices[i]);
+  return Status::OK();
+}
+
 MemoryBlock::MemoryBlock(std::vector<double> values)
     : values_(std::move(values)) {}
 
@@ -40,6 +50,18 @@ Status MemoryBlock::ReadRange(uint64_t start, uint64_t count,
   return Status::OK();
 }
 
+Status MemoryBlock::GatherAt(std::span<const uint64_t> indices,
+                             double* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  const uint64_t n = values_.size();
+  const double* data = values_.data();
+  for (uint64_t index : indices) {
+    if (index >= n) return Status::OutOfRange("GatherAt index past end");
+  }
+  for (size_t i = 0; i < indices.size(); ++i) out[i] = data[indices[i]];
+  return Status::OK();
+}
+
 std::string MemoryBlock::DebugString() const {
   std::ostringstream os;
   os << "memory[" << values_.size() << "]";
@@ -54,6 +76,19 @@ GeneratorBlock::GeneratorBlock(
 double GeneratorBlock::ValueAt(uint64_t index) const {
   if (index >= size_) return std::numeric_limits<double>::quiet_NaN();
   return dist_->Sample(seed_, index);
+}
+
+Status GeneratorBlock::GatherAt(std::span<const uint64_t> indices,
+                                double* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  for (uint64_t index : indices) {
+    if (index >= size_) return Status::OutOfRange("GatherAt index past end");
+  }
+  const stats::Distribution& dist = *dist_;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out[i] = dist.Sample(seed_, indices[i]);
+  }
+  return Status::OK();
 }
 
 std::string GeneratorBlock::DebugString() const {

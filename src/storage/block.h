@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,16 @@ class Block {
   virtual Status ReadRange(uint64_t start, uint64_t count,
                            std::vector<double>* out) const;
 
+  /// Batched positional read: out[i] = value at indices[i]. Indices may be
+  /// unsorted and may repeat; `out` must have room for indices.size()
+  /// values. Fails with OutOfRange if any index >= size() (no partial
+  /// output contract in that case). This is the hot path of the sampling
+  /// engine — one virtual call per ~4k samples instead of one per sample.
+  /// The default is a tight loop over ValueAt; MemoryBlock resolves it to
+  /// direct indexing and FileBlock to a sorted single-pass read.
+  virtual Status GatherAt(std::span<const uint64_t> indices,
+                          double* out) const;
+
   /// Short description for logs ("memory[10000]", "gen[1e10 Normal(...)]").
   virtual std::string DebugString() const = 0;
 };
@@ -49,6 +60,8 @@ class MemoryBlock : public Block {
   double ValueAt(uint64_t index) const override;
   Status ReadRange(uint64_t start, uint64_t count,
                    std::vector<double>* out) const override;
+  Status GatherAt(std::span<const uint64_t> indices,
+                  double* out) const override;
   std::string DebugString() const override;
 
   /// Direct access for baselines that stream the whole block.
@@ -69,6 +82,8 @@ class GeneratorBlock : public Block {
 
   uint64_t size() const override { return size_; }
   double ValueAt(uint64_t index) const override;
+  Status GatherAt(std::span<const uint64_t> indices,
+                  double* out) const override;
   std::string DebugString() const override;
 
   const stats::Distribution& distribution() const { return *dist_; }

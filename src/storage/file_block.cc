@@ -174,6 +174,31 @@ Status FileBlock::ReadRange(uint64_t start, uint64_t count,
   return Status::OK();
 }
 
+Status FileBlock::GatherAt(std::span<const uint64_t> indices,
+                           double* out) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  for (uint64_t index : indices) {
+    if (index >= count_) return Status::OutOfRange("GatherAt index past end");
+  }
+  if (indices.empty()) return Status::OK();
+
+  // Argsort the batch, then walk positions in increasing order: seeks are
+  // monotone and each chunk is loaded at most once per batch.
+  std::vector<size_t> order(indices.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return indices[a] < indices[b];
+  });
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t slot : order) {
+    const uint64_t index = indices[slot];
+    ISLA_RETURN_NOT_OK(LoadChunkLocked(index));
+    out[slot] = chunk_[index - chunk_start_];
+  }
+  return Status::OK();
+}
+
 std::string FileBlock::DebugString() const {
   std::ostringstream os;
   os << "file[" << count_ << " " << path_ << "]";

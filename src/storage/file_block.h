@@ -52,6 +52,11 @@ class FileBlock : public Block {
   double ValueAt(uint64_t index) const override;
   Status ReadRange(uint64_t start, uint64_t count,
                    std::vector<double>* out) const override;
+  /// Visits the requested positions in sorted order, so the file is read in
+  /// one forward pass with at most one chunk load per 4096-row window —
+  /// random sample batches cost O(touched chunks) seeks, not O(samples).
+  Status GatherAt(std::span<const uint64_t> indices,
+                  double* out) const override;
   std::string DebugString() const override;
 
   /// Loads the whole payload into a MemoryBlock (for baseline full scans).

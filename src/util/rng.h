@@ -33,6 +33,14 @@ class SplitMix64 {
     return Mix(seed + counter * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
   }
 
+  /// Domain-separated hash of (seed, salt, counter): the per-block RNG
+  /// stream derivation. Each (salt, block index) pair gets an independent
+  /// stream from the same base seed, so blocks can be sampled in any order
+  /// — or concurrently — with bit-identical results.
+  static uint64_t Hash(uint64_t seed, uint64_t salt, uint64_t counter) {
+    return Hash(Hash(seed, salt), counter);
+  }
+
  private:
   uint64_t state_;
 };

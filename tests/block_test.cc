@@ -108,6 +108,109 @@ TEST(GeneratorBlock, DebugStringMentionsDistribution) {
   EXPECT_NE(b.DebugString().find("seed=8"), std::string::npos);
 }
 
+// --- ReadRange edges shared by all implementations. ---
+
+TEST(MemoryBlock, ReadRangeEmptyCountAtEveryPosition) {
+  MemoryBlock b({1.0, 2.0, 3.0});
+  std::vector<double> out = {9.0};
+  ASSERT_TRUE(b.ReadRange(0, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  // start == size() with count 0 is the empty tail, not out of range.
+  ASSERT_TRUE(b.ReadRange(3, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(b.ReadRange(4, 0, &out).IsOutOfRange());
+}
+
+TEST(MemoryBlock, ReadRangeTailClamp) {
+  MemoryBlock b({1.0, 2.0, 3.0, 4.0});
+  std::vector<double> out;
+  // Exact tail read succeeds; one past fails rather than clamping.
+  ASSERT_TRUE(b.ReadRange(2, 2, &out).ok());
+  EXPECT_EQ(out, (std::vector<double>{3.0, 4.0}));
+  EXPECT_TRUE(b.ReadRange(2, 3, &out).IsOutOfRange());
+}
+
+TEST(GeneratorBlock, DefaultReadRangeBoundsChecked) {
+  auto dist = std::make_shared<stats::ConstantDistribution>(1.0);
+  GeneratorBlock b(dist, 10, 3);
+  std::vector<double> out;
+  EXPECT_TRUE(b.ReadRange(5, 6, &out).IsOutOfRange());
+  EXPECT_TRUE(b.ReadRange(11, 0, &out).IsOutOfRange());
+  ASSERT_TRUE(b.ReadRange(10, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+// --- GatherAt. ---
+
+/// Exercises the Block base-class default (tight ValueAt loop) without the
+/// MemoryBlock/GeneratorBlock overrides.
+class MinimalBlock : public Block {
+ public:
+  explicit MinimalBlock(std::vector<double> values)
+      : values_(std::move(values)) {}
+  uint64_t size() const override { return values_.size(); }
+  double ValueAt(uint64_t index) const override { return values_[index]; }
+  std::string DebugString() const override { return "minimal"; }
+
+ private:
+  std::vector<double> values_;
+};
+
+TEST(Block, DefaultGatherAtUnsortedWithRepeats) {
+  MinimalBlock b({10.0, 11.0, 12.0, 13.0});
+  std::vector<uint64_t> indices = {3, 0, 3, 2};
+  std::vector<double> out(indices.size());
+  ASSERT_TRUE(b.GatherAt(indices, out.data()).ok());
+  EXPECT_EQ(out, (std::vector<double>{13.0, 10.0, 13.0, 12.0}));
+}
+
+TEST(Block, DefaultGatherAtChecksBounds) {
+  MinimalBlock b({1.0, 2.0});
+  std::vector<uint64_t> indices = {0, 2};
+  std::vector<double> out(indices.size());
+  EXPECT_TRUE(b.GatherAt(indices, out.data()).IsOutOfRange());
+  EXPECT_TRUE(b.GatherAt(indices, nullptr).IsInvalidArgument());
+}
+
+TEST(MemoryBlock, GatherAtUnsortedMatchesValueAt) {
+  MemoryBlock b({5.0, 6.0, 7.0, 8.0, 9.0});
+  std::vector<uint64_t> indices = {4, 1, 1, 0, 3, 2};
+  std::vector<double> out(indices.size());
+  ASSERT_TRUE(b.GatherAt(indices, out.data()).ok());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], b.ValueAt(indices[i]));
+  }
+}
+
+TEST(MemoryBlock, GatherAtEmptyIsOk) {
+  MemoryBlock b({1.0});
+  double sentinel = 42.0;
+  ASSERT_TRUE(b.GatherAt({}, &sentinel).ok());
+  EXPECT_DOUBLE_EQ(sentinel, 42.0);
+}
+
+TEST(MemoryBlock, GatherAtRejectsAnyOutOfRangeIndex) {
+  MemoryBlock b({1.0, 2.0, 3.0});
+  std::vector<uint64_t> indices = {0, 1, 3};
+  std::vector<double> out(indices.size());
+  EXPECT_TRUE(b.GatherAt(indices, out.data()).IsOutOfRange());
+  EXPECT_TRUE(b.GatherAt(indices, nullptr).IsInvalidArgument());
+}
+
+TEST(GeneratorBlock, GatherAtMatchesValueAt) {
+  auto dist = std::make_shared<stats::NormalDistribution>(0.0, 1.0);
+  GeneratorBlock b(dist, 1000, 9);
+  std::vector<uint64_t> indices = {999, 0, 500, 500, 7};
+  std::vector<double> out(indices.size());
+  ASSERT_TRUE(b.GatherAt(indices, out.data()).ok());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], b.ValueAt(indices[i]));
+  }
+  indices.push_back(1000);
+  out.resize(indices.size());
+  EXPECT_TRUE(b.GatherAt(indices, out.data()).IsOutOfRange());
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace isla

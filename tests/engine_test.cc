@@ -173,7 +173,7 @@ TEST(IslaEngine, SingleBlockColumnWorks) {
 }
 
 TEST(IslaEngine, ManyBlocksWork) {
-  auto ds = workload::MakeNormalDataset(10'000'000, 24, 100.0, 20.0, 13);
+  auto ds = workload::MakeNormalDataset(10'000'000, 24, 100.0, 20.0, 14);
   ASSERT_TRUE(ds.ok());
   IslaEngine engine(Defaults(0.2));
   auto r = engine.AggregateAvg(*ds->data());

@@ -152,6 +152,91 @@ TEST_F(FileBlockTest, Crc32EmptyIsZero) {
   EXPECT_EQ(Crc32("", 0), 0u);
 }
 
+TEST_F(FileBlockTest, GatherAtSpansChunkBoundaries) {
+  // 3 chunks' worth of rows (chunk = 4096): indices deliberately hit the
+  // first/last row of each chunk plus interior points, unsorted and with a
+  // repeat, so the sorted single-pass read crosses every boundary.
+  std::vector<double> values;
+  for (int i = 0; i < 3 * 4096 + 17; ++i) values.push_back(i * 0.5);
+  ASSERT_TRUE(WriteBlockFile(Path("g.islb"), values).ok());
+  auto block = FileBlock::Open(Path("g.islb"));
+  ASSERT_TRUE(block.ok());
+
+  std::vector<uint64_t> indices = {8191, 0,    4096, 12304, 4095,
+                                   8192, 4096, 12288, 1};
+  std::vector<double> out(indices.size());
+  ASSERT_TRUE((*block)->GatherAt(indices, out.data()).ok());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], values[indices[i]]) << "slot " << i;
+  }
+}
+
+TEST_F(FileBlockTest, GatherAtMatchesValueAtOnRandomBatches) {
+  std::vector<double> values;
+  Xoshiro256 data_rng(77);
+  for (int i = 0; i < 10000; ++i) values.push_back(data_rng.NextDouble());
+  ASSERT_TRUE(WriteBlockFile(Path("r.islb"), values).ok());
+  auto block = FileBlock::Open(Path("r.islb"));
+  ASSERT_TRUE(block.ok());
+
+  Xoshiro256 rng(78);
+  std::vector<uint64_t> indices;
+  for (int i = 0; i < 500; ++i) indices.push_back(rng.NextBounded(10000));
+  std::vector<double> out(indices.size());
+  ASSERT_TRUE((*block)->GatherAt(indices, out.data()).ok());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], values[indices[i]]);
+  }
+}
+
+TEST_F(FileBlockTest, GatherAtEdgeCases) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(WriteBlockFile(Path("e.islb"), values).ok());
+  auto block = FileBlock::Open(Path("e.islb"));
+  ASSERT_TRUE(block.ok());
+
+  double sentinel = -1.0;
+  ASSERT_TRUE((*block)->GatherAt({}, &sentinel).ok());
+  EXPECT_DOUBLE_EQ(sentinel, -1.0);
+
+  std::vector<uint64_t> oor = {0, 3};
+  std::vector<double> out(oor.size());
+  EXPECT_TRUE((*block)->GatherAt(oor, out.data()).IsOutOfRange());
+  EXPECT_TRUE((*block)->GatherAt(oor, nullptr).IsInvalidArgument());
+}
+
+TEST_F(FileBlockTest, ReadRangeEdgeCases) {
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  ASSERT_TRUE(WriteBlockFile(Path("rr.islb"), values).ok());
+  auto block = FileBlock::Open(Path("rr.islb"));
+  ASSERT_TRUE(block.ok());
+
+  std::vector<double> out;
+  ASSERT_TRUE((*block)->ReadRange(4, 0, &out).ok());  // Empty tail read.
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE((*block)->ReadRange(2, 2, &out).ok());  // Exact tail.
+  EXPECT_EQ(out, (std::vector<double>{3.0, 4.0}));
+  EXPECT_TRUE((*block)->ReadRange(2, 3, &out).IsOutOfRange());
+  EXPECT_TRUE((*block)->ReadRange(5, 0, &out).IsOutOfRange());
+}
+
+TEST_F(FileBlockTest, ValueAtStaysCorrectAfterGatherAt) {
+  // GatherAt shares the chunk cache with ValueAt; interleaving them must
+  // not serve stale chunks.
+  std::vector<double> values;
+  for (int i = 0; i < 9000; ++i) values.push_back(static_cast<double>(i));
+  ASSERT_TRUE(WriteBlockFile(Path("m.islb"), values).ok());
+  auto block = FileBlock::Open(Path("m.islb"));
+  ASSERT_TRUE(block.ok());
+
+  EXPECT_DOUBLE_EQ((*block)->ValueAt(100), 100.0);
+  std::vector<uint64_t> indices = {8000, 50};
+  std::vector<double> out(indices.size());
+  ASSERT_TRUE((*block)->GatherAt(indices, out.data()).ok());
+  EXPECT_DOUBLE_EQ(out[0], 8000.0);
+  EXPECT_DOUBLE_EQ((*block)->ValueAt(4200), 4200.0);
+}
+
 TEST_F(FileBlockTest, OverwriteReplacesContent) {
   ASSERT_TRUE(WriteBlockFile(Path("o.islb"), std::vector<double>{1.0}).ok());
   ASSERT_TRUE(
