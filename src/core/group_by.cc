@@ -1,0 +1,312 @@
+#include "core/group_by.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/parallel_for.h"
+#include "sampling/samplers.h"
+#include "stats/confidence.h"
+#include "stats/normal.h"
+
+namespace isla {
+namespace core {
+
+std::string_view PredicateOpName(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kEq:
+      return "=";
+    case PredicateOp::kNe:
+      return "!=";
+    case PredicateOp::kLt:
+      return "<";
+    case PredicateOp::kLe:
+      return "<=";
+    case PredicateOp::kGt:
+      return ">";
+    case PredicateOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalPredicate(PredicateOp op, double lhs, double rhs) {
+  if (std::isnan(lhs) || std::isnan(rhs)) return false;
+  switch (op) {
+    case PredicateOp::kEq:
+      return lhs == rhs;
+    case PredicateOp::kNe:
+      return lhs != rhs;
+    case PredicateOp::kLt:
+      return lhs < rhs;
+    case PredicateOp::kLe:
+      return lhs <= rhs;
+    case PredicateOp::kGt:
+      return lhs > rhs;
+    case PredicateOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+Status GroupedBlockPartial::Merge(const GroupedBlockPartial& other) {
+  block_rows += other.block_rows;
+  scanned += other.scanned;
+  all.Merge(other.all);
+  for (const auto& [key, moments] : other.groups) {
+    groups[key].Merge(moments);
+    if (groups.size() > kMaxGroups) {
+      return Status::ResourceExhausted(
+          "GROUP BY produced more than " + std::to_string(kMaxGroups) +
+          " distinct keys");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckAligned(const storage::Column& values,
+                    const storage::Column& other, std::string_view role) {
+  if (other.num_blocks() != values.num_blocks() ||
+      other.num_rows() != values.num_rows()) {
+    return Status::FailedPrecondition(
+        std::string(role) + " column '" + other.name() +
+        "' is not row-aligned with value column '" + values.name() + "'");
+  }
+  for (size_t j = 0; j < values.num_blocks(); ++j) {
+    if (other.blocks()[j]->size() != values.blocks()[j]->size()) {
+      return Status::FailedPrecondition(
+          std::string(role) + " column '" + other.name() + "' block " +
+          std::to_string(j) + " disagrees in size with value column '" +
+          values.name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
+                       const double* key, double value, GroupMoments* all,
+                       GroupMap* groups) {
+  if (pred != nullptr && !EvalPredicate(op, *pred, literal)) {
+    return Status::OK();
+  }
+  double group_key = 0.0;
+  if (key != nullptr) {
+    group_key = *key;
+    if (std::isnan(group_key)) return Status::OK();
+  }
+  if (all != nullptr) all->Add(value);
+  (*groups)[group_key].Add(value);
+  if (groups->size() > kMaxGroups) {
+    return Status::ResourceExhausted(
+        "GROUP BY produced more than " + std::to_string(kMaxGroups) +
+        " distinct keys");
+  }
+  return Status::OK();
+}
+
+Status ValidateGroupedSpec(const GroupedSpec& spec) {
+  if (spec.values == nullptr) {
+    return Status::InvalidArgument("grouped spec has no value column");
+  }
+  if (spec.values->num_rows() == 0) {
+    return Status::FailedPrecondition("cannot aggregate an empty column");
+  }
+  if (spec.predicate != nullptr) {
+    ISLA_RETURN_NOT_OK(CheckAligned(*spec.values, *spec.predicate,
+                                    "predicate"));
+  }
+  if (spec.keys != nullptr) {
+    ISLA_RETURN_NOT_OK(CheckAligned(*spec.values, *spec.keys, "group"));
+  }
+  return Status::OK();
+}
+
+Status RunGroupedBlockPass(const storage::Block& values,
+                           const storage::Block* predicate_block,
+                           PredicateOp op, double literal,
+                           const storage::Block* key_block,
+                           uint64_t sample_count, Xoshiro256* rng,
+                           GroupedBlockPartial* out) {
+  if (rng == nullptr || out == nullptr) {
+    return Status::InvalidArgument("rng and out must not be null");
+  }
+  out->block_rows = values.size();
+  const uint64_t n = values.size();
+  if (n == 0) return Status::FailedPrecondition("cannot sample empty block");
+
+  const storage::Block* columns[3] = {&values, predicate_block, key_block};
+  std::vector<uint64_t> indices;
+  std::vector<std::vector<double>> gathered;
+  indices.reserve(std::min<uint64_t>(sample_count, sampling::kGatherBatch));
+
+  for (uint64_t done = 0; done < sample_count;) {
+    const uint64_t batch =
+        std::min<uint64_t>(sampling::kGatherBatch, sample_count - done);
+    indices.clear();
+    for (uint64_t i = 0; i < batch; ++i) {
+      indices.push_back(rng->NextBounded(n));
+    }
+    // All columns gather the same positions, so (value, pred, key) triples
+    // are row-consistent.
+    ISLA_RETURN_NOT_OK(storage::GatherRowsAt(columns, indices, &gathered));
+    const std::vector<double>& vals = gathered[0];
+    const std::vector<double>& preds = gathered[1];
+    const std::vector<double>& keys = gathered[2];
+    for (uint64_t i = 0; i < batch; ++i) {
+      ISLA_RETURN_NOT_OK(RouteGroupedRow(
+          predicate_block != nullptr ? &preds[i] : nullptr, op, literal,
+          key_block != nullptr ? &keys[i] : nullptr, vals[i], &out->all,
+          &out->groups));
+    }
+    done += batch;
+  }
+  out->scanned += sample_count;
+  return Status::OK();
+}
+
+Result<uint64_t> PlanGroupedScan(const GroupedPilot& pilot,
+                                 const IslaOptions& options,
+                                 uint64_t data_size) {
+  ISLA_RETURN_NOT_OK(options.Validate());
+  if (data_size == 0) {
+    return Status::InvalidArgument("data size must be > 0");
+  }
+  if (pilot.pilot_samples == 0) return 0;
+  if (pilot.all.n == 0) {
+    // The pilot matched nothing, which only bounds the selectivity by
+    // ~1/pilot — it does not prove the predicate is empty. Scan two orders
+    // of magnitude past the pilot (clamped to M) so rare-but-present
+    // groups still surface instead of being silently reported as absent.
+    const double fallback = 100.0 * static_cast<double>(pilot.pilot_samples);
+    return static_cast<uint64_t>(
+        std::min(fallback, static_cast<double>(data_size)));
+  }
+
+  const double pilot_n = static_cast<double>(pilot.pilot_samples);
+  double scan = 2.0;
+  for (const auto& [key, moments] : pilot.groups) {
+    (void)key;
+    const double selectivity = static_cast<double>(moments.n) / pilot_n;
+    double sigma = std::sqrt(moments.Variance());
+    uint64_t m_g = 2;
+    if (sigma > 0.0) {
+      ISLA_ASSIGN_OR_RETURN(m_g,
+                            stats::RequiredSampleSize(sigma, options.precision,
+                                                      options.confidence));
+    }
+    scan = std::max(scan,
+                    std::ceil(static_cast<double>(m_g) / selectivity));
+  }
+  scan = std::ceil(scan * options.sampling_rate_scale);
+  if (!(scan >= 2.0)) scan = 2.0;
+  const double cap = static_cast<double>(data_size);
+  return static_cast<uint64_t>(std::min(scan, cap));
+}
+
+Result<GroupedAggregateResult> SummarizeGroups(const GroupMap& merged,
+                                               uint64_t data_size,
+                                               uint64_t scanned,
+                                               uint64_t pilot_samples,
+                                               const IslaOptions& options) {
+  ISLA_RETURN_NOT_OK(options.Validate());
+  GroupedAggregateResult out;
+  out.data_size = data_size;
+  out.scanned_samples = scanned;
+  out.pilot_samples = pilot_samples;
+  out.precision = options.precision;
+  out.confidence = options.confidence;
+  if (scanned == 0) return out;
+
+  const double u = stats::TwoSidedZ(options.confidence);
+  const double m_total = static_cast<double>(data_size);
+  const double scanned_d = static_cast<double>(scanned);
+  out.groups.reserve(merged.size());
+  for (const auto& [key, moments] : merged) {
+    if (moments.n == 0) continue;
+    GroupResult g;
+    g.key = key;
+    g.samples = moments.n;
+    g.average = moments.mean;
+    const double p = static_cast<double>(moments.n) / scanned_d;
+    g.count_estimate = m_total * p;
+    g.sum = g.average * g.count_estimate;
+    const double sigma = std::sqrt(moments.Variance());
+    g.ci_half_width =
+        u * sigma / std::sqrt(static_cast<double>(moments.n));
+    g.count_ci_half_width =
+        u * m_total * std::sqrt(p * (1.0 - p) / scanned_d);
+    g.meets_precision = g.ci_half_width <= options.precision;
+    out.groups.push_back(g);
+  }
+  return out;
+}
+
+Result<GroupedAggregateResult> GroupByEngine::Aggregate(
+    const GroupedSpec& spec, uint64_t seed_salt) const {
+  ISLA_RETURN_NOT_OK(options_.Validate());
+  ISLA_RETURN_NOT_OK(ValidateGroupedSpec(spec));
+
+  const storage::Column& values = *spec.values;
+  const size_t num_blocks = values.num_blocks();
+  std::vector<uint64_t> sizes;
+  sizes.reserve(num_blocks);
+  for (const auto& b : values.blocks()) sizes.push_back(b->size());
+
+  auto block_of = [](const storage::Column* col, size_t j) {
+    return col == nullptr ? nullptr : col->blocks()[j].get();
+  };
+
+  // Runs one phase: per-block sampling on independent (seed, salt, j)
+  // streams, then a deterministic merge in block order.
+  auto run_phase = [&](uint64_t phase_salt,
+                       const std::vector<uint64_t>& alloc,
+                       GroupedBlockPartial* merged) -> Status {
+    std::vector<GroupedBlockPartial> partials(num_blocks);
+    ISLA_RETURN_NOT_OK(runtime::ParallelFor(
+        num_blocks, options_.parallelism, [&](uint64_t j) -> Status {
+          Xoshiro256 rng(
+              SplitMix64::Hash(options_.seed, seed_salt ^ phase_salt, j));
+          return RunGroupedBlockPass(*values.blocks()[j],
+                                     block_of(spec.predicate, j), spec.op,
+                                     spec.literal, block_of(spec.keys, j),
+                                     alloc[j], &rng, &partials[j]);
+        }));
+    for (const GroupedBlockPartial& partial : partials) {
+      ISLA_RETURN_NOT_OK(merged->Merge(partial));
+    }
+    return Status::OK();
+  };
+
+  // --- Pre-estimation: shared grouped pilot ---
+  const uint64_t pilot_size =
+      std::min<uint64_t>(options_.sigma_pilot_size, values.num_rows());
+  GroupedBlockPartial pilot_merged;
+  ISLA_RETURN_NOT_OK(run_phase(kGroupPilotSalt,
+                               sampling::ProportionalAllocation(sizes,
+                                                                pilot_size),
+                               &pilot_merged));
+  GroupedPilot pilot;
+  pilot.pilot_samples = pilot_merged.scanned;
+  pilot.all = pilot_merged.all;
+  pilot.groups = std::move(pilot_merged.groups);
+
+  // --- Calculation: one shared scan sized for the weakest group ---
+  ISLA_ASSIGN_OR_RETURN(uint64_t scan,
+                        PlanGroupedScan(pilot, options_, values.num_rows()));
+  GroupedBlockPartial main_merged;
+  if (scan > 0) {
+    ISLA_RETURN_NOT_OK(run_phase(kGroupCalcSalt,
+                                 sampling::ProportionalAllocation(sizes, scan),
+                                 &main_merged));
+  }
+
+  // --- Summarization: per-group answers + (e, β) contracts ---
+  return SummarizeGroups(main_merged.groups, values.num_rows(),
+                         main_merged.scanned, pilot.pilot_samples, options_);
+}
+
+}  // namespace core
+}  // namespace isla

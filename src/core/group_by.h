@@ -1,0 +1,208 @@
+#ifndef ISLA_CORE_GROUP_BY_H_
+#define ISLA_CORE_GROUP_BY_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace core {
+
+/// Comparison operator of a `WHERE <col> <op> <literal>` predicate.
+enum class PredicateOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// SQL spelling of an operator ("=", "!=", "<", "<=", ">", ">=").
+std::string_view PredicateOpName(PredicateOp op);
+
+/// Evaluates `lhs op rhs`. Comparisons involving NaN are false for every
+/// operator (SQL's UNKNOWN semantics), including !=.
+bool EvalPredicate(PredicateOp op, double lhs, double rhs);
+
+/// Reduced mergeable moments of one group: Welford's (n, mean, M2). Unlike
+/// stats::StreamingMoments this carries no compensated power sums, so the
+/// exact same state crosses the distributed wire — merging decoded partials
+/// is bit-identical to merging local ones.
+struct GroupMoments {
+  uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  // Welford sum of squared deviations
+
+  void Add(double v) {
+    ++n;
+    double delta = v - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (v - mean);
+  }
+
+  /// Chan's parallel combination. Merge order must be deterministic (block
+  /// order) for bit-identical results.
+  void Merge(const GroupMoments& other) {
+    if (other.n == 0) return;
+    if (n == 0) {
+      *this = other;
+      return;
+    }
+    double na = static_cast<double>(n);
+    double nb = static_cast<double>(other.n);
+    double delta = other.mean - mean;
+    mean += delta * nb / (na + nb);
+    m2 += other.m2 + delta * delta * na * nb / (na + nb);
+    n += other.n;
+  }
+
+  /// Unbiased sample variance; 0 when n < 2.
+  double Variance() const {
+    if (n < 2) return 0.0;
+    double var = m2 / static_cast<double>(n - 1);
+    return var < 0.0 ? 0.0 : var;
+  }
+};
+
+/// Keys are the raw doubles of the GROUP BY column, compared exactly; the
+/// ordered map makes every merge and summarization iteration deterministic.
+using GroupMap = std::map<double, GroupMoments>;
+
+/// Hard cap on distinct keys: GROUP BY on an effectively continuous column
+/// is a usage error, not a workload.
+inline constexpr size_t kMaxGroups = 4096;
+
+/// One block's share of a shared grouped sampling pass.
+struct GroupedBlockPartial {
+  uint64_t block_rows = 0;
+  uint64_t scanned = 0;  // rows sampled (before the predicate)
+  GroupMoments all;      // every matching row, regardless of group
+  GroupMap groups;       // matching rows routed by group key
+
+  /// Folds `other` into this partial. Call in block order.
+  Status Merge(const GroupedBlockPartial& other);
+};
+
+/// A grouped, optionally predicated aggregation over row-aligned columns.
+/// `predicate`/`keys` may be null (no WHERE / single implicit group). All
+/// non-null columns must have the same block structure as `values`.
+struct GroupedSpec {
+  const storage::Column* values = nullptr;
+  const storage::Column* predicate = nullptr;
+  PredicateOp op = PredicateOp::kGe;
+  double literal = 0.0;
+  const storage::Column* keys = nullptr;
+};
+
+/// Checks that predicate/key columns are row-aligned with the value column
+/// (same block count and per-block sizes).
+Status ValidateGroupedSpec(const GroupedSpec& spec);
+
+/// Routes one row into the grouped accumulators: evaluates the predicate
+/// when `pred` is non-null, drops NaN group keys, and folds `value` into
+/// `all` (when non-null) and the key's group. The single definition of the
+/// row-routing semantics — the sampler and the exact full scan must agree
+/// on it, or the coverage harness grades against a different population.
+/// Returns ResourceExhausted when the group cap is exceeded.
+Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
+                       const double* key, double value, GroupMoments* all,
+                       GroupMap* groups);
+
+/// Samples `sample_count` rows with replacement from one block shard (the
+/// value block plus the aligned predicate/key blocks, either of which may be
+/// null), evaluates the predicate, and routes matching rows into `out`.
+/// Rows whose group key is NaN are dropped. The gather is batched
+/// (sampling::kGatherBatch indices per virtual call, all columns gathered at
+/// the same positions).
+Status RunGroupedBlockPass(const storage::Block& values,
+                           const storage::Block* predicate_block,
+                           PredicateOp op, double literal,
+                           const storage::Block* key_block,
+                           uint64_t sample_count, Xoshiro256* rng,
+                           GroupedBlockPartial* out);
+
+/// The merged pilot of a grouped query, input to scan planning.
+struct GroupedPilot {
+  uint64_t pilot_samples = 0;  // rows scanned across blocks
+  GroupMoments all;
+  GroupMap groups;
+};
+
+/// Sizes the shared main scan from the pilot: for each group, Eq. (1) gives
+/// the matching-sample requirement m_g = u²σ̂_g²/e²; dividing by the group's
+/// observed selectivity f̂_g = n_g/pilot turns it into a scan requirement.
+/// The scan is the largest per-group requirement, scaled by
+/// options.sampling_rate_scale and clamped to [2, data_size]. A pilot that
+/// scanned rows but matched nothing plans a 100×-pilot fallback scan
+/// (clamped to data_size) so rare-but-present groups still surface; only a
+/// pilot that scanned nothing plans 0.
+Result<uint64_t> PlanGroupedScan(const GroupedPilot& pilot,
+                                 const IslaOptions& options,
+                                 uint64_t data_size);
+
+/// One group's answer with its per-group precision contract.
+struct GroupResult {
+  double key = 0.0;             // group key (0 for the implicit group)
+  double average = 0.0;         // estimated AVG over matching rows
+  double sum = 0.0;             // average · count_estimate
+  double count_estimate = 0.0;  // estimated matching-row cardinality
+  double ci_half_width = 0.0;   // achieved half-width of the AVG CI at β
+  double count_ci_half_width = 0.0;  // half-width of the COUNT CI at β
+  uint64_t samples = 0;         // matching samples routed to this group
+  bool meets_precision = false; // ci_half_width <= requested e
+};
+
+/// Everything a grouped run produces.
+struct GroupedAggregateResult {
+  std::vector<GroupResult> groups;  // ascending by key
+  uint64_t data_size = 0;           // M
+  uint64_t scanned_samples = 0;     // main-pass rows scanned
+  uint64_t pilot_samples = 0;
+  double precision = 0.0;           // requested e
+  double confidence = 0.0;          // requested β
+};
+
+/// Turns merged main-pass partials into per-group answers. `scanned` is the
+/// total rows scanned in the main pass; each group's cardinality estimate is
+/// M·n_g/scanned, with a normal-approximation binomial CI.
+Result<GroupedAggregateResult> SummarizeGroups(const GroupMap& merged,
+                                               uint64_t data_size,
+                                               uint64_t scanned,
+                                               uint64_t pilot_samples,
+                                               const IslaOptions& options);
+
+/// Grouped online aggregation: Pre-estimation (shared grouped pilot) →
+/// Calculation (one shared scan, predicate evaluated on gathered batches,
+/// matching rows routed to per-group accumulators) → Summarization (merge in
+/// block order, per-group (e, β) contracts + COUNT estimates).
+///
+/// All sampling runs per block on an independent RNG stream derived as
+/// SplitMix64::Hash(seed, salt, block_index), so the answer is bit-identical
+/// for any options().parallelism — and for the distributed execution path,
+/// which replays the same streams shard by shard.
+class GroupByEngine {
+ public:
+  explicit GroupByEngine(IslaOptions options) : options_(options) {}
+
+  const IslaOptions& options() const { return options_; }
+
+  /// Runs the full grouped pipeline. `seed_salt` decorrelates repeated runs
+  /// (and the executor's method variants).
+  Result<GroupedAggregateResult> Aggregate(const GroupedSpec& spec,
+                                           uint64_t seed_salt = 0) const;
+
+ private:
+  IslaOptions options_;
+};
+
+/// Domain-separation salts of the two grouped phases. Public because the
+/// distributed coordinator derives the identical per-shard streams:
+/// stream seed of block j = Hash(Hash(seed, salt ^ phase_salt), j).
+inline constexpr uint64_t kGroupPilotSalt = 0x6b70110ULL;
+inline constexpr uint64_t kGroupCalcSalt = 0x6bca1cULL;
+
+}  // namespace core
+}  // namespace isla
+
+#endif  // ISLA_CORE_GROUP_BY_H_

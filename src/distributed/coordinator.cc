@@ -199,5 +199,116 @@ Result<DistributedResult> Coordinator::AggregateAvg(uint64_t query_id) {
   return out;
 }
 
+Result<core::GroupedAggregateResult> Coordinator::AggregateGrouped(
+    const GroupedQuerySpec& spec, uint64_t query_id, uint64_t seed_salt) {
+  if (transport_ == nullptr || transport_->size() == 0) {
+    return Status::FailedPrecondition("no workers attached");
+  }
+  ISLA_RETURN_NOT_OK(options_.Validate());
+  const size_t n_workers = transport_->size();
+
+  GroupedScanRequest base;
+  base.query_id = query_id;
+  base.has_predicate = spec.has_predicate ? 1 : 0;
+  base.op = spec.op;
+  base.literal = spec.literal;
+  base.has_group = spec.has_group ? 1 : 0;
+
+  // Runs one phase: per-worker requests fanned out across
+  // options_.parallelism threads, responses merged in worker order — the
+  // same deterministic merge the local engine performs in block order.
+  // (Skip-above-first-failure as in AggregateAvg's plan round.)
+  auto run_phase = [&](uint64_t stream_seed,
+                       const std::vector<uint64_t>& alloc,
+                       core::GroupedBlockPartial* merged) -> Status {
+    std::vector<GroupedScanResponse> responses(n_workers);
+    std::atomic<uint64_t> first_failed{std::numeric_limits<uint64_t>::max()};
+    ISLA_RETURN_NOT_OK(runtime::ParallelFor(
+        n_workers, options_.parallelism, [&](uint64_t w) -> Status {
+          if (first_failed.load(std::memory_order_relaxed) < w) {
+            return Status::OK();
+          }
+          auto run_worker = [&]() -> Status {
+            GroupedScanRequest req = base;
+            req.sample_count = alloc[w];
+            req.stream_seed = stream_seed;
+            ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
+                                  transport_->Call(w, Encode(req)));
+            ISLA_ASSIGN_OR_RETURN(responses[w],
+                                  DecodeGroupedScanResponse(resp_frame));
+            if (responses[w].query_id != query_id ||
+                responses[w].worker_id != w) {
+              return Status::Internal(
+                  "grouped response for wrong query or worker");
+            }
+            return Status::OK();
+          };
+          Status s = run_worker();
+          if (!s.ok()) {
+            uint64_t seen = first_failed.load(std::memory_order_relaxed);
+            while (w < seen && !first_failed.compare_exchange_weak(
+                                   seen, w, std::memory_order_relaxed)) {
+            }
+          }
+          return s;
+        }));
+    for (const GroupedScanResponse& resp : responses) {
+      ISLA_RETURN_NOT_OK(merged->Merge(resp.partial));
+    }
+    return Status::OK();
+  };
+
+  // --- Phase 0: shard metadata (sample_count = 0 draws nothing), giving
+  // the per-shard row counts that drive proportional allocation. ---
+  std::vector<uint64_t> shard_rows;
+  shard_rows.reserve(n_workers);
+  uint64_t data_size = 0;
+  for (uint64_t w = 0; w < n_workers; ++w) {
+    GroupedScanRequest req = base;
+    req.sample_count = 0;
+    ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
+                          transport_->Call(w, Encode(req)));
+    ISLA_ASSIGN_OR_RETURN(GroupedScanResponse resp,
+                          DecodeGroupedScanResponse(resp_frame));
+    if (resp.query_id != query_id || resp.worker_id != w) {
+      return Status::Internal(
+          "shard metadata response for wrong query or worker");
+    }
+    shard_rows.push_back(resp.partial.block_rows);
+    data_size += resp.partial.block_rows;
+  }
+  if (data_size == 0) {
+    return Status::FailedPrecondition("workers hold no rows");
+  }
+
+  // --- Phase 1: grouped pilot on the per-block pilot streams. ---
+  const uint64_t pilot_size =
+      std::min<uint64_t>(options_.sigma_pilot_size, data_size);
+  core::GroupedBlockPartial pilot_merged;
+  ISLA_RETURN_NOT_OK(run_phase(
+      SplitMix64::Hash(options_.seed, seed_salt ^ core::kGroupPilotSalt),
+      sampling::ProportionalAllocation(shard_rows, pilot_size),
+      &pilot_merged));
+  core::GroupedPilot pilot;
+  pilot.pilot_samples = pilot_merged.scanned;
+  pilot.all = pilot_merged.all;
+  pilot.groups = std::move(pilot_merged.groups);
+
+  // --- Phase 2: shared scan sized for the weakest group. ---
+  ISLA_ASSIGN_OR_RETURN(uint64_t scan,
+                        core::PlanGroupedScan(pilot, options_, data_size));
+  core::GroupedBlockPartial main_merged;
+  if (scan > 0) {
+    ISLA_RETURN_NOT_OK(run_phase(
+        SplitMix64::Hash(options_.seed, seed_salt ^ core::kGroupCalcSalt),
+        sampling::ProportionalAllocation(shard_rows, scan), &main_merged));
+  }
+
+  // --- Summarization: identical pure function as the local engine. ---
+  return core::SummarizeGroups(main_merged.groups, data_size,
+                               main_merged.scanned, pilot.pilot_samples,
+                               options_);
+}
+
 }  // namespace distributed
 }  // namespace isla

@@ -57,6 +57,15 @@ struct DistributedResult {
   std::vector<PartialResult> partials;
 };
 
+/// Predicate/group clauses of a distributed grouped query. Only the clause
+/// crosses the wire — each worker applies it to its own column shards.
+struct GroupedQuerySpec {
+  bool has_predicate = false;
+  core::PredicateOp op = core::PredicateOp::kGe;
+  double literal = 0.0;
+  bool has_group = false;
+};
+
 /// The center node (§VII-E): runs pre-estimation by broadcasting pilot
 /// requests, sizes the per-worker sample shares by Eq. (1), broadcasts the
 /// query plan, and summarizes the gathered partial answers weighted by
@@ -67,6 +76,16 @@ class Coordinator {
 
   /// Executes one distributed AVG aggregation.
   Result<DistributedResult> AggregateAvg(uint64_t query_id = 1);
+
+  /// Executes one distributed grouped/predicated aggregation: grouped pilot
+  /// broadcast → shared-scan plan (PlanGroupedScan on the pooled pilot) →
+  /// per-group partial merge in worker order. Workers replay exactly the
+  /// per-block RNG streams of the single-node GroupByEngine, so for the
+  /// same catalog sharding the result is bit-identical to
+  /// GroupByEngine::Aggregate(spec, seed_salt).
+  Result<core::GroupedAggregateResult> AggregateGrouped(
+      const GroupedQuerySpec& spec, uint64_t query_id = 1,
+      uint64_t seed_salt = 0);
 
  private:
   Transport* transport_;

@@ -1,5 +1,6 @@
 #include "distributed/message.h"
 
+#include <cmath>
 #include <cstring>
 
 namespace isla {
@@ -172,13 +173,44 @@ std::string Encode(const PartialResult& m) {
   return w.Take();
 }
 
+std::string Encode(const GroupedScanRequest& m) {
+  Writer w(MessageType::kGroupedScanRequest);
+  w.PutU64(m.query_id);
+  w.PutU64(m.sample_count);
+  w.PutU64(m.stream_seed);
+  w.PutU64(m.has_predicate);
+  w.PutU64(static_cast<uint64_t>(m.op));
+  w.PutF64(m.literal);
+  w.PutU64(m.has_group);
+  return w.Take();
+}
+
+std::string Encode(const GroupedScanResponse& m) {
+  Writer w(MessageType::kGroupedScanResponse);
+  w.PutU64(m.query_id);
+  w.PutU64(m.worker_id);
+  w.PutU64(m.partial.block_rows);
+  w.PutU64(m.partial.scanned);
+  w.PutU64(m.partial.all.n);
+  w.PutF64(m.partial.all.mean);
+  w.PutF64(m.partial.all.m2);
+  w.PutU64(m.partial.groups.size());
+  for (const auto& [key, moments] : m.partial.groups) {
+    w.PutF64(key);
+    w.PutU64(moments.n);
+    w.PutF64(moments.mean);
+    w.PutF64(moments.m2);
+  }
+  return w.Take();
+}
+
 Result<MessageType> PeekType(const std::string& frame) {
   if (frame.size() < sizeof(uint32_t)) {
     return Status::Corruption("frame shorter than a type tag");
   }
   uint32_t tag = 0;
   std::memcpy(&tag, frame.data(), sizeof(tag));
-  if (tag < 1 || tag > 4) {
+  if (tag < 1 || tag > 6) {
     return Status::Corruption("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -244,6 +276,58 @@ Result<PartialResult> DecodePartialResult(const std::string& frame) {
   ISLA_RETURN_NOT_OK(r.GetF64(&m.l_sum));
   ISLA_RETURN_NOT_OK(r.GetF64(&m.l_sum2));
   ISLA_RETURN_NOT_OK(r.GetF64(&m.l_sum3));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<GroupedScanRequest> DecodeGroupedScanRequest(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kGroupedScanRequest));
+  GroupedScanRequest m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.sample_count));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.stream_seed));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.has_predicate));
+  uint64_t op = 0;
+  ISLA_RETURN_NOT_OK(r.GetU64(&op));
+  if (op > static_cast<uint64_t>(core::PredicateOp::kGe)) {
+    return Status::Corruption("predicate operator out of range");
+  }
+  m.op = static_cast<core::PredicateOp>(op);
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.literal));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.has_group));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<GroupedScanResponse> DecodeGroupedScanResponse(
+    const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kGroupedScanResponse));
+  GroupedScanResponse m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.worker_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.partial.block_rows));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.partial.scanned));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.partial.all.n));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.partial.all.mean));
+  ISLA_RETURN_NOT_OK(r.GetF64(&m.partial.all.m2));
+  uint64_t num_groups = 0;
+  ISLA_RETURN_NOT_OK(r.GetU64(&num_groups));
+  if (num_groups > core::kMaxGroups) {
+    return Status::Corruption("grouped response exceeds the group cap");
+  }
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    double key = 0.0;
+    core::GroupMoments moments;
+    ISLA_RETURN_NOT_OK(r.GetF64(&key));
+    ISLA_RETURN_NOT_OK(r.GetU64(&moments.n));
+    ISLA_RETURN_NOT_OK(r.GetF64(&moments.mean));
+    ISLA_RETURN_NOT_OK(r.GetF64(&moments.m2));
+    if (std::isnan(key) || !m.partial.groups.emplace(key, moments).second) {
+      return Status::Corruption("grouped response has invalid group keys");
+    }
+  }
   ISLA_RETURN_NOT_OK(r.Finish());
   return m;
 }

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/group_by.h"
 #include "core/options.h"
 #include "stats/moments.h"
 
@@ -22,6 +23,8 @@ enum class MessageType : uint32_t {
   kPilotResponse = 2,
   kQueryPlan = 3,
   kPartialResult = 4,
+  kGroupedScanRequest = 5,
+  kGroupedScanResponse = 6,
 };
 
 /// Coordinator → worker: draw `sample_count` uniform pilot samples.
@@ -70,6 +73,34 @@ struct PartialResult {
   double l_sum = 0.0, l_sum2 = 0.0, l_sum3 = 0.0;
 };
 
+/// Coordinator → worker: one phase of a grouped/predicated query on this
+/// worker's shard. The predicate and group clauses cross the wire; the
+/// columns stay on the worker. `sample_count == 0` is the metadata round
+/// (the worker reports shard rows and draws nothing). The worker's RNG
+/// stream is Hash(stream_seed, worker_id) — the identical derivation the
+/// single-node engine uses per block, which is what makes loopback
+/// execution bit-identical to local execution.
+struct GroupedScanRequest {
+  uint64_t query_id = 0;
+  uint64_t sample_count = 0;
+  uint64_t stream_seed = 0;
+  uint64_t has_predicate = 0;
+  core::PredicateOp op = core::PredicateOp::kGe;
+  double literal = 0.0;
+  uint64_t has_group = 0;
+};
+
+/// Worker → coordinator: the shard's grouped partial. Variable-length: a
+/// group count followed by (key, n, mean, m2) records in ascending key
+/// order. GroupMoments carries the complete merge state, so the
+/// coordinator's merge of decoded partials is bit-identical to the local
+/// engine's merge of in-memory ones.
+struct GroupedScanResponse {
+  uint64_t query_id = 0;
+  uint64_t worker_id = 0;
+  core::GroupedBlockPartial partial;
+};
+
 /// Serialization: little-endian fixed-width frames with a leading
 /// MessageType tag. Decoding validates the tag and the exact frame length
 /// and fails with Corruption otherwise.
@@ -77,6 +108,8 @@ std::string Encode(const PilotRequest& m);
 std::string Encode(const PilotResponse& m);
 std::string Encode(const QueryPlan& m);
 std::string Encode(const PartialResult& m);
+std::string Encode(const GroupedScanRequest& m);
+std::string Encode(const GroupedScanResponse& m);
 
 /// Peeks the type tag of a frame.
 Result<MessageType> PeekType(const std::string& frame);
@@ -85,6 +118,9 @@ Result<PilotRequest> DecodePilotRequest(const std::string& frame);
 Result<PilotResponse> DecodePilotResponse(const std::string& frame);
 Result<QueryPlan> DecodeQueryPlan(const std::string& frame);
 Result<PartialResult> DecodePartialResult(const std::string& frame);
+Result<GroupedScanRequest> DecodeGroupedScanRequest(const std::string& frame);
+Result<GroupedScanResponse> DecodeGroupedScanResponse(
+    const std::string& frame);
 
 }  // namespace distributed
 }  // namespace isla

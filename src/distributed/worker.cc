@@ -5,6 +5,7 @@
 
 #include "core/block_solver.h"
 #include "core/boundaries.h"
+#include "core/group_by.h"
 #include "sampling/samplers.h"
 #include "stats/moments.h"
 #include "util/rng.h"
@@ -14,6 +15,13 @@ namespace distributed {
 
 Worker::Worker(uint64_t worker_id, storage::BlockPtr block)
     : worker_id_(worker_id), block_(std::move(block)) {}
+
+Worker::Worker(uint64_t worker_id, storage::BlockPtr values,
+               storage::BlockPtr predicate, storage::BlockPtr keys)
+    : worker_id_(worker_id),
+      block_(std::move(values)),
+      predicate_block_(std::move(predicate)),
+      key_block_(std::move(keys)) {}
 
 Result<std::string> Worker::HandleRequest(const std::string& frame) const {
   ISLA_ASSIGN_OR_RETURN(MessageType type, PeekType(frame));
@@ -25,6 +33,11 @@ Result<std::string> Worker::HandleRequest(const std::string& frame) const {
     case MessageType::kQueryPlan: {
       ISLA_ASSIGN_OR_RETURN(QueryPlan plan, DecodeQueryPlan(frame));
       return HandlePlan(plan);
+    }
+    case MessageType::kGroupedScanRequest: {
+      ISLA_ASSIGN_OR_RETURN(GroupedScanRequest req,
+                            DecodeGroupedScanRequest(frame));
+      return HandleGroupedScan(req);
     }
     default:
       return Status::InvalidArgument(
@@ -95,6 +108,47 @@ Result<std::string> Worker::HandlePlan(const QueryPlan& plan) const {
   out.l_sum2 = params.param_l.sum_squares();
   out.l_sum3 = params.param_l.sum_cubes();
   return Encode(out);
+}
+
+Result<std::string> Worker::HandleGroupedScan(
+    const GroupedScanRequest& request) const {
+  const storage::Block* pred = nullptr;
+  const storage::Block* keys = nullptr;
+  if (request.has_predicate != 0) {
+    if (predicate_block_ == nullptr) {
+      return Status::FailedPrecondition(
+          "worker has no predicate column shard");
+    }
+    if (predicate_block_->size() != block_->size()) {
+      return Status::FailedPrecondition(
+          "predicate shard is not row-aligned with the value shard");
+    }
+    pred = predicate_block_.get();
+  }
+  if (request.has_group != 0) {
+    if (key_block_ == nullptr) {
+      return Status::FailedPrecondition("worker has no group column shard");
+    }
+    if (key_block_->size() != block_->size()) {
+      return Status::FailedPrecondition(
+          "group shard is not row-aligned with the value shard");
+    }
+    keys = key_block_.get();
+  }
+
+  GroupedScanResponse resp;
+  resp.query_id = request.query_id;
+  resp.worker_id = worker_id_;
+  resp.partial.block_rows = block_->size();
+  if (request.sample_count > 0) {
+    // The identical stream the single-node engine derives for block
+    // `worker_id_`: Hash(stream_seed, index).
+    Xoshiro256 rng(SplitMix64::Hash(request.stream_seed, worker_id_));
+    ISLA_RETURN_NOT_OK(core::RunGroupedBlockPass(
+        *block_, pred, request.op, request.literal, keys,
+        request.sample_count, &rng, &resp.partial));
+  }
+  return Encode(resp);
 }
 
 }  // namespace distributed

@@ -14,15 +14,23 @@ namespace isla {
 namespace distributed {
 
 /// A worker node owning one shard (block) of the column — the paper's
-/// "subsidiary" (§VII-E). It speaks only the serialized message protocol:
-/// the coordinator never touches the worker's data directly.
+/// "subsidiary" (§VII-E) — plus, optionally, the row-aligned shards of a
+/// predicate column and a GROUP BY key column. It speaks only the
+/// serialized message protocol: the coordinator never touches the worker's
+/// data directly.
 class Worker {
  public:
   Worker(uint64_t worker_id, storage::BlockPtr block);
 
+  /// Multi-column shard: `predicate` and `keys` may be null and must be
+  /// row-aligned with `values` when present (checked at request time, since
+  /// construction cannot fail).
+  Worker(uint64_t worker_id, storage::BlockPtr values,
+         storage::BlockPtr predicate, storage::BlockPtr keys);
+
   /// Dispatches one serialized request frame and returns a serialized
   /// response frame. Supported requests: PilotRequest → PilotResponse,
-  /// QueryPlan → PartialResult.
+  /// QueryPlan → PartialResult, GroupedScanRequest → GroupedScanResponse.
   Result<std::string> HandleRequest(const std::string& frame) const;
 
   uint64_t worker_id() const { return worker_id_; }
@@ -31,9 +39,13 @@ class Worker {
  private:
   Result<std::string> HandlePilot(const PilotRequest& request) const;
   Result<std::string> HandlePlan(const QueryPlan& plan) const;
+  Result<std::string> HandleGroupedScan(
+      const GroupedScanRequest& request) const;
 
   uint64_t worker_id_;
   storage::BlockPtr block_;
+  storage::BlockPtr predicate_block_;  // may be null
+  storage::BlockPtr key_block_;        // may be null
 };
 
 }  // namespace distributed

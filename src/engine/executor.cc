@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <cmath>
+#include <limits>
 
 #include "baselines/estimators.h"
 #include "core/noniid.h"
@@ -39,6 +40,73 @@ Result<double> ExactAvg(const storage::Column& column) {
   return sum.Total() / static_cast<double>(column.num_rows());
 }
 
+/// Exact grouped/predicated aggregation by full scan over the row-aligned
+/// columns: the ground truth the coverage harness grades the samplers
+/// against. CIs are zero-width and trivially met.
+Result<core::GroupedAggregateResult> ExactGroupedScan(
+    const core::GroupedSpec& spec, const core::IslaOptions& options) {
+  ISLA_RETURN_NOT_OK(core::ValidateGroupedSpec(spec));
+  const storage::Column& values = *spec.values;
+  core::GroupMap merged;
+  std::vector<double> vals, preds, keys;
+  for (size_t j = 0; j < values.num_blocks(); ++j) {
+    const storage::Block& vb = *values.blocks()[j];
+    const storage::Block* pb =
+        spec.predicate == nullptr ? nullptr : spec.predicate->blocks()[j].get();
+    const storage::Block* kb =
+        spec.keys == nullptr ? nullptr : spec.keys->blocks()[j].get();
+    constexpr uint64_t kBatch = 1 << 16;
+    for (uint64_t start = 0; start < vb.size(); start += kBatch) {
+      uint64_t n = std::min<uint64_t>(kBatch, vb.size() - start);
+      ISLA_RETURN_NOT_OK(vb.ReadRange(start, n, &vals));
+      if (pb != nullptr) ISLA_RETURN_NOT_OK(pb->ReadRange(start, n, &preds));
+      if (kb != nullptr) ISLA_RETURN_NOT_OK(kb->ReadRange(start, n, &keys));
+      for (uint64_t i = 0; i < n; ++i) {
+        ISLA_RETURN_NOT_OK(core::RouteGroupedRow(
+            pb != nullptr ? &preds[i] : nullptr, spec.op, spec.literal,
+            kb != nullptr ? &keys[i] : nullptr, vals[i], /*all=*/nullptr,
+            &merged));
+      }
+    }
+  }
+
+  core::GroupedAggregateResult out;
+  out.data_size = values.num_rows();
+  out.scanned_samples = values.num_rows();
+  out.precision = options.precision;
+  out.confidence = options.confidence;
+  out.groups.reserve(merged.size());
+  for (const auto& [key, moments] : merged) {
+    core::GroupResult g;
+    g.key = key;
+    g.samples = moments.n;
+    g.average = moments.mean;
+    g.count_estimate = static_cast<double>(moments.n);  // exact cardinality
+    g.sum = g.average * g.count_estimate;
+    g.meets_precision = true;
+    out.groups.push_back(g);
+  }
+  return out;
+}
+
+/// Per-method decorrelation salts for the grouped sampler. In grouped mode
+/// there is no leverage/modulation stage to differentiate the methods — the
+/// shared scan with per-group CLT sizing *is* the estimator — so isla,
+/// isla_noniid and uniform run the same algorithm on independent RNG
+/// streams (the salts below), while stratified/mv/mvb are rejected rather
+/// than silently aliased. The isla salt is 0 so the local executor's
+/// default matches the distributed coordinator's.
+uint64_t GroupedMethodSalt(Method m) {
+  switch (m) {
+    case Method::kIslaNonIid:
+      return kGroupedNonIidSalt;
+    case Method::kUniform:
+      return kGroupedUniformSalt;
+    default:
+      return 0;
+  }
+}
+
 }  // namespace
 
 Result<QueryResult> QueryExecutor::Execute(std::string_view sql) const {
@@ -64,6 +132,60 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
   out.aggregate = spec.aggregate;
   out.method = spec.method;
   Timer timer;
+
+  // Predicated, grouped, and COUNT queries run the shared-scan grouped
+  // pipeline: one sampling pass feeds every group's accumulator.
+  if (spec.where.has_value() || !spec.group_by.empty() ||
+      spec.aggregate == AggregateKind::kCount) {
+    core::GroupedSpec grouped;
+    grouped.values = column;
+    if (spec.where.has_value()) {
+      ISLA_ASSIGN_OR_RETURN(grouped.predicate,
+                            table->GetColumn(spec.where->column));
+      grouped.op = spec.where->op;
+      grouped.literal = spec.where->literal;
+    }
+    if (!spec.group_by.empty()) {
+      ISLA_ASSIGN_OR_RETURN(grouped.keys, table->GetColumn(spec.group_by));
+    }
+
+    core::GroupedAggregateResult agg;
+    switch (spec.method) {
+      case Method::kExact: {
+        ISLA_ASSIGN_OR_RETURN(agg, ExactGroupedScan(grouped, options));
+        break;
+      }
+      case Method::kIsla:
+      case Method::kIslaNonIid:
+      case Method::kUniform: {
+        core::GroupByEngine engine(options);
+        ISLA_ASSIGN_OR_RETURN(
+            agg, engine.Aggregate(grouped, GroupedMethodSalt(spec.method)));
+        out.samples_used = agg.scanned_samples + agg.pilot_samples;
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "method '" + std::string(MethodName(spec.method)) +
+            "' does not support WHERE/GROUP BY/COUNT");
+    }
+
+    if (spec.group_by.empty()) {
+      if (!agg.groups.empty()) {
+        out.value =
+            QueryResult::GroupValue(agg.groups.front(), spec.aggregate);
+      } else if (spec.aggregate == AggregateKind::kCount) {
+        out.value = 0.0;  // an empty match set genuinely has count 0
+      } else {
+        // AVG/SUM over an empty match set has no answer; NaN keeps the
+        // empty-match case distinguishable from a true mean of 0.
+        out.value = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    out.grouped = std::move(agg);
+    out.elapsed_millis = timer.ElapsedMillis();
+    return out;
+  }
 
   // Decorrelate the RNG streams of different methods so that e.g. uniform
   // and stratified runs in the same session do not consume identical
@@ -142,9 +264,16 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
     }
   }
 
-  out.value = spec.aggregate == AggregateKind::kSum
-                  ? average * static_cast<double>(column->num_rows())
-                  : average;
+  // The ISLA paths already produced the aggregate-shaped answer in
+  // AggregateResult::value; only the baselines (which report a bare AVG)
+  // need the AVG→SUM rescale.
+  if (out.isla_details.has_value()) {
+    out.value = out.isla_details->value;
+  } else {
+    out.value = spec.aggregate == AggregateKind::kSum
+                    ? average * static_cast<double>(column->num_rows())
+                    : average;
+  }
   out.elapsed_millis = timer.ElapsedMillis();
   return out;
 }

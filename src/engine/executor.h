@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/group_by.h"
 #include "core/options.h"
 #include "engine/query.h"
 #include "storage/table.h"
@@ -17,14 +18,39 @@ namespace engine {
 
 /// Outcome of executing one query.
 struct QueryResult {
-  double value = 0.0;               // the AVG or SUM answer
+  double value = 0.0;               // the AVG/SUM/COUNT answer (scalar form)
   AggregateKind aggregate = AggregateKind::kAvg;
   Method method = Method::kIsla;
   uint64_t samples_used = 0;        // 0 for exact scans
   double elapsed_millis = 0.0;
-  /// Full engine diagnostics when the ISLA paths ran.
+  /// Full engine diagnostics when the ungrouped ISLA paths ran.
   std::optional<core::AggregateResult> isla_details;
+  /// Per-group answers when the query had WHERE/GROUP BY/COUNT. For an
+  /// ungrouped predicated query this holds the single implicit group and
+  /// `value` mirrors it; with GROUP BY, `value` is 0 and the groups (sorted
+  /// ascending by key) are the answer.
+  std::optional<core::GroupedAggregateResult> grouped;
+
+  /// The scalar answer a group's row contributes for `aggregate`.
+  static double GroupValue(const core::GroupResult& g, AggregateKind kind) {
+    switch (kind) {
+      case AggregateKind::kAvg:
+        return g.average;
+      case AggregateKind::kSum:
+        return g.sum;
+      case AggregateKind::kCount:
+        return g.count_estimate;
+    }
+    return 0.0;
+  }
 };
+
+/// RNG decorrelation salts of the grouped sampler's `USING` variants (isla
+/// uses salt 0 so local execution lines up with the distributed
+/// coordinator's default). Public so the coverage harness can drive the
+/// exact streams each method executes.
+inline constexpr uint64_t kGroupedNonIidSalt = 0x9b0471dULL;
+inline constexpr uint64_t kGroupedUniformSalt = 0x3f0a11fULL;
 
 /// Binds the mini-SQL front end to a catalog and runs queries with the
 /// method the query names. Baseline sample sizes follow Eq. (1) computed

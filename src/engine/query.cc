@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 namespace isla {
@@ -33,10 +35,23 @@ struct Token {
   std::string text;   // lower-cased for keywords/identifiers
   std::string raw;    // original spelling
   size_t position;
+  bool is_string = false;  // quoted literal
 };
 
-/// Splits on whitespace; '(' ')' ',' are standalone tokens.
-std::vector<Token> Tokenize(std::string_view sql) {
+Status ErrorAt(const std::string& what, size_t pos) {
+  return Status::InvalidArgument(what + " (at offset " + std::to_string(pos) +
+                                 ")");
+}
+
+bool IsOperatorChar(char c) {
+  return c == '=' || c == '<' || c == '>' || c == '!';
+}
+
+/// Splits on whitespace; '(' ')' ',' ';' are standalone tokens, comparison
+/// operators (= != <> < <= > >=) form maximal operator tokens, and quoted
+/// literals ('...' or "...") become string tokens. An unterminated quote is
+/// a tokenizer error.
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> tokens;
   size_t i = 0;
   while (i < sql.size()) {
@@ -46,15 +61,34 @@ std::vector<Token> Tokenize(std::string_view sql) {
       continue;
     }
     if (c == '(' || c == ')' || c == ',' || c == ';') {
-      tokens.push_back({std::string(1, c), std::string(1, c), i});
+      tokens.push_back({std::string(1, c), std::string(1, c), i, false});
       ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t end = sql.find(c, i + 1);
+      if (end == std::string_view::npos) {
+        return ErrorAt("unterminated string literal", i);
+      }
+      std::string body(sql.substr(i + 1, end - i - 1));
+      tokens.push_back({body, body, i, true});
+      i = end + 1;
+      continue;
+    }
+    if (IsOperatorChar(c)) {
+      size_t start = i;
+      ++i;
+      if (i < sql.size() && IsOperatorChar(sql[i])) ++i;
+      std::string op(sql.substr(start, i - start));
+      tokens.push_back({op, op, start, false});
       continue;
     }
     size_t start = i;
     while (i < sql.size()) {
       char d = sql[i];
       if (std::isspace(static_cast<unsigned char>(d)) || d == '(' ||
-          d == ')' || d == ',' || d == ';') {
+          d == ')' || d == ',' || d == ';' || d == '\'' || d == '"' ||
+          IsOperatorChar(d)) {
         break;
       }
       ++i;
@@ -64,14 +98,9 @@ std::vector<Token> Tokenize(std::string_view sql) {
     for (char& ch : lowered) {
       ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
     }
-    tokens.push_back({std::move(lowered), std::move(raw), start});
+    tokens.push_back({std::move(lowered), std::move(raw), start, false});
   }
   return tokens;
-}
-
-Status ErrorAt(const std::string& what, size_t pos) {
-  return Status::InvalidArgument(what + " (at offset " + std::to_string(pos) +
-                                 ")");
 }
 
 class Parser {
@@ -84,13 +113,15 @@ class Parser {
 
     // Aggregate function.
     const Token* fn = Peek();
-    if (fn == nullptr) return ErrorAt("expected AVG or SUM", End());
+    if (fn == nullptr) return ErrorAt("expected AVG, SUM or COUNT", End());
     if (fn->text == "avg") {
       spec.aggregate = AggregateKind::kAvg;
     } else if (fn->text == "sum") {
       spec.aggregate = AggregateKind::kSum;
+    } else if (fn->text == "count") {
+      spec.aggregate = AggregateKind::kCount;
     } else {
-      return ErrorAt("expected AVG or SUM, got '" + fn->raw + "'",
+      return ErrorAt("expected AVG, SUM or COUNT, got '" + fn->raw + "'",
                      fn->position);
     }
     Advance();
@@ -101,13 +132,40 @@ class Parser {
     ISLA_RETURN_NOT_OK(Expect("from"));
     ISLA_ASSIGN_OR_RETURN(spec.table, Identifier("table name"));
 
-    // Optional clauses in any order.
+    // Optional clauses in any order, each at most once.
+    bool seen_where = false, seen_group = false, seen_within = false,
+         seen_confidence = false, seen_using = false;
     while (const Token* t = Peek()) {
       if (t->text == ";") {
         Advance();
         continue;
       }
+      if (t->text == "where") {
+        if (seen_where) return ErrorAt("duplicate WHERE clause", t->position);
+        seen_where = true;
+        Advance();
+        PredicateClause where;
+        ISLA_ASSIGN_OR_RETURN(where.column, Identifier("predicate column"));
+        ISLA_ASSIGN_OR_RETURN(where.op, Operator());
+        ISLA_ASSIGN_OR_RETURN(where.literal, Number("predicate literal"));
+        spec.where = std::move(where);
+        continue;
+      }
+      if (t->text == "group") {
+        if (seen_group) {
+          return ErrorAt("duplicate GROUP BY clause", t->position);
+        }
+        seen_group = true;
+        Advance();
+        ISLA_RETURN_NOT_OK(Expect("by"));
+        ISLA_ASSIGN_OR_RETURN(spec.group_by, Identifier("group column"));
+        continue;
+      }
       if (t->text == "within") {
+        if (seen_within) {
+          return ErrorAt("duplicate WITHIN clause", t->position);
+        }
+        seen_within = true;
         Advance();
         ISLA_ASSIGN_OR_RETURN(spec.precision, Number("precision"));
         if (!(spec.precision > 0.0)) {
@@ -116,6 +174,10 @@ class Parser {
         continue;
       }
       if (t->text == "confidence") {
+        if (seen_confidence) {
+          return ErrorAt("duplicate CONFIDENCE clause", t->position);
+        }
+        seen_confidence = true;
         Advance();
         ISLA_ASSIGN_OR_RETURN(spec.confidence, Number("confidence"));
         if (!(spec.confidence > 0.0 && spec.confidence < 1.0)) {
@@ -124,6 +186,8 @@ class Parser {
         continue;
       }
       if (t->text == "using") {
+        if (seen_using) return ErrorAt("duplicate USING clause", t->position);
+        seen_using = true;
         Advance();
         ISLA_ASSIGN_OR_RETURN(std::string name, Identifier("method"));
         ISLA_ASSIGN_OR_RETURN(spec.method, MethodFromName(name, t->position));
@@ -148,7 +212,7 @@ class Parser {
     if (t == nullptr) {
       return ErrorAt("expected '" + std::string(keyword) + "'", End());
     }
-    if (t->text != keyword) {
+    if (t->is_string || t->text != keyword) {
       return ErrorAt("expected '" + std::string(keyword) + "', got '" +
                          t->raw + "'",
                      t->position);
@@ -162,7 +226,13 @@ class Parser {
     if (t == nullptr) {
       return ErrorAt("expected " + std::string(what), End());
     }
-    if (t->text == "(" || t->text == ")" || t->text == ",") {
+    if (t->is_string) {
+      return ErrorAt("expected " + std::string(what) +
+                         ", got a string literal",
+                     t->position);
+    }
+    if (t->text == "(" || t->text == ")" || t->text == "," ||
+        IsOperatorChar(t->text[0])) {
       return ErrorAt("expected " + std::string(what) + ", got '" + t->raw +
                          "'",
                      t->position);
@@ -172,10 +242,50 @@ class Parser {
     return out;
   }
 
+  Result<core::PredicateOp> Operator() {
+    const Token* t = Peek();
+    if (t == nullptr) return ErrorAt("expected a comparison operator", End());
+    if (!t->is_string) {
+      if (t->text == "=" || t->text == "==") {
+        Advance();
+        return core::PredicateOp::kEq;
+      }
+      if (t->text == "!=" || t->text == "<>") {
+        Advance();
+        return core::PredicateOp::kNe;
+      }
+      if (t->text == "<") {
+        Advance();
+        return core::PredicateOp::kLt;
+      }
+      if (t->text == "<=") {
+        Advance();
+        return core::PredicateOp::kLe;
+      }
+      if (t->text == ">") {
+        Advance();
+        return core::PredicateOp::kGt;
+      }
+      if (t->text == ">=") {
+        Advance();
+        return core::PredicateOp::kGe;
+      }
+    }
+    return ErrorAt("expected a comparison operator (= != <> < <= > >=), "
+                   "got '" +
+                       t->raw + "'",
+                   t->position);
+  }
+
   Result<double> Number(std::string_view what) {
     const Token* t = Peek();
     if (t == nullptr) {
       return ErrorAt("expected " + std::string(what), End());
+    }
+    if (t->is_string) {
+      return ErrorAt("string literals are not supported for " +
+                         std::string(what) + " (columns are numeric)",
+                     t->position);
     }
     double value = 0.0;
     const char* begin = t->raw.data();
@@ -213,10 +323,53 @@ class Parser {
   size_t index_ = 0;
 };
 
+/// Shortest exact decimal rendering of a double (round-trips bit-for-bit).
+std::string PrintDouble(double v) {
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double parsed = 0.0;
+    auto [ptr, ec] = std::from_chars(buf, buf + std::strlen(buf), parsed);
+    if (ec == std::errc() && ptr == buf + std::strlen(buf) && parsed == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
 }  // namespace
 
 Result<QuerySpec> ParseQuery(std::string_view sql) {
-  return Parser(Tokenize(sql)).Run();
+  ISLA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).Run();
+}
+
+std::string PrintQuery(const QuerySpec& spec) {
+  std::string out = "SELECT ";
+  switch (spec.aggregate) {
+    case AggregateKind::kAvg:
+      out += "AVG";
+      break;
+    case AggregateKind::kSum:
+      out += "SUM";
+      break;
+    case AggregateKind::kCount:
+      out += "COUNT";
+      break;
+  }
+  out += "(" + spec.column + ") FROM " + spec.table;
+  if (spec.where.has_value()) {
+    out += " WHERE " + spec.where->column + " ";
+    out += std::string(core::PredicateOpName(spec.where->op));
+    out += " " + PrintDouble(spec.where->literal);
+  }
+  if (!spec.group_by.empty()) {
+    out += " GROUP BY " + spec.group_by;
+  }
+  out += " WITHIN " + PrintDouble(spec.precision);
+  out += " CONFIDENCE " + PrintDouble(spec.confidence);
+  out += " USING " + std::string(MethodName(spec.method));
+  return out;
 }
 
 }  // namespace engine

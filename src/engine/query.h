@@ -1,17 +1,20 @@
 #ifndef ISLA_ENGINE_QUERY_H_
 #define ISLA_ENGINE_QUERY_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/group_by.h"
 
 namespace isla {
 namespace engine {
 
-/// Aggregate function of a query.
-enum class AggregateKind { kAvg, kSum };
+/// Aggregate function of a query. COUNT estimates the cardinality of the
+/// matching rows (exactly M when there is no predicate).
+enum class AggregateKind { kAvg, kSum, kCount };
 
 /// Estimation method requested via `USING <method>`.
 enum class Method {
@@ -26,25 +29,47 @@ enum class Method {
 
 std::string_view MethodName(Method m);
 
+/// A parsed `WHERE <col> <op> <literal>` clause. The column must be
+/// row-aligned with the aggregated column; literals are numeric.
+struct PredicateClause {
+  std::string column;
+  core::PredicateOp op = core::PredicateOp::kGe;
+  double literal = 0.0;
+};
+
 /// A parsed approximate-aggregation query. The surface syntax follows the
 /// paper's §II-C query form, extended with explicit keywords:
 ///
-///   SELECT AVG(col) FROM table [WITHIN e] [CONFIDENCE b] [USING method]
+///   SELECT AVG(col)|SUM(col)|COUNT(col) FROM table
+///     [WHERE col (=|!=|<>|<|<=|>|>=) literal]
+///     [GROUP BY col]
+///     [WITHIN e] [CONFIDENCE b] [USING method]
 ///
 /// Keywords are case-insensitive; `WITHIN` is the desired precision e and
-/// `CONFIDENCE` the level β. Defaults: e = 0.1, β = 0.95, method = isla.
+/// `CONFIDENCE` the level β — with GROUP BY, the (e, β) contract holds per
+/// group. Defaults: e = 0.1, β = 0.95, method = isla. Each optional clause
+/// may appear at most once.
 struct QuerySpec {
   AggregateKind aggregate = AggregateKind::kAvg;
   std::string column;
   std::string table;
+  std::optional<PredicateClause> where;
+  std::string group_by;  // empty = no GROUP BY
   double precision = 0.1;
   double confidence = 0.95;
   Method method = Method::kIsla;
 };
 
 /// Parses the mini-SQL dialect above. Returns InvalidArgument with a
-/// position-annotated message on malformed input.
+/// position-annotated message on malformed input (including unterminated
+/// string literals, duplicate clauses, and unknown operators).
 Result<QuerySpec> ParseQuery(std::string_view sql);
+
+/// Canonical single-line rendering of a spec. Every optional clause is
+/// printed explicitly and numbers round-trip exactly, so
+/// ParseQuery(PrintQuery(s)) reproduces s and printing is a fixed point:
+/// PrintQuery(ParseQuery(q)) == PrintQuery(ParseQuery(PrintQuery(ParseQuery(q)))).
+std::string PrintQuery(const QuerySpec& spec);
 
 }  // namespace engine
 }  // namespace isla

@@ -17,6 +17,10 @@ namespace engine {
 namespace {
 
 constexpr char kDefaultColumn[] = "value";
+constexpr char kGroupColumn[] = "grp";
+
+/// Decorrelates the group-key generator streams from the value streams.
+constexpr uint64_t kGroupSeedSalt = 0x6b5eedULL;
 
 /// Splits a statement into tokens; parentheses and commas stand alone.
 struct DdlToken {
@@ -209,15 +213,45 @@ Result<std::string> Session::CreateTable(std::string_view statement) {
     ISLA_RETURN_NOT_OK(p.Expect("blocks"));
     ISLA_ASSIGN_OR_RETURN(double blocks_d, p.Number("block count"));
     uint64_t seed = options_.seed;
-    if (p.Accept("seed")) {
-      ISLA_ASSIGN_OR_RETURN(double seed_d, p.Number("seed"));
-      seed = static_cast<uint64_t>(seed_d);
+    uint64_t group_keys = 0;
+    bool seen_seed = false, seen_groups = false;
+    while (!p.AtEnd()) {
+      if (p.Accept("seed")) {
+        if (seen_seed) {
+          return Status::InvalidArgument("duplicate SEED clause");
+        }
+        seen_seed = true;
+        ISLA_ASSIGN_OR_RETURN(double seed_d, p.Number("seed"));
+        seed = static_cast<uint64_t>(seed_d);
+        continue;
+      }
+      if (p.Accept("groups")) {
+        if (seen_groups) {
+          return Status::InvalidArgument("duplicate GROUPS clause");
+        }
+        seen_groups = true;
+        ISLA_ASSIGN_OR_RETURN(double groups_d, p.Number("group cardinality"));
+        if (!(groups_d >= 1.0 && groups_d <= 4096.0)) {
+          return Status::InvalidArgument("need 1 <= GROUPS <= 4096");
+        }
+        group_keys = static_cast<uint64_t>(groups_d);
+        continue;
+      }
+      break;
     }
     if (!(rows_d >= 1.0) || !(blocks_d >= 1.0) || blocks_d > rows_d) {
       return Status::InvalidArgument("need rows >= blocks >= 1");
     }
     uint64_t rows = static_cast<uint64_t>(rows_d);
     uint64_t blocks = static_cast<uint64_t>(blocks_d);
+    // A GROUPS clause adds a row-aligned "grp" key column: same block
+    // layout, independent generator streams.
+    std::shared_ptr<const stats::Distribution> key_dist;
+    if (group_keys > 0) {
+      ISLA_RETURN_NOT_OK(table->AddColumn(kGroupColumn));
+      key_dist =
+          std::make_shared<stats::DiscreteUniformDistribution>(group_keys);
+    }
     uint64_t base = rows / blocks;
     uint64_t extra = rows % blocks;
     for (uint64_t j = 0; j < blocks; ++j) {
@@ -226,9 +260,20 @@ Result<std::string> Session::CreateTable(std::string_view statement) {
           kDefaultColumn,
           std::make_shared<storage::GeneratorBlock>(
               dist, block_rows, SplitMix64::Hash(seed, j))));
+      if (key_dist != nullptr) {
+        ISLA_RETURN_NOT_OK(table->AppendBlock(
+            kGroupColumn,
+            std::make_shared<storage::GeneratorBlock>(
+                key_dist, block_rows,
+                SplitMix64::Hash(seed ^ kGroupSeedSalt, j))));
+      }
     }
     response << "created table " << name << " from " << dist->Name() << ", "
              << rows << " virtual rows in " << blocks << " blocks";
+    if (group_keys > 0) {
+      response << " (+ column '" << kGroupColumn << "' with " << group_keys
+               << " keys)";
+    }
   }
   if (!p.AtEnd()) {
     return Status::InvalidArgument("trailing tokens after CREATE TABLE");
@@ -280,15 +325,52 @@ Result<std::string> Session::Describe(std::string_view statement) const {
   return out;
 }
 
+namespace {
+
+std::string_view AggregateName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kCount:
+      return "COUNT";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Result<std::string> Session::Select(std::string_view statement) const {
   QueryExecutor executor(&catalog_, options_);
-  ISLA_ASSIGN_OR_RETURN(QueryResult r, executor.Execute(statement));
+  ISLA_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(statement));
+  ISLA_ASSIGN_OR_RETURN(QueryResult r, executor.Execute(spec));
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(4);
-  os << (r.aggregate == AggregateKind::kAvg ? "AVG" : "SUM") << " = "
-     << r.value << "  [method=" << MethodName(r.method)
-     << ", samples=" << r.samples_used << ", " << r.elapsed_millis << " ms]";
+  if (r.grouped.has_value() && !spec.group_by.empty()) {
+    const core::GroupedAggregateResult& g = *r.grouped;
+    os << g.groups.size() << " group(s)  [method=" << MethodName(r.method)
+       << ", samples=" << r.samples_used << ", " << r.elapsed_millis
+       << " ms]";
+    for (const core::GroupResult& row : g.groups) {
+      os << "\n  " << spec.group_by << "=" << row.key << "  "
+         << AggregateName(r.aggregate) << " = "
+         << QueryResult::GroupValue(row, r.aggregate) << "  [avg +/- "
+         << row.ci_half_width << " @" << g.confidence << ", count~"
+         << row.count_estimate << ", n=" << row.samples << "]";
+    }
+    return os.str();
+  }
+  os << AggregateName(r.aggregate) << " = " << r.value
+     << "  [method=" << MethodName(r.method) << ", samples=" << r.samples_used
+     << ", " << r.elapsed_millis << " ms]";
+  if (r.grouped.has_value() && !r.grouped->groups.empty()) {
+    const core::GroupResult& row = r.grouped->groups.front();
+    os << "\n  avg +/- " << row.ci_half_width << " @"
+       << r.grouped->confidence << ", count~" << row.count_estimate
+       << ", n=" << row.samples;
+  }
   if (r.isla_details.has_value()) {
     os << "\n  sketch0=" << r.isla_details->sketch0
        << " sigma=" << r.isla_details->sigma_estimate << " blocks="

@@ -17,18 +17,21 @@ namespace engine {
 /// An interactive session: owns a catalog and understands a small DDL on
 /// top of the approximate-query dialect. Statements:
 ///
-///   CREATE TABLE t FROM NORMAL(mu, sigma) ROWS n BLOCKS b [SEED s]
-///   CREATE TABLE t FROM EXPONENTIAL(gamma) ROWS n BLOCKS b [SEED s]
-///   CREATE TABLE t FROM UNIFORM(lo, hi) ROWS n BLOCKS b [SEED s]
+///   CREATE TABLE t FROM NORMAL(mu, sigma) ROWS n BLOCKS b [SEED s] [GROUPS g]
+///   CREATE TABLE t FROM EXPONENTIAL(gamma) ROWS n BLOCKS b [SEED s] [GROUPS g]
+///   CREATE TABLE t FROM UNIFORM(lo, hi) ROWS n BLOCKS b [SEED s] [GROUPS g]
 ///   CREATE TABLE t FROM FILES(path1, path2, ...)      -- .islb shards
 ///   DROP TABLE t
 ///   SHOW TABLES
 ///   DESCRIBE t
-///   SELECT AVG(c)|SUM(c) FROM t [WITHIN e] [CONFIDENCE b] [USING method]
+///   SELECT AVG(c)|SUM(c)|COUNT(c) FROM t [WHERE c op lit] [GROUP BY c]
+///          [WITHIN e] [CONFIDENCE b] [USING method]
 ///
 /// Distribution-backed tables create generator (virtual) blocks under a
-/// single column named "value"; n may use scientific notation (1e9).
-/// Execute() returns a human-readable response string for the REPL.
+/// single column named "value"; n may use scientific notation (1e9). A
+/// GROUPS g clause adds a row-aligned "grp" column with keys {0..g-1} so
+/// grouped queries have something to group on. Execute() returns a
+/// human-readable response string for the REPL.
 class Session {
  public:
   explicit Session(core::IslaOptions options = {});

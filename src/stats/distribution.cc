@@ -81,6 +81,30 @@ std::string UniformDistribution::Name() const {
   return os.str();
 }
 
+DiscreteUniformDistribution::DiscreteUniformDistribution(uint64_t cardinality)
+    : cardinality_(cardinality == 0 ? 1 : cardinality) {}
+
+double DiscreteUniformDistribution::Quantile(double u) const {
+  double k = std::floor(u * static_cast<double>(cardinality_));
+  double top = static_cast<double>(cardinality_ - 1);
+  return k > top ? top : (k < 0.0 ? 0.0 : k);
+}
+
+double DiscreteUniformDistribution::Mean() const {
+  return 0.5 * static_cast<double>(cardinality_ - 1);
+}
+
+double DiscreteUniformDistribution::StdDev() const {
+  double k = static_cast<double>(cardinality_);
+  return std::sqrt((k * k - 1.0) / 12.0);
+}
+
+std::string DiscreteUniformDistribution::Name() const {
+  std::ostringstream os;
+  os << "DiscreteUniform{0.." << (cardinality_ - 1) << "}";
+  return os.str();
+}
+
 LognormalDistribution::LognormalDistribution(double mu_log, double sigma_log)
     : mu_log_(mu_log), sigma_log_(sigma_log) {
   assert(sigma_log >= 0.0);

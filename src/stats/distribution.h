@@ -96,6 +96,25 @@ class LognormalDistribution : public Distribution {
   double sigma_log_;
 };
 
+/// Uniform over the integer keys {0, 1, ..., cardinality−1}, emitted as
+/// doubles. The generator column of choice for GROUP BY keys: a virtual
+/// table gains a group column whose every row is reproducible from
+/// (seed, index) and whose cardinality is bounded by construction.
+class DiscreteUniformDistribution : public Distribution {
+ public:
+  explicit DiscreteUniformDistribution(uint64_t cardinality);
+
+  double Quantile(double u) const override;
+  double Mean() const override;
+  double StdDev() const override;
+  std::string Name() const override;
+
+  uint64_t cardinality() const { return cardinality_; }
+
+ private:
+  uint64_t cardinality_;
+};
+
 /// Degenerate point mass at `value`; building block for clustered mixtures
 /// (the TLC trip data's "too big and too small values highly clustered").
 class ConstantDistribution : public Distribution {

@@ -29,6 +29,31 @@ Status Block::GatherAt(std::span<const uint64_t> indices, double* out) const {
   return Status::OK();
 }
 
+Status GatherRowsAt(std::span<const Block* const> columns,
+                    std::span<const uint64_t> indices,
+                    std::vector<std::vector<double>>* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  out->resize(columns.size());
+  uint64_t rows = 0;
+  bool have_rows = false;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == nullptr) {
+      (*out)[c].clear();
+      continue;
+    }
+    if (!have_rows) {
+      rows = columns[c]->size();
+      have_rows = true;
+    } else if (columns[c]->size() != rows) {
+      return Status::FailedPrecondition(
+          "GatherRowsAt blocks are not row-aligned");
+    }
+    (*out)[c].resize(indices.size());
+    ISLA_RETURN_NOT_OK(columns[c]->GatherAt(indices, (*out)[c].data()));
+  }
+  return Status::OK();
+}
+
 MemoryBlock::MemoryBlock(std::vector<double> values)
     : values_(std::move(values)) {}
 

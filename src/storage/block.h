@@ -50,6 +50,17 @@ class Block {
 
 using BlockPtr = std::shared_ptr<const Block>;
 
+/// Multi-column gather: resolves the same row positions across several
+/// row-aligned blocks (shards of parallel columns), so a sampled index
+/// yields a consistent (value, predicate, key, ...) tuple. `columns[c]` may
+/// be null — its output vector is left empty, letting callers pass optional
+/// predicate/group columns without branching. All non-null blocks must have
+/// equal size; each is resolved with its own batched GatherAt, so file- and
+/// generator-backed blocks keep their optimized access paths.
+Status GatherRowsAt(std::span<const Block* const> columns,
+                    std::span<const uint64_t> indices,
+                    std::vector<std::vector<double>>* out);
+
 /// An in-memory block: a plain vector of doubles. The workhorse for tests
 /// and small experiments.
 class MemoryBlock : public Block {

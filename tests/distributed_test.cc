@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
 #include <memory>
 
 #include "core/engine.h"
@@ -240,6 +242,203 @@ TEST(Coordinator, UnreachableWorkerPropagates) {
   auto r = coordinator.AggregateAvg();
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(Messages, GroupedScanRequestRoundTrip) {
+  GroupedScanRequest m;
+  m.query_id = 11;
+  m.sample_count = 4096;
+  m.stream_seed = 0xabcdef;
+  m.has_predicate = 1;
+  m.op = core::PredicateOp::kLe;
+  m.literal = -12.5;
+  m.has_group = 1;
+  auto decoded = DecodeGroupedScanRequest(Encode(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->sample_count, 4096u);
+  EXPECT_EQ(decoded->op, core::PredicateOp::kLe);
+  EXPECT_DOUBLE_EQ(decoded->literal, -12.5);
+  EXPECT_EQ(decoded->has_group, 1u);
+}
+
+TEST(Messages, GroupedScanResponseRoundTripsGroupMap) {
+  GroupedScanResponse m;
+  m.query_id = 4;
+  m.worker_id = 2;
+  m.partial.block_rows = 1000;
+  m.partial.scanned = 500;
+  for (double v : {1.0, 2.0, 3.0}) m.partial.all.Add(v);
+  for (double v : {1.0, 3.0}) m.partial.groups[0.0].Add(v);
+  m.partial.groups[7.5].Add(2.0);
+  auto decoded = DecodeGroupedScanResponse(Encode(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->partial.scanned, 500u);
+  ASSERT_EQ(decoded->partial.groups.size(), 2u);
+  // Bit-exact round trip of the merge state.
+  EXPECT_EQ(decoded->partial.all.mean, m.partial.all.mean);
+  EXPECT_EQ(decoded->partial.all.m2, m.partial.all.m2);
+  EXPECT_EQ(decoded->partial.groups.at(0.0).n, 2u);
+  EXPECT_EQ(decoded->partial.groups.at(0.0).mean,
+            m.partial.groups.at(0.0).mean);
+  EXPECT_EQ(decoded->partial.groups.at(7.5).n, 1u);
+}
+
+TEST(Messages, GroupedScanResponseRejectsDamage) {
+  GroupedScanResponse m;
+  m.partial.groups[1.0].Add(5.0);
+  std::string frame = Encode(m);
+  EXPECT_TRUE(DecodeGroupedScanResponse(frame.substr(0, frame.size() - 3))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(
+      DecodeGroupedScanResponse(frame + "zz").status().IsCorruption());
+  // A frame claiming more groups than the cap must be refused before any
+  // allocation happens.
+  GroupedScanResponse empty;
+  std::string huge = Encode(empty);
+  // group-count field is the last 8 bytes of an empty response.
+  uint64_t bogus = core::kMaxGroups + 1;
+  std::memcpy(huge.data() + huge.size() - sizeof(bogus), &bogus,
+              sizeof(bogus));
+  EXPECT_TRUE(DecodeGroupedScanResponse(huge).status().IsCorruption());
+}
+
+/// Builds `blocks` row-aligned (value, predicate, key) MemoryBlock shards
+/// and returns them both as columns (for the local engine) and as
+/// per-shard block triples (for workers).
+struct GroupedFixture {
+  storage::Column values{"v"};
+  storage::Column preds{"p"};
+  storage::Column keys{"k"};
+  std::vector<std::array<storage::BlockPtr, 3>> shards;
+};
+
+std::unique_ptr<GroupedFixture> MakeGroupedFixture(uint64_t rows_per_block,
+                                                   uint64_t blocks,
+                                                   uint64_t seed) {
+  auto fx = std::make_unique<GroupedFixture>();
+  Xoshiro256 rng(seed);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    std::vector<double> vals, preds, keys;
+    for (uint64_t i = 0; i < rows_per_block; ++i) {
+      double key = static_cast<double>(rng.NextBounded(4));
+      vals.push_back(25.0 * (key + 1.0) + 3.0 * rng.NextDouble());
+      preds.push_back(rng.NextDouble());
+      keys.push_back(key);
+    }
+    auto vb = std::make_shared<storage::MemoryBlock>(std::move(vals));
+    auto pb = std::make_shared<storage::MemoryBlock>(std::move(preds));
+    auto kb = std::make_shared<storage::MemoryBlock>(std::move(keys));
+    EXPECT_TRUE(fx->values.AppendBlock(vb).ok());
+    EXPECT_TRUE(fx->preds.AppendBlock(pb).ok());
+    EXPECT_TRUE(fx->keys.AppendBlock(kb).ok());
+    fx->shards.push_back({vb, pb, kb});
+  }
+  return fx;
+}
+
+TEST(Coordinator, GroupedLoopbackIsBitIdenticalToLocalEngine) {
+  // The acceptance bar for the distributed grouped path: the loopback
+  // cluster — every byte crossing serialized frames — must reproduce the
+  // single-node GroupByEngine answer bit for bit, because workers replay
+  // the same per-block RNG streams and the coordinator reuses the same
+  // planning/merge/summarize functions.
+  auto fx = MakeGroupedFixture(50'000, 4, 31337);
+  core::IslaOptions options;
+  options.precision = 0.2;
+
+  core::GroupedSpec spec;
+  spec.values = &fx->values;
+  spec.predicate = &fx->preds;
+  spec.op = core::PredicateOp::kGe;
+  spec.literal = 0.3;
+  spec.keys = &fx->keys;
+  core::GroupByEngine engine(options);
+  auto local = engine.Aggregate(spec);
+  ASSERT_TRUE(local.ok()) << local.status();
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (uint64_t w = 0; w < fx->shards.size(); ++w) {
+    workers.push_back(std::make_unique<Worker>(w, fx->shards[w][0],
+                                               fx->shards[w][1],
+                                               fx->shards[w][2]));
+  }
+  LoopbackTransport transport(std::move(workers));
+  Coordinator coordinator(&transport, options);
+  GroupedQuerySpec wire_spec;
+  wire_spec.has_predicate = true;
+  wire_spec.op = core::PredicateOp::kGe;
+  wire_spec.literal = 0.3;
+  wire_spec.has_group = true;
+  auto dist = coordinator.AggregateGrouped(wire_spec);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+
+  ASSERT_EQ(dist->groups.size(), local->groups.size());
+  EXPECT_EQ(dist->data_size, local->data_size);
+  EXPECT_EQ(dist->scanned_samples, local->scanned_samples);
+  EXPECT_EQ(dist->pilot_samples, local->pilot_samples);
+  for (size_t g = 0; g < local->groups.size(); ++g) {
+    EXPECT_EQ(dist->groups[g].key, local->groups[g].key);
+    EXPECT_EQ(dist->groups[g].average, local->groups[g].average);
+    EXPECT_EQ(dist->groups[g].sum, local->groups[g].sum);
+    EXPECT_EQ(dist->groups[g].count_estimate,
+              local->groups[g].count_estimate);
+    EXPECT_EQ(dist->groups[g].ci_half_width,
+              local->groups[g].ci_half_width);
+    EXPECT_EQ(dist->groups[g].count_ci_half_width,
+              local->groups[g].count_ci_half_width);
+    EXPECT_EQ(dist->groups[g].samples, local->groups[g].samples);
+  }
+}
+
+TEST(Coordinator, GroupedBitIdenticalAcrossCoordinatorParallelism) {
+  auto fx = MakeGroupedFixture(30'000, 8, 777);
+  GroupedQuerySpec wire_spec;
+  wire_spec.has_group = true;
+  std::vector<core::GroupedAggregateResult> results;
+  for (uint32_t parallelism : {1u, 2u, 8u}) {
+    std::vector<std::unique_ptr<Worker>> workers;
+    for (uint64_t w = 0; w < fx->shards.size(); ++w) {
+      workers.push_back(std::make_unique<Worker>(w, fx->shards[w][0],
+                                                 fx->shards[w][1],
+                                                 fx->shards[w][2]));
+    }
+    LoopbackTransport transport(std::move(workers));
+    core::IslaOptions options;
+    options.precision = 0.2;
+    options.parallelism = parallelism;
+    Coordinator coordinator(&transport, options);
+    auto r = coordinator.AggregateGrouped(wire_spec);
+    ASSERT_TRUE(r.ok()) << r.status();
+    results.push_back(*std::move(r));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].groups.size(), results[0].groups.size());
+    for (size_t g = 0; g < results[0].groups.size(); ++g) {
+      EXPECT_EQ(results[i].groups[g].average, results[0].groups[g].average);
+      EXPECT_EQ(results[i].groups[g].count_estimate,
+                results[0].groups[g].count_estimate);
+    }
+  }
+}
+
+TEST(Worker, GroupedScanWithoutShardsFailsCleanly) {
+  // A worker holding only a value shard must refuse predicate/group scans.
+  auto worker = NormalWorker(0, 10'000);
+  GroupedScanRequest req;
+  req.query_id = 1;
+  req.sample_count = 100;
+  req.has_predicate = 1;
+  EXPECT_TRUE(worker->HandleRequest(Encode(req))
+                  .status()
+                  .IsFailedPrecondition());
+  GroupedScanRequest group_req;
+  group_req.query_id = 1;
+  group_req.sample_count = 100;
+  group_req.has_group = 1;
+  EXPECT_TRUE(worker->HandleRequest(Encode(group_req))
+                  .status()
+                  .IsFailedPrecondition());
 }
 
 TEST(Coordinator, AgreesWithSingleNodeEngine) {

@@ -115,6 +115,198 @@ TEST_F(ExecutorTest, ElapsedTimeIsReported) {
   EXPECT_GE(r->elapsed_millis, 0.0);
 }
 
+TEST_F(ExecutorTest, SumUsesTheEngineValueField) {
+  // The executor must surface AggregateResult::value (the SUM-shaped
+  // answer) rather than re-multiplying the average by hand; for the ISLA
+  // path the two happen to agree bit-for-bit, which is what makes this
+  // checkable.
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute("SELECT SUM(price) FROM sales WITHIN 1.0");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->isla_details.has_value());
+  EXPECT_EQ(r->value, r->isla_details->value);
+  EXPECT_EQ(r->value, r->isla_details->sum);
+}
+
+/// Fixture with a second table carrying row-aligned value/flag/bucket
+/// columns for predicate + GROUP BY queries.
+class GroupedExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = std::make_shared<storage::Table>("trips");
+    ASSERT_TRUE(table->AddColumn("fare").ok());
+    ASSERT_TRUE(table->AddColumn("borough").ok());
+    ASSERT_TRUE(table->AddColumn("hour").ok());
+    Xoshiro256 rng(99);
+    for (int b = 0; b < 4; ++b) {
+      std::vector<double> fares, boroughs, hours;
+      for (int i = 0; i < 30'000; ++i) {
+        double hour = static_cast<double>(rng.NextBounded(4));
+        double borough = static_cast<double>(rng.NextBounded(3));
+        double fare = 5.0 * (hour + 1.0) + rng.NextDouble();
+        fares.push_back(fare);
+        boroughs.push_back(borough);
+        hours.push_back(hour);
+      }
+      auto add = [&](const char* col, std::vector<double> v) {
+        ASSERT_TRUE(
+            table
+                ->AppendBlock(col, std::make_shared<storage::MemoryBlock>(
+                                       std::move(v)))
+                .ok());
+      };
+      add("fare", std::move(fares));
+      add("borough", std::move(boroughs));
+      add("hour", std::move(hours));
+    }
+    ASSERT_TRUE(catalog_.AddTable(table).ok());
+  }
+
+  storage::Catalog catalog_;
+};
+
+TEST_F(GroupedExecutorTest, GroupedQueryMatchesExactScanPerGroup) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  const char* sql =
+      "SELECT AVG(fare) FROM trips WHERE borough = 1 GROUP BY hour "
+      "WITHIN 0.05 CONFIDENCE 0.95";
+  auto approx = ex.Execute(sql);
+  ASSERT_TRUE(approx.ok()) << approx.status();
+  auto exact = ex.Execute(
+      "SELECT AVG(fare) FROM trips WHERE borough = 1 GROUP BY hour "
+      "USING exact");
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  ASSERT_TRUE(approx->grouped.has_value());
+  ASSERT_TRUE(exact->grouped.has_value());
+  ASSERT_EQ(approx->grouped->groups.size(), 4u);
+  ASSERT_EQ(exact->grouped->groups.size(), 4u);
+  for (size_t g = 0; g < 4; ++g) {
+    const auto& est = approx->grouped->groups[g];
+    const auto& truth = exact->grouped->groups[g];
+    EXPECT_EQ(est.key, truth.key);
+    EXPECT_NEAR(est.average, truth.average, 0.1) << "hour " << est.key;
+    EXPECT_NEAR(est.count_estimate, truth.count_estimate,
+                2.0 * est.count_ci_half_width)
+        << "hour " << est.key;
+  }
+}
+
+TEST_F(GroupedExecutorTest, GroupedBitIdenticalAcrossParallelism) {
+  std::vector<core::GroupedAggregateResult> runs;
+  for (uint32_t parallelism : {1u, 2u, 8u}) {
+    core::IslaOptions options;
+    options.parallelism = parallelism;
+    QueryExecutor ex(&catalog_, options);
+    auto r = ex.Execute(
+        "SELECT AVG(fare) FROM trips WHERE borough >= 1 GROUP BY hour "
+        "WITHIN 0.1");
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(r->grouped.has_value());
+    runs.push_back(*r->grouped);
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    ASSERT_EQ(runs[i].groups.size(), runs[0].groups.size());
+    for (size_t g = 0; g < runs[0].groups.size(); ++g) {
+      EXPECT_EQ(runs[i].groups[g].average, runs[0].groups[g].average);
+      EXPECT_EQ(runs[i].groups[g].count_estimate,
+                runs[0].groups[g].count_estimate);
+      EXPECT_EQ(runs[i].groups[g].ci_half_width,
+                runs[0].groups[g].ci_half_width);
+    }
+  }
+}
+
+TEST_F(GroupedExecutorTest, CountWithoutPredicateIsExactRowCount) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute("SELECT COUNT(fare) FROM trips");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r->value, 120'000.0);
+}
+
+TEST_F(GroupedExecutorTest, CountWithPredicateEstimatesSelectivity) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute("SELECT COUNT(fare) FROM trips WHERE hour < 2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // True count ≈ 60'000 (hours uniform over 4 keys).
+  EXPECT_NEAR(r->value, 60'000.0, 6'000.0);
+}
+
+TEST_F(GroupedExecutorTest, UngroupedPredicateReturnsScalarWithDetails) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto r = ex.Execute(
+      "SELECT AVG(fare) FROM trips WHERE hour = 3 WITHIN 0.1");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->grouped.has_value());
+  ASSERT_EQ(r->grouped->groups.size(), 1u);
+  EXPECT_EQ(r->value, r->grouped->groups[0].average);
+  EXPECT_NEAR(r->value, 20.5, 0.3);  // 5·4 + E[U(0,1)]
+}
+
+TEST_F(GroupedExecutorTest, EveryGroupedMethodRuns) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  for (const char* method : {"isla", "isla_noniid", "uniform", "exact"}) {
+    std::string sql =
+        std::string("SELECT AVG(fare) FROM trips WHERE borough != 0 GROUP "
+                    "BY hour WITHIN 0.2 USING ") +
+        method;
+    auto r = ex.Execute(sql);
+    ASSERT_TRUE(r.ok()) << method << ": " << r.status();
+    EXPECT_EQ(r->grouped->groups.size(), 4u) << method;
+  }
+}
+
+TEST_F(GroupedExecutorTest, UnsupportedGroupedMethodsAreRejected) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  for (const char* method : {"stratified", "mv", "mvb"}) {
+    std::string sql =
+        std::string("SELECT AVG(fare) FROM trips GROUP BY hour USING ") +
+        method;
+    EXPECT_TRUE(ex.Execute(sql).status().IsInvalidArgument()) << method;
+  }
+}
+
+TEST_F(GroupedExecutorTest, EmptyMatchSetIsNaNForAvgAndZeroForCount) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  auto avg = ex.Execute("SELECT AVG(fare) FROM trips WHERE fare > 1e12");
+  ASSERT_TRUE(avg.ok()) << avg.status();
+  EXPECT_TRUE(std::isnan(avg->value));  // not confusable with a 0 mean
+  EXPECT_TRUE(avg->grouped->groups.empty());
+  auto count = ex.Execute("SELECT COUNT(fare) FROM trips WHERE fare > 1e12");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->value, 0.0);
+}
+
+TEST_F(GroupedExecutorTest, MissingPredicateColumnFails) {
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  EXPECT_TRUE(ex.Execute("SELECT AVG(fare) FROM trips WHERE ghost > 1")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ex.Execute("SELECT AVG(fare) FROM trips GROUP BY ghost")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(GroupedExecutorTest, MisalignedColumnsAreRejected) {
+  // A column with a different block structure cannot be used as a
+  // predicate or group key.
+  auto table = std::make_shared<storage::Table>("ragged");
+  ASSERT_TRUE(table->AddColumn("v").ok());
+  ASSERT_TRUE(table->AddColumn("k").ok());
+  ASSERT_TRUE(table
+                  ->AppendBlock("v", std::make_shared<storage::MemoryBlock>(
+                                         std::vector<double>{1, 2, 3, 4}))
+                  .ok());
+  ASSERT_TRUE(table
+                  ->AppendBlock("k", std::make_shared<storage::MemoryBlock>(
+                                         std::vector<double>{0, 1}))
+                  .ok());
+  ASSERT_TRUE(catalog_.AddTable(table).ok());
+  QueryExecutor ex(&catalog_, core::IslaOptions{});
+  EXPECT_TRUE(ex.Execute("SELECT AVG(v) FROM ragged GROUP BY k")
+                  .status()
+                  .IsFailedPrecondition());
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace isla

@@ -34,7 +34,24 @@ std::vector<std::string> AllFrames() {
   PartialResult part;
   part.query_id = 7;
   part.avg = 100.0;
-  return {Encode(pr), Encode(resp), Encode(plan), Encode(part)};
+  GroupedScanRequest greq;
+  greq.query_id = 8;
+  greq.sample_count = 512;
+  greq.has_predicate = 1;
+  greq.op = core::PredicateOp::kLt;
+  greq.literal = 42.0;
+  greq.has_group = 1;
+  GroupedScanResponse gresp;
+  gresp.query_id = 9;
+  gresp.worker_id = 3;
+  gresp.partial.block_rows = 1000;
+  gresp.partial.scanned = 64;
+  for (double v : {1.0, 2.0, 5.0}) gresp.partial.all.Add(v);
+  gresp.partial.groups[0.0].Add(1.0);
+  gresp.partial.groups[2.0].Add(2.0);
+  gresp.partial.groups[2.0].Add(5.0);
+  return {Encode(pr),   Encode(resp),  Encode(plan),
+          Encode(part), Encode(greq), Encode(gresp)};
 }
 
 /// Attempts every decoder against a frame; returns how many accepted.
@@ -44,6 +61,8 @@ int CountAccepts(const std::string& frame) {
   accepts += DecodePilotResponse(frame).ok();
   accepts += DecodeQueryPlan(frame).ok();
   accepts += DecodePartialResult(frame).ok();
+  accepts += DecodeGroupedScanRequest(frame).ok();
+  accepts += DecodeGroupedScanResponse(frame).ok();
   return accepts;
 }
 
@@ -66,7 +85,7 @@ TEST_P(TruncationFuzz, EveryPrefixRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessages, TruncationFuzz,
-                         ::testing::Range(0, 4));
+                         ::testing::Range(0, 6));
 
 /// Every single-byte extension must also be rejected (frames are
 /// fixed-length per type).
@@ -80,7 +99,7 @@ TEST_P(ExtensionFuzz, PaddedFramesRejected) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllMessages, ExtensionFuzz, ::testing::Range(0, 4));
+INSTANTIATE_TEST_SUITE_P(AllMessages, ExtensionFuzz, ::testing::Range(0, 6));
 
 TEST(MessageFuzz, RandomBitFlipsNeverCrashAndTagFlipsAreCaught) {
   Xoshiro256 rng(0xf122);

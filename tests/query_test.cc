@@ -124,6 +124,161 @@ TEST(ParseQuery, EmptyInputFails) {
   EXPECT_FALSE(ParseQuery("   ").ok());
 }
 
+TEST(ParseQuery, CountAggregate) {
+  auto q = ParseQuery("SELECT COUNT(v) FROM t WHERE v >= 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->aggregate, AggregateKind::kCount);
+  ASSERT_TRUE(q->where.has_value());
+  EXPECT_EQ(q->where->column, "v");
+  EXPECT_EQ(q->where->op, core::PredicateOp::kGe);
+  EXPECT_DOUBLE_EQ(q->where->literal, 10.0);
+}
+
+TEST(ParseQuery, WhereClauseAllOperators) {
+  const struct {
+    const char* op;
+    core::PredicateOp want;
+  } cases[] = {
+      {"=", core::PredicateOp::kEq},   {"==", core::PredicateOp::kEq},
+      {"!=", core::PredicateOp::kNe},  {"<>", core::PredicateOp::kNe},
+      {"<", core::PredicateOp::kLt},   {"<=", core::PredicateOp::kLe},
+      {">", core::PredicateOp::kGt},   {">=", core::PredicateOp::kGe},
+  };
+  for (const auto& c : cases) {
+    std::string sql =
+        std::string("SELECT AVG(v) FROM t WHERE k ") + c.op + " 3.5";
+    auto q = ParseQuery(sql);
+    ASSERT_TRUE(q.ok()) << sql << ": " << q.status();
+    EXPECT_EQ(q->where->op, c.want) << sql;
+    EXPECT_DOUBLE_EQ(q->where->literal, 3.5);
+  }
+}
+
+TEST(ParseQuery, OperatorsNeedNoWhitespace) {
+  auto q = ParseQuery("SELECT AVG(v) FROM t WHERE k<=-2.5 GROUP BY g");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->where->op, core::PredicateOp::kLe);
+  EXPECT_DOUBLE_EQ(q->where->literal, -2.5);
+  EXPECT_EQ(q->group_by, "g");
+}
+
+TEST(ParseQuery, GroupByClause) {
+  auto q = ParseQuery(
+      "SELECT AVG(fare) FROM trips WHERE borough = 3 GROUP BY hour "
+      "WITHIN 0.25 CONFIDENCE 0.9");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->group_by, "hour");
+  EXPECT_EQ(q->where->column, "borough");
+  EXPECT_EQ(q->where->op, core::PredicateOp::kEq);
+}
+
+TEST(ParseQuery, ClausesInterleaveFreely) {
+  auto q = ParseQuery(
+      "SELECT SUM(v) FROM t WITHIN 0.5 GROUP BY g USING uniform WHERE "
+      "k > 1 CONFIDENCE 0.8");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->group_by, "g");
+  EXPECT_TRUE(q->where.has_value());
+  EXPECT_EQ(q->method, Method::kUniform);
+}
+
+TEST(ParseQuery, PrintParseRoundTripIsAFixedPoint) {
+  // Property: Print(Parse(q)) == Print(Parse(Print(Parse(q)))) for every
+  // accepted query — printing is a canonicalization, so one round settles
+  // it.
+  const char* corpus[] = {
+      "SELECT AVG(price) FROM sales",
+      "select sum(QTY) from Inventory within 0.25",
+      "SELECT COUNT(v) FROM t",
+      "SELECT AVG(v) FROM t WHERE k >= 3 GROUP BY g",
+      "SELECT AVG(v) FROM t WHERE k<>-17.25 USING noniid",
+      "SELECT AVG(v) FROM t GROUP BY g WITHIN 0.125 CONFIDENCE 0.975",
+      "SELECT SUM(v) FROM t WHERE k = 1e-3 USING exact;",
+      "SELECT AVG(v) FROM t WITHIN 0.1 CONFIDENCE 0.95 USING mvb",
+      "SELECT COUNT(x) FROM t WHERE x < 0.333333333333333314829616256247;",
+      "  SELECT   AVG( v )  FROM   t  USING   sts  ",
+  };
+  for (const char* sql : corpus) {
+    auto first = ParseQuery(sql);
+    ASSERT_TRUE(first.ok()) << sql << ": " << first.status();
+    std::string printed = PrintQuery(*first);
+    auto second = ParseQuery(printed);
+    ASSERT_TRUE(second.ok()) << printed << ": " << second.status();
+    EXPECT_EQ(printed, PrintQuery(*second)) << sql;
+    // The canonical form preserves the parse, field by field.
+    EXPECT_EQ(first->aggregate, second->aggregate) << sql;
+    EXPECT_EQ(first->column, second->column) << sql;
+    EXPECT_EQ(first->table, second->table) << sql;
+    EXPECT_EQ(first->where.has_value(), second->where.has_value()) << sql;
+    if (first->where.has_value()) {
+      EXPECT_EQ(first->where->op, second->where->op) << sql;
+      EXPECT_EQ(first->where->literal, second->where->literal) << sql;
+    }
+    EXPECT_EQ(first->group_by, second->group_by) << sql;
+    EXPECT_EQ(first->precision, second->precision) << sql;
+    EXPECT_EQ(first->confidence, second->confidence) << sql;
+    EXPECT_EQ(first->method, second->method) << sql;
+  }
+}
+
+TEST(ParseQuery, MalformedCorpusFailsCleanlyWithOffsets) {
+  // Every entry must produce a position-annotated InvalidArgument — never a
+  // crash, never an accept.
+  const char* corpus[] = {
+      // Unterminated literals.
+      "SELECT AVG(v) FROM t WHERE name = 'unterminated",
+      "SELECT AVG(v) FROM t WHERE name = \"also bad",
+      "SELECT AVG(v) FROM 'oops",
+      // String literals where numbers/identifiers belong.
+      "SELECT AVG(v) FROM t WHERE name = 'str'",
+      "SELECT AVG('v') FROM t",
+      "SELECT AVG(v) FROM t WITHIN '0.5'",
+      // Duplicate clauses.
+      "SELECT AVG(v) FROM t WHERE k > 1 WHERE k < 2",
+      "SELECT AVG(v) FROM t GROUP BY g GROUP BY h",
+      "SELECT AVG(v) FROM t WITHIN 0.5 WITHIN 0.25",
+      "SELECT AVG(v) FROM t CONFIDENCE 0.9 CONFIDENCE 0.95",
+      "SELECT AVG(v) FROM t USING isla USING uniform",
+      // Bad operators.
+      "SELECT AVG(v) FROM t WHERE k => 3",
+      "SELECT AVG(v) FROM t WHERE k !! 3",
+      "SELECT AVG(v) FROM t WHERE k 3",
+      "SELECT AVG(v) FROM t WHERE k >",
+      "SELECT AVG(v) FROM t WHERE > 3",
+      // Structural damage.
+      "SELECT AVG(v) FROM t GROUP g",
+      "SELECT AVG(v) FROM t GROUP BY",
+      "SELECT AVG(v) FROM t WHERE",
+      "SELECT AVG() FROM t",
+      "SELECT (v) FROM t",
+      "WHERE k > 3",
+      "SELECT AVG(v) FROM t WITHIN 0.5 garbage",
+  };
+  for (const char* sql : corpus) {
+    auto q = ParseQuery(sql);
+    ASSERT_FALSE(q.ok()) << "accepted: " << sql;
+    EXPECT_TRUE(q.status().IsInvalidArgument()) << sql << ": " << q.status();
+    EXPECT_NE(q.status().message().find("offset"), std::string::npos)
+        << sql << ": " << q.status();
+  }
+}
+
+TEST(PrintQuery, LiteralsRoundTripExactly) {
+  QuerySpec spec;
+  spec.column = "v";
+  spec.table = "t";
+  PredicateClause where;
+  where.column = "k";
+  where.op = core::PredicateOp::kLt;
+  where.literal = 0.1 + 0.2;  // 0.30000000000000004 — needs 17 digits
+  spec.where = where;
+  spec.precision = 1.0 / 3.0;
+  auto reparsed = ParseQuery(PrintQuery(spec));
+  ASSERT_TRUE(reparsed.ok()) << PrintQuery(spec);
+  EXPECT_EQ(reparsed->where->literal, 0.1 + 0.2);
+  EXPECT_EQ(reparsed->precision, 1.0 / 3.0);
+}
+
 TEST(MethodName, RoundTripNames) {
   EXPECT_EQ(MethodName(Method::kIsla), "isla");
   EXPECT_EQ(MethodName(Method::kIslaNonIid), "isla_noniid");

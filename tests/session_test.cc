@@ -153,6 +153,50 @@ TEST(Session, SelectWithMethodAndSum) {
   EXPECT_NE(us->find("method=uniform"), std::string::npos);
 }
 
+TEST(Session, GroupsClauseAddsAlignedKeyColumn) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(50, 5) ROWS 1e5 BLOCKS 4 "
+                "SEED 3 GROUPS 3")
+          .ok());
+  auto desc = s.Execute("DESCRIBE t");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_NE(desc->find("grp"), std::string::npos) << *desc;
+
+  auto grouped = s.Execute(
+      "SELECT AVG(value) FROM t WHERE value >= 50 GROUP BY grp WITHIN 0.5");
+  ASSERT_TRUE(grouped.ok()) << grouped.status();
+  EXPECT_NE(grouped->find("3 group(s)"), std::string::npos) << *grouped;
+  EXPECT_NE(grouped->find("grp=0"), std::string::npos) << *grouped;
+  EXPECT_NE(grouped->find("count~"), std::string::npos) << *grouped;
+
+  auto count = s.Execute("SELECT COUNT(value) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_NE(count->find("COUNT = 100000"), std::string::npos) << *count;
+}
+
+TEST(Session, GroupsClauseValidatesCardinality) {
+  Session s;
+  EXPECT_FALSE(
+      s.Execute("CREATE TABLE t FROM NORMAL(1, 1) ROWS 100 BLOCKS 2 GROUPS 0")
+          .ok());
+  EXPECT_FALSE(
+      s.Execute(
+           "CREATE TABLE t FROM NORMAL(1, 1) ROWS 100 BLOCKS 2 GROUPS 9999")
+          .ok());
+}
+
+TEST(Session, DuplicateSeedOrGroupsClausesAreRejected) {
+  Session s;
+  EXPECT_FALSE(
+      s.Execute(
+           "CREATE TABLE t FROM NORMAL(1, 1) ROWS 100 BLOCKS 2 SEED 1 SEED 2")
+          .ok());
+  EXPECT_FALSE(s.Execute("CREATE TABLE t FROM NORMAL(1, 1) ROWS 100 BLOCKS "
+                         "2 GROUPS 3 GROUPS 5")
+                   .ok());
+}
+
 TEST(Session, SelectMissingTableFails) {
   Session s;
   EXPECT_TRUE(

@@ -1,9 +1,10 @@
 // isla_shell — an interactive REPL over the ISLA engine.
 //
 //   $ ./isla_shell
-//   isla> CREATE TABLE sensors FROM NORMAL(100, 20) ROWS 1e9 BLOCKS 10
+//   isla> CREATE TABLE sensors FROM NORMAL(100, 20) ROWS 1e9 BLOCKS 10 GROUPS 4
 //   isla> SELECT AVG(value) FROM sensors WITHIN 0.1 CONFIDENCE 0.95
-//   isla> SELECT AVG(value) FROM sensors WITHIN 0.1 USING uniform
+//   isla> SELECT AVG(value) FROM sensors WHERE value >= 100 GROUP BY grp WITHIN 0.5
+//   isla> SELECT COUNT(value) FROM sensors WHERE value < 80
 //   isla> DESCRIBE sensors
 //   isla> help
 //
@@ -19,15 +20,20 @@
 namespace {
 
 constexpr char kHelp[] = R"(statements:
-  CREATE TABLE t FROM NORMAL(mu, sigma) ROWS n BLOCKS b [SEED s]
-  CREATE TABLE t FROM EXPONENTIAL(gamma) ROWS n BLOCKS b [SEED s]
-  CREATE TABLE t FROM UNIFORM(lo, hi) ROWS n BLOCKS b [SEED s]
+  CREATE TABLE t FROM NORMAL(mu, sigma) ROWS n BLOCKS b [SEED s] [GROUPS g]
+  CREATE TABLE t FROM EXPONENTIAL(gamma) ROWS n BLOCKS b [SEED s] [GROUPS g]
+  CREATE TABLE t FROM UNIFORM(lo, hi) ROWS n BLOCKS b [SEED s] [GROUPS g]
   CREATE TABLE t FROM FILES('a.islb', 'b.islb', ...)
   DROP TABLE t
   SHOW TABLES
   DESCRIBE t
-  SELECT AVG(value)|SUM(value) FROM t [WITHIN e] [CONFIDENCE b]
+  SELECT AVG(c)|SUM(c)|COUNT(c) FROM t
+         [WHERE c (=|!=|<>|<|<=|>|>=) literal] [GROUP BY c]
+         [WITHIN e] [CONFIDENCE b]
          [USING isla|isla_noniid|uniform|stratified|mv|mvb|exact]
+  GROUPS g adds a row-aligned key column 'grp' with keys {0..g-1};
+  WHERE/GROUP BY/COUNT run the shared-scan grouped sampler with a
+  per-group (e, b) precision contract.
   help | quit)";
 
 }  // namespace
