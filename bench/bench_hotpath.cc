@@ -1,0 +1,356 @@
+// Hot-path microbenchmarks with a machine-readable perf trajectory:
+// emits BENCH_hotpath.json so every future PR can be held to this one's
+// rows/sec numbers.
+//
+// Sections:
+//   gather   — Block::GatherAt rows/sec on the same ISLB file opened via
+//              mmap (zero-copy, lock-free) and via the stdio chunk-cache
+//              fallback toggle, plus a MemoryBlock reference. The two file
+//              paths must produce bit-identical gathers, and the mmap path
+//              must beat stdio by --min-gather-speedup (smoke threshold; a
+//              ratio, never an absolute timing).
+//   isla     — full ungrouped ISLA pipeline (pilot + Calculation +
+//              Summarization) in sampled rows/sec on memory- and
+//              mmap-file-backed columns, threads 1..N. Answers must be
+//              bit-identical across storage kinds and thread counts.
+//   grouped  — predicate + GROUP BY shared scan in scanned rows/sec.
+//
+// Flags: --rows N --batches N --threads-max T --out PATH
+//        --min-gather-speedup X
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/group_by.h"
+#include "harness.h"
+#include "runtime/scratch_arena.h"
+#include "sampling/samplers.h"
+#include "storage/file_block.h"
+#include "storage/table.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using isla::Xoshiro256;
+
+struct Config {
+  uint64_t rows = 4'000'000;        // rows in the gather fixture file
+  uint64_t batches = 256;           // gather batches per measurement
+  unsigned threads_max = 0;         // 0 = hardware_concurrency
+  std::string out = "BENCH_hotpath.json";
+  double min_gather_speedup = 3.0;  // smoke threshold; 0 disables
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--rows") {
+      cfg.rows = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--batches") {
+      cfg.batches = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--threads-max") {
+      cfg.threads_max = static_cast<unsigned>(
+          std::strtoul(next(), nullptr, 10));
+    } else if (a == "--out") {
+      cfg.out = next();
+    } else if (a == "--min-gather-speedup") {
+      cfg.min_gather_speedup = std::strtod(next(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: %s\n", what);
+    std::exit(1);
+  }
+}
+
+void CheckOk(const isla::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+void CheckOk(const isla::Result<T>& result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Median-of-3 wall-clock of `fn` in milliseconds.
+template <typename Fn>
+double MedianMillis(Fn&& fn) {
+  std::vector<double> times;
+  for (int rep = 0; rep < 3; ++rep) {
+    isla::Timer timer;
+    fn();
+    times.push_back(timer.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[1];
+}
+
+/// Rows/sec of gathering `batches` pre-drawn index batches from `block`.
+double GatherRowsPerSec(const isla::storage::Block& block,
+                        const std::vector<std::vector<uint64_t>>& batches,
+                        std::vector<double>* out) {
+  double ms = MedianMillis([&] {
+    for (const auto& idx : batches) {
+      CheckOk(block.GatherAt(idx, out->data()), "GatherAt");
+    }
+  });
+  uint64_t rows = 0;
+  for (const auto& idx : batches) rows += idx.size();
+  return static_cast<double>(rows) / (ms / 1000.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isla;
+  const Config cfg = ParseArgs(argc, argv);
+  bench::PrintHeader(
+      "Sampling hot path (gather / isla / grouped)",
+      "mmap vs stdio FileBlock gathers + end-to-end sampled rows/sec; "
+      "emits " + cfg.out);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads_max =
+      cfg.threads_max == 0 ? hw : cfg.threads_max;
+
+  // --- Fixture: one ISLB file of N(100, 20²)-ish values. ---
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("isla_hotpath_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string file_path = (dir / "gather.islb").string();
+
+  std::vector<double> values(cfg.rows);
+  Xoshiro256 data_rng(42);
+  for (auto& v : values) v = 100.0 + 20.0 * (2.0 * data_rng.NextDouble() - 1.0);
+  CheckOk(storage::WriteBlockFile(file_path, values), "WriteBlockFile");
+
+  storage::FileBlockOptions mmap_opts{.use_mmap = true};
+  storage::FileBlockOptions stdio_opts{.use_mmap = false};
+  auto file_mmap = storage::FileBlock::Open(file_path, mmap_opts);
+  auto file_stdio = storage::FileBlock::Open(file_path, stdio_opts);
+  CheckOk(file_mmap, "Open mmap");
+  CheckOk(file_stdio, "Open stdio");
+  Check(!(*file_stdio)->mmapped(), "stdio toggle must disable mmap");
+  const bool mmap_engaged = (*file_mmap)->mmapped();
+  if (!mmap_engaged) {
+    std::fprintf(stderr,
+                 "note: mmap unavailable on this platform; gather speedup "
+                 "check skipped\n");
+  }
+  storage::MemoryBlock mem_block(values);
+
+  // Pre-draw the index batches so the measurement is pure gather.
+  std::vector<std::vector<uint64_t>> index_batches(cfg.batches);
+  Xoshiro256 idx_rng(7);
+  for (auto& b : index_batches) {
+    b.resize(sampling::kGatherBatch);
+    for (auto& i : b) i = idx_rng.NextBounded(cfg.rows);
+  }
+
+  std::vector<double> out_a(sampling::kGatherBatch);
+  std::vector<double> out_b(sampling::kGatherBatch);
+  const double stdio_rps =
+      GatherRowsPerSec(**file_stdio, index_batches, &out_a);
+  const double mmap_rps =
+      GatherRowsPerSec(**file_mmap, index_batches, &out_b);
+  Check(std::memcmp(out_a.data(), out_b.data(),
+                    out_a.size() * sizeof(double)) == 0,
+        "mmap and stdio gathers must be bit-identical");
+  const double mem_rps = GatherRowsPerSec(mem_block, index_batches, &out_a);
+  const double speedup = mmap_rps / stdio_rps;
+  std::printf("gather rows/sec  stdio=%.3e  mmap=%.3e (%.1fx)  memory=%.3e\n",
+              stdio_rps, mmap_rps, speedup, mem_rps);
+
+  // --- Ungrouped ISLA end-to-end, memory vs mmap-file columns. ---
+  const uint64_t kIslaBlocks = 4;
+  storage::Column mem_col("v");
+  storage::Column file_col("v");
+  const uint64_t per_block = cfg.rows / kIslaBlocks;
+  for (uint64_t j = 0; j < kIslaBlocks; ++j) {
+    std::vector<double> shard(values.begin() +
+                                  static_cast<ptrdiff_t>(j * per_block),
+                              values.begin() +
+                                  static_cast<ptrdiff_t>((j + 1) * per_block));
+    const std::string p =
+        (dir / ("isla_" + std::to_string(j) + ".islb")).string();
+    Check(storage::WriteBlockFile(p, shard).ok(), "write isla shard");
+    auto fb = storage::FileBlock::Open(p, mmap_opts);
+    CheckOk(fb, "open isla shard");
+    Check(mem_col.AppendBlock(
+                     std::make_shared<storage::MemoryBlock>(std::move(shard)))
+              .ok(),
+          "append mem shard");
+    Check(file_col.AppendBlock(*fb).ok(), "append file shard");
+  }
+
+  core::IslaOptions options = bench::DefaultOptions();
+  options.precision = 0.02;  // heavier sampling: a workload, not a blink
+  runtime::ScratchPool pool;
+
+  struct IslaRow {
+    const char* storage;
+    unsigned threads;
+    double rows_per_sec;
+    uint64_t samples;
+  };
+  std::vector<IslaRow> isla_rows;
+  double reference_answer = 0.0;
+  bool have_reference = false;
+  // Label the file column by the path it actually serves from, so the JSON
+  // never attributes stdio-fallback numbers to mmap on platforms without it.
+  const char* file_label = mmap_engaged ? "file_mmap" : "file_stdio";
+  const std::pair<const char*, const storage::Column*> columns[] = {
+      {"memory", &mem_col}, {file_label, &file_col}};
+  for (const auto& [label, col] : columns) {
+    for (unsigned t = 1; t <= threads_max; t *= 2) {
+      options.parallelism = t;
+      core::IslaEngine engine(options, &pool);
+      uint64_t samples = 0;
+      double answer = 0.0;
+      double ms = MedianMillis([&] {
+        auto r = engine.AggregateAvg(*col);
+        CheckOk(r, "AggregateAvg");
+        samples = r->total_samples + r->pilot_samples;
+        answer = r->average;
+      });
+      if (!have_reference) {
+        reference_answer = answer;
+        have_reference = true;
+      }
+      Check(answer == reference_answer,
+            "isla answer must be bit-identical across storage and threads");
+      isla_rows.push_back({label, t,
+                           static_cast<double>(samples) / (ms / 1000.0),
+                           samples});
+      std::printf("isla %-9s t=%-2u  %.3e sampled rows/sec (%" PRIu64
+                  " samples)\n",
+                  label, t, isla_rows.back().rows_per_sec, samples);
+    }
+  }
+
+  // --- Predicate + GROUP BY shared scan. ---
+  storage::Column key_col("k");
+  storage::Column pred_col("p");
+  Xoshiro256 aux_rng(9);
+  for (uint64_t j = 0; j < kIslaBlocks; ++j) {
+    std::vector<double> keys(per_block);
+    std::vector<double> preds(per_block);
+    for (uint64_t i = 0; i < per_block; ++i) {
+      keys[i] = static_cast<double>(aux_rng.NextBounded(8));
+      preds[i] = aux_rng.NextDouble();
+    }
+    Check(key_col.AppendBlock(
+                     std::make_shared<storage::MemoryBlock>(std::move(keys)))
+              .ok(),
+          "append keys");
+    Check(pred_col.AppendBlock(
+                      std::make_shared<storage::MemoryBlock>(std::move(preds)))
+              .ok(),
+          "append preds");
+  }
+  core::GroupedSpec spec;
+  spec.values = &mem_col;
+  spec.predicate = &pred_col;
+  spec.op = core::PredicateOp::kGe;
+  spec.literal = 0.25;
+  spec.keys = &key_col;
+  options.parallelism = 1;
+  core::GroupByEngine grouped_engine(options, &pool);
+  uint64_t grouped_scanned = 0;
+  size_t grouped_groups = 0;
+  double grouped_ms = MedianMillis([&] {
+    auto r = grouped_engine.Aggregate(spec);
+    CheckOk(r, "grouped Aggregate");
+    grouped_scanned = r->scanned_samples + r->pilot_samples;
+    grouped_groups = r->groups.size();
+  });
+  const double grouped_rps =
+      static_cast<double>(grouped_scanned) / (grouped_ms / 1000.0);
+  std::printf("grouped (WHERE + GROUP BY, %zu groups)  %.3e scanned rows/sec\n",
+              grouped_groups, grouped_rps);
+
+  // --- Emit BENCH_hotpath.json. ---
+  std::FILE* f = std::fopen(cfg.out.c_str(), "w");
+  Check(f != nullptr, "cannot open --out file");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"hotpath\",\n");
+  std::fprintf(f, "  \"rows\": %" PRIu64 ",\n", cfg.rows);
+  std::fprintf(f, "  \"gather_batch\": %" PRIu64 ",\n",
+               static_cast<uint64_t>(sampling::kGatherBatch));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"gather\": {\n");
+  std::fprintf(f, "    \"file_stdio_rows_per_sec\": %.6e,\n", stdio_rps);
+  std::fprintf(f, "    \"file_mmap_rows_per_sec\": %.6e,\n", mmap_rps);
+  std::fprintf(f, "    \"memory_rows_per_sec\": %.6e,\n", mem_rps);
+  std::fprintf(f, "    \"mmap_engaged\": %s,\n",
+               mmap_engaged ? "true" : "false");
+  std::fprintf(f, "    \"mmap_speedup\": %.3f\n", speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"isla\": [\n");
+  for (size_t i = 0; i < isla_rows.size(); ++i) {
+    const IslaRow& r = isla_rows[i];
+    std::fprintf(f,
+                 "    {\"storage\": \"%s\", \"threads\": %u, "
+                 "\"sampled_rows_per_sec\": %.6e, \"samples\": %" PRIu64
+                 "}%s\n",
+                 r.storage, r.threads, r.rows_per_sec, r.samples,
+                 i + 1 < isla_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"grouped\": {\n");
+  std::fprintf(f, "    \"scanned_rows_per_sec\": %.6e,\n", grouped_rps);
+  std::fprintf(f, "    \"groups\": %zu\n", grouped_groups);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", cfg.out.c_str());
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  // Smoke threshold last, so the JSON exists even on failure for triage.
+  if (mmap_engaged && cfg.min_gather_speedup > 0.0 &&
+      speedup < cfg.min_gather_speedup) {
+    std::fprintf(stderr, "FATAL: mmap gather speedup %.2fx < required %.2fx\n",
+                 speedup, cfg.min_gather_speedup);
+    return 1;
+  }
+  return 0;
+}

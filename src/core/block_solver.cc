@@ -9,26 +9,33 @@ namespace core {
 Status RunSamplingPhase(const storage::Block& block,
                         const DataBoundaries& boundaries,
                         uint64_t sample_count, double shift, Xoshiro256* rng,
-                        BlockParams* out) {
+                        BlockParams* out, runtime::ScratchArena* scratch) {
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
   out->block_rows = block.size();
-  ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
-      block, sample_count,
-      [&](double raw) {
-        double a = raw + shift;
-        ++out->samples_drawn;
-        switch (boundaries.Classify(a)) {
-          case Region::kSmall:
-            out->param_s.Add(a);
-            break;
-          case Region::kLarge:
-            out->param_l.Add(a);
-            break;
-          default:
-            break;  // TS/N/TL samples are dropped (Algorithm 1 line 12).
-        }
-      },
-      rng));
+  if (block.size() == 0) {
+    return Status::FailedPrecondition("cannot sample empty block");
+  }
+  sampling::BlockSampleStream stream(block, sample_count, rng, scratch);
+  std::span<const double> batch;
+  for (;;) {
+    ISLA_RETURN_NOT_OK(stream.Next(&batch));
+    if (batch.empty()) break;
+    out->samples_drawn += batch.size();
+    for (double raw : batch) {
+      double a = raw + shift;
+      switch (boundaries.Classify(a)) {
+        case Region::kSmall:
+          out->param_s.Add(a);
+          break;
+        case Region::kLarge:
+          out->param_l.Add(a);
+          break;
+        default:
+          break;  // TS/N/TL samples are dropped (Algorithm 1 line 12).
+      }
+    }
+  }
   return Status::OK();
 }
 

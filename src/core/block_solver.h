@@ -8,6 +8,7 @@
 #include "core/boundaries.h"
 #include "core/modulation.h"
 #include "core/options.h"
+#include "runtime/scratch_arena.h"
 #include "stats/moments.h"
 #include "storage/block.h"
 #include "util/rng.h"
@@ -35,12 +36,15 @@ struct BlockParams {
 /// Phase 1 (Algorithm 1): draws `sample_count` uniform samples from `block`,
 /// classifies each against `boundaries` after applying `shift` (the
 /// negative-data translation; 0 for all-positive data), and folds S/L
-/// samples into the streamed moments. Samples land in no array — they are
-/// classified and dropped.
+/// samples into the streamed moments. Samples are gathered in kGatherBatch
+/// chunks into `scratch` (nullable; pass a warmed per-worker arena to make
+/// the loop allocation-free), classified, and dropped — they land in no
+/// long-lived array.
 Status RunSamplingPhase(const storage::Block& block,
                         const DataBoundaries& boundaries,
                         uint64_t sample_count, double shift, Xoshiro256* rng,
-                        BlockParams* out);
+                        BlockParams* out,
+                        runtime::ScratchArena* scratch = nullptr);
 
 /// A block's aggregation verdict plus iteration diagnostics.
 struct BlockAnswer {

@@ -35,9 +35,15 @@ Result<AggregateResult> IslaEngine::AggregateAvg(const storage::Column& column,
 
   Xoshiro256 rng(SplitMix64::Hash(options_.seed, seed_salt));
 
-  // --- Pre-estimation module ---
-  ISLA_ASSIGN_OR_RETURN(PilotEstimate pilot,
-                        RunPreEstimation(column, options_, &rng));
+  // --- Pre-estimation module --- (the lease's scope returns the pilot's
+  // warmed arena to the pool before the Calculation workers acquire theirs)
+  PilotEstimate pilot;
+  {
+    runtime::ScratchPool::Lease pilot_lease;
+    if (scratch_ != nullptr) pilot_lease = scratch_->Acquire();
+    ISLA_ASSIGN_OR_RETURN(
+        pilot, RunPreEstimation(column, options_, &rng, pilot_lease.get()));
+  }
 
   AggregateResult res;
   res.data_size = column.num_rows();
@@ -80,10 +86,15 @@ Result<AggregateResult> IslaEngine::AggregateAvg(const storage::Column& column,
       num_blocks, options_.parallelism, [&](uint64_t j) -> Status {
         Xoshiro256 block_rng(SplitMix64::Hash(
             options_.seed, seed_salt ^ kCalcPhaseSalt, j));
+        // Arenas come from the shared pool when the caller wired one in
+        // (the steady-state allocation-free path); otherwise a per-block
+        // local arena keeps the code path identical.
+        runtime::ScratchPool::Lease lease;
+        if (scratch_ != nullptr) lease = scratch_->Acquire();
         BlockParams params;
         ISLA_RETURN_NOT_OK(RunSamplingPhase(*column.blocks()[j], boundaries,
                                             alloc[j], shift, &block_rng,
-                                            &params));
+                                            &params, lease.get()));
         ISLA_ASSIGN_OR_RETURN(BlockAnswer answer,
                               RunIterationPhase(params, sketch0, options_));
         reports[j].block_index = j;

@@ -10,6 +10,7 @@
 #include "core/boundaries.h"
 #include "core/options.h"
 #include "core/pre_estimation.h"
+#include "runtime/scratch_arena.h"
 #include "storage/table.h"
 
 namespace isla {
@@ -57,7 +58,12 @@ struct AggregateResult {
 /// call deriving its own RNG stream from options().seed and the call's salt.
 class IslaEngine {
  public:
-  explicit IslaEngine(IslaOptions options) : options_(options) {}
+  /// `scratch` (nullable, unowned, must outlive the engine) supplies
+  /// per-worker gather arenas; long-lived callers pass one pool so repeated
+  /// queries run their inner loops allocation-free.
+  explicit IslaEngine(IslaOptions options,
+                      runtime::ScratchPool* scratch = nullptr)
+      : options_(options), scratch_(scratch) {}
 
   const IslaOptions& options() const { return options_; }
 
@@ -73,6 +79,7 @@ class IslaEngine {
 
  private:
   IslaOptions options_;
+  runtime::ScratchPool* scratch_;
 };
 
 }  // namespace core

@@ -48,6 +48,52 @@ bool EvalPredicate(PredicateOp op, double lhs, double rhs) {
   return false;
 }
 
+void EvalPredicateMask(PredicateOp op, std::span<const double> lhs,
+                       double rhs, uint8_t* mask) {
+  const size_t n = lhs.size();
+  const double* v = lhs.data();
+  if (std::isnan(rhs)) {
+    // Every comparison against NaN is UNKNOWN → false.
+    for (size_t i = 0; i < n; ++i) mask[i] = 0;
+    return;
+  }
+  // One comparison per element; IEEE semantics already yield false for a
+  // NaN lhs under ==, <, <=, >, >= — only != needs the self-equality term
+  // to turn C++'s (NaN != x) == true into SQL's UNKNOWN.
+  switch (op) {
+    case PredicateOp::kEq:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = static_cast<uint8_t>(v[i] == rhs);
+      }
+      break;
+    case PredicateOp::kNe:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = static_cast<uint8_t>((v[i] == v[i]) & (v[i] != rhs));
+      }
+      break;
+    case PredicateOp::kLt:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = static_cast<uint8_t>(v[i] < rhs);
+      }
+      break;
+    case PredicateOp::kLe:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = static_cast<uint8_t>(v[i] <= rhs);
+      }
+      break;
+    case PredicateOp::kGt:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = static_cast<uint8_t>(v[i] > rhs);
+      }
+      break;
+    case PredicateOp::kGe:
+      for (size_t i = 0; i < n; ++i) {
+        mask[i] = static_cast<uint8_t>(v[i] >= rhs);
+      }
+      break;
+  }
+}
+
 Status GroupedBlockPartial::Merge(const GroupedBlockPartial& other) {
   block_rows += other.block_rows;
   scanned += other.scanned;
@@ -107,6 +153,31 @@ Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
   return Status::OK();
 }
 
+Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
+                         const double* keys, GroupMoments* all,
+                         GroupMap* groups) {
+  if (groups == nullptr) {
+    return Status::InvalidArgument("groups must not be null");
+  }
+  const double* v = values.data();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (mask != nullptr && mask[i] == 0) continue;
+    double group_key = 0.0;
+    if (keys != nullptr) {
+      group_key = keys[i];
+      if (std::isnan(group_key)) continue;
+    }
+    if (all != nullptr) all->Add(v[i]);
+    (*groups)[group_key].Add(v[i]);
+    if (groups->size() > kMaxGroups) {
+      return Status::ResourceExhausted(
+          "GROUP BY produced more than " + std::to_string(kMaxGroups) +
+          " distinct keys");
+    }
+  }
+  return Status::OK();
+}
+
 Status ValidateGroupedSpec(const GroupedSpec& spec) {
   if (spec.values == nullptr) {
     return Status::InvalidArgument("grouped spec has no value column");
@@ -129,38 +200,51 @@ Status RunGroupedBlockPass(const storage::Block& values,
                            PredicateOp op, double literal,
                            const storage::Block* key_block,
                            uint64_t sample_count, Xoshiro256* rng,
-                           GroupedBlockPartial* out) {
+                           GroupedBlockPartial* out,
+                           runtime::ScratchArena* scratch) {
   if (rng == nullptr || out == nullptr) {
     return Status::InvalidArgument("rng and out must not be null");
   }
   out->block_rows = values.size();
   const uint64_t n = values.size();
   if (n == 0) return Status::FailedPrecondition("cannot sample empty block");
+  if ((predicate_block != nullptr && predicate_block->size() != n) ||
+      (key_block != nullptr && key_block->size() != n)) {
+    return Status::FailedPrecondition(
+        "grouped block pass columns are not row-aligned");
+  }
 
-  const storage::Block* columns[3] = {&values, predicate_block, key_block};
-  std::vector<uint64_t> indices;
-  std::vector<std::vector<double>> gathered;
-  indices.reserve(std::min<uint64_t>(sample_count, sampling::kGatherBatch));
+  runtime::ScratchArena local;
+  runtime::ScratchArena* s = scratch != nullptr ? scratch : &local;
 
   for (uint64_t done = 0; done < sample_count;) {
     const uint64_t batch =
         std::min<uint64_t>(sampling::kGatherBatch, sample_count - done);
-    indices.clear();
-    for (uint64_t i = 0; i < batch; ++i) {
-      indices.push_back(rng->NextBounded(n));
-    }
+    sampling::GenerateUniformIndices(n, batch, rng, &s->indices);
     // All columns gather the same positions, so (value, pred, key) triples
     // are row-consistent.
-    ISLA_RETURN_NOT_OK(storage::GatherRowsAt(columns, indices, &gathered));
-    const std::vector<double>& vals = gathered[0];
-    const std::vector<double>& preds = gathered[1];
-    const std::vector<double>& keys = gathered[2];
-    for (uint64_t i = 0; i < batch; ++i) {
-      ISLA_RETURN_NOT_OK(RouteGroupedRow(
-          predicate_block != nullptr ? &preds[i] : nullptr, op, literal,
-          key_block != nullptr ? &keys[i] : nullptr, vals[i], &out->all,
-          &out->groups));
+    s->values.resize(batch);
+    ISLA_RETURN_NOT_OK(
+        storage::GatherInto(values, s->indices, s->values.data()));
+    const uint8_t* mask = nullptr;
+    if (predicate_block != nullptr) {
+      s->pred.resize(batch);
+      ISLA_RETURN_NOT_OK(
+          storage::GatherInto(*predicate_block, s->indices, s->pred.data()));
+      s->mask.resize(batch);
+      EvalPredicateMask(op, {s->pred.data(), batch}, literal,
+                        s->mask.data());
+      mask = s->mask.data();
     }
+    const double* keys = nullptr;
+    if (key_block != nullptr) {
+      s->keys.resize(batch);
+      ISLA_RETURN_NOT_OK(
+          storage::GatherInto(*key_block, s->indices, s->keys.data()));
+      keys = s->keys.data();
+    }
+    ISLA_RETURN_NOT_OK(RouteGroupedBatch({s->values.data(), batch}, mask,
+                                         keys, &out->all, &out->groups));
     done += batch;
   }
   out->scanned += sample_count;
@@ -269,10 +353,13 @@ Result<GroupedAggregateResult> GroupByEngine::Aggregate(
         num_blocks, options_.parallelism, [&](uint64_t j) -> Status {
           Xoshiro256 rng(
               SplitMix64::Hash(options_.seed, seed_salt ^ phase_salt, j));
+          runtime::ScratchPool::Lease lease;
+          if (scratch_ != nullptr) lease = scratch_->Acquire();
           return RunGroupedBlockPass(*values.blocks()[j],
                                      block_of(spec.predicate, j), spec.op,
                                      spec.literal, block_of(spec.keys, j),
-                                     alloc[j], &rng, &partials[j]);
+                                     alloc[j], &rng, &partials[j],
+                                     lease.get());
         }));
     for (const GroupedBlockPartial& partial : partials) {
       ISLA_RETURN_NOT_OK(merged->Merge(partial));

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "runtime/scratch_arena.h"
 #include "storage/table.h"
 #include "util/rng.h"
 
@@ -24,6 +26,15 @@ std::string_view PredicateOpName(PredicateOp op);
 /// Evaluates `lhs op rhs`. Comparisons involving NaN are false for every
 /// operator (SQL's UNKNOWN semantics), including !=.
 bool EvalPredicate(PredicateOp op, double lhs, double rhs);
+
+/// Vectorized form: mask[i] = EvalPredicate(op, lhs[i], rhs) for every i.
+/// The operator switch is hoisted out of the loop and each body is a single
+/// branchless comparison (NaN handled by IEEE comparison semantics, with
+/// != getting an explicit self-equality term), so the compiler emits
+/// straight-line SIMD-friendly code instead of a per-row branch tree.
+/// `mask` must have room for lhs.size() bytes.
+void EvalPredicateMask(PredicateOp op, std::span<const double> lhs,
+                       double rhs, uint8_t* mask);
 
 /// Reduced mergeable moments of one group: Welford's (n, mean, M2). Unlike
 /// stats::StreamingMoments this carries no compensated power sums, so the
@@ -109,18 +120,31 @@ Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
                        const double* key, double value, GroupMoments* all,
                        GroupMap* groups);
 
+/// Batch form of the router consumed by both the sampler and the exact
+/// full scan: rows with mask[i] == 0 are skipped (pass mask == nullptr for
+/// "no predicate"), NaN group keys are dropped (keys == nullptr means the
+/// single implicit group), and surviving values fold into `all` (nullable)
+/// and their group. Row i of every span refers to the same sampled row.
+/// Identical semantics to RouteGroupedRow with the predicate pre-evaluated
+/// into the mask. Returns ResourceExhausted past kMaxGroups.
+Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
+                         const double* keys, GroupMoments* all,
+                         GroupMap* groups);
+
 /// Samples `sample_count` rows with replacement from one block shard (the
 /// value block plus the aligned predicate/key blocks, either of which may be
-/// null), evaluates the predicate, and routes matching rows into `out`.
-/// Rows whose group key is NaN are dropped. The gather is batched
-/// (sampling::kGatherBatch indices per virtual call, all columns gathered at
-/// the same positions).
+/// null), evaluates the predicate branchlessly into a selection mask, and
+/// routes matching rows into `out`. Rows whose group key is NaN are
+/// dropped. Gathers are batched (sampling::kGatherBatch indices per batch,
+/// all columns gathered at the same positions) into `scratch` (nullable;
+/// pass a warmed per-worker arena to make the loop allocation-free).
 Status RunGroupedBlockPass(const storage::Block& values,
                            const storage::Block* predicate_block,
                            PredicateOp op, double literal,
                            const storage::Block* key_block,
                            uint64_t sample_count, Xoshiro256* rng,
-                           GroupedBlockPartial* out);
+                           GroupedBlockPartial* out,
+                           runtime::ScratchArena* scratch = nullptr);
 
 /// The merged pilot of a grouped query, input to scan planning.
 struct GroupedPilot {
@@ -183,7 +207,12 @@ Result<GroupedAggregateResult> SummarizeGroups(const GroupMap& merged,
 /// which replays the same streams shard by shard.
 class GroupByEngine {
  public:
-  explicit GroupByEngine(IslaOptions options) : options_(options) {}
+  /// `scratch` (nullable, unowned, must outlive the engine) supplies
+  /// per-worker gather arenas; long-lived callers pass one pool so repeated
+  /// queries run their inner loops allocation-free.
+  explicit GroupByEngine(IslaOptions options,
+                         runtime::ScratchPool* scratch = nullptr)
+      : options_(options), scratch_(scratch) {}
 
   const IslaOptions& options() const { return options_; }
 
@@ -194,6 +223,7 @@ class GroupByEngine {
 
  private:
   IslaOptions options_;
+  runtime::ScratchPool* scratch_;
 };
 
 /// Domain-separation salts of the two grouped phases. Public because the

@@ -18,20 +18,25 @@ namespace {
 /// sizes, folding every value into `moments` and tracking the minimum.
 Status DrawProportionalPilot(const storage::Column& column, uint64_t m,
                              Xoshiro256* rng, stats::StreamingMoments* moments,
-                             double* min_value) {
+                             double* min_value,
+                             runtime::ScratchArena* scratch) {
   std::vector<uint64_t> sizes;
   sizes.reserve(column.num_blocks());
   for (const auto& b : column.blocks()) sizes.push_back(b->size());
   std::vector<uint64_t> alloc = sampling::ProportionalAllocation(sizes, m);
   for (size_t i = 0; i < alloc.size(); ++i) {
     if (alloc[i] == 0) continue;
-    ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
-        *column.blocks()[i], alloc[i],
-        [&](double v) {
-          moments->Add(v);
-          *min_value = std::min(*min_value, v);
-        },
-        rng));
+    sampling::BlockSampleStream stream(*column.blocks()[i], alloc[i], rng,
+                                       scratch);
+    std::span<const double> batch;
+    for (;;) {
+      ISLA_RETURN_NOT_OK(stream.Next(&batch));
+      if (batch.empty()) break;
+      for (double v : batch) {
+        moments->Add(v);
+        *min_value = std::min(*min_value, v);
+      }
+    }
   }
   return Status::OK();
 }
@@ -40,7 +45,8 @@ Status DrawProportionalPilot(const storage::Column& column, uint64_t m,
 
 Result<PilotEstimate> RunPreEstimation(const storage::Column& column,
                                        const IslaOptions& options,
-                                       Xoshiro256* rng) {
+                                       Xoshiro256* rng,
+                                       runtime::ScratchArena* scratch) {
   ISLA_RETURN_NOT_OK(options.Validate());
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
   if (column.num_rows() == 0) {
@@ -55,7 +61,8 @@ Result<PilotEstimate> RunPreEstimation(const storage::Column& column,
       std::min<uint64_t>(options.sigma_pilot_size, column.num_rows());
   stats::StreamingMoments sigma_moments;
   ISLA_RETURN_NOT_OK(DrawProportionalPilot(column, sigma_pilot, rng,
-                                           &sigma_moments, &out.min_value));
+                                           &sigma_moments, &out.min_value,
+                                           scratch));
   out.sigma_pilot_samples = sigma_moments.count();
   out.sigma = std::sqrt(sigma_moments.Variance());
 
@@ -69,7 +76,8 @@ Result<PilotEstimate> RunPreEstimation(const storage::Column& column,
     m_sketch = std::min<uint64_t>(m_sketch, column.num_rows());
     stats::StreamingMoments sketch_moments;
     ISLA_RETURN_NOT_OK(DrawProportionalPilot(column, m_sketch, rng,
-                                             &sketch_moments, &out.min_value));
+                                             &sketch_moments, &out.min_value,
+                                             scratch));
     out.sketch_pilot_samples = sketch_moments.count();
     out.sketch0 = sketch_moments.Mean();
   } else {

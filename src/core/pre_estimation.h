@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "runtime/scratch_arena.h"
 #include "storage/table.h"
 #include "util/rng.h"
 
@@ -38,10 +39,13 @@ struct PilotEstimate {
 /// Runs the Pre-estimation module over `column`: draws the σ pilot and the
 /// sketch pilot with per-block allocations proportional to block sizes
 /// (§III-B), then sizes the main pass. Fails on empty columns or invalid
-/// options.
+/// options. `scratch` (nullable) receives the pilot's gather batches so
+/// repeated queries reuse one warmed arena.
 Result<PilotEstimate> RunPreEstimation(const storage::Column& column,
                                        const IslaOptions& options,
-                                       Xoshiro256* rng);
+                                       Xoshiro256* rng,
+                                       runtime::ScratchArena* scratch =
+                                           nullptr);
 
 }  // namespace core
 }  // namespace isla

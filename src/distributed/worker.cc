@@ -50,13 +50,17 @@ Result<std::string> Worker::HandlePilot(const PilotRequest& request) const {
   stats::StreamingMoments moments;
   double min_value = std::numeric_limits<double>::infinity();
   uint64_t want = std::min<uint64_t>(request.sample_count, block_->size());
-  ISLA_RETURN_NOT_OK(sampling::SampleBlockValues(
-      *block_, want,
-      [&](double v) {
-        moments.Add(v);
-        min_value = std::min(min_value, v);
-      },
-      &rng));
+  runtime::ScratchPool::Lease lease = scratch_pool_.Acquire();
+  sampling::BlockSampleStream stream(*block_, want, &rng, lease.get());
+  std::span<const double> batch;
+  for (;;) {
+    ISLA_RETURN_NOT_OK(stream.Next(&batch));
+    if (batch.empty()) break;
+    for (double v : batch) {
+      moments.Add(v);
+      min_value = std::min(min_value, v);
+    }
+  }
 
   PilotResponse resp;
   resp.query_id = request.query_id;
@@ -84,9 +88,10 @@ Result<std::string> Worker::HandlePlan(const QueryPlan& plan) const {
   // coordinator's fan-out — with bit-identical partial results.
   Xoshiro256 rng(SplitMix64::Hash(plan.seed, 0xd157ULL, worker_id_));
   core::BlockParams params;
+  runtime::ScratchPool::Lease lease = scratch_pool_.Acquire();
   ISLA_RETURN_NOT_OK(core::RunSamplingPhase(*block_, boundaries,
                                             plan.sample_count, plan.shift,
-                                            &rng, &params));
+                                            &rng, &params, lease.get()));
   ISLA_ASSIGN_OR_RETURN(
       core::BlockAnswer answer,
       core::RunIterationPhase(params, plan.sketch0, plan.options));
@@ -144,9 +149,10 @@ Result<std::string> Worker::HandleGroupedScan(
     // The identical stream the single-node engine derives for block
     // `worker_id_`: Hash(stream_seed, index).
     Xoshiro256 rng(SplitMix64::Hash(request.stream_seed, worker_id_));
+    runtime::ScratchPool::Lease lease = scratch_pool_.Acquire();
     ISLA_RETURN_NOT_OK(core::RunGroupedBlockPass(
         *block_, pred, request.op, request.literal, keys,
-        request.sample_count, &rng, &resp.partial));
+        request.sample_count, &rng, &resp.partial, lease.get()));
   }
   return Encode(resp);
 }

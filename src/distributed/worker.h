@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "distributed/message.h"
+#include "runtime/scratch_arena.h"
 #include "storage/block.h"
 
 namespace isla {
@@ -46,6 +47,9 @@ class Worker {
   storage::BlockPtr block_;
   storage::BlockPtr predicate_block_;  // may be null
   storage::BlockPtr key_block_;        // may be null
+  /// Gather arenas reused across requests (a pool, not one arena, so
+  /// concurrent HandleRequest calls on the same worker stay safe).
+  mutable runtime::ScratchPool scratch_pool_;
 };
 
 }  // namespace distributed

@@ -42,13 +42,16 @@ Result<double> ExactAvg(const storage::Column& column) {
 
 /// Exact grouped/predicated aggregation by full scan over the row-aligned
 /// columns: the ground truth the coverage harness grades the samplers
-/// against. CIs are zero-width and trivially met.
+/// against. CIs are zero-width and trivially met. Shares the sampler's
+/// mask-based routing (EvalPredicateMask + RouteGroupedBatch), so both
+/// paths grade against the same population by construction.
 Result<core::GroupedAggregateResult> ExactGroupedScan(
     const core::GroupedSpec& spec, const core::IslaOptions& options) {
   ISLA_RETURN_NOT_OK(core::ValidateGroupedSpec(spec));
   const storage::Column& values = *spec.values;
   core::GroupMap merged;
   std::vector<double> vals, preds, keys;
+  std::vector<uint8_t> mask;
   for (size_t j = 0; j < values.num_blocks(); ++j) {
     const storage::Block& vb = *values.blocks()[j];
     const storage::Block* pb =
@@ -59,14 +62,18 @@ Result<core::GroupedAggregateResult> ExactGroupedScan(
     for (uint64_t start = 0; start < vb.size(); start += kBatch) {
       uint64_t n = std::min<uint64_t>(kBatch, vb.size() - start);
       ISLA_RETURN_NOT_OK(vb.ReadRange(start, n, &vals));
-      if (pb != nullptr) ISLA_RETURN_NOT_OK(pb->ReadRange(start, n, &preds));
-      if (kb != nullptr) ISLA_RETURN_NOT_OK(kb->ReadRange(start, n, &keys));
-      for (uint64_t i = 0; i < n; ++i) {
-        ISLA_RETURN_NOT_OK(core::RouteGroupedRow(
-            pb != nullptr ? &preds[i] : nullptr, spec.op, spec.literal,
-            kb != nullptr ? &keys[i] : nullptr, vals[i], /*all=*/nullptr,
-            &merged));
+      const uint8_t* mask_ptr = nullptr;
+      if (pb != nullptr) {
+        ISLA_RETURN_NOT_OK(pb->ReadRange(start, n, &preds));
+        mask.resize(n);
+        core::EvalPredicateMask(spec.op, {preds.data(), n}, spec.literal,
+                                mask.data());
+        mask_ptr = mask.data();
       }
+      if (kb != nullptr) ISLA_RETURN_NOT_OK(kb->ReadRange(start, n, &keys));
+      ISLA_RETURN_NOT_OK(core::RouteGroupedBatch(
+          {vals.data(), n}, mask_ptr, kb != nullptr ? keys.data() : nullptr,
+          /*all=*/nullptr, &merged));
     }
   }
 
@@ -158,7 +165,7 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
       case Method::kIsla:
       case Method::kIslaNonIid:
       case Method::kUniform: {
-        core::GroupByEngine engine(options);
+        core::GroupByEngine engine(options, &scratch_pool_);
         ISLA_ASSIGN_OR_RETURN(
             agg, engine.Aggregate(grouped, GroupedMethodSalt(spec.method)));
         out.samples_used = agg.scanned_samples + agg.pilot_samples;
@@ -196,7 +203,7 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
   double average = 0.0;
   switch (spec.method) {
     case Method::kIsla: {
-      core::IslaEngine engine(options);
+      core::IslaEngine engine(options, &scratch_pool_);
       // AggregateSum returns the SUM-shaped result (value == sum), so the
       // epilogue's AVG→SUM rescale reproduces agg.value bit-for-bit.
       ISLA_ASSIGN_OR_RETURN(core::AggregateResult agg,

@@ -11,6 +11,7 @@
 #include "core/group_by.h"
 #include "core/options.h"
 #include "engine/query.h"
+#include "runtime/scratch_arena.h"
 #include "storage/table.h"
 
 namespace isla {
@@ -69,6 +70,11 @@ class QueryExecutor {
  private:
   const storage::Catalog* catalog_;
   core::IslaOptions base_options_;
+  /// Gather arenas shared by every query this executor runs: after the
+  /// first query warms them, steady-state sampling loops allocate nothing.
+  /// mutable because Execute is logically const (the pool is an internal
+  /// cache, thread-safe by construction).
+  mutable runtime::ScratchPool scratch_pool_;
 };
 
 }  // namespace engine

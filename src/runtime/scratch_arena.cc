@@ -1,0 +1,37 @@
+#include "runtime/scratch_arena.h"
+
+namespace isla {
+namespace runtime {
+
+void ScratchPool::Lease::Release() {
+  if (pool_ != nullptr && arena_ != nullptr) {
+    pool_->Return(std::move(arena_));
+  }
+  pool_ = nullptr;
+  arena_.reset();
+}
+
+ScratchPool::Lease ScratchPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<ScratchArena> arena = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(arena));
+    }
+  }
+  return Lease(this, std::make_unique<ScratchArena>());
+}
+
+size_t ScratchPool::IdleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+void ScratchPool::Return(std::unique_ptr<ScratchArena> arena) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(arena));
+}
+
+}  // namespace runtime
+}  // namespace isla

@@ -1,0 +1,86 @@
+#ifndef ISLA_RUNTIME_SCRATCH_ARENA_H_
+#define ISLA_RUNTIME_SCRATCH_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace isla {
+namespace runtime {
+
+/// Reusable per-worker scratch buffers for the sampling hot path: one index
+/// batch plus the value/predicate/key gather targets and the predicate
+/// selection mask. Buffers only ever grow (std::vector keeps its capacity
+/// across resize-down), so a warmed arena makes the steady-state inner loop
+/// allocation-free. Not thread-safe — each concurrent worker uses its own
+/// arena (lease one from a ScratchPool).
+struct ScratchArena {
+  std::vector<uint64_t> indices;
+  std::vector<double> values;
+  std::vector<double> pred;
+  std::vector<double> keys;
+  std::vector<uint8_t> mask;
+};
+
+/// A thread-safe free list of arenas. Steady state holds as many arenas as
+/// the peak concurrency ever needed; every Acquire after warm-up is a
+/// mutex-guarded pointer pop, never an allocation. Long-lived owners (the
+/// query executor, distributed workers) hold one pool and lease arenas into
+/// each parallel section.
+class ScratchPool {
+ public:
+  /// RAII lease: returns the arena to the pool on destruction. A
+  /// default-constructed lease is empty (get() == nullptr).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ScratchPool* pool, std::unique_ptr<ScratchArena> arena)
+        : pool_(pool), arena_(std::move(arena)) {}
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), arena_(std::move(other.arena_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        arena_ = std::move(other.arena_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    ScratchArena* get() const { return arena_.get(); }
+    ScratchArena* operator->() const { return arena_.get(); }
+
+   private:
+    void Release();
+
+    ScratchPool* pool_ = nullptr;
+    std::unique_ptr<ScratchArena> arena_;
+  };
+
+  /// Pops a warmed arena, or creates a fresh one when the pool is empty.
+  Lease Acquire();
+
+  /// Number of idle arenas currently parked in the pool (diagnostics).
+  size_t IdleCount() const;
+
+ private:
+  friend class Lease;
+
+  void Return(std::unique_ptr<ScratchArena> arena);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ScratchArena>> free_;
+};
+
+}  // namespace runtime
+}  // namespace isla
+
+#endif  // ISLA_RUNTIME_SCRATCH_ARENA_H_

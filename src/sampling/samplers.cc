@@ -2,10 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace isla {
 namespace sampling {
+
+namespace {
+
+/// Flat open-addressing set of uint64 keys for Floyd's algorithm: linear
+/// probing over a power-of-two table sized ~2x the final cardinality k.
+/// Replaces unordered_set in the without-replacement path — no per-node
+/// heap allocation, no pointer chasing, one contiguous table. Membership
+/// semantics are identical, so the emitted index sequence for a given RNG
+/// stream is unchanged.
+class FlatIndexSet {
+ public:
+  explicit FlatIndexSet(uint64_t expected) {
+    uint64_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  }
+
+  /// Inserts `key`; returns true when the key was not already present.
+  bool Insert(uint64_t key) {
+    size_t i = static_cast<size_t>(SplitMix64::Mix(key)) & mask_;
+    while (slots_[i] != kEmpty) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = key;
+    return true;
+  }
+
+ private:
+  // Floyd's only inserts values <= j with j < n <= UINT64_MAX, i.e. at
+  // most UINT64_MAX - 1, so the all-ones sentinel cannot collide.
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace
 
 std::vector<uint64_t> SampleIndicesWithReplacement(uint64_t n, uint64_t k,
                                                    Xoshiro256* rng) {
@@ -24,16 +62,15 @@ Result<std::vector<uint64_t>> SampleIndicesWithoutReplacement(
   }
   // Robert Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t
   // unless already present, else insert j.
-  std::unordered_set<uint64_t> chosen;
-  chosen.reserve(static_cast<size_t>(k) * 2);
+  FlatIndexSet chosen(k);
   std::vector<uint64_t> out;
   out.reserve(k);
   for (uint64_t j = n - k; j < n; ++j) {
     uint64_t t = rng->NextBounded(j + 1);
-    if (chosen.insert(t).second) {
+    if (chosen.Insert(t)) {
       out.push_back(t);
     } else {
-      chosen.insert(j);
+      chosen.Insert(j);
       out.push_back(j);
     }
   }
@@ -128,36 +165,83 @@ std::vector<uint64_t> NeymanAllocation(const std::vector<uint64_t>& sizes,
   return ProportionalAllocation(pseudo, m);
 }
 
+void GenerateUniformIndices(uint64_t n, uint64_t count, Xoshiro256* rng,
+                            std::vector<uint64_t>* out) {
+  out->resize(count);
+  uint64_t* data = out->data();
+  for (uint64_t i = 0; i < count; ++i) data[i] = rng->NextBounded(n);
+}
+
+BlockSampleStream::BlockSampleStream(const storage::Block& block, uint64_t k,
+                                     Xoshiro256* rng,
+                                     runtime::ScratchArena* scratch)
+    : block_(block),
+      n_(block.size()),
+      remaining_(k),
+      rng_(rng),
+      scratch_(scratch != nullptr ? scratch : &local_) {}
+
+Status BlockSampleStream::Next(std::span<const double>* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("batch must not be null");
+  }
+  *batch = {};
+  if (rng_ == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (n_ == 0) {
+    return Status::FailedPrecondition("cannot sample empty block");
+  }
+  if (remaining_ == 0) return Status::OK();
+  const uint64_t want = std::min<uint64_t>(kGatherBatch, remaining_);
+  GenerateUniformIndices(n_, want, rng_, &scratch_->indices);
+  scratch_->values.resize(want);
+  ISLA_RETURN_NOT_OK(storage::GatherInto(block_, scratch_->indices,
+                                         scratch_->values.data()));
+  remaining_ -= want;
+  *batch = {scratch_->values.data(), want};
+  return Status::OK();
+}
+
 Status SampleBlockValues(const storage::Block& block, uint64_t k,
                          const std::function<void(double)>& visit,
                          Xoshiro256* rng) {
   if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
-  uint64_t n = block.size();
-  if (n == 0) return Status::FailedPrecondition("cannot sample empty block");
-  std::vector<uint64_t> indices;
-  std::vector<double> values;
-  indices.reserve(std::min<uint64_t>(k, kGatherBatch));
-  values.resize(std::min<uint64_t>(k, kGatherBatch));
-  for (uint64_t done = 0; done < k;) {
-    const uint64_t batch = std::min<uint64_t>(kGatherBatch, k - done);
-    indices.clear();
-    for (uint64_t i = 0; i < batch; ++i) {
-      indices.push_back(rng->NextBounded(n));
-    }
-    ISLA_RETURN_NOT_OK(block.GatherAt(indices, values.data()));
-    for (uint64_t i = 0; i < batch; ++i) visit(values[i]);
-    done += batch;
+  if (block.size() == 0) {
+    return Status::FailedPrecondition("cannot sample empty block");
   }
-  return Status::OK();
+  BlockSampleStream stream(block, k, rng, nullptr);
+  std::span<const double> batch;
+  for (;;) {
+    ISLA_RETURN_NOT_OK(stream.Next(&batch));
+    if (batch.empty()) return Status::OK();
+    for (double v : batch) visit(v);
+  }
 }
 
 Result<std::vector<double>> DrawBlockSample(const storage::Block& block,
                                             uint64_t k, Xoshiro256* rng) {
   std::vector<double> out;
-  out.reserve(k);
-  ISLA_RETURN_NOT_OK(SampleBlockValues(
-      block, k, [&](double v) { out.push_back(v); }, rng));
+  ISLA_RETURN_NOT_OK(DrawBlockSampleInto(block, k, rng, nullptr, &out));
   return out;
+}
+
+Status DrawBlockSampleInto(const storage::Block& block, uint64_t k,
+                           Xoshiro256* rng, runtime::ScratchArena* scratch,
+                           std::vector<double>* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  const uint64_t n = block.size();
+  if (n == 0) return Status::FailedPrecondition("cannot sample empty block");
+  out->resize(k);
+  double* dst = out->data();
+  runtime::ScratchArena local;
+  runtime::ScratchArena* s = scratch != nullptr ? scratch : &local;
+  for (uint64_t done = 0; done < k;) {
+    const uint64_t batch = std::min<uint64_t>(kGatherBatch, k - done);
+    GenerateUniformIndices(n, batch, rng, &s->indices);
+    ISLA_RETURN_NOT_OK(storage::GatherInto(block, s->indices, dst + done));
+    done += batch;
+  }
+  return Status::OK();
 }
 
 }  // namespace sampling

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "runtime/scratch_arena.h"
 #include "storage/block.h"
 #include "util/rng.h"
 
@@ -73,12 +75,46 @@ std::vector<uint64_t> NeymanAllocation(const std::vector<uint64_t>& sizes,
 /// kGatherBatch samples instead of once per sample.
 inline constexpr uint64_t kGatherBatch = 4096;
 
+/// Fills `out` (resized to `count`) with uniform indices in [0, n), drawn
+/// with replacement in sequence order. Exactly `count` NextBounded(n) calls
+/// — the single definition of the index stream every sampler consumes, so
+/// batched and value-at-a-time execution see identical RNG state.
+void GenerateUniformIndices(uint64_t n, uint64_t count, Xoshiro256* rng,
+                            std::vector<uint64_t>* out);
+
+/// Batch iterator over `k` uniform (with replacement) samples of a block:
+/// each Next() draws the next <= kGatherBatch indices, gathers them (via
+/// the block's contiguous view when resident, Block::GatherAt otherwise)
+/// into the scratch arena, and exposes the batch as a span valid until the
+/// following Next(). The concatenated batches are exactly the sample
+/// sequence a value-at-a-time loop would visit — same RNG consumption,
+/// same order — so callers iterate spans instead of paying a per-value
+/// std::function call, and a warmed arena makes iteration allocation-free.
+class BlockSampleStream {
+ public:
+  /// `scratch` may be null: the stream then uses an internal arena (one
+  /// warm-up allocation per stream; pass pooled scratch on hot paths).
+  BlockSampleStream(const storage::Block& block, uint64_t k, Xoshiro256* rng,
+                    runtime::ScratchArena* scratch);
+
+  /// Fills the next batch; empty when the stream is exhausted.
+  Status Next(std::span<const double>* batch);
+
+ private:
+  const storage::Block& block_;
+  uint64_t n_;
+  uint64_t remaining_;
+  Xoshiro256* rng_;
+  runtime::ScratchArena local_;
+  runtime::ScratchArena* scratch_;
+};
+
 /// Draws `k` uniform (with replacement) values from `block`, invoking
 /// `visit` per value. The visitation order is the sampling order, which the
-/// streaming ISLA solver consumes directly. Internally the indices are
-/// drawn in kGatherBatch chunks and resolved with Block::GatherAt, so the
-/// RNG stream and visit order are identical to a value-at-a-time loop while
-/// the data access is batched.
+/// streaming ISLA solver consumes directly. Implemented over
+/// BlockSampleStream, so the RNG stream and visit order are identical to
+/// the batch API. Secondary paths (baselines, pilots on cold arenas) use
+/// this; the Calculation-phase hot loops consume the stream directly.
 Status SampleBlockValues(const storage::Block& block, uint64_t k,
                          const std::function<void(double)>& visit,
                          Xoshiro256* rng);
@@ -86,6 +122,14 @@ Status SampleBlockValues(const storage::Block& block, uint64_t k,
 /// Convenience: materializes `k` uniform samples from `block`.
 Result<std::vector<double>> DrawBlockSample(const storage::Block& block,
                                             uint64_t k, Xoshiro256* rng);
+
+/// Batch analogue of DrawBlockSample writing into caller-owned storage:
+/// fills `out` (resized to k) with the identical sample sequence, using
+/// `scratch` (nullable) for the index batches. Steady state allocates
+/// nothing beyond `out`'s capacity.
+Status DrawBlockSampleInto(const storage::Block& block, uint64_t k,
+                           Xoshiro256* rng, runtime::ScratchArena* scratch,
+                           std::vector<double>* out);
 
 }  // namespace sampling
 }  // namespace isla

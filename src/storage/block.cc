@@ -29,6 +29,20 @@ Status Block::GatherAt(std::span<const uint64_t> indices, double* out) const {
   return Status::OK();
 }
 
+Status GatherInto(const Block& block, std::span<const uint64_t> indices,
+                  double* out) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  const std::span<const double> view = block.ContiguousView();
+  if (view.empty()) return block.GatherAt(indices, out);
+  const uint64_t n = view.size();
+  for (uint64_t index : indices) {
+    if (index >= n) return Status::OutOfRange("GatherAt index past end");
+  }
+  const double* data = view.data();
+  for (size_t i = 0; i < indices.size(); ++i) out[i] = data[indices[i]];
+  return Status::OK();
+}
+
 Status GatherRowsAt(std::span<const Block* const> columns,
                     std::span<const uint64_t> indices,
                     std::vector<std::vector<double>>* out) {
@@ -49,7 +63,7 @@ Status GatherRowsAt(std::span<const Block* const> columns,
           "GatherRowsAt blocks are not row-aligned");
     }
     (*out)[c].resize(indices.size());
-    ISLA_RETURN_NOT_OK(columns[c]->GatherAt(indices, (*out)[c].data()));
+    ISLA_RETURN_NOT_OK(GatherInto(*columns[c], indices, (*out)[c].data()));
   }
   return Status::OK();
 }

@@ -44,6 +44,13 @@ class Block {
   virtual Status GatherAt(std::span<const uint64_t> indices,
                           double* out) const;
 
+  /// Zero-copy view of the whole block when the rows are resident and
+  /// contiguous in memory (MemoryBlock always; FileBlock when mmap-backed).
+  /// Returns an empty span otherwise. Callers holding a non-empty view can
+  /// gather with plain array indexing — no virtual dispatch, no locks, no
+  /// per-batch copy through a chunk cache.
+  virtual std::span<const double> ContiguousView() const { return {}; }
+
   /// Short description for logs ("memory[10000]", "gen[1e10 Normal(...)]").
   virtual std::string DebugString() const = 0;
 };
@@ -61,6 +68,13 @@ Status GatherRowsAt(std::span<const Block* const> columns,
                     std::span<const uint64_t> indices,
                     std::vector<std::vector<double>>* out);
 
+/// Single-column batched gather that prefers the contiguous view: resident
+/// blocks are resolved with one devirtualized indexing loop, everything else
+/// falls through to the block's own GatherAt. Same contract as GatherAt
+/// (unsorted/duplicate indices fine, OutOfRange on any index >= size()).
+Status GatherInto(const Block& block, std::span<const uint64_t> indices,
+                  double* out);
+
 /// An in-memory block: a plain vector of doubles. The workhorse for tests
 /// and small experiments.
 class MemoryBlock : public Block {
@@ -73,6 +87,9 @@ class MemoryBlock : public Block {
                    std::vector<double>* out) const override;
   Status GatherAt(std::span<const uint64_t> indices,
                   double* out) const override;
+  std::span<const double> ContiguousView() const override {
+    return {values_.data(), values_.size()};
+  }
   std::string DebugString() const override;
 
   /// Direct access for baselines that stream the whole block.

@@ -2,43 +2,93 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstring>
 #include <limits>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ISLA_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
 
 namespace isla {
 namespace storage {
 
 namespace {
 
-constexpr uint64_t kHeaderBytes = 16;
+/// Seeks with a 64-bit offset. fseek takes `long`, which is 32 bits on
+/// ILP32 platforms and silently truncates block files past 2 GiB; fseeko
+/// takes off_t, which POSIX guarantees large enough for any file the system
+/// can hold.
+int Seek64(std::FILE* f, uint64_t byte_offset) {
+#if defined(_WIN32)
+  return _fseeki64(f, static_cast<long long>(byte_offset), SEEK_SET);
+#else
+  return fseeko(f, static_cast<off_t>(byte_offset), SEEK_SET);
+#endif
+}
 
-// Generates the CRC32 lookup table at first use.
-const std::array<uint32_t, 256>& Crc32Table() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
+/// Slice-by-8 CRC32 tables: table[0] is the classic bytewise table, and
+/// table[k][b] is the CRC of byte b followed by k zero bytes, letting the
+/// update loop fold 8 input bytes per iteration instead of 1. Generated at
+/// first use; private to this translation unit so the file format's CRC
+/// definition has exactly one home.
+const std::array<std::array<uint32_t, 256>, 8>& Crc32Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<uint32_t, 256>, 8> t{};
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[k][i] = c;
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
 }
 
 }  // namespace
 
-uint32_t Crc32(const void* data, size_t len) {
-  const auto& table = Crc32Table();
+uint32_t Crc32Update(uint32_t state, const void* data, size_t len) {
+  const auto& t = Crc32Tables();
   const auto* p = static_cast<const unsigned char*>(data);
-  uint32_t c = 0xffffffffu;
-  for (size_t i = 0; i < len; ++i) {
-    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  uint32_t c = state;
+  // The 8-byte folding step assembles two little-endian words; on a
+  // big-endian host fall through to the bytewise loop (correctness over
+  // speed on the exotic platform).
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      uint32_t lo;
+      uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+          t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][hi & 0xffu] ^
+          t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
   }
-  return c ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = t[0][(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c;
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Finalize(Crc32Update(kCrc32Init, data, len));
 }
 
 Status WriteBlockFile(const std::string& path,
@@ -68,10 +118,45 @@ FileBlock::FileBlock(std::string path, std::FILE* file, uint64_t count)
     : path_(std::move(path)), file_(file), count_(count) {}
 
 FileBlock::~FileBlock() {
+#ifdef ISLA_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void FileBlock::TryMap() {
+#ifdef ISLA_HAVE_MMAP
+  if (count_ == 0) return;
+  const int fd = ::fileno(file_);
+  if (fd < 0) return;
+  const uint64_t want = BlockPayloadByteOffset(count_) + sizeof(uint32_t);
+  if (want > std::numeric_limits<size_t>::max()) {
+    // A >4 GiB file on a 32-bit address space: the size_t cast below would
+    // truncate and reads past the short mapping would fault. Keep stdio.
+    return;
+  }
+  const size_t len = static_cast<size_t>(want);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base == MAP_FAILED) return;
+  map_base_ = base;
+  map_len_ = len;
+  // The payload starts at byte 16 of a page-aligned mapping, so the double
+  // view is 8-byte aligned.
+  payload_ = reinterpret_cast<const double*>(
+      static_cast<const unsigned char*>(base) + kBlockHeaderBytes);
+  // The mapping outlives the descriptor; drop the stdio stream entirely so
+  // the mmap path holds no fd and needs no mutex.
+  std::fclose(file_);
+  file_ = nullptr;
+#endif
+}
+
 Result<std::shared_ptr<FileBlock>> FileBlock::Open(const std::string& path) {
+  return Open(path, FileBlockOptions{});
+}
+
+Result<std::shared_ptr<FileBlock>> FileBlock::Open(
+    const std::string& path, const FileBlockOptions& opts) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open: " + path);
 
@@ -96,8 +181,7 @@ Result<std::shared_ptr<FileBlock>> FileBlock::Open(const std::string& path) {
   }
 
   // Verify the payload CRC by streaming once.
-  uint32_t crc = 0xffffffffu;
-  const auto& table = Crc32Table();
+  uint32_t crc = kCrc32Init;
   std::vector<unsigned char> buf(1 << 16);
   uint64_t remaining = count * sizeof(double);
   while (remaining > 0) {
@@ -107,12 +191,10 @@ Result<std::shared_ptr<FileBlock>> FileBlock::Open(const std::string& path) {
       std::fclose(f);
       return Status::Corruption("truncated payload in " + path);
     }
-    for (size_t i = 0; i < want; ++i) {
-      crc = table[(crc ^ buf[i]) & 0xffu] ^ (crc >> 8);
-    }
+    crc = Crc32Update(crc, buf.data(), want);
     remaining -= want;
   }
-  crc ^= 0xffffffffu;
+  crc = Crc32Finalize(crc);
   uint32_t stored = 0;
   if (std::fread(&stored, sizeof(stored), 1, f) != 1) {
     std::fclose(f);
@@ -123,7 +205,9 @@ Result<std::shared_ptr<FileBlock>> FileBlock::Open(const std::string& path) {
     return Status::Corruption("CRC mismatch in " + path);
   }
 
-  return std::shared_ptr<FileBlock>(new FileBlock(path, f, count));
+  std::shared_ptr<FileBlock> block(new FileBlock(path, f, count));
+  if (opts.use_mmap) block->TryMap();
+  return block;
 }
 
 Status FileBlock::LoadChunkLocked(uint64_t index) const {
@@ -131,8 +215,7 @@ Status FileBlock::LoadChunkLocked(uint64_t index) const {
   if (chunk_valid_ && chunk_start == chunk_start_) return Status::OK();
   uint64_t rows =
       std::min<uint64_t>(kChunkRows, count_ - chunk_start);
-  long offset = static_cast<long>(kHeaderBytes + chunk_start * sizeof(double));
-  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+  if (Seek64(file_, BlockPayloadByteOffset(chunk_start)) != 0) {
     return Status::IOError("seek failed in " + path_);
   }
   chunk_.resize(rows);
@@ -147,6 +230,7 @@ Status FileBlock::LoadChunkLocked(uint64_t index) const {
 
 double FileBlock::ValueAt(uint64_t index) const {
   if (index >= count_) return std::numeric_limits<double>::quiet_NaN();
+  if (payload_ != nullptr) return payload_[index];
   std::lock_guard<std::mutex> lock(mu_);
   if (!LoadChunkLocked(index).ok()) {
     return std::numeric_limits<double>::quiet_NaN();
@@ -160,9 +244,12 @@ Status FileBlock::ReadRange(uint64_t start, uint64_t count,
   if (start > count_ || count > count_ - start) {
     return Status::OutOfRange("ReadRange past end of block");
   }
+  if (payload_ != nullptr) {
+    out->assign(payload_ + start, payload_ + start + count);
+    return Status::OK();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  long offset = static_cast<long>(kHeaderBytes + start * sizeof(double));
-  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+  if (Seek64(file_, BlockPayloadByteOffset(start)) != 0) {
     return Status::IOError("seek failed in " + path_);
   }
   out->resize(count);
@@ -181,6 +268,14 @@ Status FileBlock::GatherAt(std::span<const uint64_t> indices,
     if (index >= count_) return Status::OutOfRange("GatherAt index past end");
   }
   if (indices.empty()) return Status::OK();
+
+  if (payload_ != nullptr) {
+    // Zero-copy path: random order is free on a mapping, so no argsort, no
+    // lock, no chunk loads — just loads from the page cache.
+    const double* data = payload_;
+    for (size_t i = 0; i < indices.size(); ++i) out[i] = data[indices[i]];
+    return Status::OK();
+  }
 
   // Argsort the batch, then walk positions in increasing order: seeks are
   // monotone and each chunk is loaded at most once per batch.
@@ -201,7 +296,8 @@ Status FileBlock::GatherAt(std::span<const uint64_t> indices,
 
 std::string FileBlock::DebugString() const {
   std::ostringstream os;
-  os << "file[" << count_ << " " << path_ << "]";
+  os << "file[" << count_ << " " << path_
+     << (payload_ != nullptr ? " mmap" : " stdio") << "]";
   return os.str();
 }
 

@@ -29,19 +29,55 @@ namespace storage {
 inline constexpr char kBlockMagic[4] = {'I', 'S', 'L', 'B'};
 inline constexpr uint32_t kBlockFormatVersion = 1;
 
+/// Header size in bytes; the payload of row r starts at
+/// BlockPayloadByteOffset(r).
+inline constexpr uint64_t kBlockHeaderBytes = 16;
+
+/// Absolute byte offset of row `row` inside a block file. Deliberately
+/// computed in uint64_t: on ILP32 targets `long` is 32 bits and a
+/// `static_cast<long>` of this expression truncates past 2 GiB — seeks must
+/// go through off_t (fseeko), never long (fseek).
+inline constexpr uint64_t BlockPayloadByteOffset(uint64_t row) {
+  return kBlockHeaderBytes + row * sizeof(double);
+}
+
 /// CRC32 (IEEE, reflected) of a byte span. Exposed for tests.
 uint32_t Crc32(const void* data, size_t len);
+
+/// Incremental CRC32: feed chunks into a running state. Start from
+/// kCrc32Init, call Crc32Update per chunk, finish with Crc32Finalize.
+/// Crc32(d, n) == Crc32Finalize(Crc32Update(kCrc32Init, d, n)).
+inline constexpr uint32_t kCrc32Init = 0xffffffffu;
+uint32_t Crc32Update(uint32_t state, const void* data, size_t len);
+inline constexpr uint32_t Crc32Finalize(uint32_t state) {
+  return state ^ 0xffffffffu;
+}
 
 /// Writes `values` as a block file at `path`, overwriting any existing file.
 Status WriteBlockFile(const std::string& path, std::span<const double> values);
 
-/// A block backed by an on-disk file in the ISLB format. Reads go through a
-/// chunk cache so repeated positional samples don't seek per value. The
-/// payload CRC is verified on open.
+/// Open-time knobs for FileBlock. The mmap toggle exists for the perf
+/// harness (mmap vs stdio measured in the same run) and for fallback parity
+/// tests; production callers keep the default.
+struct FileBlockOptions {
+  /// Map the file read-only and serve all reads zero-copy from the mapping
+  /// (lock-free, concurrent). Falls back to the stdio chunk-cache path when
+  /// mapping fails or the platform has no mmap.
+  bool use_mmap = true;
+};
+
+/// A block backed by an on-disk file in the ISLB format. The payload CRC is
+/// verified on open. When mmap is available (the default on POSIX) every
+/// read is a zero-copy load from the mapping: ValueAt/GatherAt/ReadRange
+/// are lock-free and safe to call concurrently, and ContiguousView() exposes
+/// the whole payload as a span. Without mmap, reads go through a mutex-
+/// guarded chunk cache so repeated positional samples don't seek per value.
 class FileBlock : public Block {
  public:
   /// Opens and validates `path`. Fails with IOError/Corruption.
   static Result<std::shared_ptr<FileBlock>> Open(const std::string& path);
+  static Result<std::shared_ptr<FileBlock>> Open(const std::string& path,
+                                                 const FileBlockOptions& opts);
 
   ~FileBlock() override;
 
@@ -52,11 +88,16 @@ class FileBlock : public Block {
   double ValueAt(uint64_t index) const override;
   Status ReadRange(uint64_t start, uint64_t count,
                    std::vector<double>* out) const override;
-  /// Visits the requested positions in sorted order, so the file is read in
+  /// mmap path: direct indexing into the mapping, lock-free. stdio path:
+  /// visits the requested positions in sorted order, so the file is read in
   /// one forward pass with at most one chunk load per 4096-row window —
   /// random sample batches cost O(touched chunks) seeks, not O(samples).
   Status GatherAt(std::span<const uint64_t> indices,
                   double* out) const override;
+  /// The whole payload when mmap-backed; empty on the stdio fallback.
+  std::span<const double> ContiguousView() const override {
+    return {payload_, payload_ == nullptr ? 0 : count_};
+  }
   std::string DebugString() const override;
 
   /// Loads the whole payload into a MemoryBlock (for baseline full scans).
@@ -64,17 +105,30 @@ class FileBlock : public Block {
 
   const std::string& path() const { return path_; }
 
+  /// True when reads are served zero-copy from an mmap'd view.
+  bool mmapped() const { return payload_ != nullptr; }
+
  private:
   FileBlock(std::string path, std::FILE* file, uint64_t count);
 
   /// Ensures the chunk containing `index` is cached. Caller holds mu_.
   Status LoadChunkLocked(uint64_t index) const;
 
+  /// Tries to replace the stdio path with a read-only mapping; on success
+  /// closes the FILE* and sets payload_. Failure is not an error — the
+  /// stdio path simply stays in place.
+  void TryMap();
+
   static constexpr uint64_t kChunkRows = 4096;
 
   std::string path_;
   std::FILE* file_;
   uint64_t count_;
+
+  // mmap state (payload_ == nullptr on the stdio fallback).
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+  const double* payload_ = nullptr;
 
   mutable std::mutex mu_;
   mutable std::vector<double> chunk_;      // cached rows

@@ -172,6 +172,28 @@ TEST(Block, DefaultGatherAtChecksBounds) {
   EXPECT_TRUE(b.GatherAt(indices, nullptr).IsInvalidArgument());
 }
 
+TEST(Block, ContiguousViewAndGatherInto) {
+  // MemoryBlock exposes its storage; blocks without resident rows expose
+  // nothing and GatherInto falls back to their virtual GatherAt.
+  MemoryBlock mem({5.0, 6.0, 7.0, 8.0});
+  ASSERT_EQ(mem.ContiguousView().size(), 4u);
+  EXPECT_EQ(mem.ContiguousView()[2], 7.0);
+  MinimalBlock minimal({5.0, 6.0, 7.0, 8.0});
+  EXPECT_TRUE(minimal.ContiguousView().empty());
+
+  const std::vector<uint64_t> indices = {3, 0, 3, 1};
+  std::vector<double> via_view(indices.size());
+  std::vector<double> via_virtual(indices.size());
+  ASSERT_TRUE(GatherInto(mem, indices, via_view.data()).ok());
+  ASSERT_TRUE(GatherInto(minimal, indices, via_virtual.data()).ok());
+  EXPECT_EQ(via_view, via_virtual);
+  EXPECT_EQ(via_view, (std::vector<double>{8.0, 5.0, 8.0, 6.0}));
+
+  const std::vector<uint64_t> oor = {0, 4};
+  EXPECT_TRUE(GatherInto(mem, oor, via_view.data()).IsOutOfRange());
+  EXPECT_TRUE(GatherInto(mem, indices, nullptr).IsInvalidArgument());
+}
+
 TEST(MemoryBlock, GatherAtUnsortedMatchesValueAt) {
   MemoryBlock b({5.0, 6.0, 7.0, 8.0, 9.0});
   std::vector<uint64_t> indices = {4, 1, 1, 0, 3, 2};

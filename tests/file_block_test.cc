@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/types.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 #include "storage/file_block.h"
@@ -150,6 +154,149 @@ TEST_F(FileBlockTest, Crc32KnownVector) {
 
 TEST_F(FileBlockTest, Crc32EmptyIsZero) {
   EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST_F(FileBlockTest, Crc32PinnedVectors) {
+  // Pins the CRC across implementation changes (the slice-by-8 rewrite
+  // must keep the block format byte-compatible). Values independently
+  // computed with zlib's crc32, the same IEEE polynomial.
+  std::vector<unsigned char> bytes(256);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<unsigned char>(i);
+  }
+  EXPECT_EQ(Crc32(bytes.data(), bytes.size()), 0x29058c73u);
+
+  std::vector<unsigned char> big;
+  for (int rep = 0; rep < 37; ++rep) {
+    big.insert(big.end(), bytes.begin(), bytes.end());
+  }
+  EXPECT_EQ(Crc32(big.data(), big.size()), 0x97ac7cf5u);  // 9472 bytes
+
+  const unsigned char zeros[7] = {0};  // shorter than one 8-byte slice
+  EXPECT_EQ(Crc32(zeros, sizeof(zeros)), 0x9d6cdf7eu);
+
+  const char* text = "ISLA block format stays pinned forever";
+  EXPECT_EQ(Crc32(text, 38), 0x6b51c147u);
+}
+
+TEST_F(FileBlockTest, Crc32IncrementalMatchesOneShot) {
+  // Arbitrary split points, including mid-slice ones, must agree with the
+  // one-shot CRC: FileBlock::Open streams the payload in 64 KiB chunks.
+  std::vector<unsigned char> data(3000);
+  Xoshiro256 rng(5);
+  for (auto& b : data) b = static_cast<unsigned char>(rng.NextBounded(256));
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t split : {size_t{1}, size_t{7}, size_t{8}, size_t{13},
+                       size_t{1024}, size_t{2999}}) {
+    uint32_t state = kCrc32Init;
+    state = Crc32Update(state, data.data(), split);
+    state = Crc32Update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32Finalize(state), whole) << "split at " << split;
+  }
+}
+
+TEST_F(FileBlockTest, PayloadOffsetArithmeticIs64Bit) {
+  // Regression for the old static_cast<long> seek offsets: on ILP32
+  // platforms `long` is 32 bits and rows past 2 GiB of payload truncated.
+  // The offset helper must stay exact in uint64_t and fit the off_t that
+  // fseeko consumes.
+  EXPECT_EQ(BlockPayloadByteOffset(0), 16u);
+  EXPECT_EQ(BlockPayloadByteOffset(1), 24u);
+  // Row 400M sits at 3.2 GB — past INT32_MAX, where a long cast on ILP32
+  // went negative; row 600M is past UINT32_MAX, where even an unsigned
+  // 32-bit cast wraps.
+  EXPECT_EQ(BlockPayloadByteOffset(400'000'000ULL), 3'200'000'016ULL);
+  EXPECT_GT(BlockPayloadByteOffset(400'000'000ULL), uint64_t{1} << 31);
+  EXPECT_EQ(BlockPayloadByteOffset(600'000'000ULL), 4'800'000'016ULL);
+  EXPECT_GT(BlockPayloadByteOffset(600'000'000ULL), uint64_t{1} << 32);
+  // 1e12 rows (the paper's largest experiments) still compute exactly.
+  EXPECT_EQ(BlockPayloadByteOffset(1'000'000'000'000ULL),
+            8'000'000'000'016ULL);
+  static_assert(sizeof(off_t) == 8,
+                "fseeko must take 64-bit offsets on this platform");
+}
+
+TEST_F(FileBlockTest, MmapAndStdioPathsAreBitIdentical) {
+  std::vector<double> values;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 3 * 4096 + 5; ++i) {
+    values.push_back(rng.NextDouble() * 1000 - 500);
+  }
+  ASSERT_TRUE(WriteBlockFile(Path("par.islb"), values).ok());
+  auto mm = FileBlock::Open(Path("par.islb"), FileBlockOptions{true});
+  auto io = FileBlock::Open(Path("par.islb"), FileBlockOptions{false});
+  ASSERT_TRUE(mm.ok());
+  ASSERT_TRUE(io.ok());
+  EXPECT_FALSE((*io)->mmapped());
+  EXPECT_TRUE((*io)->ContiguousView().empty());
+  if (!(*mm)->mmapped()) GTEST_SKIP() << "mmap unavailable";
+  ASSERT_EQ((*mm)->ContiguousView().size(), values.size());
+
+  // ValueAt parity at chunk edges and interior points.
+  for (uint64_t idx : {uint64_t{0}, uint64_t{4095}, uint64_t{4096},
+                       uint64_t{8191}, uint64_t{12292}}) {
+    EXPECT_EQ((*mm)->ValueAt(idx), (*io)->ValueAt(idx)) << idx;
+    EXPECT_EQ((*mm)->ValueAt(idx), values[idx]) << idx;
+  }
+
+  // GatherAt parity on unsorted, duplicated random batches.
+  Xoshiro256 pick(22);
+  std::vector<uint64_t> indices;
+  for (int i = 0; i < 2000; ++i) indices.push_back(pick.NextBounded(values.size()));
+  indices.push_back(indices.front());  // guaranteed duplicate
+  std::vector<double> got_mm(indices.size());
+  std::vector<double> got_io(indices.size());
+  ASSERT_TRUE((*mm)->GatherAt(indices, got_mm.data()).ok());
+  ASSERT_TRUE((*io)->GatherAt(indices, got_io.data()).ok());
+  EXPECT_EQ(got_mm, got_io);
+
+  // ReadRange parity, including the empty tail read.
+  std::vector<double> r_mm;
+  std::vector<double> r_io;
+  ASSERT_TRUE((*mm)->ReadRange(4090, 100, &r_mm).ok());
+  ASSERT_TRUE((*io)->ReadRange(4090, 100, &r_io).ok());
+  EXPECT_EQ(r_mm, r_io);
+  ASSERT_TRUE((*mm)->ReadRange(values.size(), 0, &r_mm).ok());
+  EXPECT_TRUE(r_mm.empty());
+  EXPECT_TRUE((*mm)->ReadRange(0, values.size() + 1, &r_mm).IsOutOfRange());
+  const std::vector<uint64_t> oor = {values.size()};
+  EXPECT_TRUE((*mm)->GatherAt(oor, got_mm.data()).IsOutOfRange());
+}
+
+TEST_F(FileBlockTest, MmapGatherIsSafeUnderConcurrency) {
+  // The mmap read path takes no lock; hammer it from several threads and
+  // verify every thread sees exactly the payload values.
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) values.push_back(static_cast<double>(i));
+  ASSERT_TRUE(WriteBlockFile(Path("mt.islb"), values).ok());
+  auto block = FileBlock::Open(Path("mt.islb"));
+  ASSERT_TRUE(block.ok());
+  if (!(*block)->mmapped()) GTEST_SKIP() << "mmap unavailable";
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(100 + static_cast<uint64_t>(t));
+      std::vector<uint64_t> indices(512);
+      std::vector<double> out(indices.size());
+      for (int round = 0; round < 50; ++round) {
+        for (auto& i : indices) i = rng.NextBounded(values.size());
+        if (!(*block)->GatherAt(indices, out.data()).ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t i = 0; i < indices.size(); ++i) {
+          if (out[i] != values[indices[i]]) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST_F(FileBlockTest, GatherAtSpansChunkBoundaries) {

@@ -44,6 +44,78 @@ TEST(EvalPredicate, NanIsNeverTrue) {
   }
 }
 
+TEST(EvalPredicateMask, MatchesScalarEvaluatorOnNanData) {
+  // The branchless mask and the scalar evaluator are two implementations
+  // of the same SQL semantics; sweep all operators over a vector mixing
+  // NaN, infinities, signed zeros and ordinary values, against NaN and
+  // ordinary literals.
+  const std::vector<double> lhs = {
+      kNaN, 1.0,  -1.0, 0.0,  -0.0, 3.5, kNaN,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(), 3.5};
+  const double literals[] = {3.5, 0.0, kNaN,
+                             std::numeric_limits<double>::infinity()};
+  std::vector<uint8_t> mask(lhs.size());
+  for (PredicateOp op : {PredicateOp::kEq, PredicateOp::kNe, PredicateOp::kLt,
+                         PredicateOp::kLe, PredicateOp::kGt,
+                         PredicateOp::kGe}) {
+    for (double lit : literals) {
+      EvalPredicateMask(op, lhs, lit, mask.data());
+      for (size_t i = 0; i < lhs.size(); ++i) {
+        EXPECT_EQ(mask[i] != 0, EvalPredicate(op, lhs[i], lit))
+            << PredicateOpName(op) << " lhs[" << i << "]=" << lhs[i]
+            << " lit=" << lit;
+      }
+    }
+  }
+}
+
+TEST(RouteGroupedBatch, AgreesWithScalarRouterOnNanData) {
+  // Same rows through the mask/batch router and the scalar row router —
+  // group contents must match exactly, including NaN-pred and NaN-key
+  // drops (values stay finite so moment equality is checkable with ==).
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> preds = {0.5, kNaN, 2.0, 2.0, -1.0, 3.0};
+  const std::vector<double> keys = {0.0, 1.0, 0.0, kNaN, 1.0, 0.0};
+  const double literal = 1.0;
+  const PredicateOp op = PredicateOp::kGe;
+
+  GroupMoments scalar_all;
+  GroupMap scalar_groups;
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(RouteGroupedRow(&preds[i], op, literal, &keys[i], values[i],
+                                &scalar_all, &scalar_groups)
+                    .ok());
+  }
+
+  std::vector<uint8_t> mask(values.size());
+  EvalPredicateMask(op, preds, literal, mask.data());
+  GroupMoments batch_all;
+  GroupMap batch_groups;
+  ASSERT_TRUE(RouteGroupedBatch(values, mask.data(), keys.data(), &batch_all,
+                                &batch_groups)
+                  .ok());
+
+  EXPECT_EQ(batch_all.n, scalar_all.n);
+  EXPECT_EQ(batch_all.mean, scalar_all.mean);
+  EXPECT_EQ(batch_all.m2, scalar_all.m2);
+  ASSERT_EQ(batch_groups.size(), scalar_groups.size());
+  for (const auto& [key, moments] : scalar_groups) {
+    auto it = batch_groups.find(key);
+    ASSERT_NE(it, batch_groups.end()) << key;
+    EXPECT_EQ(it->second.n, moments.n);
+    EXPECT_EQ(it->second.mean, moments.mean);
+    EXPECT_EQ(it->second.m2, moments.m2);
+  }
+
+  // Null mask means "no predicate"; null keys mean the implicit group.
+  GroupMap all_rows;
+  ASSERT_TRUE(
+      RouteGroupedBatch(values, nullptr, nullptr, nullptr, &all_rows).ok());
+  ASSERT_EQ(all_rows.size(), 1u);
+  EXPECT_EQ(all_rows.begin()->second.n, values.size());
+}
+
 TEST(GroupMoments, MatchesDirectComputation) {
   GroupMoments m;
   for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) m.Add(v);

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "sampling/samplers.h"
@@ -56,6 +57,53 @@ TEST(WithoutReplacement, FullPopulation) {
 TEST(WithoutReplacement, KGreaterThanNFails) {
   Xoshiro256 rng(6);
   EXPECT_FALSE(SampleIndicesWithoutReplacement(10, 11, &rng).ok());
+}
+
+namespace {
+
+/// The pre-flat-set reference: Floyd's algorithm with std::unordered_set
+/// membership, exactly as the original implementation wrote it. The
+/// production flat probe table must emit the identical sequence for the
+/// identical RNG stream.
+std::vector<uint64_t> FloydReference(uint64_t n, uint64_t k,
+                                     Xoshiro256* rng) {
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng->NextBounded(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(WithoutReplacement, FlatSetMatchesUnorderedSetReference) {
+  // Identical output *sequence* (not just set) across population sizes,
+  // densities (k == n forces maximal collisions), and seeds.
+  const struct {
+    uint64_t n;
+    uint64_t k;
+  } cases[] = {{1, 1},     {10, 10},     {100, 99},    {1000, 17},
+               {1000, 1000}, {1 << 20, 4096}, {54321, 1234}};
+  for (const auto& c : cases) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Xoshiro256 rng_ref(seed);
+      Xoshiro256 rng_new(seed);
+      auto expected = FloydReference(c.n, c.k, &rng_ref);
+      auto got = SampleIndicesWithoutReplacement(c.n, c.k, &rng_new);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, expected)
+          << "n=" << c.n << " k=" << c.k << " seed=" << seed;
+    }
+  }
 }
 
 TEST(Bernoulli, ZeroAndOneProbabilities) {
