@@ -1,0 +1,248 @@
+// Network transport overhead: the same distributed grouped aggregation
+// executed over the in-process loopback transport and over real TCP
+// (WorkerServer daemons on 127.0.0.1), plus raw transport round-trip
+// latency and multi-client query-server throughput.
+//
+// Two hard checks ride along:
+//   1. bit-identity: every TCP answer must equal its loopback answer bit
+//      for bit (the differential suite's guarantee, re-verified on the
+//      bench workload);
+//   2. no-hang: every call is deadline-bounded, so a wedged socket fails
+//      the bench instead of stalling it.
+// The interesting number is the overhead ratio — how much of a query's
+// wall clock the wire adds once real sampling work is on the other side.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/group_by.h"
+#include "distributed/coordinator.h"
+#include "distributed/worker.h"
+#include "harness.h"
+#include "net/connection.h"
+#include "net/query_server.h"
+#include "net/tcp_transport.h"
+#include "net/worker_server.h"
+#include "storage/block.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace isla;
+
+struct Shards {
+  std::vector<std::array<storage::BlockPtr, 3>> triples;
+};
+
+Shards MakeShards(uint64_t blocks, uint64_t rows_per_block) {
+  Shards out;
+  Xoshiro256 rng(424242);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    std::vector<double> vals, preds, keys;
+    for (uint64_t i = 0; i < rows_per_block; ++i) {
+      double key = static_cast<double>(rng.NextBounded(4));
+      vals.push_back(25.0 * (key + 1.0) + 3.0 * rng.NextDouble());
+      preds.push_back(rng.NextDouble());
+      keys.push_back(key);
+    }
+    out.triples.push_back(
+        {std::make_shared<storage::MemoryBlock>(std::move(vals)),
+         std::make_shared<storage::MemoryBlock>(std::move(preds)),
+         std::make_shared<storage::MemoryBlock>(std::move(keys))});
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<distributed::Worker>> MakeWorkers(
+    const Shards& shards) {
+  std::vector<std::unique_ptr<distributed::Worker>> workers;
+  for (uint64_t w = 0; w < shards.triples.size(); ++w) {
+    workers.push_back(std::make_unique<distributed::Worker>(
+        w, shards.triples[w][0], shards.triples[w][1],
+        shards.triples[w][2]));
+  }
+  return workers;
+}
+
+double MedianMillis(std::vector<double>* times) {
+  std::sort(times->begin(), times->end());
+  return (*times)[times->size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace isla;
+  bench::PrintHeader(
+      "TCP transport overhead",
+      "Grouped WHERE+GROUP BY aggregation, 4 shards, loopback vs TCP "
+      "(127.0.0.1 WorkerServer daemons); answers hard-checked "
+      "bit-identical");
+
+  constexpr uint64_t kBlocks = 4;
+  constexpr uint64_t kRowsPerBlock = 100'000;
+  constexpr int kReps = 5;
+  Shards shards = MakeShards(kBlocks, kRowsPerBlock);
+
+  core::IslaOptions options;
+  options.precision = 0.2;
+
+  distributed::GroupedQuerySpec wire;
+  wire.has_predicate = true;
+  wire.op = core::PredicateOp::kGe;
+  wire.literal = 0.3;
+  wire.has_group = true;
+
+  // --- Loopback baseline. ---
+  distributed::LoopbackTransport loopback(MakeWorkers(shards));
+  std::vector<double> loop_times;
+  core::GroupedAggregateResult loop_answer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    distributed::Coordinator coordinator(&loopback, options);
+    Timer timer;
+    auto r = coordinator.AggregateGrouped(wire, /*query_id=*/rep + 1,
+                                          /*seed_salt=*/rep);
+    loop_times.push_back(timer.ElapsedMillis());
+    if (!r.ok()) {
+      std::fprintf(stderr, "loopback failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    loop_answer = *std::move(r);
+  }
+
+  // --- TCP cluster on ephemeral loopback ports. ---
+  std::vector<std::unique_ptr<net::WorkerServer>> servers;
+  std::vector<net::Endpoint> endpoints;
+  {
+    auto workers = MakeWorkers(shards);
+    for (auto& worker : workers) {
+      auto server = std::make_unique<net::WorkerServer>(std::move(worker));
+      if (!server->Start().ok()) {
+        std::fprintf(stderr, "worker server failed to start\n");
+        return 1;
+      }
+      endpoints.push_back({"127.0.0.1", server->port()});
+      servers.push_back(std::move(server));
+    }
+  }
+  net::TcpTransport transport(endpoints);
+  std::vector<double> tcp_times;
+  bool identical = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    distributed::Coordinator coordinator(&transport, options);
+    Timer timer;
+    auto r = coordinator.AggregateGrouped(wire, /*query_id=*/rep + 1,
+                                          /*seed_salt=*/rep);
+    tcp_times.push_back(timer.ElapsedMillis());
+    if (!r.ok()) {
+      std::fprintf(stderr, "tcp failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    // Hard bit-identity check on the last rep's answer (same salt).
+    if (rep == kReps - 1) {
+      if (r->groups.size() != loop_answer.groups.size()) identical = false;
+      for (size_t g = 0; identical && g < r->groups.size(); ++g) {
+        identical = r->groups[g].average == loop_answer.groups[g].average &&
+                    r->groups[g].count_estimate ==
+                        loop_answer.groups[g].count_estimate &&
+                    r->groups[g].ci_half_width ==
+                        loop_answer.groups[g].ci_half_width;
+      }
+    }
+  }
+
+  double loop_ms = MedianMillis(&loop_times);
+  double tcp_ms = MedianMillis(&tcp_times);
+
+  // --- Raw round-trip latency: minimal pilot request, many times. ---
+  constexpr int kPings = 400;
+  distributed::PilotRequest ping{1, 2, 42};
+  std::string ping_frame = distributed::Encode(ping);
+  Timer ping_timer;
+  for (int i = 0; i < kPings; ++i) {
+    auto r = transport.Call(0, ping_frame);
+    if (!r.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  double ping_ms = ping_timer.ElapsedMillis() / kPings;
+
+  // --- Multi-client query-server throughput. ---
+  net::QueryServerOptions qopts;
+  net::QueryServer query_server(qopts);
+  if (!query_server.Start().ok()) {
+    std::fprintf(stderr, "query server failed to start\n");
+    return 1;
+  }
+  constexpr int kClients = 4;
+  constexpr int kStatementsPerClient = 25;
+  Timer session_timer;
+  {
+    std::vector<std::thread> clients;
+    std::atomic<bool> ok{true};
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto conn =
+            net::TcpConnect("127.0.0.1", query_server.port(), 2'000);
+        if (!conn.ok()) { ok = false; return; }
+        if (!(*conn)->RecvFrame().ok()) { ok = false; return; }
+        (void)(*conn)->SendFrame(
+            "CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4 SEED " +
+            std::to_string(c));
+        if (!(*conn)->RecvFrame().ok()) { ok = false; return; }
+        for (int q = 0; q < kStatementsPerClient; ++q) {
+          if (!(*conn)->SendFrame("SELECT AVG(value) FROM t WITHIN 0.5")
+                   .ok() ||
+              !(*conn)->RecvFrame().ok()) {
+            ok = false;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    if (!ok.load()) {
+      std::fprintf(stderr, "query-server client failed\n");
+      return 1;
+    }
+  }
+  double session_ms = session_timer.ElapsedMillis();
+  double stmts_per_sec =
+      1000.0 * kClients * kStatementsPerClient / session_ms;
+  query_server.Stop();
+
+  TablePrinter table({"metric", "value"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", loop_ms);
+  table.AddRow({"grouped query, loopback (median)", buf});
+  std::snprintf(buf, sizeof(buf), "%.2f ms", tcp_ms);
+  table.AddRow({"grouped query, TCP (median)", buf});
+  std::snprintf(buf, sizeof(buf), "%.2fx", tcp_ms / loop_ms);
+  table.AddRow({"TCP / loopback overhead", buf});
+  std::snprintf(buf, sizeof(buf), "%.3f ms", ping_ms);
+  table.AddRow({"transport round trip (pilot frame)", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f stmts/s (%d clients)",
+                stmts_per_sec, kClients);
+  table.AddRow({"query server throughput", buf});
+  table.AddRow({"TCP answer bit-identical", identical ? "YES" : "DIFF"});
+  table.Print();
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: TCP answer diverged from loopback answer\n");
+    return 1;
+  }
+  std::printf("\nOK: TCP grouped answers bit-identical to loopback.\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "distributed/message.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -204,13 +205,26 @@ std::string Encode(const GroupedScanResponse& m) {
   return w.Take();
 }
 
+std::string Encode(const ErrorFrame& m) {
+  // Decoders refuse messages past the cap, so the encoder must truncate —
+  // a worker failing with a long Status must not have its real error
+  // replaced by a frame-decode Corruption at the coordinator.
+  size_t len = std::min<size_t>(m.message.size(), kMaxErrorMessageBytes);
+  Writer w(MessageType::kError);
+  w.PutU64(m.code);
+  w.PutU64(len);
+  std::string out = w.Take();
+  out.append(m.message, 0, len);
+  return out;
+}
+
 Result<MessageType> PeekType(const std::string& frame) {
   if (frame.size() < sizeof(uint32_t)) {
     return Status::Corruption("frame shorter than a type tag");
   }
   uint32_t tag = 0;
   std::memcpy(&tag, frame.data(), sizeof(tag));
-  if (tag < 1 || tag > 6) {
+  if (tag < 1 || tag > 7) {
     return Status::Corruption("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -329,6 +343,30 @@ Result<GroupedScanResponse> DecodeGroupedScanResponse(
     }
   }
   ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<ErrorFrame> DecodeErrorFrame(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kError));
+  ErrorFrame m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.code));
+  if (m.code == 0 || m.code > static_cast<uint64_t>(
+                                  StatusCode::kResourceExhausted)) {
+    return Status::Corruption("error frame carries an invalid status code");
+  }
+  uint64_t message_len = 0;
+  ISLA_RETURN_NOT_OK(r.GetU64(&message_len));
+  if (message_len > kMaxErrorMessageBytes) {
+    return Status::Corruption("error frame message exceeds the length cap");
+  }
+  // The message is the trailing variable-length region; check the exact
+  // frame length the fixed-width decoders enforce via Finish().
+  size_t fixed = sizeof(uint32_t) + 2 * sizeof(uint64_t);
+  if (frame.size() != fixed + message_len) {
+    return Status::Corruption("error frame length mismatch");
+  }
+  m.message = frame.substr(fixed);
   return m;
 }
 

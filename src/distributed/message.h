@@ -25,6 +25,7 @@ enum class MessageType : uint32_t {
   kPartialResult = 4,
   kGroupedScanRequest = 5,
   kGroupedScanResponse = 6,
+  kError = 7,
 };
 
 /// Coordinator → worker: draw `sample_count` uniform pilot samples.
@@ -101,6 +102,28 @@ struct GroupedScanResponse {
   core::GroupedBlockPartial partial;
 };
 
+/// Either direction: a Status crossing the wire. The in-process loopback
+/// transport returns Result errors directly, but over TCP a worker that
+/// fails a request must still answer — the server wraps the Status in this
+/// frame and the TcpTransport unwraps it back into a Status, so remote
+/// failures surface with the same code and message as local ones.
+struct ErrorFrame {
+  uint64_t code = 0;  // StatusCode, validated on decode
+  std::string message;
+
+  static ErrorFrame FromStatus(const Status& status) {
+    return ErrorFrame{static_cast<uint64_t>(status.code()),
+                      status.message()};
+  }
+  Status ToStatus() const {
+    return Status(static_cast<StatusCode>(code), message);
+  }
+};
+
+/// Cap on the message text of an ErrorFrame; longer frames are Corruption
+/// (a garbage length field must not drive a huge allocation).
+inline constexpr uint64_t kMaxErrorMessageBytes = 4096;
+
 /// Serialization: little-endian fixed-width frames with a leading
 /// MessageType tag. Decoding validates the tag and the exact frame length
 /// and fails with Corruption otherwise.
@@ -110,6 +133,7 @@ std::string Encode(const QueryPlan& m);
 std::string Encode(const PartialResult& m);
 std::string Encode(const GroupedScanRequest& m);
 std::string Encode(const GroupedScanResponse& m);
+std::string Encode(const ErrorFrame& m);
 
 /// Peeks the type tag of a frame.
 Result<MessageType> PeekType(const std::string& frame);
@@ -121,6 +145,7 @@ Result<PartialResult> DecodePartialResult(const std::string& frame);
 Result<GroupedScanRequest> DecodeGroupedScanRequest(const std::string& frame);
 Result<GroupedScanResponse> DecodeGroupedScanResponse(
     const std::string& frame);
+Result<ErrorFrame> DecodeErrorFrame(const std::string& frame);
 
 }  // namespace distributed
 }  // namespace isla

@@ -107,8 +107,11 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<QuerySpec> Run() {
+  Result<QuerySpec> Run(const QueryDefaults& defaults) {
     QuerySpec spec;
+    spec.precision = defaults.precision;
+    spec.confidence = defaults.confidence;
+    spec.method = defaults.method;
     ISLA_RETURN_NOT_OK(Expect("select"));
 
     // Aggregate function.
@@ -340,8 +343,13 @@ std::string PrintDouble(double v) {
 }  // namespace
 
 Result<QuerySpec> ParseQuery(std::string_view sql) {
+  return ParseQuery(sql, QueryDefaults{});
+}
+
+Result<QuerySpec> ParseQuery(std::string_view sql,
+                             const QueryDefaults& defaults) {
   ISLA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  return Parser(std::move(tokens)).Run();
+  return Parser(std::move(tokens)).Run(defaults);
 }
 
 std::string PrintQuery(const QuerySpec& spec) {

@@ -60,10 +60,24 @@ struct QuerySpec {
   Method method = Method::kIsla;
 };
 
+/// Session-level defaults applied when a query omits the corresponding
+/// clause. The query server's SET statement retunes these per session;
+/// explicit WITHIN/CONFIDENCE/USING clauses always win.
+struct QueryDefaults {
+  double precision = 0.1;
+  double confidence = 0.95;
+  Method method = Method::kIsla;
+};
+
 /// Parses the mini-SQL dialect above. Returns InvalidArgument with a
 /// position-annotated message on malformed input (including unterminated
 /// string literals, duplicate clauses, and unknown operators).
 Result<QuerySpec> ParseQuery(std::string_view sql);
+
+/// Same, with omitted optional clauses defaulting from `defaults` instead
+/// of the global constants.
+Result<QuerySpec> ParseQuery(std::string_view sql,
+                             const QueryDefaults& defaults);
 
 /// Canonical single-line rendering of a spec. Every optional clause is
 /// printed explicitly and numbers round-trip exactly, so

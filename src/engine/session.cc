@@ -141,9 +141,15 @@ Result<std::string> Session::Execute(std::string_view statement) {
   const std::string& head = tokens.front().lower;
   if (head == "create") return CreateTable(statement);
   if (head == "drop") return DropTable(statement);
-  if (head == "show") return ShowTables();
+  if (head == "show") {
+    if (tokens.size() >= 2 && tokens[1].lower == "settings") {
+      return ShowSettings();
+    }
+    return ShowTables();
+  }
   if (head == "describe" || head == "desc") return Describe(statement);
   if (head == "select") return Select(statement);
+  if (head == "set") return SetOption(statement);
   return Status::InvalidArgument("unknown statement: '" + tokens.front().raw +
                                  "'");
 }
@@ -222,6 +228,11 @@ Result<std::string> Session::CreateTable(std::string_view statement) {
         }
         seen_seed = true;
         ISLA_ASSIGN_OR_RETURN(double seed_d, p.Number("seed"));
+        // Range-checked: the double → uint64_t cast is UB out of range,
+        // and sessions are reachable from remote query-server clients.
+        if (!(seed_d >= 0.0) || !(seed_d < 18446744073709551616.0)) {
+          return Status::InvalidArgument("SEED out of uint64 range");
+        }
         seed = static_cast<uint64_t>(seed_d);
         continue;
       }
@@ -241,6 +252,9 @@ Result<std::string> Session::CreateTable(std::string_view statement) {
     }
     if (!(rows_d >= 1.0) || !(blocks_d >= 1.0) || blocks_d > rows_d) {
       return Status::InvalidArgument("need rows >= blocks >= 1");
+    }
+    if (!(rows_d < 18446744073709551616.0)) {
+      return Status::InvalidArgument("ROWS out of uint64 range");
     }
     uint64_t rows = static_cast<uint64_t>(rows_d);
     uint64_t blocks = static_cast<uint64_t>(blocks_d);
@@ -341,9 +355,82 @@ std::string_view AggregateName(AggregateKind kind) {
 
 }  // namespace
 
+Result<std::string> Session::SetOption(std::string_view statement) {
+  DdlParser p(Lex(statement));
+  ISLA_RETURN_NOT_OK(p.Expect("set"));
+  ISLA_ASSIGN_OR_RETURN(std::string name, p.Identifier("option name"));
+  for (char& ch : name) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  ISLA_ASSIGN_OR_RETURN(double value, p.Number("option value"));
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after SET");
+  }
+
+  // A double → unsigned cast is UB outside the target range, and SET is
+  // reachable from any remote query-server client — range-check before
+  // casting, never after.
+  auto to_unsigned = [](double v, double max_exclusive,
+                        uint64_t* out) -> Status {
+    if (!(v >= 0.0) || !(v < max_exclusive)) {
+      return Status::InvalidArgument(
+          "value out of range for an unsigned option");
+    }
+    *out = static_cast<uint64_t>(v);
+    return Status::OK();
+  };
+
+  // Mutate a copy and validate the whole option set, so a bad SET leaves
+  // the session's previous (valid) settings untouched.
+  core::IslaOptions next = options_;
+  uint64_t unsigned_value = 0;
+  if (name == "precision") {
+    next.precision = value;
+  } else if (name == "confidence") {
+    next.confidence = value;
+  } else if (name == "parallelism") {
+    ISLA_RETURN_NOT_OK(to_unsigned(value, 4294967296.0, &unsigned_value));
+    next.parallelism = static_cast<uint32_t>(unsigned_value);
+  } else if (name == "seed") {
+    ISLA_RETURN_NOT_OK(to_unsigned(value, 18446744073709551616.0,
+                                   &unsigned_value));
+    next.seed = unsigned_value;
+  } else if (name == "pilot") {
+    ISLA_RETURN_NOT_OK(to_unsigned(value, 18446744073709551616.0,
+                                   &unsigned_value));
+    next.sigma_pilot_size = unsigned_value;
+  } else if (name == "rate_scale") {
+    next.sampling_rate_scale = value;
+  } else {
+    return Status::InvalidArgument(
+        "unknown option '" + name +
+        "' (expected precision, confidence, parallelism, seed, pilot or "
+        "rate_scale)");
+  }
+  ISLA_RETURN_NOT_OK(next.Validate());
+  options_ = next;
+  std::ostringstream os;
+  os << "set " << name << " = " << value;
+  return os.str();
+}
+
+Result<std::string> Session::ShowSettings() const {
+  std::ostringstream os;
+  os << "precision = " << options_.precision
+     << "\nconfidence = " << options_.confidence
+     << "\nparallelism = " << options_.parallelism
+     << "\nseed = " << options_.seed
+     << "\npilot = " << options_.sigma_pilot_size
+     << "\nrate_scale = " << options_.sampling_rate_scale;
+  return os.str();
+}
+
 Result<std::string> Session::Select(std::string_view statement) const {
   QueryExecutor executor(&catalog_, options_);
-  ISLA_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(statement));
+  QueryDefaults defaults;
+  defaults.precision = options_.precision;
+  defaults.confidence = options_.confidence;
+  ISLA_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(statement, defaults));
   ISLA_ASSIGN_OR_RETURN(QueryResult r, executor.Execute(spec));
   std::ostringstream os;
   os.setf(std::ios::fixed);

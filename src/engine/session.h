@@ -26,12 +26,20 @@ namespace engine {
 ///   DESCRIBE t
 ///   SELECT AVG(c)|SUM(c)|COUNT(c) FROM t [WHERE c op lit] [GROUP BY c]
 ///          [WITHIN e] [CONFIDENCE b] [USING method]
+///   SET precision|confidence|parallelism|seed|pilot|rate_scale <value>
+///   SHOW SETTINGS
 ///
 /// Distribution-backed tables create generator (virtual) blocks under a
 /// single column named "value"; n may use scientific notation (1e9). A
 /// GROUPS g clause adds a row-aligned "grp" column with keys {0..g-1} so
 /// grouped queries have something to group on. Execute() returns a
 /// human-readable response string for the REPL.
+///
+/// SET retunes this session's engine options (the per-session IslaOptions
+/// the query server hands each connection); values are validated as a
+/// whole, so a SET that would make the options inconsistent is rejected
+/// and the previous settings stay in force. Queries without an explicit
+/// WITHIN/CONFIDENCE clause default to the session's current values.
 class Session {
  public:
   explicit Session(core::IslaOptions options = {});
@@ -49,6 +57,8 @@ class Session {
   Result<std::string> ShowTables() const;
   Result<std::string> Describe(std::string_view statement) const;
   Result<std::string> Select(std::string_view statement) const;
+  Result<std::string> SetOption(std::string_view statement);
+  Result<std::string> ShowSettings() const;
 
   storage::Catalog catalog_;
   core::IslaOptions options_;

@@ -1,0 +1,295 @@
+#include "net/connection.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace isla {
+namespace net {
+
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd, bool enable) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+/// poll() for one event with an absolute deadline (steady-clock millis;
+/// <= 0 = no deadline). EINTR restarts with the remaining budget.
+Status PollFor(int fd, short events, int64_t deadline_at, const char* what) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline_at > 0) {
+      int64_t remaining = deadline_at - NowMillis();
+      if (remaining <= 0) {
+        return Status::IOError(std::string(what) + " timed out");
+      }
+      timeout = static_cast<int>(remaining);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();  // Ready (or error/hup: read surfaces it).
+    if (rc == 0) return Status::IOError(std::string(what) + " timed out");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+Result<in_addr> ResolveHost(const std::string& host) {
+  in_addr addr;
+  std::string target = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, target.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("cannot parse host address '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Connection::Connection(int fd) : fd_(fd) {
+  // Request frames are small and latency-bound; don't let Nagle batch them.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Connection::~Connection() { Close(); }
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Connection::Wait(bool for_read, int64_t deadline_at) {
+  return PollFor(fd_, for_read ? POLLIN : POLLOUT, deadline_at,
+                 for_read ? "receive" : "send");
+}
+
+Status Connection::WriteAll(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection is closed");
+  const char* p = static_cast<const char*>(data);
+  int64_t deadline_at =
+      send_deadline_millis_ > 0 ? NowMillis() + send_deadline_millis_ : 0;
+  while (len > 0) {
+    ISLA_RETURN_NOT_OK(Wait(/*for_read=*/false, deadline_at));
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Connection::ReadAll(void* out, size_t len, bool mid_message) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection is closed");
+  char* p = static_cast<char*>(out);
+  int64_t deadline_at =
+      recv_deadline_millis_ > 0 ? NowMillis() + recv_deadline_millis_ : 0;
+  size_t got = 0;
+  while (got < len) {
+    Status ready = Wait(/*for_read=*/true, deadline_at);
+    if (!ready.ok()) {
+      // An idle timeout at a frame boundary is benign (server loops use it
+      // as a stop-flag tick); a timeout after bytes were consumed leaves
+      // the stream desynchronised, so report it as Corruption — the
+      // connection cannot be reused.
+      if (ready.IsIOError() && (mid_message || got > 0)) {
+        return Status::Corruption("frame stalled mid-receive: " +
+                                  ready.message());
+      }
+      return ready;
+    }
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      // Peer closed. Mid-message this is a truncated frame (corruption of
+      // the stream); at a message boundary it is a normal disconnect.
+      if (mid_message || got > 0) {
+        return Status::Corruption("peer closed mid-frame (truncated frame)");
+      }
+      return Status::IOError("connection closed by peer");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Connection::SendFrame(std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds the size cap");
+  }
+  std::string frame = EncodeFrame(payload);
+  return WriteAll(frame.data(), frame.size());
+}
+
+Status Connection::SendRaw(std::string_view bytes) {
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Result<std::string> Connection::RecvFrame() {
+  char header[kFrameHeaderBytes];
+  ISLA_RETURN_NOT_OK(ReadAll(header, sizeof(header), /*mid_message=*/false));
+  ISLA_ASSIGN_OR_RETURN(FrameHeader h, DecodeFrameHeader(header));
+  std::string payload(h.payload_length, '\0');
+  if (h.payload_length > 0) {
+    ISLA_RETURN_NOT_OK(
+        ReadAll(payload.data(), payload.size(), /*mid_message=*/true));
+  }
+  ISLA_RETURN_NOT_OK(VerifyFramePayload(h, payload));
+  return payload;
+}
+
+Result<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               int64_t timeout_millis) {
+  ISLA_ASSIGN_OR_RETURN(in_addr addr, ResolveHost(host));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  // Non-blocking connect so the timeout is enforceable.
+  Status st = SetNonBlocking(fd, true);
+  if (st.ok()) {
+    sockaddr_in sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    sa.sin_addr = addr;
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    if (rc < 0 && errno != EINPROGRESS) {
+      st = Errno("connect");
+    } else if (rc < 0) {
+      int64_t deadline_at =
+          timeout_millis > 0 ? NowMillis() + timeout_millis : 0;
+      st = PollFor(fd, POLLOUT, deadline_at, "connect");
+      if (st.ok()) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+          st = Errno("getsockopt(SO_ERROR)");
+        } else if (err != 0) {
+          st = Status::IOError(std::string("connect: ") +
+                               std::strerror(err));
+        }
+      }
+    }
+  }
+  if (st.ok()) st = SetNonBlocking(fd, false);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return std::make_unique<Connection>(fd);
+}
+
+Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, /*backlog=*/64) < 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  // Non-blocking listener: if the sole queued connection is aborted by
+  // the peer between poll() and accept() (the ECONNABORTED race), a
+  // blocking accept would stall past the advertised timeout; on a
+  // non-blocking fd it returns EAGAIN and Accept re-polls within its
+  // deadline budget instead.
+  Status st = SetNonBlocking(fd, true);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<Listener>(new Listener(fd, ntohs(sa.sin_port)));
+}
+
+Listener::~Listener() { Close(); }
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    // shutdown() first: it wakes a concurrent poll/accept with an error
+    // instead of leaving it blocked on a closed descriptor.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Connection>> Listener::Accept(int64_t timeout_millis) {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  int64_t deadline_at = timeout_millis > 0 ? NowMillis() + timeout_millis : 0;
+  for (;;) {
+    ISLA_RETURN_NOT_OK(PollFor(fd_, POLLIN, deadline_at, "accept"));
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<Connection>(fd);
+    // The queued connection vanished between poll and accept (aborted by
+    // the peer, or claimed on a shared listener): re-poll within the
+    // remaining deadline budget.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;
+    }
+    return Errno("accept");
+  }
+}
+
+}  // namespace net
+}  // namespace isla

@@ -1,0 +1,141 @@
+#ifndef ISLA_NET_CONNECTION_H_
+#define ISLA_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace isla {
+namespace net {
+
+/// Default per-operation deadline: generous enough for a worker running a
+/// full sampling pass, small enough that a hung peer cannot wedge a test
+/// job (the CI satellite adds ctest timeouts as the second line of
+/// defence).
+inline constexpr int64_t kDefaultDeadlineMillis = 30'000;
+
+/// A blocking, deadline-guarded, frame-oriented TCP connection. Every
+/// Send/Recv applies the connection's deadline to the whole operation via
+/// poll(2), so a stalled or vanished peer surfaces as a clean IOError
+/// instead of a hang. Methods are virtual so the test-only FaultyConnection
+/// wrapper can inject wire-level faults underneath real protocol code.
+///
+/// Not thread-safe: callers serialize access per connection (TcpTransport
+/// holds one mutex per worker connection).
+class Connection {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit Connection(int fd);
+  virtual ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Frames `payload` (EncodeFrame) and writes the whole frame.
+  virtual Status SendFrame(std::string_view payload);
+
+  /// Reads one frame and returns its verified payload. A peer that closes
+  /// cleanly between frames yields IOError("connection closed by peer");
+  /// a close in the middle of a frame yields Corruption (truncated frame);
+  /// an exceeded deadline yields IOError mentioning the timeout.
+  virtual Result<std::string> RecvFrame();
+
+  /// Writes exact bytes with no framing. Exists for fault injection (a
+  /// truncated or hand-corrupted frame is just raw bytes) and for wire
+  /// tests; protocol code always uses SendFrame.
+  Status SendRaw(std::string_view bytes);
+
+  /// Per-operation deadline for both directions. <= 0 means wait forever.
+  void set_deadline_millis(int64_t millis) {
+    recv_deadline_millis_ = millis;
+    send_deadline_millis_ = millis;
+  }
+
+  /// Direction-specific deadlines. Server session loops wait on recv with
+  /// a short stop-flag tick but must never let that tick clip a large
+  /// response send, so the two directions are tunable independently.
+  void set_recv_deadline_millis(int64_t millis) {
+    recv_deadline_millis_ = millis;
+  }
+  void set_send_deadline_millis(int64_t millis) {
+    send_deadline_millis_ = millis;
+  }
+  int64_t recv_deadline_millis() const { return recv_deadline_millis_; }
+  int64_t send_deadline_millis() const { return send_deadline_millis_; }
+
+  /// Closes the socket; further operations fail with FailedPrecondition.
+  virtual void Close();
+
+  bool closed() const { return fd_ < 0; }
+
+ protected:
+  /// For wrappers that own no fd of their own.
+  Connection() = default;
+
+  Status WriteAll(const void* data, size_t len);
+  /// Reads exactly `len` bytes. `mid_message` selects the status for a
+  /// clean peer close: Corruption mid-frame, IOError at a frame boundary.
+  Status ReadAll(void* out, size_t len, bool mid_message);
+
+ private:
+  /// Waits for the fd to become readable/writable within the remaining
+  /// deadline budget. `deadline_at` is an absolute steady-clock millis
+  /// value, or <= 0 for no deadline.
+  Status Wait(bool for_read, int64_t deadline_at);
+
+  int fd_ = -1;
+  int64_t recv_deadline_millis_ = kDefaultDeadlineMillis;
+  int64_t send_deadline_millis_ = kDefaultDeadlineMillis;
+};
+
+/// Connects to host:port (numeric IPv4 dotted quad or "localhost") within
+/// `timeout_millis`. The returned connection uses kDefaultDeadlineMillis
+/// until overridden.
+Result<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               int64_t timeout_millis);
+
+/// A listening TCP socket bound to 127.0.0.1. Accept is poll-guarded so
+/// server loops can tick a stop flag instead of blocking forever.
+class Listener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port
+  /// (read it back from port()).
+  static Result<std::unique_ptr<Listener>> Bind(uint16_t port);
+
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accepts one connection, waiting at most `timeout_millis` (<= 0 waits
+  /// forever). Timeout is IOError mentioning "timed out".
+  Result<std::unique_ptr<Connection>> Accept(int64_t timeout_millis);
+
+  uint16_t port() const { return port_; }
+
+  /// Wakes any blocked Accept with an error WITHOUT releasing the fd.
+  /// Server shutdown calls this first, joins the accept thread, and only
+  /// then lets Close()/the destructor release the descriptor — closing
+  /// while another thread polls the fd would race with fd-number reuse.
+  void Shutdown();
+
+  /// Stops accepting: wakes any blocked Accept with an error and releases
+  /// the descriptor. Only safe once no other thread can touch the fd.
+  void Close();
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_CONNECTION_H_

@@ -1,0 +1,42 @@
+#include "net/faulty_connection.h"
+
+#include <string>
+
+namespace isla {
+namespace net {
+
+Status FaultyConnection::SendFrame(std::string_view payload) {
+  uint64_t index = sends_++;
+  if (mode_ == FaultMode::kNone || index < after_sends_) {
+    return inner_->SendFrame(payload);
+  }
+  switch (mode_) {
+    case FaultMode::kTruncateFrame: {
+      std::string frame = EncodeFrame(payload);
+      Status st = inner_->SendRaw(
+          std::string_view(frame.data(), frame.size() / 2));
+      inner_->Close();
+      return st;
+    }
+    case FaultMode::kCorruptCrc: {
+      std::string frame = EncodeFrame(payload);
+      // Flip a bit in the middle of the payload (or in the stored CRC when
+      // the payload is empty): the frame arrives complete but fails CRC.
+      size_t at = payload.empty() ? kFrameHeaderBytes - 1
+                                  : kFrameHeaderBytes + payload.size() / 2;
+      frame[at] ^= 0x01;
+      return inner_->SendRaw(frame);
+    }
+    case FaultMode::kCloseInsteadOfSend:
+      inner_->Close();
+      return Status::OK();  // The *peer* experiences the fault, not us.
+    case FaultMode::kStall:
+      return Status::OK();  // Swallowed; the peer waits.
+    case FaultMode::kNone:
+      break;
+  }
+  return inner_->SendFrame(payload);
+}
+
+}  // namespace net
+}  // namespace isla

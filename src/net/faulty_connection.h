@@ -1,0 +1,59 @@
+#ifndef ISLA_NET_FAULTY_CONNECTION_H_
+#define ISLA_NET_FAULTY_CONNECTION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/connection.h"
+
+namespace isla {
+namespace net {
+
+/// Wire-level fault modes injected by FaultyConnection. Faults apply on the
+/// send side — the peer (usually the coordinator) experiences them as
+/// truncated frames, CRC failures, disconnects, or silence.
+enum class FaultMode {
+  kNone,
+  /// Send only the first half of the framed bytes, then close the socket:
+  /// the peer reads a truncated frame.
+  kTruncateFrame,
+  /// Flip one payload bit after the CRC was computed: the peer's frame
+  /// arrives complete but fails its CRC check.
+  kCorruptCrc,
+  /// Close the connection instead of sending: the peer sees a disconnect
+  /// where it expected a response.
+  kCloseInsteadOfSend,
+  /// Swallow the send and keep the connection open: the peer waits until
+  /// its deadline fires.
+  kStall,
+};
+
+/// Test-only wrapper that injects `mode` starting with the Nth SendFrame
+/// (`after_sends` frames pass through cleanly first — that is how "worker
+/// disconnect mid-scan" is staged: the pilot rounds succeed, the fault
+/// hits the plan round). Receives are always passed through.
+///
+/// Lives in src/net rather than tests/ so the fault hooks in WorkerServer
+/// and QueryServer compile against one definition, but nothing in
+/// production paths constructs one.
+class FaultyConnection : public Connection {
+ public:
+  FaultyConnection(std::unique_ptr<Connection> inner, FaultMode mode,
+                   uint64_t after_sends = 0)
+      : inner_(std::move(inner)), mode_(mode), after_sends_(after_sends) {}
+
+  Status SendFrame(std::string_view payload) override;
+  Result<std::string> RecvFrame() override { return inner_->RecvFrame(); }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  FaultMode mode_;
+  uint64_t after_sends_;
+  uint64_t sends_ = 0;
+};
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_FAULTY_CONNECTION_H_

@@ -1,0 +1,51 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "storage/file_block.h"
+
+namespace isla {
+namespace net {
+
+std::string EncodeFrame(std::string_view payload) {
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  uint32_t crc = storage::Crc32(payload.data(), payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  uint32_t magic = kFrameMagic;
+  out.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const void* header) {
+  const char* bytes = static_cast<const char*>(header);
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes, sizeof(magic));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("bad frame magic (stream desynchronised?)");
+  }
+  FrameHeader out;
+  std::memcpy(&out.payload_length, bytes + 4, sizeof(out.payload_length));
+  std::memcpy(&out.payload_crc, bytes + 8, sizeof(out.payload_crc));
+  if (out.payload_length > kMaxFramePayload) {
+    return Status::Corruption("frame payload exceeds the size cap");
+  }
+  return out;
+}
+
+Status VerifyFramePayload(const FrameHeader& header,
+                          std::string_view payload) {
+  if (payload.size() != header.payload_length) {
+    return Status::Corruption("frame payload length mismatch");
+  }
+  if (storage::Crc32(payload.data(), payload.size()) != header.payload_crc) {
+    return Status::Corruption("frame payload failed its CRC check");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace isla

@@ -1,0 +1,51 @@
+#ifndef ISLA_NET_FRAME_H_
+#define ISLA_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace net {
+
+/// Wire framing of the TCP transport. Every message crosses the socket as
+///
+///   [0..4)   magic "ISLF" (u32, little-endian byte order of the literal)
+///   [4..8)   payload length (u32, little-endian)
+///   [8..12)  CRC32 of the payload (u32, little-endian; storage::Crc32,
+///            the same IEEE/reflected polynomial the block files use)
+///   [12..)   payload bytes (a serialized distributed::Message frame, or a
+///            mini-SQL statement / response for the query server)
+///
+/// The magic catches stream desynchronisation, the length bounds the read,
+/// and the CRC catches payload corruption that the length check cannot.
+inline constexpr uint32_t kFrameMagic = 0x464c5349u;  // "ISLF" little-endian
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// Hard cap on a single frame payload. A header announcing more than this
+/// is rejected as Corruption before any allocation happens, so a garbage
+/// length field cannot make the receiver try to allocate gigabytes.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+/// Parsed frame header.
+struct FrameHeader {
+  uint32_t payload_length = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Wraps `payload` in a wire frame (header + payload bytes).
+std::string EncodeFrame(std::string_view payload);
+
+/// Validates the 12 header bytes at `header`: magic and length cap.
+Result<FrameHeader> DecodeFrameHeader(const void* header);
+
+/// Verifies that `payload` matches the CRC announced in `header`.
+Status VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_FRAME_H_

@@ -1,0 +1,95 @@
+#include "net/query_server.h"
+
+#include <string>
+#include <utility>
+
+#include "engine/session.h"
+
+namespace isla {
+namespace net {
+
+QueryServer::QueryServer(QueryServerOptions options)
+    : options_(options) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  ISLA_RETURN_NOT_OK(options_.session_defaults.Validate());
+  ISLA_ASSIGN_OR_RETURN(listener_, Listener::Bind(options_.port));
+  port_ = listener_->port();
+  stop_.store(false, std::memory_order_relaxed);  // Stop() leaves it set.
+  started_ = true;
+  threads_.Spawn([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  // Wake the accept loop, join every loop thread, then release the fd —
+  // closing before the join would race the poll against fd-number reuse.
+  listener_->Shutdown();
+  threads_.JoinAll();
+  listener_->Close();
+  started_ = false;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_->Accept(options_.tick_millis);
+    if (!accepted.ok()) continue;  // Timeout tick or shutdown.
+    std::unique_ptr<Connection> conn = std::move(*accepted);
+    // The tick bounds only the idle recv wait (a stop-flag check); sends
+    // keep the generous default so a large response frame on a slow link
+    // is never clipped mid-write.
+    conn->set_recv_deadline_millis(options_.tick_millis);
+    if (active_sessions_.load(std::memory_order_relaxed) >=
+        options_.max_sessions) {
+      // Refuse loudly instead of queueing: the client learns immediately.
+      (void)conn->SendFrame("error: ResourceExhausted: session limit " +
+                            std::to_string(options_.max_sessions) +
+                            " reached, try again later");
+      continue;  // conn closes as it goes out of scope
+    }
+    active_sessions_.fetch_add(1, std::memory_order_relaxed);
+    sessions_served_.fetch_add(1, std::memory_order_relaxed);
+    auto shared = std::make_shared<std::unique_ptr<Connection>>(
+        std::move(conn));
+    threads_.Spawn([this, shared] {
+      Serve(std::move(*shared));
+      active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void QueryServer::Serve(std::unique_ptr<Connection> conn) {
+  // Each connection is one interactive session: a private catalog and a
+  // private copy of the engine options (mutable via SET).
+  engine::Session session(options_.session_defaults);
+  (void)conn->SendFrame("ok\nisla query server ready");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<std::string> statement = conn->RecvFrame();
+    if (!statement.ok()) {
+      if (statement.status().IsIOError() &&
+          statement.status().message().find("timed out") !=
+              std::string::npos) {
+        continue;  // Idle tick; the session stays open.
+      }
+      return;  // Disconnect or stream corruption: session over.
+    }
+    if (*statement == "quit" || *statement == "exit") {
+      (void)conn->SendFrame("ok\nbye");
+      return;
+    }
+    Result<std::string> response = session.Execute(*statement);
+    Status sent = response.ok()
+                      ? conn->SendFrame("ok\n" + *response)
+                      : conn->SendFrame("error: " +
+                                        response.status().ToString());
+    if (!sent.ok()) return;
+  }
+}
+
+}  // namespace net
+}  // namespace isla

@@ -1,0 +1,72 @@
+#ifndef ISLA_NET_QUERY_SERVER_H_
+#define ISLA_NET_QUERY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "net/connection.h"
+#include "runtime/thread_pool.h"
+
+namespace isla {
+namespace net {
+
+struct QueryServerOptions {
+  /// 0 picks an ephemeral port (read it back from port()).
+  uint16_t port = 0;
+  /// Engine defaults each new session starts from; sessions then diverge
+  /// via SET (per-session IslaOptions) without affecting each other.
+  core::IslaOptions session_defaults;
+  /// Concurrent session cap; connections beyond it are answered with an
+  /// error and closed instead of queued (a client sees the refusal
+  /// immediately rather than a hang).
+  uint64_t max_sessions = 64;
+  /// Stop-flag tick for accept/recv loops (idle sessions survive ticks).
+  int64_t tick_millis = 250;
+};
+
+/// The query server: accepts concurrent client connections, each owning a
+/// private engine::Session (own catalog, own IslaOptions). The wire
+/// protocol is one net frame per statement in, one frame per response out;
+/// responses are the same human-readable text the REPL prints, prefixed
+/// with "ok\n" or "error: " so clients can tell outcome without parsing.
+/// A "quit" statement (or dropping the connection) ends the session.
+class QueryServer {
+ public:
+  explicit QueryServer(QueryServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  /// Sessions accepted over the server's lifetime (monitoring/tests).
+  uint64_t sessions_served() const {
+    return sessions_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void Serve(std::unique_ptr<Connection> conn);
+
+  QueryServerOptions options_;
+  std::unique_ptr<Listener> listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> active_sessions_{0};
+  std::atomic<uint64_t> sessions_served_{0};
+  bool started_ = false;
+  runtime::ThreadGroup threads_;
+};
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_QUERY_SERVER_H_

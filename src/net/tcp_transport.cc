@@ -1,0 +1,84 @@
+#include "net/tcp_transport.h"
+
+#include <charconv>
+#include <utility>
+
+#include "distributed/message.h"
+
+namespace isla {
+namespace net {
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return Status::InvalidArgument("endpoint '" + spec +
+                                   "' is not host:port");
+  }
+  Endpoint out;
+  out.host = spec.substr(0, colon);
+  const char* begin = spec.data() + colon + 1;
+  const char* end = spec.data() + spec.size();
+  unsigned port = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, port);
+  if (ec != std::errc() || ptr != end || port == 0 || port > 65535) {
+    return Status::InvalidArgument("endpoint '" + spec +
+                                   "' has an invalid port");
+  }
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+TcpTransport::TcpTransport(std::vector<Endpoint> workers,
+                           TcpTransportOptions options)
+    : options_(options) {
+  slots_.reserve(workers.size());
+  for (Endpoint& e : workers) {
+    auto slot = std::make_unique<Slot>();
+    slot->endpoint = std::move(e);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+Result<std::string> TcpTransport::Call(uint64_t worker_id,
+                                       const std::string& frame) {
+  if (worker_id >= slots_.size()) {
+    return Status::NotFound("no such worker");
+  }
+  Slot& slot = *slots_[worker_id];
+  std::lock_guard<std::mutex> lock(slot.mu);
+
+  if (slot.conn == nullptr) {
+    ISLA_ASSIGN_OR_RETURN(
+        slot.conn, TcpConnect(slot.endpoint.host, slot.endpoint.port,
+                              options_.connect_timeout_millis));
+    slot.conn->set_deadline_millis(options_.call_deadline_millis);
+  }
+
+  // One request frame out, one response frame back. Any wire failure
+  // poisons the connection (a later call reconnects): after a partial
+  // exchange there is no way to know where the stream stands.
+  auto exchange = [&]() -> Result<std::string> {
+    ISLA_RETURN_NOT_OK(slot.conn->SendFrame(frame));
+    return slot.conn->RecvFrame();
+  };
+  Result<std::string> response = exchange();
+  if (!response.ok()) {
+    slot.conn.reset();
+    return response.status();
+  }
+
+  // A well-formed ErrorFrame is the worker reporting a request-level
+  // failure; unwrap it so the coordinator sees the worker's own Status.
+  Result<distributed::MessageType> type =
+      distributed::PeekType(*response);
+  if (type.ok() && *type == distributed::MessageType::kError) {
+    ISLA_ASSIGN_OR_RETURN(distributed::ErrorFrame err,
+                          distributed::DecodeErrorFrame(*response));
+    return err.ToStatus();
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace isla

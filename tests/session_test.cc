@@ -208,6 +208,71 @@ TEST(Session, DescribeMissingTableFails) {
   EXPECT_TRUE(s.Execute("DESCRIBE ghost").status().IsNotFound());
 }
 
+TEST(Session, SetRetunesOptionsAndValidatesAsAWhole) {
+  Session s;
+  EXPECT_EQ(s.options().precision, 0.1);
+  ASSERT_TRUE(s.Execute("SET precision 0.5").ok());
+  EXPECT_EQ(s.options().precision, 0.5);
+  ASSERT_TRUE(s.Execute("SET parallelism 2").ok());
+  EXPECT_EQ(s.options().parallelism, 2u);
+
+  // Invalid values are rejected and leave the previous settings intact.
+  EXPECT_TRUE(s.Execute("SET confidence 7").status().IsInvalidArgument());
+  EXPECT_EQ(s.options().confidence, 0.95);
+  EXPECT_TRUE(s.Execute("SET nonsense 1").status().IsInvalidArgument());
+  EXPECT_TRUE(s.Execute("SET precision 0.2 junk")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(s.options().precision, 0.5);
+
+  auto settings = s.Execute("SHOW SETTINGS");
+  ASSERT_TRUE(settings.ok());
+  EXPECT_NE(settings->find("precision = 0.5"), std::string::npos);
+  EXPECT_NE(settings->find("parallelism = 2"), std::string::npos);
+}
+
+TEST(Session, SetRejectsOutOfRangeUnsignedValues) {
+  // Remote clients reach SET through the query server, and a double →
+  // unsigned cast is UB out of range — these must be rejected before the
+  // cast, not crash the sanitized build.
+  Session s;
+  EXPECT_TRUE(
+      s.Execute("SET parallelism -1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      s.Execute("SET parallelism 1e10").status().IsInvalidArgument());
+  EXPECT_TRUE(s.Execute("SET seed -3").status().IsInvalidArgument());
+  EXPECT_TRUE(s.Execute("SET seed 1e30").status().IsInvalidArgument());
+  EXPECT_TRUE(s.Execute("SET pilot -1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(1, 1) ROWS 100 BLOCKS 2 "
+                "SEED -5")
+          .status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(1, 1) ROWS 1e300 BLOCKS 2")
+          .status()
+          .IsInvalidArgument());
+  // Still healthy afterwards.
+  EXPECT_TRUE(s.Execute("SET seed 12345").ok());
+}
+
+TEST(Session, SetPrecisionBecomesTheSelectDefault) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e5 BLOCKS 2")
+          .ok());
+  ASSERT_TRUE(s.Execute("SET precision 0.7").ok());
+  // No WITHIN clause: the session default applies and is echoed in the
+  // engine diagnostics line.
+  auto r = s.Execute("SELECT AVG(value) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("precision=+/-0.7"), std::string::npos) << *r;
+  // An explicit WITHIN still wins.
+  r = s.Execute("SELECT AVG(value) FROM t WITHIN 0.9");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->find("precision=+/-0.9"), std::string::npos) << *r;
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace isla

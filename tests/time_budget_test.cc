@@ -1,6 +1,11 @@
-// Unit tests for core/time_budget.h — time-constrained execution (§VII-F).
+// Unit tests for core/time_budget.h — time-constrained execution (§VII-F)
+// — plus a statistical-coverage harness (tests/coverage_test.cc style) for
+// the derived precision contract: the (achieved_precision, β) pair the
+// budget run *reports* must hold against ground truth.
 
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "core/time_budget.h"
 #include "workload/datasets.h"
@@ -61,6 +66,60 @@ TEST(TimeBudget, SamplesClampedToPopulation) {
   auto r = AggregateWithTimeBudget(*ds->data(), 10'000.0, o);
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r->budget_samples, 10'000u);
+}
+
+TEST(TimeBudget, SeedSaltDecorrelatesRuns) {
+  // Two runs with different salts must not replay the same sample stream
+  // (the probe differs, so the answers almost surely differ); the same
+  // salt must at least draw the same budget-independent pilot streams.
+  auto ds = workload::MakeMaterializedNormalDataset(100'000, 4, 100.0, 20.0,
+                                                    5);
+  ASSERT_TRUE(ds.ok());
+  IslaOptions o;
+  auto a = AggregateWithTimeBudget(*ds->data(), 100.0, o, /*seed_salt=*/1);
+  auto b = AggregateWithTimeBudget(*ds->data(), 100.0, o, /*seed_salt=*/2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->aggregate.average, b->aggregate.average);
+}
+
+// ---------------------------------------------------------------------------
+// Statistical coverage of the derived contract (coverage_test.cc harness
+// style). achieved_precision differs run to run — it is derived from the
+// measured probe rate — so each run is graded against its *own* reported
+// band: |answer − truth| ≤ 2·achieved_precision (the engine's empirical
+// 2e contract), with aggregate coverage ≥ β − 3·σ_binomial.
+// ---------------------------------------------------------------------------
+
+TEST(TimeBudgetCoverage, ReportedPrecisionContractHolds) {
+  constexpr int kRuns = 100;
+  constexpr double kBeta = 0.95;
+  const double floor =
+      kBeta - 3.0 * std::sqrt(kBeta * (1.0 - kBeta) / kRuns);
+
+  auto ds = workload::MakeMaterializedNormalDataset(200'000, 4, 100.0, 20.0,
+                                                    77);
+  ASSERT_TRUE(ds.ok());
+  const double exact = ds->true_mean;
+
+  int covered = 0;
+  for (int i = 0; i < kRuns; ++i) {
+    IslaOptions options;
+    options.confidence = kBeta;
+    auto r = AggregateWithTimeBudget(*ds->data(), /*budget_millis=*/25.0,
+                                     options,
+                                     /*seed_salt=*/9000 + i);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_GT(r->achieved_precision, 0.0);
+    EXPECT_GT(r->budget_samples, 0u);
+    if (std::abs(r->aggregate.average - exact) <=
+        2.0 * r->achieved_precision) {
+      ++covered;
+    }
+  }
+  double coverage = static_cast<double>(covered) / kRuns;
+  EXPECT_GE(coverage, floor)
+      << covered << "/" << kRuns
+      << " runs inside their own reported 2e band";
 }
 
 }  // namespace

@@ -1,14 +1,20 @@
 // Integration tests for the command-line tools: isla_shell (driven through
-// a pipe) and isla_import (via system()). These exercise the binaries end
-// to end, the way a user would.
+// a pipe), isla_import (via system()), and the isla_serverd/isla_client
+// network pair (daemons started in the background on ephemeral ports).
+// These exercise the binaries end to end, the way a user would.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/file_block.h"
 
 namespace isla {
 namespace {
@@ -95,6 +101,114 @@ TEST(IslaImport, FailsCleanlyOnMissingFile) {
       "");
   EXPECT_NE(out.find("IOError"), std::string::npos) << out;
   EXPECT_NE(out.find("rc=1"), std::string::npos) << out;
+}
+
+TEST(IslaShell, SetRetunesSessionDefaults) {
+  std::string out = RunWithInput(ToolPath("isla_shell"),
+                                 "SET precision 0.5\n"
+                                 "SHOW SETTINGS\n"
+                                 "SET confidence 42\n"
+                                 "quit\n");
+  EXPECT_NE(out.find("set precision = 0.5"), std::string::npos) << out;
+  EXPECT_NE(out.find("precision = 0.5"), std::string::npos) << out;
+  EXPECT_NE(out.find("error: InvalidArgument"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// isla_serverd / isla_client: the network daemons end to end.
+// ---------------------------------------------------------------------------
+
+/// Starts `command` in the background with its stdin held open for
+/// `lifetime_seconds` (the daemon exits at stdin EOF) and stdout captured
+/// to `stdout_file`. The subshell's own streams are detached from the
+/// test process — otherwise ctest waits on the inherited pipe for the
+/// daemon's whole lifetime.
+void StartDaemon(const std::string& command, const fs::path& stdout_file,
+                 int lifetime_seconds) {
+  std::string full = "( sleep " + std::to_string(lifetime_seconds) + " | " +
+                     command + " > " + stdout_file.string() +
+                     " 2>&1 ) < /dev/null > /dev/null 2>&1 &";
+  int rc = std::system(full.c_str());
+  ASSERT_EQ(rc, 0) << full;
+}
+
+/// Polls the daemon's stdout for "listening on 127.0.0.1:PORT" and
+/// returns PORT (0 on timeout).
+int WaitForPort(const fs::path& stdout_file) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(stdout_file);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    size_t at = content.find("listening on 127.0.0.1:");
+    if (at != std::string::npos) {
+      return std::atoi(content.c_str() + at + 23);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}
+
+TEST(IslaServerd, QueryServerSessionOverTcp) {
+  fs::path dir = fs::temp_directory_path() / "isla_serverd_test";
+  fs::create_directories(dir);
+  fs::path log = dir / "serverd.out";
+
+  StartDaemon(ToolPath("isla_serverd") + " --port 0 --precision 0.4", log,
+              20);
+  int port = WaitForPort(log);
+  ASSERT_GT(port, 0) << "daemon never reported its port";
+
+  std::string out = RunWithInput(
+      ToolPath("isla_client") + " --port " + std::to_string(port),
+      "CREATE TABLE s FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4\n"
+      "SHOW SETTINGS\n"
+      "SELECT AVG(value) FROM s\n"
+      "quit\n");
+  EXPECT_NE(out.find("created table s"), std::string::npos) << out;
+  // The daemon's --precision became this session's default.
+  EXPECT_NE(out.find("precision = 0.4"), std::string::npos) << out;
+  EXPECT_NE(out.find("AVG = "), std::string::npos) << out;
+  EXPECT_NE(out.find("bye"), std::string::npos) << out;
+  fs::remove_all(dir);
+}
+
+TEST(IslaServerd, WorkerDaemonsServeDistributedAvg) {
+  fs::path dir = fs::temp_directory_path() / "isla_workerd_test";
+  fs::create_directories(dir);
+
+  // Two shards with known means: 2 rows at 10, 2 rows at 30 → AVG 20.
+  std::vector<double> shard0 = {10.0, 10.0, 10.0, 10.0};
+  std::vector<double> shard1 = {30.0, 30.0, 30.0, 30.0};
+  fs::path islb0 = dir / "s0.islb";
+  fs::path islb1 = dir / "s1.islb";
+  ASSERT_TRUE(storage::WriteBlockFile(islb0.string(), shard0).ok());
+  ASSERT_TRUE(storage::WriteBlockFile(islb1.string(), shard1).ok());
+
+  fs::path log0 = dir / "w0.out";
+  fs::path log1 = dir / "w1.out";
+  StartDaemon(ToolPath("isla_serverd") + " --worker --shard " +
+                  islb0.string() + " --worker-id 0 --port 0",
+              log0, 20);
+  StartDaemon(ToolPath("isla_serverd") + " --worker --shard " +
+                  islb1.string() + " --worker-id 1 --port 0",
+              log1, 20);
+  int port0 = WaitForPort(log0);
+  int port1 = WaitForPort(log1);
+  ASSERT_GT(port0, 0);
+  ASSERT_GT(port1, 0);
+
+  std::string out = RunWithInput(
+      ToolPath("isla_client") + " --workers 127.0.0.1:" +
+          std::to_string(port0) + ",127.0.0.1:" + std::to_string(port1) +
+          " --within 0.5",
+      "");
+  // Within-shard-constant data: each worker's partial is its exact shard
+  // mean, so the row-weighted merge is (4·10 + 4·30)/8 = 20.
+  size_t at = out.find("AVG = ");
+  ASSERT_NE(at, std::string::npos) << out;
+  EXPECT_NEAR(std::strtod(out.c_str() + at + 6, nullptr), 20.0, 0.5) << out;
+  EXPECT_NE(out.find("rows=8"), std::string::npos) << out;
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,309 @@
+// Golden wire-format suite: the exact serialized bytes of every
+// distributed message frame (and of the net transport frame wrapper) are
+// pinned against checked-in hex fixtures. The distributed protocol is a
+// cross-version compatibility surface — a coordinator built from one
+// commit must interoperate with worker daemons built from another — so
+// any edit that moves a field, changes a width, or reorders the options
+// block fails here *loudly* instead of silently producing garbage on
+// mixed-version clusters.
+//
+// If a test fails because the format changed ON PURPOSE, bump the
+// protocol semantics deliberately: update the fixture from the printed
+// actual bytes AND treat the change as a wire-format break (old daemons
+// cannot talk to new coordinators).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "distributed/message.h"
+#include "net/frame.h"
+
+namespace isla {
+namespace distributed {
+namespace {
+
+std::string ToHex(const std::string& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  char buf[3];
+  for (unsigned char c : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x", c);
+    out += buf;
+  }
+  return out;
+}
+
+/// EXPECT helper: on mismatch the actual hex is printed ready to paste.
+void ExpectGolden(const std::string& frame, const std::string& golden_hex,
+                  const char* what) {
+  EXPECT_EQ(ToHex(frame), golden_hex)
+      << what << " wire format changed; actual bytes:\n"
+      << ToHex(frame);
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures. One representative message per frame type, every field set to
+// a distinctive value so a swapped pair of fields cannot cancel out.
+// ---------------------------------------------------------------------------
+
+PilotRequest GoldenPilotRequest() {
+  PilotRequest m;
+  m.query_id = 7;
+  m.sample_count = 1000;
+  m.seed = 42;
+  return m;
+}
+constexpr char kPilotRequestHex[] =
+    "010000000700000000000000e8030000000000002a00000000000000";
+
+PilotResponse GoldenPilotResponse() {
+  PilotResponse m;
+  m.query_id = 7;
+  m.worker_id = 3;
+  m.block_rows = 1'000'000;
+  m.count = 500;
+  m.mean = 100.25;
+  m.m2 = 1234.5;
+  m.min_value = -3.5;
+  return m;
+}
+constexpr char kPilotResponseHex[] =
+    "020000000700000000000000030000000000000040420f0000000000f4010000"
+    "00000000000000000010594000000000004a93400000000000000cc0";
+
+QueryPlan GoldenQueryPlan() {
+  QueryPlan m;  // options stay at IslaOptions defaults: they are part of
+  m.query_id = 7;  // the pinned bytes, so a default change fails here too.
+  m.sample_count = 4242;
+  m.seed = 99;
+  m.sketch0 = 101.5;
+  m.sigma = 19.75;
+  m.shift = 250.0;
+  return m;
+}
+constexpr char kQueryPlanHex[] =
+    "0300000007000000000000009210000000000000630000000000000000000000"
+    "006059400000000000c033400000000000406f409a9999999999b93f66666666"
+    "6666ee3f0000000000000840000000000000e03f00000000000000409a999999"
+    "9999e93f000000000000e03f00000000000000007b14ae47e17a843fae47e17a"
+    "14aeef3f295c8fc2f528f03f0ad7a3703d0aef3f7b14ae47e17af03f14ae47e1"
+    "7a14ee3ff6285c8fc2f5f03f0000000000001440000000000000244001000000"
+    "00000000e8030000000000005aa1155a01000000000000000000f03f00000000"
+    "00000000";
+
+PartialResult GoldenPartialResult() {
+  PartialResult m;
+  m.query_id = 7;
+  m.worker_id = 3;
+  m.block_rows = 1'000'000;
+  m.samples_drawn = 4242;
+  m.avg = 100.125;
+  m.s_count = 10;
+  m.l_count = 12;
+  m.iterations = 8;
+  m.alpha = -0.25;
+  m.s_sum = 1.5;
+  m.s_sum2 = 2.5;
+  m.s_sum3 = 3.5;
+  m.l_sum = 4.5;
+  m.l_sum2 = 5.5;
+  m.l_sum3 = 6.5;
+  return m;
+}
+constexpr char kPartialResultHex[] =
+    "040000000700000000000000030000000000000040420f000000000092100000"
+    "0000000000000000000859400a000000000000000c0000000000000008000000"
+    "00000000000000000000d0bf000000000000f83f000000000000044000000000"
+    "00000c40000000000000124000000000000016400000000000001a40";
+
+GroupedScanRequest GoldenGroupedScanRequest() {
+  GroupedScanRequest m;
+  m.query_id = 11;
+  m.sample_count = 4096;
+  m.stream_seed = 0xabcdef;
+  m.has_predicate = 1;
+  m.op = core::PredicateOp::kLe;
+  m.literal = -12.5;
+  m.has_group = 1;
+  return m;
+}
+constexpr char kGroupedScanRequestHex[] =
+    "050000000b000000000000000010000000000000efcdab000000000001000000"
+    "00000000030000000000000000000000000029c00100000000000000";
+
+GroupedScanResponse GoldenGroupedScanResponse() {
+  GroupedScanResponse m;
+  m.query_id = 11;
+  m.worker_id = 2;
+  m.partial.block_rows = 1000;
+  m.partial.scanned = 500;
+  for (double v : {1.0, 2.0, 3.0}) m.partial.all.Add(v);
+  for (double v : {1.0, 3.0}) m.partial.groups[0.0].Add(v);
+  m.partial.groups[7.5].Add(2.0);
+  return m;
+}
+constexpr char kGroupedScanResponseHex[] =
+    "060000000b000000000000000200000000000000e803000000000000f4010000"
+    "0000000003000000000000000000000000000040000000000000004002000000"
+    "0000000000000000000000000200000000000000000000000000004000000000"
+    "000000400000000000001e400100000000000000000000000000004000000000"
+    "00000000";
+
+ErrorFrame GoldenErrorFrame() {
+  ErrorFrame m;
+  m.code = 7;  // FailedPrecondition
+  m.message = "worker has no group column shard";
+  return m;
+}
+constexpr char kErrorFrameHex[] =
+    "0700000007000000000000002000000000000000776f726b657220686173206e"
+    "6f2067726f757020636f6c756d6e207368617264";
+
+// ---------------------------------------------------------------------------
+// Encode: exact bytes.
+// ---------------------------------------------------------------------------
+
+TEST(WireFormat, PilotRequest) {
+  ExpectGolden(Encode(GoldenPilotRequest()), kPilotRequestHex,
+               "PilotRequest");
+}
+
+TEST(WireFormat, PilotResponse) {
+  ExpectGolden(Encode(GoldenPilotResponse()), kPilotResponseHex,
+               "PilotResponse");
+}
+
+TEST(WireFormat, QueryPlan) {
+  ExpectGolden(Encode(GoldenQueryPlan()), kQueryPlanHex, "QueryPlan");
+}
+
+TEST(WireFormat, PartialResult) {
+  ExpectGolden(Encode(GoldenPartialResult()), kPartialResultHex,
+               "PartialResult");
+}
+
+TEST(WireFormat, GroupedScanRequest) {
+  ExpectGolden(Encode(GoldenGroupedScanRequest()), kGroupedScanRequestHex,
+               "GroupedScanRequest");
+}
+
+TEST(WireFormat, GroupedScanResponse) {
+  ExpectGolden(Encode(GoldenGroupedScanResponse()),
+               kGroupedScanResponseHex, "GroupedScanResponse");
+}
+
+TEST(WireFormat, ErrorFrame) {
+  ExpectGolden(Encode(GoldenErrorFrame()), kErrorFrameHex, "ErrorFrame");
+}
+
+// ---------------------------------------------------------------------------
+// Decode: the checked-in bytes (as an old peer would send them) must
+// reproduce the message, field by field — encode symmetry alone would not
+// catch a change that breaks decoding of *old* frames.
+// ---------------------------------------------------------------------------
+
+std::string FromHex(const std::string& hex) {
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<char>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+TEST(WireFormat, DecodesPinnedPilotResponse) {
+  auto m = DecodePilotResponse(FromHex(kPilotResponseHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  PilotResponse want = GoldenPilotResponse();
+  EXPECT_EQ(m->query_id, want.query_id);
+  EXPECT_EQ(m->worker_id, want.worker_id);
+  EXPECT_EQ(m->block_rows, want.block_rows);
+  EXPECT_EQ(m->count, want.count);
+  EXPECT_EQ(m->mean, want.mean);
+  EXPECT_EQ(m->m2, want.m2);
+  EXPECT_EQ(m->min_value, want.min_value);
+}
+
+TEST(WireFormat, DecodesPinnedQueryPlan) {
+  auto m = DecodeQueryPlan(FromHex(kQueryPlanHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  QueryPlan want = GoldenQueryPlan();
+  EXPECT_EQ(m->sample_count, want.sample_count);
+  EXPECT_EQ(m->sketch0, want.sketch0);
+  EXPECT_EQ(m->sigma, want.sigma);
+  EXPECT_EQ(m->shift, want.shift);
+  EXPECT_EQ(m->options.precision, want.options.precision);
+  EXPECT_EQ(m->options.confidence, want.options.confidence);
+  EXPECT_EQ(m->options.q_prime_severe, want.options.q_prime_severe);
+  EXPECT_EQ(m->options.seed, want.options.seed);
+  EXPECT_EQ(m->options.parallelism, want.options.parallelism);
+}
+
+TEST(WireFormat, DecodesPinnedGroupedScanResponse) {
+  auto m = DecodeGroupedScanResponse(FromHex(kGroupedScanResponseHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  GroupedScanResponse want = GoldenGroupedScanResponse();
+  EXPECT_EQ(m->partial.block_rows, want.partial.block_rows);
+  EXPECT_EQ(m->partial.scanned, want.partial.scanned);
+  EXPECT_EQ(m->partial.all.n, want.partial.all.n);
+  EXPECT_EQ(m->partial.all.mean, want.partial.all.mean);
+  EXPECT_EQ(m->partial.all.m2, want.partial.all.m2);
+  ASSERT_EQ(m->partial.groups.size(), want.partial.groups.size());
+  EXPECT_EQ(m->partial.groups.at(0.0).n, 2u);
+  EXPECT_EQ(m->partial.groups.at(7.5).mean, 2.0);
+}
+
+TEST(WireFormat, DecodesPinnedErrorFrame) {
+  auto m = DecodeErrorFrame(FromHex(kErrorFrameHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->ToStatus().IsFailedPrecondition());
+  EXPECT_EQ(m->message, "worker has no group column shard");
+}
+
+TEST(WireFormat, ErrorFrameTruncatesOversizedMessages) {
+  // The encoder must clamp to the decode cap: a worker failing with a
+  // huge Status message still round-trips (truncated), instead of the
+  // peer rejecting the frame and masking the real error.
+  ErrorFrame big;
+  big.code = 5;  // IOError
+  big.message.assign(3 * kMaxErrorMessageBytes, 'x');
+  auto decoded = DecodeErrorFrame(Encode(big));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->message.size(), kMaxErrorMessageBytes);
+  EXPECT_TRUE(decoded->ToStatus().IsIOError());
+}
+
+TEST(WireFormat, ErrorFrameRejectsDamage) {
+  std::string frame = FromHex(kErrorFrameHex);
+  EXPECT_TRUE(DecodeErrorFrame(frame.substr(0, frame.size() - 1))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(DecodeErrorFrame(frame + "x").status().IsCorruption());
+  std::string bad_code = frame;
+  bad_code[4] = 99;  // StatusCode far out of range
+  EXPECT_TRUE(DecodeErrorFrame(bad_code).status().IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// The net transport frame wrapper.
+// ---------------------------------------------------------------------------
+
+TEST(WireFormat, NetFrameAroundPilotRequest) {
+  ExpectGolden(net::EncodeFrame(Encode(GoldenPilotRequest())),
+               "49534c461c0000005856b9df010000000700000000000000e8030000"
+               "000000002a00000000000000",
+               "net frame wrapper");
+}
+
+TEST(WireFormat, NetFrameEmptyPayload) {
+  // Magic "ISLF", zero length, CRC32 of the empty string (0).
+  ExpectGolden(net::EncodeFrame(""), "49534c460000000000000000",
+               "net frame (empty)");
+}
+
+}  // namespace
+}  // namespace distributed
+}  // namespace isla

@@ -1,0 +1,185 @@
+// isla_client — TCP client for the ISLA daemons. Two modes:
+//
+// Query-server session (statements from stdin, one response per line
+// group, like isla_shell but over the network):
+//
+//   $ ./isla_client --port 7100
+//   isla> CREATE TABLE s FROM NORMAL(100, 20) ROWS 1e8 BLOCKS 8
+//   isla> SET precision 0.2
+//   isla> SELECT AVG(value) FROM s
+//
+// Distributed aggregation driver (the center node of §VII-E): runs one
+// AVG aggregation across worker daemons and prints the merged answer:
+//
+//   $ ./isla_client --workers 127.0.0.1:7101,127.0.0.1:7102 --within 0.1
+//
+// Worker order on the command line defines worker ids; each daemon must
+// have been started with the matching --worker-id.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "distributed/coordinator.h"
+#include "net/connection.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: isla_client --port P [--host h]\n"
+               "       isla_client --workers h:p,h:p,... [--within e] "
+               "[--confidence b]\n");
+}
+
+int RunSession(const std::string& host, uint16_t port) {
+  auto conn = isla::net::TcpConnect(host, port, /*timeout_millis=*/5'000);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "error: %s\n", conn.status().ToString().c_str());
+    return 1;
+  }
+  // A single statement may legitimately sample for minutes (ROWS 1e9 at a
+  // tight precision); don't let the default I/O deadline cut it off.
+  (*conn)->set_deadline_millis(10 * 60 * 1000);
+  // The server greets each session with one frame — or, when the session
+  // limit is reached, answers with a single "error: ..." frame and
+  // closes. Surface that refusal instead of prompting into a dead
+  // connection.
+  auto greeting = (*conn)->RecvFrame();
+  if (!greeting.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 greeting.status().ToString().c_str());
+    return 1;
+  }
+  if (greeting->rfind("error: ", 0) == 0) {
+    std::fprintf(stderr, "%s\n", greeting->c_str());
+    return 1;
+  }
+  bool interactive = isatty(fileno(stdin));
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("isla> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    size_t begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r\n");
+    std::string statement = line.substr(begin, end - begin + 1);
+
+    isla::Status sent = (*conn)->SendFrame(statement);
+    if (!sent.ok()) {
+      std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
+      return 1;
+    }
+    auto response = (*conn)->RecvFrame();
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    // Strip the "ok\n" tag; print errors as-is.
+    if (response->rfind("ok\n", 0) == 0) {
+      std::printf("%s\n", response->c_str() + 3);
+    } else {
+      std::printf("%s\n", response->c_str());
+    }
+    if (statement == "quit" || statement == "exit") break;
+  }
+  return 0;
+}
+
+int RunDistributed(const std::string& workers_arg, double precision,
+                   double confidence) {
+  std::vector<isla::net::Endpoint> endpoints;
+  size_t start = 0;
+  while (start <= workers_arg.size()) {
+    size_t comma = workers_arg.find(',', start);
+    std::string spec =
+        workers_arg.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+    if (!spec.empty()) {
+      auto endpoint = isla::net::ParseEndpoint(spec);
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      endpoints.push_back(*endpoint);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "error: --workers needs at least one endpoint\n");
+    return 2;
+  }
+
+  isla::net::TcpTransport transport(endpoints);
+  isla::core::IslaOptions options;
+  options.precision = precision;
+  options.confidence = confidence;
+  isla::distributed::Coordinator coordinator(&transport, options);
+  auto r = coordinator.AggregateAvg();
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("AVG = %.6f  (sum=%.6g, rows=%llu, samples=%llu, "
+              "workers=%zu)\n",
+              r->average, r->sum,
+              static_cast<unsigned long long>(r->data_size),
+              static_cast<unsigned long long>(r->total_samples),
+              endpoints.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string workers;
+  uint16_t port = 0;
+  double precision = 0.1;
+  double confidence = 0.95;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--workers") {
+      workers = next("--workers");
+    } else if (arg == "--within") {
+      precision = std::atof(next("--within"));
+    } else if (arg == "--confidence") {
+      confidence = std::atof(next("--confidence"));
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  if (!workers.empty()) return RunDistributed(workers, precision, confidence);
+  if (port == 0) {
+    Usage();
+    return 2;
+  }
+  return RunSession(host, port);
+}

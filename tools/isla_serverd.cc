@@ -1,0 +1,173 @@
+// isla_serverd — the ISLA network daemon. Two roles:
+//
+// Query server (default): accepts concurrent client sessions speaking the
+// mini-SQL dialect, one private Session (catalog + SET-tunable
+// IslaOptions) per connection:
+//
+//   $ ./isla_serverd --port 7100 --precision 0.2
+//   listening on 127.0.0.1:7100 (query server)
+//
+// Worker (the paper's subsidiary): hosts one shard triple behind the
+// distributed message protocol, for coordinators using --workers:
+//
+//   $ ./isla_serverd --worker --shard v0.islb --port 7101
+//   $ ./isla_serverd --worker --shard v1.islb --predicate-shard p1.islb
+//       --key-shard k1.islb --port 7102 --worker-id 1
+//
+// Worker ids are positional: a coordinator connecting to
+// --workers host:7101,host:7102 addresses them as workers 0 and 1, and the
+// daemon must be started with the matching --worker-id so its RNG streams
+// line up with the single-node engine's per-block streams (that is what
+// makes distributed answers bit-identical).
+//
+// The daemon runs until stdin reaches EOF or SIGINT/SIGTERM arrives, so it
+// works both interactively and under a supervisor with a pipe held open.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "distributed/worker.h"
+#include "net/query_server.h"
+#include "net/worker_server.h"
+#include "storage/file_block.h"
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: isla_serverd [--port P] [--precision e] "
+               "[--confidence b]\n"
+               "                    [--parallelism n] [--max-sessions n]\n"
+               "       isla_serverd --worker --shard v.islb "
+               "[--predicate-shard p.islb]\n"
+               "                    [--key-shard k.islb] [--worker-id N] "
+               "[--port P]\n");
+}
+
+/// Blocks until stdin closes or a termination signal arrives.
+void WaitForShutdown() {
+  while (!g_stop) {
+    struct pollfd pfd;
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;  // Tick (or EINTR from a handled signal).
+    char buf[256];
+    ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n <= 0) return;  // EOF: supervisor dropped the pipe.
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool worker_mode = false;
+  uint16_t port = 0;
+  uint64_t worker_id = 0;
+  std::string shard, predicate_shard, key_shard;
+  isla::net::QueryServerOptions query_options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--worker") {
+      worker_mode = true;
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--worker-id") {
+      worker_id = std::strtoull(next("--worker-id"), nullptr, 10);
+    } else if (arg == "--shard") {
+      shard = next("--shard");
+    } else if (arg == "--predicate-shard") {
+      predicate_shard = next("--predicate-shard");
+    } else if (arg == "--key-shard") {
+      key_shard = next("--key-shard");
+    } else if (arg == "--precision") {
+      query_options.session_defaults.precision =
+          std::atof(next("--precision"));
+    } else if (arg == "--confidence") {
+      query_options.session_defaults.confidence =
+          std::atof(next("--confidence"));
+    } else if (arg == "--parallelism") {
+      query_options.session_defaults.parallelism =
+          static_cast<uint32_t>(std::atoi(next("--parallelism")));
+    } else if (arg == "--max-sessions") {
+      query_options.max_sessions =
+          std::strtoull(next("--max-sessions"), nullptr, 10);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+
+  if (worker_mode) {
+    if (shard.empty()) {
+      std::fprintf(stderr, "error: --worker needs --shard\n");
+      return 2;
+    }
+    auto open = [](const std::string& path)
+        -> isla::storage::BlockPtr {
+      if (path.empty()) return nullptr;
+      auto block = isla::storage::FileBlock::Open(path);
+      if (!block.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                     block.status().ToString().c_str());
+        std::exit(1);
+      }
+      return *block;
+    };
+    isla::storage::BlockPtr values = open(shard);
+    auto worker = std::make_unique<isla::distributed::Worker>(
+        worker_id, values, open(predicate_shard), open(key_shard));
+
+    isla::net::WorkerServerOptions options;
+    options.port = port;
+    isla::net::WorkerServer server(std::move(worker), options);
+    isla::Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on 127.0.0.1:%u (worker %llu, %llu rows)\n",
+                server.port(),
+                static_cast<unsigned long long>(worker_id),
+                static_cast<unsigned long long>(values->size()));
+    std::fflush(stdout);
+    WaitForShutdown();
+    server.Stop();
+    return 0;
+  }
+
+  query_options.port = port;
+  isla::net::QueryServer server(query_options);
+  isla::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u (query server)\n", server.port());
+  std::fflush(stdout);
+  WaitForShutdown();
+  server.Stop();
+  return 0;
+}

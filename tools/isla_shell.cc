@@ -31,6 +31,8 @@ constexpr char kHelp[] = R"(statements:
          [WHERE c (=|!=|<>|<|<=|>|>=) literal] [GROUP BY c]
          [WITHIN e] [CONFIDENCE b]
          [USING isla|isla_noniid|uniform|stratified|mv|mvb|exact]
+  SET precision|confidence|parallelism|seed|pilot|rate_scale v
+  SHOW SETTINGS
   GROUPS g adds a row-aligned key column 'grp' with keys {0..g-1};
   WHERE/GROUP BY/COUNT run the shared-scan grouped sampler with a
   per-group (e, b) precision contract.
