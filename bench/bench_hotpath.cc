@@ -34,6 +34,7 @@
 #include "core/engine.h"
 #include "core/group_by.h"
 #include "harness.h"
+#include "runtime/kernels/kernels.h"
 #include "runtime/scratch_arena.h"
 #include "sampling/samplers.h"
 #include "storage/file_block.h"
@@ -147,6 +148,9 @@ int main(int argc, char** argv) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned threads_max =
       cfg.threads_max == 0 ? hw : cfg.threads_max;
+  std::printf("kernel dispatch: %s (cpu: %s)\n",
+              std::string(runtime::kernels::ActiveLevelName()).c_str(),
+              runtime::kernels::CpuFeatureString().c_str());
 
   // --- Fixture: one ISLB file of N(100, 20²)-ish values. ---
   namespace fs = std::filesystem;
@@ -315,6 +319,13 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"gather_batch\": %" PRIu64 ",\n",
                static_cast<uint64_t>(sampling::kGatherBatch));
   std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  // Rows/sec are only comparable across machines (and across ISLA_KERNELS
+  // settings) when the record says which kernel tier and silicon produced
+  // them.
+  std::fprintf(f, "  \"kernel_dispatch\": \"%s\",\n",
+               std::string(runtime::kernels::ActiveLevelName()).c_str());
+  std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+               runtime::kernels::CpuFeatureString().c_str());
   std::fprintf(f, "  \"gather\": {\n");
   std::fprintf(f, "    \"file_stdio_rows_per_sec\": %.6e,\n", stdio_rps);
   std::fprintf(f, "    \"file_mmap_rows_per_sec\": %.6e,\n", mmap_rps);

@@ -1,6 +1,7 @@
 #include "core/block_solver.h"
 
 #include "core/objective.h"
+#include "runtime/kernels/kernels.h"
 #include "sampling/samplers.h"
 
 namespace isla {
@@ -16,25 +17,33 @@ Status RunSamplingPhase(const storage::Block& block,
   if (block.size() == 0) {
     return Status::FailedPrecondition("cannot sample empty block");
   }
-  sampling::BlockSampleStream stream(block, sample_count, rng, scratch);
+  runtime::ScratchArena local;
+  runtime::ScratchArena* s = scratch != nullptr ? scratch : &local;
+  const auto& kernels = runtime::kernels::Ops();
+  sampling::BlockSampleStream stream(block, sample_count, rng, s);
   std::span<const double> batch;
   for (;;) {
     ISLA_RETURN_NOT_OK(stream.Next(&batch));
     if (batch.empty()) break;
     out->samples_drawn += batch.size();
-    for (double raw : batch) {
-      double a = raw + shift;
-      switch (boundaries.Classify(a)) {
-        case Region::kSmall:
-          out->param_s.Add(a);
-          break;
-        case Region::kLarge:
-          out->param_l.Add(a);
-          break;
-        default:
-          break;  // TS/N/TL samples are dropped (Algorithm 1 line 12).
-      }
-    }
+    // Vectorized region split: shift and classify the whole batch in one
+    // kernel pass, compacting the S and L survivors (TS/N/TL samples are
+    // dropped — Algorithm 1 line 12). Each region's values arrive in
+    // sample order, and paramS/paramL are independent accumulators, so the
+    // streamed moments match the sample-at-a-time Classify loop bit for
+    // bit.
+    s->region_s.resize(batch.size());
+    s->region_l.resize(batch.size());
+    size_t s_count = 0;
+    size_t l_count = 0;
+    kernels.classify_regions(batch.data(), batch.size(), shift,
+                             boundaries.lower_outer(),
+                             boundaries.lower_inner(),
+                             boundaries.upper_inner(),
+                             boundaries.upper_outer(), s->region_s.data(),
+                             &s_count, s->region_l.data(), &l_count);
+    for (size_t i = 0; i < s_count; ++i) out->param_s.Add(s->region_s[i]);
+    for (size_t i = 0; i < l_count; ++i) out->param_l.Add(s->region_l[i]);
   }
   return Status::OK();
 }

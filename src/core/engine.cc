@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/summarizer.h"
+#include "runtime/kernels/kernels.h"
 #include "runtime/parallel_for.h"
 #include "sampling/samplers.h"
 #include "util/rng.h"
@@ -51,6 +52,10 @@ Result<AggregateResult> IslaEngine::AggregateAvg(const storage::Column& column,
   res.confidence = options_.confidence;
   res.sigma_estimate = pilot.sigma;
   res.pilot_samples = pilot.sigma_pilot_samples + pilot.sketch_pilot_samples;
+  // Record which kernel tier the pilot and Calculation inner loops ran on
+  // (index generation, region classification, gathers) so perf reports can
+  // attribute rows/sec to the silicon actually used.
+  res.kernel_dispatch = runtime::kernels::ActiveLevelName();
 
   // Constant data short-circuits: the pilot mean is exact.
   if (!(pilot.sigma > 0.0)) {

@@ -2,6 +2,7 @@
 #define ISLA_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -41,6 +42,9 @@ struct AggregateResult {
   double shift = 0.0;          // negative-data translation applied
   uint64_t total_samples = 0;  // main-pass samples across blocks
   uint64_t pilot_samples = 0;  // σ pilot + sketch pilot
+  /// Kernel tier the run's inner loops dispatched to ("scalar"/"sse2"/
+  /// "avx2") — static storage, diagnostic only, never serialized.
+  std::string_view kernel_dispatch;
   std::vector<BlockReport> blocks;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/kernels/kernels.h"
 #include "runtime/parallel_for.h"
 #include "sampling/samplers.h"
 #include "stats/confidence.h"
@@ -48,50 +49,36 @@ bool EvalPredicate(PredicateOp op, double lhs, double rhs) {
   return false;
 }
 
+namespace {
+
+/// PredicateOp and the kernel layer's CmpOp are value-identical by
+/// construction; pin it so the cast below can never silently skew.
+static_assert(static_cast<int>(PredicateOp::kEq) ==
+              static_cast<int>(runtime::kernels::CmpOp::kEq));
+static_assert(static_cast<int>(PredicateOp::kNe) ==
+              static_cast<int>(runtime::kernels::CmpOp::kNe));
+static_assert(static_cast<int>(PredicateOp::kLt) ==
+              static_cast<int>(runtime::kernels::CmpOp::kLt));
+static_assert(static_cast<int>(PredicateOp::kLe) ==
+              static_cast<int>(runtime::kernels::CmpOp::kLe));
+static_assert(static_cast<int>(PredicateOp::kGt) ==
+              static_cast<int>(runtime::kernels::CmpOp::kGt));
+static_assert(static_cast<int>(PredicateOp::kGe) ==
+              static_cast<int>(runtime::kernels::CmpOp::kGe));
+
+runtime::kernels::CmpOp ToCmpOp(PredicateOp op) {
+  return static_cast<runtime::kernels::CmpOp>(op);
+}
+
+}  // namespace
+
 void EvalPredicateMask(PredicateOp op, std::span<const double> lhs,
                        double rhs, uint8_t* mask) {
-  const size_t n = lhs.size();
-  const double* v = lhs.data();
-  if (std::isnan(rhs)) {
-    // Every comparison against NaN is UNKNOWN → false.
-    for (size_t i = 0; i < n; ++i) mask[i] = 0;
-    return;
-  }
-  // One comparison per element; IEEE semantics already yield false for a
-  // NaN lhs under ==, <, <=, >, >= — only != needs the self-equality term
-  // to turn C++'s (NaN != x) == true into SQL's UNKNOWN.
-  switch (op) {
-    case PredicateOp::kEq:
-      for (size_t i = 0; i < n; ++i) {
-        mask[i] = static_cast<uint8_t>(v[i] == rhs);
-      }
-      break;
-    case PredicateOp::kNe:
-      for (size_t i = 0; i < n; ++i) {
-        mask[i] = static_cast<uint8_t>((v[i] == v[i]) & (v[i] != rhs));
-      }
-      break;
-    case PredicateOp::kLt:
-      for (size_t i = 0; i < n; ++i) {
-        mask[i] = static_cast<uint8_t>(v[i] < rhs);
-      }
-      break;
-    case PredicateOp::kLe:
-      for (size_t i = 0; i < n; ++i) {
-        mask[i] = static_cast<uint8_t>(v[i] <= rhs);
-      }
-      break;
-    case PredicateOp::kGt:
-      for (size_t i = 0; i < n; ++i) {
-        mask[i] = static_cast<uint8_t>(v[i] > rhs);
-      }
-      break;
-    case PredicateOp::kGe:
-      for (size_t i = 0; i < n; ++i) {
-        mask[i] = static_cast<uint8_t>(v[i] >= rhs);
-      }
-      break;
-  }
+  // Kernel-dispatched (AVX2 → SSE2 → scalar); SQL NaN semantics — a NaN on
+  // either side never matches, including != — are part of the kernel
+  // contract and bit-identical at every tier.
+  runtime::kernels::Ops().eval_predicate_mask(ToCmpOp(op), lhs.data(),
+                                              lhs.size(), rhs, mask);
 }
 
 Status GroupedBlockPartial::Merge(const GroupedBlockPartial& other) {
@@ -156,15 +143,44 @@ Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
 Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
                          const double* keys, GroupMoments* all,
                          GroupMap* groups) {
+  return RouteGroupedBatch(values, mask, keys, all, groups, nullptr);
+}
+
+Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
+                         const double* keys, GroupMoments* all,
+                         GroupMap* groups, runtime::ScratchArena* scratch) {
   if (groups == nullptr) {
     return Status::InvalidArgument("groups must not be null");
   }
   const double* v = values.data();
-  for (size_t i = 0; i < values.size(); ++i) {
+  size_t n = values.size();
+  const double* routed_keys = keys;
+  if (scratch != nullptr && (mask != nullptr || keys != nullptr)) {
+    // Filter first, accumulate second: the SIMD compaction kernels drop
+    // non-matching rows and NaN group keys in one vector pass, and the
+    // scalar Welford walk below only touches survivors. Survivor order is
+    // the row order, so every accumulator sees the exact Add sequence of
+    // the row-at-a-time loop — answers cannot move a bit.
+    const auto& kernels = runtime::kernels::Ops();
+    scratch->compact_values.resize(n);
+    if (keys != nullptr) {
+      scratch->compact_keys.resize(n);
+      n = kernels.compact_grouped(v, keys, mask, n,
+                                  scratch->compact_values.data(),
+                                  scratch->compact_keys.data());
+      routed_keys = scratch->compact_keys.data();
+    } else {
+      n = kernels.compact_masked(v, mask, n,
+                                 scratch->compact_values.data());
+    }
+    v = scratch->compact_values.data();
+    mask = nullptr;  // already applied by the compaction
+  }
+  for (size_t i = 0; i < n; ++i) {
     if (mask != nullptr && mask[i] == 0) continue;
     double group_key = 0.0;
-    if (keys != nullptr) {
-      group_key = keys[i];
+    if (routed_keys != nullptr) {
+      group_key = routed_keys[i];
       if (std::isnan(group_key)) continue;
     }
     if (all != nullptr) all->Add(v[i]);
@@ -244,7 +260,7 @@ Status RunGroupedBlockPass(const storage::Block& values,
       keys = s->keys.data();
     }
     ISLA_RETURN_NOT_OK(RouteGroupedBatch({s->values.data(), batch}, mask,
-                                         keys, &out->all, &out->groups));
+                                         keys, &out->all, &out->groups, s));
     done += batch;
   }
   out->scanned += sample_count;

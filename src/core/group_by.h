@@ -131,6 +131,15 @@ Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
                          const double* keys, GroupMoments* all,
                          GroupMap* groups);
 
+/// Kernel-accelerated router: identical semantics (and bit-identical
+/// accumulator results — survivors fold in the same order) to the overload
+/// above, but the predicate-mask and NaN-key filtering runs through the
+/// SIMD compaction kernels into `scratch`'s compact buffers before the
+/// scalar accumulator walk. A null `scratch` falls back to the row loop.
+Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
+                         const double* keys, GroupMoments* all,
+                         GroupMap* groups, runtime::ScratchArena* scratch);
+
 /// Samples `sample_count` rows with replacement from one block shard (the
 /// value block plus the aligned predicate/key blocks, either of which may be
 /// null), evaluates the predicate branchlessly into a selection mask, and

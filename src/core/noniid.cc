@@ -8,6 +8,7 @@
 #include "core/block_solver.h"
 #include "core/boundaries.h"
 #include "core/summarizer.h"
+#include "runtime/kernels/kernels.h"
 #include "sampling/samplers.h"
 #include "stats/confidence.h"
 #include "stats/moments.h"
@@ -88,6 +89,7 @@ Result<AggregateResult> AggregateAvgNonIid(const storage::Column& column,
 
   AggregateResult res;
   res.data_size = column.num_rows();
+  res.kernel_dispatch = runtime::kernels::ActiveLevelName();
   res.precision = options.precision;
   res.confidence = options.confidence;
   res.sigma_estimate = std::sqrt(pooled.Variance());

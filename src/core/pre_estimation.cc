@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "runtime/kernels/kernels.h"
 #include "sampling/samplers.h"
 #include "stats/confidence.h"
 #include "stats/moments.h"
@@ -32,10 +33,13 @@ Status DrawProportionalPilot(const storage::Column& column, uint64_t m,
     for (;;) {
       ISLA_RETURN_NOT_OK(stream.Next(&batch));
       if (batch.empty()) break;
-      for (double v : batch) {
-        moments->Add(v);
-        *min_value = std::min(*min_value, v);
-      }
+      for (double v : batch) moments->Add(v);
+      // Min runs as a separate vectorized pass: it is order-insensitive
+      // over a batch (NaN-ignoring), so splitting it from the inherently
+      // sequential Welford fold costs nothing and vectorizes fully.
+      const double batch_min =
+          runtime::kernels::Ops().min(batch.data(), batch.size());
+      if (batch_min < *min_value) *min_value = batch_min;
     }
   }
   return Status::OK();

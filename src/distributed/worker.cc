@@ -6,6 +6,7 @@
 #include "core/block_solver.h"
 #include "core/boundaries.h"
 #include "core/group_by.h"
+#include "runtime/kernels/kernels.h"
 #include "sampling/samplers.h"
 #include "stats/moments.h"
 #include "util/rng.h"
@@ -56,10 +57,12 @@ Result<std::string> Worker::HandlePilot(const PilotRequest& request) const {
   for (;;) {
     ISLA_RETURN_NOT_OK(stream.Next(&batch));
     if (batch.empty()) break;
-    for (double v : batch) {
-      moments.Add(v);
-      min_value = std::min(min_value, v);
-    }
+    for (double v : batch) moments.Add(v);
+    // Same batch-min kernel split as the single-node pilot
+    // (core/pre_estimation.cc): the two paths must fold min identically.
+    const double batch_min =
+        runtime::kernels::Ops().min(batch.data(), batch.size());
+    if (batch_min < min_value) min_value = batch_min;
   }
 
   PilotResponse resp;

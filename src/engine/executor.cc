@@ -6,6 +6,7 @@
 #include "baselines/estimators.h"
 #include "core/noniid.h"
 #include "core/pre_estimation.h"
+#include "runtime/kernels/kernels.h"
 #include "stats/moments.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -26,7 +27,10 @@ Result<uint64_t> BaselineSampleSize(const storage::Column& column,
 }
 
 /// Exact AVG by full scan: the ground-truth method for materialized data.
+/// Each batch reduces through the kernel-dispatched compensated sum (SIMD
+/// on AVX2/SSE2); batch totals fold into one compensated accumulator.
 Result<double> ExactAvg(const storage::Column& column) {
+  const auto& kernels = runtime::kernels::Ops();
   stats::CompensatedSum sum;
   std::vector<double> buffer;
   for (const auto& block : column.blocks()) {
@@ -34,7 +38,7 @@ Result<double> ExactAvg(const storage::Column& column) {
     for (uint64_t start = 0; start < block->size(); start += kBatch) {
       uint64_t n = std::min<uint64_t>(kBatch, block->size() - start);
       ISLA_RETURN_NOT_OK(block->ReadRange(start, n, &buffer));
-      for (double v : buffer) sum.Add(v);
+      sum.Add(kernels.sum(buffer.data(), buffer.size()));
     }
   }
   return sum.Total() / static_cast<double>(column.num_rows());
@@ -43,10 +47,12 @@ Result<double> ExactAvg(const storage::Column& column) {
 /// Exact grouped/predicated aggregation by full scan over the row-aligned
 /// columns: the ground truth the coverage harness grades the samplers
 /// against. CIs are zero-width and trivially met. Shares the sampler's
-/// mask-based routing (EvalPredicateMask + RouteGroupedBatch), so both
-/// paths grade against the same population by construction.
+/// mask-based routing (EvalPredicateMask + RouteGroupedBatch) — both
+/// kernel-dispatched through `scratch` — so both paths grade against the
+/// same population by construction.
 Result<core::GroupedAggregateResult> ExactGroupedScan(
-    const core::GroupedSpec& spec, const core::IslaOptions& options) {
+    const core::GroupedSpec& spec, const core::IslaOptions& options,
+    runtime::ScratchArena* scratch) {
   ISLA_RETURN_NOT_OK(core::ValidateGroupedSpec(spec));
   const storage::Column& values = *spec.values;
   core::GroupMap merged;
@@ -73,7 +79,7 @@ Result<core::GroupedAggregateResult> ExactGroupedScan(
       if (kb != nullptr) ISLA_RETURN_NOT_OK(kb->ReadRange(start, n, &keys));
       ISLA_RETURN_NOT_OK(core::RouteGroupedBatch(
           {vals.data(), n}, mask_ptr, kb != nullptr ? keys.data() : nullptr,
-          /*all=*/nullptr, &merged));
+          /*all=*/nullptr, &merged, scratch));
     }
   }
 
@@ -159,7 +165,9 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
     core::GroupedAggregateResult agg;
     switch (spec.method) {
       case Method::kExact: {
-        ISLA_ASSIGN_OR_RETURN(agg, ExactGroupedScan(grouped, options));
+        runtime::ScratchPool::Lease lease = scratch_pool_.Acquire();
+        ISLA_ASSIGN_OR_RETURN(agg,
+                              ExactGroupedScan(grouped, options, lease.get()));
         break;
       }
       case Method::kIsla:

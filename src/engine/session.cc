@@ -462,7 +462,8 @@ Result<std::string> Session::Select(std::string_view statement) const {
     os << "\n  sketch0=" << r.isla_details->sketch0
        << " sigma=" << r.isla_details->sigma_estimate << " blocks="
        << r.isla_details->blocks.size() << " precision=+/-"
-       << r.isla_details->precision << " @" << r.isla_details->confidence;
+       << r.isla_details->precision << " @" << r.isla_details->confidence
+       << " kernels=" << r.isla_details->kernel_dispatch;
   }
   return os.str();
 }

@@ -1,0 +1,382 @@
+// SSE2 tier: 2 doubles per vector op — the portable x86-64 baseline, and
+// the fallback tier on pre-AVX2 machines. Strictly SSE2 (no SSE4.1 blendv,
+// no pcmpgtq): selects are and/andnot/or, compaction uses low/high stores.
+// Kernels where 2-wide SIMD cannot beat the scalar loop (index generation,
+// gather, range checks) deliberately borrow the scalar entry points — a
+// dispatch tier is a table of the best available implementation per
+// kernel, not an obligation to vectorize everything.
+//
+// Every function must be bit-identical to the scalar reference; the shared
+// helpers in kernels_internal.h supply the tails and reductions.
+
+#include "runtime/kernels/kernels_internal.h"
+
+// 64-bit only: ILP32 x86 would pair this tier with an x87 scalar
+// reference (see CMakeLists.txt), breaking bit-identity.
+#if defined(__x86_64__)
+
+#include <emmintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace isla {
+namespace runtime {
+namespace kernels {
+namespace internal {
+namespace {
+
+/// movemask pair -> two 0/1 mask bytes as a little-endian u16.
+const uint16_t kMaskBytes2[4] = {0x0000u, 0x0001u, 0x0100u, 0x0101u};
+
+/// Two mask bytes -> 2-bit nibble (bit k set when byte k nonzero).
+inline uint32_t MaskPair(const uint8_t* mask) {
+  return (mask[0] != 0 ? 1u : 0u) | (mask[1] != 0 ? 2u : 0u);
+}
+
+/// Expands two mask bytes into full-width double lane masks.
+inline __m128d LaneMask2(const uint8_t* mask) {
+  const __m128i wide = _mm_set_epi64x(static_cast<long long>(mask[1]),
+                                      static_cast<long long>(mask[0]));
+  // cmpgt_epi32 flags only the low 32 bits of each 0/1 lane; duplicate
+  // them across the lane to get a full 64-bit mask.
+  const __m128i half = _mm_cmpgt_epi32(wide, _mm_setzero_si128());
+  return _mm_castsi128_pd(_mm_shuffle_epi32(half, _MM_SHUFFLE(2, 2, 0, 0)));
+}
+
+inline __m128d Select(__m128d mask, __m128d a, __m128d b) {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+/// Appends the lanes selected by `bits` (bit 0 = low lane) to out[m].
+inline size_t CompressStore2(__m128d v, uint32_t bits, double* out,
+                             size_t m) {
+  switch (bits) {
+    case 1:
+      _mm_storel_pd(out + m, v);
+      return m + 1;
+    case 2:
+      _mm_storeh_pd(out + m, v);
+      return m + 1;
+    case 3:
+      _mm_storeu_pd(out + m, v);
+      return m + 2;
+    default:
+      return m;
+  }
+}
+
+void EvalPredicateMaskSse2(CmpOp op, const double* v, size_t n, double rhs,
+                           uint8_t* mask) {
+  if (std::isnan(rhs)) {
+    std::memset(mask, 0, n);
+    return;
+  }
+  const __m128d r = _mm_set1_pd(rhs);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(v + i);
+    __m128d c;
+    switch (op) {
+      case CmpOp::kEq:
+        c = _mm_cmpeq_pd(x, r);
+        break;
+      case CmpOp::kNe:
+        // cmpneq is unordered-nonequal (NaN matches); mask it with the
+        // ordered check to get SQL's NaN-never-matches.
+        c = _mm_and_pd(_mm_cmpneq_pd(x, r), _mm_cmpord_pd(x, x));
+        break;
+      case CmpOp::kLt:
+        c = _mm_cmplt_pd(x, r);
+        break;
+      case CmpOp::kLe:
+        c = _mm_cmple_pd(x, r);
+        break;
+      case CmpOp::kGt:
+        c = _mm_cmplt_pd(r, x);
+        break;
+      case CmpOp::kGe:
+        c = _mm_cmple_pd(r, x);
+        break;
+      default:
+        c = _mm_setzero_pd();
+        break;
+    }
+    const uint16_t bytes = kMaskBytes2[_mm_movemask_pd(c)];
+    std::memcpy(mask + i, &bytes, 2);
+  }
+  for (; i < n; ++i) mask[i] = EvalOne(op, v[i], rhs);
+}
+
+uint64_t MaskPopcountSse2(const uint8_t* mask, size_t n) {
+  const __m128i ones = _mm_set1_epi8(1);
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(mask + i));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(_mm_min_epu8(x, ones), zero));
+  }
+  alignas(16) uint64_t parts[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(parts), acc);
+  uint64_t total = parts[0] + parts[1];
+  for (; i < n; ++i) total += mask[i] != 0 ? 1 : 0;
+  return total;
+}
+
+size_t CompactMaskedSse2(const double* v, const uint8_t* mask, size_t n,
+                         double* out) {
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint32_t bits = MaskPair(mask + i);
+    if (bits == 0) continue;
+    m = CompressStore2(_mm_loadu_pd(v + i), bits, out, m);
+  }
+  for (; i < n; ++i) {
+    if (mask[i] != 0) out[m++] = v[i];
+  }
+  return m;
+}
+
+size_t CompactGroupedSse2(const double* v, const double* keys,
+                          const uint8_t* mask, size_t n, double* out_v,
+                          double* out_k) {
+  if (mask == nullptr && keys == nullptr) {
+    if (out_v != v) std::memcpy(out_v, v, n * sizeof(double));
+    return n;
+  }
+  size_t m = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint32_t bits = 0x3u;
+    if (mask != nullptr) bits &= MaskPair(mask + i);
+    __m128d kvec = _mm_setzero_pd();
+    if (keys != nullptr) {
+      kvec = _mm_loadu_pd(keys + i);
+      bits &= static_cast<uint32_t>(
+          _mm_movemask_pd(_mm_cmpord_pd(kvec, kvec)));
+    }
+    if (bits == 0) continue;
+    const size_t next = CompressStore2(_mm_loadu_pd(v + i), bits, out_v, m);
+    if (keys != nullptr) CompressStore2(kvec, bits, out_k, m);
+    m = next;
+  }
+  for (; i < n; ++i) {
+    if (mask != nullptr && mask[i] == 0) continue;
+    if (keys != nullptr) {
+      const double k = keys[i];
+      if (k != k) continue;
+      out_k[m] = k;
+    }
+    out_v[m] = v[i];
+    ++m;
+  }
+  return m;
+}
+
+void ClassifyRegionsSse2(const double* v, size_t n, double shift,
+                         double lo_outer, double lo_inner, double hi_inner,
+                         double hi_outer, double* out_s, size_t* s_count,
+                         double* out_l, size_t* l_count) {
+  const __m128d sh = _mm_set1_pd(shift);
+  const __m128d lo2 = _mm_set1_pd(lo_outer);
+  const __m128d lo1 = _mm_set1_pd(lo_inner);
+  const __m128d hi1 = _mm_set1_pd(hi_inner);
+  const __m128d hi2 = _mm_set1_pd(hi_outer);
+  size_t ns = 0;
+  size_t nl = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d a = _mm_add_pd(_mm_loadu_pd(v + i), sh);
+    const __m128d s_cond =
+        _mm_and_pd(_mm_cmplt_pd(lo2, a), _mm_cmplt_pd(a, lo1));
+    const uint32_t sb = static_cast<uint32_t>(_mm_movemask_pd(s_cond));
+    // andnot gives S precedence on (contract-pathological) overlapping
+    // windows, mirroring the scalar reference's else-if.
+    const uint32_t lb = static_cast<uint32_t>(_mm_movemask_pd(
+        _mm_andnot_pd(s_cond, _mm_and_pd(_mm_cmplt_pd(hi1, a),
+                                         _mm_cmplt_pd(a, hi2)))));
+    ns = CompressStore2(a, sb, out_s, ns);
+    nl = CompressStore2(a, lb, out_l, nl);
+  }
+  for (; i < n; ++i) {
+    const double a = v[i] + shift;
+    if (a > lo_outer && a < lo_inner) {
+      out_s[ns++] = a;
+    } else if (a > hi_inner && a < hi_outer) {
+      out_l[nl++] = a;
+    }
+  }
+  *s_count = ns;
+  *l_count = nl;
+}
+
+inline void NeumaierStepPd2(__m128d& sum, __m128d& comp, __m128d v) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d t = _mm_add_pd(sum, v);
+  const __m128d ge = _mm_cmple_pd(_mm_andnot_pd(sign, v),
+                                  _mm_andnot_pd(sign, sum));
+  const __m128d a = _mm_add_pd(_mm_sub_pd(sum, t), v);
+  const __m128d b = _mm_add_pd(_mm_sub_pd(v, t), sum);
+  comp = _mm_add_pd(comp, Select(ge, a, b));
+  sum = t;
+}
+
+double SumSse2(const double* v, size_t n) {
+  __m128d s[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                  _mm_setzero_pd()};
+  __m128d c[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                  _mm_setzero_pd()};
+  size_t i = 0;
+  for (; i + kStripeLanes <= n; i += kStripeLanes) {
+    for (size_t r = 0; r < 4; ++r) {
+      NeumaierStepPd2(s[r], c[r], _mm_loadu_pd(v + i + 2 * r));
+    }
+  }
+  alignas(16) double lanes[kStripeLanes];
+  alignas(16) double comps[kStripeLanes];
+  for (size_t r = 0; r < 4; ++r) {
+    _mm_store_pd(lanes + 2 * r, s[r]);
+    _mm_store_pd(comps + 2 * r, c[r]);
+  }
+  SumTail(v, i, n, lanes, comps);
+  return ReduceStripedSum(lanes, comps);
+}
+
+double MaskedSumSse2(const double* v, const uint8_t* mask, size_t n) {
+  const __m128d neutral = _mm_set1_pd(-0.0);
+  __m128d s[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                  _mm_setzero_pd()};
+  __m128d c[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                  _mm_setzero_pd()};
+  size_t i = 0;
+  for (; i + kStripeLanes <= n; i += kStripeLanes) {
+    for (size_t r = 0; r < 4; ++r) {
+      const __m128d x = Select(LaneMask2(mask + i + 2 * r),
+                               _mm_loadu_pd(v + i + 2 * r), neutral);
+      NeumaierStepPd2(s[r], c[r], x);
+    }
+  }
+  alignas(16) double lanes[kStripeLanes];
+  alignas(16) double comps[kStripeLanes];
+  for (size_t r = 0; r < 4; ++r) {
+    _mm_store_pd(lanes + 2 * r, s[r]);
+    _mm_store_pd(comps + 2 * r, c[r]);
+  }
+  MaskedSumTail(v, mask, i, n, lanes, comps);
+  return ReduceStripedSum(lanes, comps);
+}
+
+double MinSse2(const double* v, size_t n) {
+  const __m128d inf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  __m128d m[4] = {inf, inf, inf, inf};
+  size_t i = 0;
+  for (; i + kStripeLanes <= n; i += kStripeLanes) {
+    for (size_t r = 0; r < 4; ++r) {
+      m[r] = _mm_min_pd(_mm_loadu_pd(v + i + 2 * r), m[r]);
+    }
+  }
+  alignas(16) double lanes[kStripeLanes];
+  for (size_t r = 0; r < 4; ++r) _mm_store_pd(lanes + 2 * r, m[r]);
+  MinTail(v, i, n, lanes);
+  return ReduceStripedMin(lanes);
+}
+
+double MaxSse2(const double* v, size_t n) {
+  const __m128d ninf = _mm_set1_pd(
+      -std::numeric_limits<double>::infinity());
+  __m128d m[4] = {ninf, ninf, ninf, ninf};
+  size_t i = 0;
+  for (; i + kStripeLanes <= n; i += kStripeLanes) {
+    for (size_t r = 0; r < 4; ++r) {
+      m[r] = _mm_max_pd(_mm_loadu_pd(v + i + 2 * r), m[r]);
+    }
+  }
+  alignas(16) double lanes[kStripeLanes];
+  for (size_t r = 0; r < 4; ++r) _mm_store_pd(lanes + 2 * r, m[r]);
+  MaxTail(v, i, n, lanes);
+  return ReduceStripedMax(lanes);
+}
+
+double MaskedMinSse2(const double* v, const uint8_t* mask, size_t n) {
+  const __m128d inf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  __m128d m[4] = {inf, inf, inf, inf};
+  size_t i = 0;
+  for (; i + kStripeLanes <= n; i += kStripeLanes) {
+    for (size_t r = 0; r < 4; ++r) {
+      m[r] = _mm_min_pd(Select(LaneMask2(mask + i + 2 * r),
+                               _mm_loadu_pd(v + i + 2 * r), inf),
+                        m[r]);
+    }
+  }
+  alignas(16) double lanes[kStripeLanes];
+  for (size_t r = 0; r < 4; ++r) _mm_store_pd(lanes + 2 * r, m[r]);
+  MaskedMinTail(v, mask, i, n, lanes);
+  return ReduceStripedMin(lanes);
+}
+
+double MaskedMaxSse2(const double* v, const uint8_t* mask, size_t n) {
+  const __m128d ninf = _mm_set1_pd(
+      -std::numeric_limits<double>::infinity());
+  __m128d m[4] = {ninf, ninf, ninf, ninf};
+  size_t i = 0;
+  for (; i + kStripeLanes <= n; i += kStripeLanes) {
+    for (size_t r = 0; r < 4; ++r) {
+      m[r] = _mm_max_pd(Select(LaneMask2(mask + i + 2 * r),
+                               _mm_loadu_pd(v + i + 2 * r), ninf),
+                        m[r]);
+    }
+  }
+  alignas(16) double lanes[kStripeLanes];
+  for (size_t r = 0; r < 4; ++r) _mm_store_pd(lanes + 2 * r, m[r]);
+  MaskedMaxTail(v, mask, i, n, lanes);
+  return ReduceStripedMax(lanes);
+}
+
+}  // namespace
+
+const KernelOps* Sse2Ops() {
+  static const KernelOps ops = {
+      // 2-wide Lemire reduction cannot beat one scalar mulx per draw;
+      // x86-64 without pcmpgtq also lacks the unsigned compare. Borrow
+      // the scalar entries for the kernels where SSE2 does not pay.
+      ScalarOps().generate_uniform_indices,
+      EvalPredicateMaskSse2,
+      MaskPopcountSse2,
+      CompactMaskedSse2,
+      CompactGroupedSse2,
+      ClassifyRegionsSse2,
+      ScalarOps().gather_f64,
+      ScalarOps().indices_in_range,
+      SumSse2,
+      MaskedSumSse2,
+      MinSse2,
+      MaxSse2,
+      MaskedMinSse2,
+      MaskedMaxSse2,
+  };
+  return &ops;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace runtime
+}  // namespace isla
+
+#else  // non-x86-64 build
+
+namespace isla {
+namespace runtime {
+namespace kernels {
+namespace internal {
+
+const KernelOps* Sse2Ops() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace runtime
+}  // namespace isla
+
+#endif

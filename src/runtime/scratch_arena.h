@@ -21,6 +21,13 @@ struct ScratchArena {
   std::vector<double> pred;
   std::vector<double> keys;
   std::vector<uint8_t> mask;
+  // Kernel compaction targets: predicate/NaN-key survivors of a gathered
+  // batch (grouped routing) and the S/L region splits of the ISLA
+  // Calculation phase.
+  std::vector<double> compact_values;
+  std::vector<double> compact_keys;
+  std::vector<double> region_s;
+  std::vector<double> region_l;
 };
 
 /// A thread-safe free list of arenas. Steady state holds as many arenas as

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/kernels/kernels.h"
+
 namespace isla {
 namespace sampling {
 
@@ -168,8 +170,11 @@ std::vector<uint64_t> NeymanAllocation(const std::vector<uint64_t>& sizes,
 void GenerateUniformIndices(uint64_t n, uint64_t count, Xoshiro256* rng,
                             std::vector<uint64_t>* out) {
   out->resize(count);
-  uint64_t* data = out->data();
-  for (uint64_t i = 0; i < count; ++i) data[i] = rng->NextBounded(n);
+  // Kernel-dispatched, but the emitted sequence and the RNG consumption
+  // are those of a scalar NextBounded loop at every tier (the kernel
+  // contract), so the index stream stays the single bit-pinned definition.
+  runtime::kernels::Ops().generate_uniform_indices(n, count, rng,
+                                                   out->data());
 }
 
 BlockSampleStream::BlockSampleStream(const storage::Block& block, uint64_t k,

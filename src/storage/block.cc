@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "runtime/kernels/kernels.h"
+
 namespace isla {
 namespace storage {
 
@@ -34,12 +36,15 @@ Status GatherInto(const Block& block, std::span<const uint64_t> indices,
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
   const std::span<const double> view = block.ContiguousView();
   if (view.empty()) return block.GatherAt(indices, out);
-  const uint64_t n = view.size();
-  for (uint64_t index : indices) {
-    if (index >= n) return Status::OutOfRange("GatherAt index past end");
+  // Resident path through the kernel dispatch table: one vectorized range
+  // check over the whole batch (preserving the no-partial-output contract),
+  // then a hardware-gather resolve where the tier has one.
+  const auto& kernels = runtime::kernels::Ops();
+  if (!kernels.indices_in_range(indices.data(), indices.size(),
+                                view.size())) {
+    return Status::OutOfRange("GatherAt index past end");
   }
-  const double* data = view.data();
-  for (size_t i = 0; i < indices.size(); ++i) out[i] = data[indices[i]];
+  kernels.gather_f64(view.data(), indices.data(), indices.size(), out);
   return Status::OK();
 }
 
@@ -92,12 +97,12 @@ Status MemoryBlock::ReadRange(uint64_t start, uint64_t count,
 Status MemoryBlock::GatherAt(std::span<const uint64_t> indices,
                              double* out) const {
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
-  const uint64_t n = values_.size();
-  const double* data = values_.data();
-  for (uint64_t index : indices) {
-    if (index >= n) return Status::OutOfRange("GatherAt index past end");
+  const auto& kernels = runtime::kernels::Ops();
+  if (!kernels.indices_in_range(indices.data(), indices.size(),
+                                values_.size())) {
+    return Status::OutOfRange("GatherAt index past end");
   }
-  for (size_t i = 0; i < indices.size(); ++i) out[i] = data[indices[i]];
+  kernels.gather_f64(values_.data(), indices.data(), indices.size(), out);
   return Status::OK();
 }
 

@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "runtime/kernels/kernels.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define ISLA_HAVE_MMAP 1
 #include <sys/mman.h>
@@ -140,6 +142,18 @@ void FileBlock::TryMap() {
   if (base == MAP_FAILED) return;
   map_base_ = base;
   map_len_ = len;
+  // Ask the kernel to start faulting the file in now: positional sampling
+  // touches pages in random order, where demand paging one 4 KiB fault at
+  // a time is the cold-start bottleneck. Only worth it when the sampler
+  // will plausibly touch a meaningful fraction of the file — advising a
+  // multi-GB block would schedule whole-file readahead for a query that
+  // samples a few thousand rows, so the advice is capped by size. Best-
+  // effort: failure (or a platform without madvise) silently keeps plain
+  // demand paging.
+#if defined(MADV_WILLNEED)
+  constexpr size_t kWillNeedCapBytes = size_t{256} << 20;
+  if (len <= kWillNeedCapBytes) (void)::madvise(base, len, MADV_WILLNEED);
+#endif
   // The payload starts at byte 16 of a page-aligned mapping, so the double
   // view is 8-byte aligned.
   payload_ = reinterpret_cast<const double*>(
@@ -245,8 +259,37 @@ Status FileBlock::ReadRange(uint64_t start, uint64_t count,
     return Status::OutOfRange("ReadRange past end of block");
   }
   if (payload_ != nullptr) {
+#if defined(ISLA_HAVE_MMAP) && defined(MADV_SEQUENTIAL) && \
+    defined(MADV_NORMAL)
+    // Scan-sized reads (the exact full scan, LoadToMemory) are forward
+    // passes: tell the VM so it doubles readahead and drops pages behind
+    // the cursor instead of treating the scan like the sampler's random
+    // access. The advice is scoped to this read — it is reset to
+    // MADV_NORMAL afterwards, because the same block usually serves
+    // random-order GatherAt next and must not keep scan-style eviction.
+    // Small ranges skip the syscalls; errors are ignored.
+    constexpr uint64_t kSequentialAdviseBytes = 1 << 20;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    const bool advise =
+        count * sizeof(double) >= kSequentialAdviseBytes && page > 0;
+    char* advise_base = nullptr;
+    size_t advise_len = 0;
+    if (advise) {
+      const uint64_t begin =
+          BlockPayloadByteOffset(start) /
+          static_cast<uint64_t>(page) * static_cast<uint64_t>(page);
+      const uint64_t end = BlockPayloadByteOffset(start + count);
+      advise_base = static_cast<char*>(map_base_) + begin;
+      advise_len = static_cast<size_t>(end - begin);
+      (void)::madvise(advise_base, advise_len, MADV_SEQUENTIAL);
+    }
+    out->assign(payload_ + start, payload_ + start + count);
+    if (advise) (void)::madvise(advise_base, advise_len, MADV_NORMAL);
+    return Status::OK();
+#else
     out->assign(payload_ + start, payload_ + start + count);
     return Status::OK();
+#endif
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (Seek64(file_, BlockPayloadByteOffset(start)) != 0) {
@@ -264,16 +307,17 @@ Status FileBlock::ReadRange(uint64_t start, uint64_t count,
 Status FileBlock::GatherAt(std::span<const uint64_t> indices,
                            double* out) const {
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
-  for (uint64_t index : indices) {
-    if (index >= count_) return Status::OutOfRange("GatherAt index past end");
+  const auto& kernels = runtime::kernels::Ops();
+  if (!kernels.indices_in_range(indices.data(), indices.size(), count_)) {
+    return Status::OutOfRange("GatherAt index past end");
   }
   if (indices.empty()) return Status::OK();
 
   if (payload_ != nullptr) {
     // Zero-copy path: random order is free on a mapping, so no argsort, no
-    // lock, no chunk loads — just loads from the page cache.
-    const double* data = payload_;
-    for (size_t i = 0; i < indices.size(); ++i) out[i] = data[indices[i]];
+    // lock, no chunk loads — just (kernel-dispatched) loads from the page
+    // cache.
+    kernels.gather_f64(payload_, indices.data(), indices.size(), out);
     return Status::OK();
   }
 

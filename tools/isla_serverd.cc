@@ -36,6 +36,7 @@
 #include "distributed/worker.h"
 #include "net/query_server.h"
 #include "net/worker_server.h"
+#include "runtime/kernels/kernels.h"
 #include "storage/file_block.h"
 
 namespace {
@@ -119,6 +120,13 @@ int main(int argc, char** argv) {
 
   signal(SIGINT, HandleSignal);
   signal(SIGTERM, HandleSignal);
+
+  // Logged before the listening line so deployments can spot a
+  // scalar-fallback misconfiguration (stale ISLA_KERNELS, wrong container
+  // image for the host CPU) in the first line of the daemon's output.
+  std::printf("kernel dispatch: %s (cpu: %s)\n",
+              std::string(isla::runtime::kernels::ActiveLevelName()).c_str(),
+              isla::runtime::kernels::CpuFeatureString().c_str());
 
   if (worker_mode) {
     if (shard.empty()) {
