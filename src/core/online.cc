@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/summarizer.h"
+#include "runtime/kernels/kernels.h"
 #include "sampling/samplers.h"
 #include "stats/confidence.h"
 
@@ -135,6 +136,7 @@ Result<AggregateResult> OnlineAggregator::Solve() const {
   res.shift = shift_;
   res.pilot_samples = pilot_.sigma_pilot_samples + pilot_.sketch_pilot_samples;
   res.total_samples = total_samples_;
+  res.kernel_dispatch = runtime::kernels::ActiveLevelName();
 
   const double sketch_iter = RefinedSketchShifted();
   res.sketch0 = sketch_iter - shift_;

@@ -6,6 +6,7 @@
 #include "baselines/estimators.h"
 #include "core/noniid.h"
 #include "core/pre_estimation.h"
+#include "engine/scan_scheduler.h"
 #include "runtime/kernels/kernels.h"
 #include "stats/moments.h"
 #include "util/rng.h"
@@ -173,9 +174,18 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
       case Method::kIsla:
       case Method::kIslaNonIid:
       case Method::kUniform: {
-        core::GroupByEngine engine(options, &scratch_pool_);
-        ISLA_ASSIGN_OR_RETURN(
-            agg, engine.Aggregate(grouped, GroupedMethodSalt(spec.method)));
+        if (scheduler_ != nullptr) {
+          // The scheduler batches concurrent sessions into one shared
+          // sampling pass and consults its pilot/result caches; the result
+          // bytes match the GroupByEngine path below exactly.
+          ISLA_ASSIGN_OR_RETURN(
+              agg, scheduler_->Execute(grouped, options,
+                                       GroupedMethodSalt(spec.method)));
+        } else {
+          core::GroupByEngine engine(options, &scratch_pool_);
+          ISLA_ASSIGN_OR_RETURN(
+              agg, engine.Aggregate(grouped, GroupedMethodSalt(spec.method)));
+        }
         out.samples_used = agg.scanned_samples + agg.pilot_samples;
         break;
       }

@@ -17,6 +17,8 @@
 namespace isla {
 namespace engine {
 
+class ScanScheduler;
+
 /// Outcome of executing one query.
 struct QueryResult {
   double value = 0.0;               // the AVG/SUM/COUNT answer (scalar form)
@@ -58,8 +60,13 @@ inline constexpr uint64_t kGroupedUniformSalt = 0x3f0a11fULL;
 /// from a pilot, so `USING uniform` et al. are apples-to-apples with ISLA.
 class QueryExecutor {
  public:
-  QueryExecutor(const storage::Catalog* catalog, core::IslaOptions base)
-      : catalog_(catalog), base_options_(base) {}
+  /// `scheduler` (nullable, unowned, must outlive the executor) routes the
+  /// sampled grouped pipeline through the shared-scan batcher and its
+  /// pilot/result caches. Answers are bit-identical either way; the
+  /// scheduler only changes how the rows are fetched.
+  QueryExecutor(const storage::Catalog* catalog, core::IslaOptions base,
+                ScanScheduler* scheduler = nullptr)
+      : catalog_(catalog), base_options_(base), scheduler_(scheduler) {}
 
   /// Parses and executes `sql`.
   Result<QueryResult> Execute(std::string_view sql) const;
@@ -70,6 +77,7 @@ class QueryExecutor {
  private:
   const storage::Catalog* catalog_;
   core::IslaOptions base_options_;
+  ScanScheduler* scheduler_;
   /// Gather arenas shared by every query this executor runs: after the
   /// first query warms them, steady-state sampling loops allocate nothing.
   /// mutable because Execute is logically const (the pool is an internal

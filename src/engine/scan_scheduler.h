@@ -1,0 +1,164 @@
+#ifndef ISLA_ENGINE_SCAN_SCHEDULER_H_
+#define ISLA_ENGINE_SCAN_SCHEDULER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/group_by.h"
+#include "core/options.h"
+#include "runtime/scratch_arena.h"
+
+namespace isla {
+namespace engine {
+
+struct ScanSchedulerOptions {
+  /// How long the first query of a batch waits for co-travellers before
+  /// the shared scan starts. 0 disables admission batching (every query
+  /// runs its own pass; the caches still apply). Latency cost is paid only
+  /// by queries that end up leading a batch — joiners wait on the leader
+  /// regardless.
+  int64_t admission_window_micros = 2000;
+  /// Reuse pilot (Pre-estimation) results across queries that share
+  /// (column content, predicate, keys, seed, method salt, pilot size).
+  bool enable_pilot_cache = true;
+  /// Reuse full grouped answers when the precision/confidence/rate-scale
+  /// also match. A hit returns the exact bytes of the original execution.
+  bool enable_result_cache = true;
+  /// LRU capacity of each cache, in entries.
+  size_t cache_capacity = 256;
+};
+
+/// Monitoring counters, surfaced through SHOW STATS. `rows_requested` is
+/// what the participants' standalone executions would have sampled
+/// (pilot + main scan, cache hits included); `rows_gathered` is what the
+/// shared passes actually gathered from the value column. Their ratio is
+/// the I/O amortization the batcher and caches bought.
+struct ScanSchedulerStats {
+  uint64_t queries = 0;          // Execute() calls admitted
+  uint64_t shared_batches = 0;   // batches that ran with >= 2 members
+  uint64_t batched_queries = 0;  // members of those batches
+  uint64_t pilot_cache_hits = 0;
+  uint64_t pilot_cache_misses = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t rows_gathered = 0;
+  uint64_t rows_requested = 0;
+};
+
+/// Coalesces concurrently admitted grouped queries over content-identical
+/// value columns into one sampling pass, and caches pilots and full
+/// results across repeated queries.
+///
+/// The batching exploits two invariants of the grouped engine:
+///
+///  1. Per-block RNG streams are position-derived —
+///     Hash(seed, salt ^ phase, j) — so every query over the same
+///     (column content, seed, salt) consumes the *same* stream, and
+///     GenerateUniformIndices draws sequentially, so the first k indices
+///     of a stream are a prefix of the first K >= k.
+///  2. RouteGroupedBatch folds survivors in row order, so feeding each
+///     participant exactly its own prefix of the shared draw reproduces
+///     its standalone accumulator Add sequence.
+///
+/// One shared pass therefore draws max-over-participants samples per block
+/// and routes each participant's prefix through its own predicate mask and
+/// accumulators: every answer is bit-identical to standalone execution by
+/// construction (the contract the differential suite pins).
+///
+/// Cache keys are built from column *content fingerprints*
+/// (storage::Column::ContentFingerprint), so entries from a dropped or
+/// re-CREATEd table are unreachable unless the new table provably holds
+/// the same bytes — invalidation is automatic, with no DDL hooks.
+///
+/// Thread-safe; queries Execute() concurrently from session threads.
+class ScanScheduler {
+ public:
+  explicit ScanScheduler(ScanSchedulerOptions options = {});
+  ~ScanScheduler();
+
+  ScanScheduler(const ScanScheduler&) = delete;
+  ScanScheduler& operator=(const ScanScheduler&) = delete;
+
+  /// Runs one grouped aggregation, batching with any concurrently admitted
+  /// queries over a content-identical value column under the same
+  /// (seed, seed_salt). Semantics and result bytes are exactly
+  /// core::GroupByEngine(options).Aggregate(spec, seed_salt).
+  ///
+  /// The caller must keep `spec`'s columns alive until Execute returns
+  /// (sessions hold the table shared_ptr across the call, which also keeps
+  /// every co-batched participant's canonical columns valid).
+  Result<core::GroupedAggregateResult> Execute(const core::GroupedSpec& spec,
+                                               const core::IslaOptions& options,
+                                               uint64_t seed_salt);
+
+  ScanSchedulerStats stats() const;
+
+  /// Drops every cached pilot and result (tests; memory pressure).
+  void ClearCaches();
+
+  const ScanSchedulerOptions& options() const { return options_; }
+
+ private:
+  /// (value fingerprint, seed, method salt): everything that must agree for
+  /// two queries to consume the same per-block RNG streams.
+  using BatchKey = std::tuple<uint64_t, uint64_t, uint64_t>;
+
+  /// Full execution identity; index semantics in MakeCacheKey. Pilot keys
+  /// zero the precision/confidence/rate-scale slots (the pilot does not
+  /// depend on them) and flip the kind tag.
+  using CacheKey = std::array<uint64_t, 12>;
+
+  struct Participant;
+  struct Batch;
+  struct Exec;
+
+  static CacheKey MakeCacheKey(const Participant& p, bool pilot);
+
+  /// Runs every member of a closed batch: result-cache lookups, dedup into
+  /// distinct executions, shared pilot pass, per-execution planning, shared
+  /// main pass, summarization, cache inserts. Fills each member's result.
+  void RunBatch(std::vector<Participant*>& members);
+
+  /// One shared sampling pass (pilot or calc) over the active executions.
+  /// `alloc[e][j]` is execution e's standalone per-block allocation; each
+  /// block draws the max over executions and routes prefixes. Appends each
+  /// execution's merged partial into its `merged` member and accumulates
+  /// gathered-row stats.
+  Status SharedPass(std::vector<Exec*>& active, uint64_t seed, uint64_t salt,
+                    uint64_t phase_salt,
+                    const std::vector<std::vector<uint64_t>>& alloc,
+                    uint32_t parallelism,
+                    std::vector<core::GroupedBlockPartial*> merged_out,
+                    uint64_t* rows_gathered);
+
+  ScanSchedulerOptions options_;
+
+  std::mutex mu_;  // guards open_ and batch membership/fan-out
+  std::map<BatchKey, std::shared_ptr<Batch>> open_;
+
+  mutable std::mutex cache_mu_;  // guards the two LRUs and stats_
+  using PilotLru = std::list<std::pair<CacheKey, core::GroupedPilot>>;
+  using ResultLru =
+      std::list<std::pair<CacheKey, core::GroupedAggregateResult>>;
+  PilotLru pilot_lru_;
+  std::map<CacheKey, PilotLru::iterator> pilot_index_;
+  ResultLru result_lru_;
+  std::map<CacheKey, ResultLru::iterator> result_index_;
+  ScanSchedulerStats stats_;
+
+  runtime::ScratchPool scratch_pool_;
+};
+
+}  // namespace engine
+}  // namespace isla
+
+#endif  // ISLA_ENGINE_SCAN_SCHEDULER_H_

@@ -2,10 +2,14 @@
 
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <vector>
 
+#include "core/online.h"
+#include "engine/scan_scheduler.h"
+#include "runtime/kernels/kernels.h"
 #include "stats/distribution.h"
 #include "storage/block.h"
 #include "storage/file_block.h"
@@ -134,6 +138,11 @@ class DdlParser {
 Session::Session(core::IslaOptions options) : options_(options) {}
 
 Result<std::string> Session::Execute(std::string_view statement) {
+  return Execute(statement, PartialSink());
+}
+
+Result<std::string> Session::Execute(std::string_view statement,
+                                     const PartialSink& sink) {
   std::vector<DdlToken> tokens = Lex(statement);
   if (tokens.empty()) {
     return Status::InvalidArgument("empty statement");
@@ -145,10 +154,13 @@ Result<std::string> Session::Execute(std::string_view statement) {
     if (tokens.size() >= 2 && tokens[1].lower == "settings") {
       return ShowSettings();
     }
+    if (tokens.size() >= 2 && tokens[1].lower == "stats") {
+      return ShowStats();
+    }
     return ShowTables();
   }
   if (head == "describe" || head == "desc") return Describe(statement);
-  if (head == "select") return Select(statement);
+  if (head == "select") return Select(statement, sink);
   if (head == "set") return SetOption(statement);
   return Status::InvalidArgument("unknown statement: '" + tokens.front().raw +
                                  "'");
@@ -380,6 +392,17 @@ Result<std::string> Session::SetOption(std::string_view statement) {
     return Status::OK();
   };
 
+  // `stream` is session state, not an IslaOptions field: IslaOptions is
+  // wire-pinned (QueryPlan serialization), so the knob lives beside it.
+  if (name == "stream") {
+    uint64_t rounds = 0;
+    ISLA_RETURN_NOT_OK(to_unsigned(value, 17.0, &rounds));
+    stream_rounds_ = static_cast<uint32_t>(rounds);
+    std::ostringstream os;
+    os << "set stream = " << stream_rounds_;
+    return os.str();
+  }
+
   // Mutate a copy and validate the whole option set, so a bad SET leaves
   // the session's previous (valid) settings untouched.
   core::IslaOptions next = options_;
@@ -404,8 +427,8 @@ Result<std::string> Session::SetOption(std::string_view statement) {
   } else {
     return Status::InvalidArgument(
         "unknown option '" + name +
-        "' (expected precision, confidence, parallelism, seed, pilot or "
-        "rate_scale)");
+        "' (expected precision, confidence, parallelism, seed, pilot, "
+        "rate_scale or stream)");
   }
   ISLA_RETURN_NOT_OK(next.Validate());
   options_ = next;
@@ -421,16 +444,49 @@ Result<std::string> Session::ShowSettings() const {
      << "\nparallelism = " << options_.parallelism
      << "\nseed = " << options_.seed
      << "\npilot = " << options_.sigma_pilot_size
-     << "\nrate_scale = " << options_.sampling_rate_scale;
+     << "\nrate_scale = " << options_.sampling_rate_scale
+     << "\nstream = " << stream_rounds_
+     << "\nkernels = " << runtime::kernels::ActiveLevelName();
   return os.str();
 }
 
-Result<std::string> Session::Select(std::string_view statement) const {
-  QueryExecutor executor(&catalog_, options_);
+Result<std::string> Session::ShowStats() const {
+  std::ostringstream os;
+  os << "kernels = " << runtime::kernels::ActiveLevelName();
+  if (scheduler_ == nullptr) {
+    os << "\nscan_scheduler = off";
+    return os.str();
+  }
+  ScanSchedulerStats s = scheduler_->stats();
+  os << "\nscan_scheduler = on (window="
+     << scheduler_->options().admission_window_micros << "us)"
+     << "\nqueries = " << s.queries
+     << "\nshared_batches = " << s.shared_batches
+     << "\nbatched_queries = " << s.batched_queries
+     << "\npilot_cache_hits = " << s.pilot_cache_hits
+     << "\npilot_cache_misses = " << s.pilot_cache_misses
+     << "\nresult_cache_hits = " << s.result_cache_hits
+     << "\nresult_cache_misses = " << s.result_cache_misses
+     << "\nrows_gathered = " << s.rows_gathered
+     << "\nrows_requested = " << s.rows_requested;
+  return os.str();
+}
+
+Result<std::string> Session::Select(std::string_view statement,
+                                    const PartialSink& sink) const {
+  QueryExecutor executor(&catalog_, options_, scheduler_);
   QueryDefaults defaults;
   defaults.precision = options_.precision;
   defaults.confidence = options_.confidence;
   ISLA_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(statement, defaults));
+  // A nonzero `stream` setting turns eligible single-answer ISLA queries
+  // into an online-refinement ladder (partials via the sink); everything
+  // else runs single-shot exactly as before.
+  if (stream_rounds_ > 0 && spec.method == Method::kIsla &&
+      !spec.where.has_value() && spec.group_by.empty() &&
+      spec.aggregate != AggregateKind::kCount) {
+    return SelectStreaming(spec, sink);
+  }
   ISLA_ASSIGN_OR_RETURN(QueryResult r, executor.Execute(spec));
   std::ostringstream os;
   os.setf(std::ios::fixed);
@@ -465,6 +521,66 @@ Result<std::string> Session::Select(std::string_view statement) const {
        << r.isla_details->precision << " @" << r.isla_details->confidence
        << " kernels=" << r.isla_details->kernel_dispatch;
   }
+  return os.str();
+}
+
+Result<std::string> Session::SelectStreaming(const QuerySpec& spec,
+                                             const PartialSink& sink) const {
+  ISLA_ASSIGN_OR_RETURN(auto table, catalog_.GetTable(spec.table));
+  ISLA_ASSIGN_OR_RETURN(const storage::Column* column,
+                        table->GetColumn(spec.column));
+  const uint32_t rounds = stream_rounds_;
+
+  // Round r runs at precision e·2^(R−r): halving per round, landing exactly
+  // on the requested e in the final round. Refine() only tightens, so the
+  // ladder is strictly decreasing by construction.
+  core::IslaOptions opts = options_;
+  opts.precision = spec.precision * std::ldexp(1.0, rounds - 1);
+  opts.confidence = spec.confidence;
+  ISLA_RETURN_NOT_OK(opts.Validate());
+
+  // The answer is SUM-shaped when the query asked for SUM; the online
+  // engine is AVG-shaped internally, so value and half-width scale by M.
+  auto emit = [&](const core::AggregateResult& r, uint32_t round) -> Status {
+    if (!sink) return Status::OK();
+    PartialAnswer pa;
+    pa.round = round;
+    pa.total_rounds = rounds;
+    pa.samples = r.total_samples + r.pilot_samples;
+    const double scale = spec.aggregate == AggregateKind::kSum
+                             ? static_cast<double>(r.data_size)
+                             : 1.0;
+    pa.value = r.average * scale;
+    pa.ci_half_width = r.precision * scale;
+    pa.confidence = r.confidence;
+    return sink(pa);
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  core::OnlineAggregator agg(column, opts);
+  ISLA_ASSIGN_OR_RETURN(core::AggregateResult r, agg.Start());
+  ISLA_RETURN_NOT_OK(emit(r, 1));
+  for (uint32_t round = 2; round <= rounds; ++round) {
+    const double target = spec.precision * std::ldexp(1.0, rounds - round);
+    ISLA_ASSIGN_OR_RETURN(r, agg.Refine(target));
+    ISLA_RETURN_NOT_OK(emit(r, round));
+  }
+  const double elapsed_millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << AggregateName(spec.aggregate) << " = "
+     << (spec.aggregate == AggregateKind::kSum ? r.sum : r.average)
+     << "  [method=" << MethodName(spec.method) << ", rounds=" << rounds
+     << ", samples=" << r.total_samples + r.pilot_samples << ", "
+     << elapsed_millis << " ms]"
+     << "\n  sketch0=" << r.sketch0 << " sigma=" << r.sigma_estimate
+     << " blocks=" << r.blocks.size() << " precision=+/-" << r.precision
+     << " @" << r.confidence << " kernels=" << r.kernel_dispatch;
   return os.str();
 }
 

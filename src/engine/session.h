@@ -1,6 +1,8 @@
 #ifndef ISLA_ENGINE_SESSION_H_
 #define ISLA_ENGINE_SESSION_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -14,6 +16,25 @@
 namespace isla {
 namespace engine {
 
+class ScanScheduler;
+
+/// One progressive answer of a streaming SELECT: emitted once per
+/// online-refinement round before the final response. The engine-level
+/// mirror of net::PartialFrame (the session layer does not depend on the
+/// wire codec).
+struct PartialAnswer {
+  uint32_t round = 0;          // 1-based refinement round
+  uint32_t total_rounds = 0;   // the session's `stream` setting
+  uint64_t samples = 0;        // cumulative samples (pilot + main)
+  double value = 0.0;          // aggregate-shaped answer after this round
+  double ci_half_width = 0.0;  // guaranteed CI half-width of this round
+  double confidence = 0.0;     // the CI's confidence level
+};
+
+/// Receives each PartialAnswer of a streaming statement. Returning an
+/// error aborts the statement (e.g. the client hung up mid-stream).
+using PartialSink = std::function<Status(const PartialAnswer&)>;
+
 /// An interactive session: owns a catalog and understands a small DDL on
 /// top of the approximate-query dialect. Statements:
 ///
@@ -26,8 +47,9 @@ namespace engine {
 ///   DESCRIBE t
 ///   SELECT AVG(c)|SUM(c)|COUNT(c) FROM t [WHERE c op lit] [GROUP BY c]
 ///          [WITHIN e] [CONFIDENCE b] [USING method]
-///   SET precision|confidence|parallelism|seed|pilot|rate_scale <value>
+///   SET precision|confidence|parallelism|seed|pilot|rate_scale|stream <value>
 ///   SHOW SETTINGS
+///   SHOW STATS
 ///
 /// Distribution-backed tables create generator (virtual) blocks under a
 /// single column named "value"; n may use scientific notation (1e9). A
@@ -40,6 +62,12 @@ namespace engine {
 /// whole, so a SET that would make the options inconsistent is rejected
 /// and the previous settings stay in force. Queries without an explicit
 /// WITHIN/CONFIDENCE clause default to the session's current values.
+///
+/// `SET stream R` (R in 0..16, default 0) turns plain `SELECT AVG|SUM
+/// ... USING isla` statements into R-round online aggregations: round r
+/// runs at precision e·2^(R−r) and is reported through the PartialSink
+/// before the final answer at the requested e. Answers are deterministic
+/// regardless of whether anyone listens to the partials.
 class Session {
  public:
   explicit Session(core::IslaOptions options = {});
@@ -47,21 +75,40 @@ class Session {
   /// Parses and runs one statement.
   Result<std::string> Execute(std::string_view statement);
 
+  /// As above, additionally reporting streaming rounds to `sink` (nullable;
+  /// only streaming SELECTs emit anything). A sink error aborts the
+  /// statement and is returned.
+  Result<std::string> Execute(std::string_view statement,
+                              const PartialSink& sink);
+
+  /// Routes this session's sampled grouped queries through a shared scan
+  /// scheduler (nullable, unowned, must outlive the session). The query
+  /// server installs its process-wide scheduler here so concurrent
+  /// sessions batch their scans and share the pilot/result caches.
+  void set_scheduler(ScanScheduler* scheduler) { scheduler_ = scheduler; }
+
   /// Direct access for embedding (tests, tools).
   storage::Catalog* catalog() { return &catalog_; }
   const core::IslaOptions& options() const { return options_; }
+  uint32_t stream_rounds() const { return stream_rounds_; }
 
  private:
   Result<std::string> CreateTable(std::string_view statement);
   Result<std::string> DropTable(std::string_view statement);
   Result<std::string> ShowTables() const;
   Result<std::string> Describe(std::string_view statement) const;
-  Result<std::string> Select(std::string_view statement) const;
+  Result<std::string> Select(std::string_view statement,
+                             const PartialSink& sink) const;
+  Result<std::string> SelectStreaming(const QuerySpec& spec,
+                                      const PartialSink& sink) const;
   Result<std::string> SetOption(std::string_view statement);
   Result<std::string> ShowSettings() const;
+  Result<std::string> ShowStats() const;
 
   storage::Catalog catalog_;
   core::IslaOptions options_;
+  uint32_t stream_rounds_ = 0;
+  ScanScheduler* scheduler_ = nullptr;
 };
 
 }  // namespace engine

@@ -1,0 +1,84 @@
+#include "net/partial.h"
+
+#include <bit>
+#include <cstring>
+
+namespace isla {
+namespace net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double GetF64(const unsigned char* p) {
+  return std::bit_cast<double>(GetU64(p));
+}
+
+}  // namespace
+
+std::string EncodePartialFrame(const PartialFrame& frame) {
+  std::string out;
+  out.reserve(kPartialFrameBytes);
+  out.append(kPartialTag, sizeof(kPartialTag));
+  PutU32(&out, frame.round);
+  PutU32(&out, frame.total_rounds);
+  PutU64(&out, frame.samples);
+  PutF64(&out, frame.value);
+  PutF64(&out, frame.ci_half_width);
+  PutF64(&out, frame.confidence);
+  return out;
+}
+
+bool IsPartialFrame(std::string_view payload) {
+  return payload.size() >= sizeof(kPartialTag) &&
+         std::memcmp(payload.data(), kPartialTag, sizeof(kPartialTag)) == 0;
+}
+
+Result<PartialFrame> DecodePartialFrame(std::string_view payload) {
+  if (!IsPartialFrame(payload)) {
+    return Status::Corruption("not a PARTIAL frame");
+  }
+  if (payload.size() != kPartialFrameBytes) {
+    return Status::Corruption("PARTIAL frame has wrong size");
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(payload.data()) +
+      sizeof(kPartialTag);
+  PartialFrame frame;
+  frame.round = GetU32(p);
+  frame.total_rounds = GetU32(p + 4);
+  frame.samples = GetU64(p + 8);
+  frame.value = GetF64(p + 16);
+  frame.ci_half_width = GetF64(p + 24);
+  frame.confidence = GetF64(p + 32);
+  return frame;
+}
+
+}  // namespace net
+}  // namespace isla

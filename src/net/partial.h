@@ -1,0 +1,51 @@
+#ifndef ISLA_NET_PARTIAL_H_
+#define ISLA_NET_PARTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isla {
+namespace net {
+
+/// One progressive answer of a streaming query: the query server emits a
+/// PARTIAL frame per online-refinement round (OnlineAggregator::Refine)
+/// before the final "ok\n..." response, so clients can watch the CI
+/// tighten. Rounds are 1-based and strictly tightening.
+struct PartialFrame {
+  uint32_t round = 0;         // this round, 1..total_rounds
+  uint32_t total_rounds = 0;  // the session's stream setting at execution
+  uint64_t samples = 0;       // cumulative samples (pilot + main) so far
+  double value = 0.0;         // aggregate-shaped answer after this round
+  double ci_half_width = 0.0; // guaranteed CI half-width of this round
+  double confidence = 0.0;    // the CI's confidence level beta
+};
+
+/// Payload tag. Query-server responses are text tagged "ok\n" or
+/// "error: "; PARTIAL frames lead with this 8-byte tag instead, so
+/// clients can split the stream without a protocol version bump.
+inline constexpr char kPartialTag[8] = {'p', 'a', 'r', 't', 'i', 'a', 'l',
+                                        '\n'};
+
+/// Fixed wire size: 8-byte tag, u32 round, u32 total_rounds, u64 samples,
+/// f64 value, f64 ci_half_width, f64 confidence — all little-endian.
+inline constexpr size_t kPartialFrameBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+/// Serializes `frame` into the fixed 48-byte payload (goes through the
+/// regular CRC-framed transport like any other response).
+std::string EncodePartialFrame(const PartialFrame& frame);
+
+/// True when `payload` carries a PARTIAL frame (checks only the tag).
+bool IsPartialFrame(std::string_view payload);
+
+/// Decodes a payload produced by EncodePartialFrame. Fails with Corruption
+/// on a bad tag or size.
+Result<PartialFrame> DecodePartialFrame(std::string_view payload);
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_PARTIAL_H_

@@ -4,12 +4,13 @@
 #include <utility>
 
 #include "engine/session.h"
+#include "net/partial.h"
 
 namespace isla {
 namespace net {
 
 QueryServer::QueryServer(QueryServerOptions options)
-    : options_(options) {}
+    : options_(options), scheduler_(options.scheduler) {}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -67,6 +68,20 @@ void QueryServer::Serve(std::unique_ptr<Connection> conn) {
   // Each connection is one interactive session: a private catalog and a
   // private copy of the engine options (mutable via SET).
   engine::Session session(options_.session_defaults);
+  session.set_scheduler(&scheduler_);
+  // Streaming statements push one PARTIAL frame per refinement round over
+  // the same CRC framing; a failed send aborts the statement (the client
+  // hung up), surfaced as the Execute error below.
+  engine::PartialSink sink = [&conn](const engine::PartialAnswer& pa) {
+    PartialFrame frame;
+    frame.round = pa.round;
+    frame.total_rounds = pa.total_rounds;
+    frame.samples = pa.samples;
+    frame.value = pa.value;
+    frame.ci_half_width = pa.ci_half_width;
+    frame.confidence = pa.confidence;
+    return conn->SendFrame(EncodePartialFrame(frame));
+  };
   (void)conn->SendFrame("ok\nisla query server ready");
   while (!stop_.load(std::memory_order_relaxed)) {
     Result<std::string> statement = conn->RecvFrame();
@@ -82,7 +97,7 @@ void QueryServer::Serve(std::unique_ptr<Connection> conn) {
       (void)conn->SendFrame("ok\nbye");
       return;
     }
-    Result<std::string> response = session.Execute(*statement);
+    Result<std::string> response = session.Execute(*statement, sink);
     Status sent = response.ok()
                       ? conn->SendFrame("ok\n" + *response)
                       : conn->SendFrame("error: " +

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "engine/scan_scheduler.h"
 #include "net/connection.h"
 #include "runtime/thread_pool.h"
 
@@ -26,6 +27,12 @@ struct QueryServerOptions {
   uint64_t max_sessions = 64;
   /// Stop-flag tick for accept/recv loops (idle sessions survive ticks).
   int64_t tick_millis = 250;
+  /// Shared-scan batcher settings: every session routes its sampled grouped
+  /// queries through one process-wide engine::ScanScheduler so concurrent
+  /// statements over content-identical tables coalesce into shared passes
+  /// and repeated statements hit the pilot/result caches. Answers are
+  /// bit-identical to standalone execution either way.
+  engine::ScanSchedulerOptions scheduler;
 };
 
 /// The query server: accepts concurrent client connections, each owning a
@@ -52,11 +59,15 @@ class QueryServer {
     return sessions_served_.load(std::memory_order_relaxed);
   }
 
+  /// The process-wide shared-scan batcher (monitoring/tests).
+  engine::ScanScheduler* scheduler() { return &scheduler_; }
+
  private:
   void AcceptLoop();
   void Serve(std::unique_ptr<Connection> conn);
 
   QueryServerOptions options_;
+  engine::ScanScheduler scheduler_;
   std::unique_ptr<Listener> listener_;
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};

@@ -1,6 +1,7 @@
 #include "stats/distribution.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <sstream>
@@ -26,6 +27,15 @@ double BitsToOpenUnitInterval(uint64_t bits) {
 // Secondary stream for mixtures: decorrelated from the primary stream.
 constexpr uint64_t kSecondaryStreamSalt = 0xa0761d6478bd642fULL;
 
+// Fingerprint chaining: a per-class tag followed by the exact parameter
+// bits, folded through SplitMix64. The result is coerced non-zero because
+// 0 is the "no content identity" sentinel of Distribution::Fingerprint().
+uint64_t FpChain(uint64_t h, uint64_t v) { return SplitMix64::Hash(h, v); }
+uint64_t FpChain(uint64_t h, double v) {
+  return SplitMix64::Hash(h, std::bit_cast<uint64_t>(v));
+}
+uint64_t FpFinish(uint64_t h) { return h == 0 ? 1 : h; }
+
 }  // namespace
 
 double Distribution::Sample(uint64_t seed, uint64_t index) const {
@@ -47,6 +57,10 @@ std::string NormalDistribution::Name() const {
   return os.str();
 }
 
+uint64_t NormalDistribution::Fingerprint() const {
+  return FpFinish(FpChain(FpChain(uint64_t{0xd15701}, mu_), sigma_));
+}
+
 ExponentialDistribution::ExponentialDistribution(double gamma)
     : gamma_(gamma) {
   assert(gamma > 0.0);
@@ -60,6 +74,10 @@ std::string ExponentialDistribution::Name() const {
   std::ostringstream os;
   os << "Exponential(" << gamma_ << ")";
   return os.str();
+}
+
+uint64_t ExponentialDistribution::Fingerprint() const {
+  return FpFinish(FpChain(uint64_t{0xd15702}, gamma_));
 }
 
 UniformDistribution::UniformDistribution(double lo, double hi)
@@ -79,6 +97,10 @@ std::string UniformDistribution::Name() const {
   std::ostringstream os;
   os << "Uniform[" << lo_ << ", " << hi_ << "]";
   return os.str();
+}
+
+uint64_t UniformDistribution::Fingerprint() const {
+  return FpFinish(FpChain(FpChain(uint64_t{0xd15703}, lo_), hi_));
 }
 
 DiscreteUniformDistribution::DiscreteUniformDistribution(uint64_t cardinality)
@@ -105,6 +127,10 @@ std::string DiscreteUniformDistribution::Name() const {
   return os.str();
 }
 
+uint64_t DiscreteUniformDistribution::Fingerprint() const {
+  return FpFinish(FpChain(uint64_t{0xd15704}, cardinality_));
+}
+
 LognormalDistribution::LognormalDistribution(double mu_log, double sigma_log)
     : mu_log_(mu_log), sigma_log_(sigma_log) {
   assert(sigma_log >= 0.0);
@@ -129,10 +155,18 @@ std::string LognormalDistribution::Name() const {
   return os.str();
 }
 
+uint64_t LognormalDistribution::Fingerprint() const {
+  return FpFinish(FpChain(FpChain(uint64_t{0xd15705}, mu_log_), sigma_log_));
+}
+
 std::string ConstantDistribution::Name() const {
   std::ostringstream os;
   os << "Constant(" << value_ << ")";
   return os.str();
+}
+
+uint64_t ConstantDistribution::Fingerprint() const {
+  return FpFinish(FpChain(uint64_t{0xd15706}, value_));
 }
 
 MixtureDistribution::MixtureDistribution(std::vector<Component> components)
@@ -229,6 +263,18 @@ std::string MixtureDistribution::Name() const {
   }
   os << "]";
   return os.str();
+}
+
+uint64_t MixtureDistribution::Fingerprint() const {
+  uint64_t h = FpChain(uint64_t{0xd15707}, components_.size());
+  for (const auto& c : components_) {
+    // A component that opts out of content identity makes the whole
+    // mixture opt out — sharing on a partial identity would be unsound.
+    uint64_t inner = c.dist->Fingerprint();
+    if (inner == 0) return 0;
+    h = FpChain(FpChain(h, c.weight), inner);
+  }
+  return FpFinish(h);
 }
 
 }  // namespace stats

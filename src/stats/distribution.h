@@ -34,6 +34,16 @@ class Distribution {
 
   /// Human-readable name used in experiment logs.
   virtual std::string Name() const = 0;
+
+  /// Content identity for the scan scheduler's shared-scan batching and its
+  /// pilot/result caches: two distributions with equal non-zero fingerprints
+  /// must produce identical Sample(seed, i) streams. Implementations hash
+  /// their exact parameter bits — never the Name() text, whose default
+  /// stream formatting rounds to 6 significant digits and would alias
+  /// nearby parameters. Returning 0 opts out: blocks backed by such a
+  /// distribution are treated as unique and never share scans or cache
+  /// entries, the safe default for subclasses that do not override.
+  virtual uint64_t Fingerprint() const { return 0; }
 };
 
 /// N(mu, sigma²).
@@ -45,6 +55,7 @@ class NormalDistribution : public Distribution {
   double Mean() const override { return mu_; }
   double StdDev() const override { return sigma_; }
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
  private:
   double mu_;
@@ -60,6 +71,7 @@ class ExponentialDistribution : public Distribution {
   double Mean() const override { return 1.0 / gamma_; }
   double StdDev() const override { return 1.0 / gamma_; }
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
  private:
   double gamma_;
@@ -74,6 +86,7 @@ class UniformDistribution : public Distribution {
   double Mean() const override { return 0.5 * (lo_ + hi_); }
   double StdDev() const override;
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
  private:
   double lo_;
@@ -90,6 +103,7 @@ class LognormalDistribution : public Distribution {
   double Mean() const override;
   double StdDev() const override;
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
  private:
   double mu_log_;
@@ -108,6 +122,7 @@ class DiscreteUniformDistribution : public Distribution {
   double Mean() const override;
   double StdDev() const override;
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
   uint64_t cardinality() const { return cardinality_; }
 
@@ -125,6 +140,7 @@ class ConstantDistribution : public Distribution {
   double Mean() const override { return value_; }
   double StdDev() const override { return 0.0; }
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
  private:
   double value_;
@@ -148,6 +164,7 @@ class MixtureDistribution : public Distribution {
   double Mean() const override;
   double StdDev() const override;
   std::string Name() const override;
+  uint64_t Fingerprint() const override;
 
  private:
   std::vector<Component> components_;  // weights normalized to sum 1

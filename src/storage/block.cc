@@ -1,13 +1,32 @@
 #include "storage/block.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "runtime/kernels/kernels.h"
+#include "util/rng.h"
 
 namespace isla {
 namespace storage {
+
+namespace {
+
+/// Process-unique block ids, hashed so default fingerprints are spread over
+/// the full 64-bit space like the content-derived ones. Never 0 (the hash
+/// of a fixed tag and a distinct counter collides with 0 with probability
+/// 2^-64 per block; the explicit coercion removes even that).
+uint64_t NextUniqueFingerprint() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t h = SplitMix64::Hash(
+      0xb10c1dULL, counter.fetch_add(1, std::memory_order_relaxed));
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+Block::Block() : unique_fingerprint_(NextUniqueFingerprint()) {}
 
 Status Block::ReadRange(uint64_t start, uint64_t count,
                         std::vector<double>* out) const {
@@ -115,7 +134,25 @@ std::string MemoryBlock::DebugString() const {
 GeneratorBlock::GeneratorBlock(
     std::shared_ptr<const stats::Distribution> dist, uint64_t size,
     uint64_t seed)
-    : dist_(std::move(dist)), size_(size), seed_(seed) {}
+    : dist_(std::move(dist)), size_(size), seed_(seed) {
+  // Rows are a pure function of (distribution params, size, seed), so the
+  // content identity is too — when the distribution exposes its parameter
+  // fingerprint. Computed once here; blocks are immutable.
+  uint64_t dist_fp = dist_ == nullptr ? 0 : dist_->Fingerprint();
+  if (dist_fp == 0) {
+    content_fingerprint_ = 0;
+  } else {
+    uint64_t h = SplitMix64::Hash(0x9e4ULL, dist_fp);
+    h = SplitMix64::Hash(h, size_);
+    h = SplitMix64::Hash(h, seed_);
+    content_fingerprint_ = h == 0 ? 1 : h;
+  }
+}
+
+uint64_t GeneratorBlock::ContentFingerprint() const {
+  return content_fingerprint_ != 0 ? content_fingerprint_
+                                   : Block::ContentFingerprint();
+}
 
 double GeneratorBlock::ValueAt(uint64_t index) const {
   if (index >= size_) return std::numeric_limits<double>::quiet_NaN();

@@ -20,6 +20,7 @@ namespace storage {
 /// thread-compatible for concurrent const access.
 class Block {
  public:
+  Block();
   virtual ~Block() = default;
 
   /// Number of rows stored in this block.
@@ -53,6 +54,21 @@ class Block {
 
   /// Short description for logs ("memory[10000]", "gen[1e10 Normal(...)]").
   virtual std::string DebugString() const = 0;
+
+  /// Content identity for the scan scheduler (src/engine/scan_scheduler):
+  /// two blocks with equal fingerprints MUST hold bit-identical rows, so
+  /// a shared scan may gather either and serve both, and cache entries
+  /// keyed on the fingerprint stay valid. Never returns 0. Deterministic
+  /// sources override this with a content-derived hash (a generator block
+  /// is a pure function of its distribution, size, and seed; a file block
+  /// of its verified payload); the default is a process-unique id assigned
+  /// at construction, so sources whose content cannot be summarized never
+  /// alias — and a re-created table gets fresh fingerprints, which is what
+  /// makes cache invalidation automatic (stale keys become unreachable).
+  virtual uint64_t ContentFingerprint() const { return unique_fingerprint_; }
+
+ private:
+  uint64_t unique_fingerprint_;
 };
 
 using BlockPtr = std::shared_ptr<const Block>;
@@ -113,6 +129,11 @@ class GeneratorBlock : public Block {
   Status GatherAt(std::span<const uint64_t> indices,
                   double* out) const override;
   std::string DebugString() const override;
+  /// Content-derived when the distribution has a parameter fingerprint
+  /// (identical DDL in two sessions yields equal block fingerprints, so
+  /// their scans batch and their pilots share a cache line); falls back to
+  /// the unique-id default when the distribution opts out.
+  uint64_t ContentFingerprint() const override;
 
   const stats::Distribution& distribution() const { return *dist_; }
   uint64_t seed() const { return seed_; }
@@ -121,6 +142,7 @@ class GeneratorBlock : public Block {
   std::shared_ptr<const stats::Distribution> dist_;
   uint64_t size_;
   uint64_t seed_;
+  uint64_t content_fingerprint_;  // 0 = use the unique-id default
 };
 
 }  // namespace storage

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "runtime/kernels/kernels.h"
+#include "util/rng.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ISLA_HAVE_MMAP 1
@@ -116,8 +117,25 @@ Status WriteBlockFile(const std::string& path,
   return Status::OK();
 }
 
-FileBlock::FileBlock(std::string path, std::FILE* file, uint64_t count)
-    : path_(std::move(path)), file_(file), count_(count) {}
+FileBlock::FileBlock(std::string path, std::FILE* file, uint64_t count,
+                     uint32_t payload_crc)
+    : path_(std::move(path)),
+      file_(file),
+      count_(count),
+      payload_crc_(payload_crc) {}
+
+uint64_t FileBlock::ContentFingerprint() const {
+  // FNV-1a over the path, then the row count and the payload CRC folded
+  // through SplitMix64. Including the path means two distinct shard files
+  // that happen to collide in CRC32 can never alias; a file rewritten in
+  // place aliases its old identity only on a CRC32 collision of payloads
+  // with equal row counts.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : path_) h = (h ^ c) * 0x100000001b3ULL;
+  h = SplitMix64::Hash(h, count_);
+  h = SplitMix64::Hash(h, payload_crc_);
+  return h == 0 ? 1 : h;
+}
 
 FileBlock::~FileBlock() {
 #ifdef ISLA_HAVE_MMAP
@@ -219,7 +237,7 @@ Result<std::shared_ptr<FileBlock>> FileBlock::Open(
     return Status::Corruption("CRC mismatch in " + path);
   }
 
-  std::shared_ptr<FileBlock> block(new FileBlock(path, f, count));
+  std::shared_ptr<FileBlock> block(new FileBlock(path, f, count, crc));
   if (opts.use_mmap) block->TryMap();
   return block;
 }

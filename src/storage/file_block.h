@@ -99,6 +99,10 @@ class FileBlock : public Block {
     return {payload_, payload_ == nullptr ? 0 : count_};
   }
   std::string DebugString() const override;
+  /// Content-derived: hashes (path, row count, verified payload CRC), so
+  /// re-opening the same shard — in any session — yields the same identity,
+  /// while rewriting the file in place changes it with the CRC.
+  uint64_t ContentFingerprint() const override;
 
   /// Loads the whole payload into a MemoryBlock (for baseline full scans).
   Result<std::shared_ptr<MemoryBlock>> LoadToMemory() const;
@@ -109,7 +113,8 @@ class FileBlock : public Block {
   bool mmapped() const { return payload_ != nullptr; }
 
  private:
-  FileBlock(std::string path, std::FILE* file, uint64_t count);
+  FileBlock(std::string path, std::FILE* file, uint64_t count,
+            uint32_t payload_crc);
 
   /// Ensures the chunk containing `index` is cached. Caller holds mu_.
   Status LoadChunkLocked(uint64_t index) const;
@@ -124,6 +129,7 @@ class FileBlock : public Block {
   std::string path_;
   std::FILE* file_;
   uint64_t count_;
+  uint32_t payload_crc_;  // verified on open; feeds ContentFingerprint()
 
   // mmap state (payload_ == nullptr on the stdio fallback).
   void* map_base_ = nullptr;

@@ -1,7 +1,17 @@
 #include "storage/table.h"
 
+#include "util/rng.h"
+
 namespace isla {
 namespace storage {
+
+uint64_t Column::ContentFingerprint() const {
+  uint64_t h = SplitMix64::Hash(0xc01f9ULL, blocks_.size());
+  for (const auto& block : blocks_) {
+    h = SplitMix64::Hash(h, block->ContentFingerprint());
+  }
+  return h == 0 ? 1 : h;
+}
 
 Status Column::AppendBlock(BlockPtr block) {
   if (block == nullptr) {

@@ -32,6 +32,13 @@ class Column {
   /// Total rows across blocks (the paper's M).
   uint64_t num_rows() const { return num_rows_; }
 
+  /// Content identity of the whole column: the per-block fingerprints
+  /// chained in block order (block structure included by construction).
+  /// Equal fingerprints mean bit-identical rows in the same block layout,
+  /// so the scan scheduler may serve every holder from one shared gather
+  /// and cache pilots/results under the fingerprint. Never 0.
+  uint64_t ContentFingerprint() const;
+
  private:
   std::string name_;
   std::vector<BlockPtr> blocks_;

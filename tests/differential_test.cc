@@ -19,12 +19,15 @@
 
 #include <array>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/group_by.h"
 #include "core/options.h"
 #include "distributed/coordinator.h"
 #include "distributed/worker.h"
+#include "engine/executor.h"
+#include "engine/scan_scheduler.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
 #include "storage/block.h"
@@ -280,6 +283,199 @@ TEST_F(DifferentialTest, UngroupedAvgTcpBitIdenticalToLoopbackAcrossSeeds) {
     EXPECT_EQ(tcp->sigma_estimate, loop->sigma_estimate) << "query " << q;
     EXPECT_EQ(tcp->sketch0, loop->sketch0) << "query " << q;
   }
+}
+
+// --- Shared-scan scheduler differentials: batched ≡ standalone ≡ cached ---
+//
+// The scan scheduler's hard contract is that coalescing queries into a
+// shared pass — or answering them from the pilot/result caches — returns
+// exactly the bytes the standalone core::GroupByEngine execution would.
+// 51 seeded queries (17 clause shapes × 3 method salts) sweep WHERE
+// operators, GROUP BY, and parallelism 1..3; every query is compared three
+// ways: standalone engine vs. a concurrent 4-way batched run vs. a
+// cache-hitting re-run.
+
+TEST_F(DifferentialTest, BatchedStandaloneCachedThreeWayBitIdentical) {
+  std::vector<QueryShape> shapes = Shapes();
+  const uint64_t salts[] = {0, engine::kGroupedNonIidSalt,
+                            engine::kGroupedUniformSalt};
+  ASSERT_GE(shapes.size() * 3, 50u);
+
+  engine::ScanSchedulerOptions sched_options;
+  sched_options.admission_window_micros = 3000;
+  engine::ScanScheduler scheduler(sched_options);
+
+  int query = 0;
+  for (const QueryShape& shape : shapes) {
+    for (uint64_t salt : salts) {
+      core::IslaOptions options;
+      options.precision = shape.precision;
+      options.parallelism = 1 + (query % 3);
+
+      core::GroupedSpec spec;
+      spec.values = &fixture_->values;
+      if (shape.has_predicate) {
+        spec.predicate = &fixture_->preds;
+        spec.op = shape.op;
+        spec.literal = shape.literal;
+      }
+      if (shape.has_group) spec.keys = &fixture_->keys;
+
+      core::GroupByEngine engine(options);
+      auto standalone = engine.Aggregate(spec, salt);
+      ASSERT_TRUE(standalone.ok())
+          << "query " << query << ": " << standalone.status();
+
+      // Batched: four concurrent identical submissions inside one admission
+      // window. Whether they coalesce into one batch or race into several,
+      // every answer must match the standalone bytes.
+      constexpr int kConcurrent = 4;
+      std::vector<Result<core::GroupedAggregateResult>> batched(
+          kConcurrent, Status::Internal("not run"));
+      {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kConcurrent; ++t) {
+          threads.emplace_back([&, t] {
+            batched[t] = scheduler.Execute(spec, options, salt);
+          });
+        }
+        for (auto& th : threads) th.join();
+      }
+      for (int t = 0; t < kConcurrent; ++t) {
+        ASSERT_TRUE(batched[t].ok())
+            << "query " << query << " thread " << t << ": "
+            << batched[t].status();
+        ExpectBitIdentical(*batched[t], *standalone, "batched-vs-standalone",
+                           query);
+      }
+
+      // Cached: a later serial re-run must hit the result cache and still
+      // return the standalone bytes.
+      auto cached = scheduler.Execute(spec, options, salt);
+      ASSERT_TRUE(cached.ok()) << "query " << query << ": " << cached.status();
+      ExpectBitIdentical(*cached, *standalone, "cached-vs-standalone", query);
+      ++query;
+    }
+  }
+  ASSERT_GE(query, 50);
+
+  engine::ScanSchedulerStats stats = scheduler.stats();
+  // Every query's serial re-run (at minimum) is a result-cache hit, and the
+  // shared passes must have gathered strictly less than the participants
+  // requested (the whole point of the batcher).
+  EXPECT_GE(stats.result_cache_hits, static_cast<uint64_t>(query));
+  EXPECT_GT(stats.rows_requested, stats.rows_gathered);
+}
+
+TEST_F(DifferentialTest, MixedShapesBatchConcurrentlyBitIdentical) {
+  // All 17 clause shapes submitted concurrently over the same value column:
+  // one admission window, heterogeneous predicates/keys/precisions, one
+  // shared pass sized for the weakest participant. Caches are disabled so
+  // the shared-scan fan-out itself (not a cache) must reproduce every
+  // standalone answer.
+  std::vector<QueryShape> shapes = Shapes();
+  engine::ScanSchedulerOptions sched_options;
+  sched_options.admission_window_micros = 20'000;
+  sched_options.enable_pilot_cache = false;
+  sched_options.enable_result_cache = false;
+  engine::ScanScheduler scheduler(sched_options);
+
+  core::IslaOptions options;
+  options.parallelism = 2;
+
+  std::vector<Result<core::GroupedAggregateResult>> batched(
+      shapes.size(), Status::Internal("not run"));
+  std::vector<core::GroupedSpec> specs(shapes.size());
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    specs[i].values = &fixture_->values;
+    if (shapes[i].has_predicate) {
+      specs[i].predicate = &fixture_->preds;
+      specs[i].op = shapes[i].op;
+      specs[i].literal = shapes[i].literal;
+    }
+    if (shapes[i].has_group) specs[i].keys = &fixture_->keys;
+  }
+  {
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      threads.emplace_back([&, i] {
+        core::IslaOptions opts = options;
+        opts.precision = shapes[i].precision;
+        batched[i] = scheduler.Execute(specs[i], opts, /*seed_salt=*/0);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    ASSERT_TRUE(batched[i].ok()) << "shape " << i << ": "
+                                 << batched[i].status();
+    core::IslaOptions opts = options;
+    opts.precision = shapes[i].precision;
+    core::GroupByEngine engine(opts);
+    auto standalone = engine.Aggregate(specs[i], /*seed_salt=*/0);
+    ASSERT_TRUE(standalone.ok()) << standalone.status();
+    ExpectBitIdentical(*batched[i], *standalone, "mixed-batch-vs-standalone",
+                       static_cast<int>(i));
+  }
+}
+
+TEST_F(DifferentialTest, RecreatedTableNeverServesStaleCacheEntries) {
+  // Dropping and re-CREATing a table yields fresh content fingerprints, so
+  // cache keys from the old incarnation are unreachable — even when the new
+  // table has the same name, shape, and row count but different bytes.
+  auto build = [](double offset) {
+    auto col = std::make_unique<storage::Column>("v");
+    Xoshiro256 rng(7);
+    for (int b = 0; b < 2; ++b) {
+      std::vector<double> vals(20'000);
+      for (auto& v : vals) v = offset + 10.0 * rng.NextDouble();
+      EXPECT_TRUE(
+          col->AppendBlock(
+                 std::make_shared<storage::MemoryBlock>(std::move(vals)))
+              .ok());
+    }
+    return col;
+  };
+
+  engine::ScanSchedulerOptions sched_options;
+  sched_options.admission_window_micros = 0;  // caches only, no batching
+  engine::ScanScheduler scheduler(sched_options);
+  core::IslaOptions options;
+  options.precision = 0.3;
+
+  auto incarnation1 = build(100.0);
+  core::GroupedSpec spec1;
+  spec1.values = incarnation1.get();
+  auto first = scheduler.Execute(spec1, options, 0);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto repeat = scheduler.Execute(spec1, options, 0);
+  ASSERT_TRUE(repeat.ok()) << repeat.status();
+  ExpectBitIdentical(*repeat, *first, "same-incarnation-cache", 0);
+  EXPECT_EQ(scheduler.stats().result_cache_hits, 1u);
+
+  // Re-CREATE with different content: both caches must miss, and the
+  // answer must equal a fresh standalone execution over the new bytes.
+  auto incarnation2 = build(500.0);
+  core::GroupedSpec spec2;
+  spec2.values = incarnation2.get();
+  auto recreated = scheduler.Execute(spec2, options, 0);
+  ASSERT_TRUE(recreated.ok()) << recreated.status();
+  core::GroupByEngine engine(options);
+  auto standalone = engine.Aggregate(spec2, 0);
+  ASSERT_TRUE(standalone.ok()) << standalone.status();
+  ExpectBitIdentical(*recreated, *standalone, "recreated-vs-standalone", 1);
+  EXPECT_EQ(scheduler.stats().result_cache_hits, 1u);  // no stale hit
+
+  // Same data, new MemoryBlocks: still a miss — a memory block's identity
+  // is process-unique, so equality of bytes is never assumed.
+  auto incarnation3 = build(100.0);
+  core::GroupedSpec spec3;
+  spec3.values = incarnation3.get();
+  auto rebuilt = scheduler.Execute(spec3, options, 0);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  ExpectBitIdentical(*rebuilt, *first, "rebuilt-same-bytes", 2);
+  EXPECT_EQ(scheduler.stats().result_cache_hits, 1u);
+  EXPECT_EQ(scheduler.stats().result_cache_misses, 3u);
 }
 
 }  // namespace

@@ -12,12 +12,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/options.h"
 #include "distributed/coordinator.h"
 #include "distributed/worker.h"
+#include "net/connection.h"
 #include "net/faulty_connection.h"
+#include "net/partial.h"
+#include "net/query_server.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
 #include "stats/distribution.h"
@@ -180,6 +185,115 @@ TEST(FaultInjection, TransportRecoversAfterFaultyCall) {
     ASSERT_FALSE(r.ok());
     EXPECT_TRUE(r.status().IsCorruption()) << r.status();
   }
+}
+
+TEST(FaultInjection, ClientDisconnectMidStreamLeavesOtherSessionsHealthy) {
+  // A streaming client that hangs up between PARTIAL frames must only kill
+  // its own statement: the server thread sees the failed send, drops the
+  // session, and every other session — including ones co-batched on the
+  // same scheduler — keeps answering, and new sessions are still accepted.
+  QueryServer server;
+  ASSERT_TRUE(server.Start().ok());
+
+  // Session B: a long-lived healthy session issuing scheduler-routed
+  // queries concurrently with A's death.
+  auto connect = [&]() {
+    auto conn = TcpConnect("127.0.0.1", server.port(), 2'000);
+    EXPECT_TRUE(conn.ok()) << conn.status();
+    auto greeting = (*conn)->RecvFrame();
+    EXPECT_TRUE(greeting.ok()) << greeting.status();
+    return std::move(*conn);
+  };
+  auto roundtrip = [](Connection* conn, const std::string& statement) {
+    EXPECT_TRUE(conn->SendFrame(statement).ok());
+    auto response = conn->RecvFrame();
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? *response : std::string();
+  };
+
+  std::unique_ptr<Connection> b = connect();
+  roundtrip(b.get(),
+            "CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4");
+
+  // Session A: start a multi-round streaming statement, read the first
+  // PARTIAL frame to prove the stream is live, then vanish without reading
+  // the rest.
+  {
+    std::unique_ptr<Connection> a = connect();
+    roundtrip(a.get(),
+              "CREATE TABLE s FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4");
+    roundtrip(a.get(), "SET stream 8");
+    ASSERT_TRUE(
+        a->SendFrame("SELECT AVG(value) FROM s WITHIN 0.05").ok());
+    auto first = a->RecvFrame();
+    ASSERT_TRUE(first.ok()) << first.status();
+    EXPECT_TRUE(IsPartialFrame(*first));
+    a->Close();  // mid-stream disconnect: rounds 2..8 have nowhere to go
+  }
+
+  // B keeps working while A's session unwinds, across the scheduler path
+  // (WHERE → grouped sampling) and the cache (repeat hits).
+  for (int i = 0; i < 3; ++i) {
+    std::string r = roundtrip(
+        b.get(), "SELECT AVG(value) FROM t WHERE value >= 90 WITHIN 0.5");
+    EXPECT_NE(r.find("ok\nAVG = "), std::string::npos) << r;
+  }
+
+  // And the server still accepts fresh sessions afterwards.
+  std::unique_ptr<Connection> c = connect();
+  EXPECT_NE(roundtrip(c.get(), "SHOW STATS").find("ok\nkernels = "),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(FaultInjection, ConcurrentBatchMembersSurviveOneMemberDisconnect) {
+  // Several sessions submit the same query inside one admission window
+  // while one of them drops its socket right after sending. The co-batched
+  // members must all receive correct answers — the scheduler completes the
+  // shared pass for everyone; only the dead member's response send fails.
+  QueryServerOptions options;
+  options.scheduler.admission_window_micros = 30'000;
+  QueryServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string create =
+      "CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4";
+  const std::string query =
+      "SELECT AVG(value) FROM t WHERE value >= 90 WITHIN 0.4";
+
+  constexpr int kSurvivors = 3;
+  std::vector<std::string> answers(kSurvivors);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSurvivors; ++s) {
+    threads.emplace_back([&, s] {
+      auto conn = TcpConnect("127.0.0.1", server.port(), 2'000);
+      ASSERT_TRUE(conn.ok()) << conn.status();
+      (*conn)->set_deadline_millis(60'000);
+      ASSERT_TRUE((*conn)->RecvFrame().ok());
+      ASSERT_TRUE((*conn)->SendFrame(create).ok());
+      ASSERT_TRUE((*conn)->RecvFrame().ok());
+      ASSERT_TRUE((*conn)->SendFrame(query).ok());
+      auto response = (*conn)->RecvFrame();
+      ASSERT_TRUE(response.ok()) << response.status();
+      answers[s] = *response;
+    });
+  }
+  threads.emplace_back([&] {
+    auto conn = TcpConnect("127.0.0.1", server.port(), 2'000);
+    ASSERT_TRUE(conn.ok()) << conn.status();
+    ASSERT_TRUE((*conn)->RecvFrame().ok());
+    ASSERT_TRUE((*conn)->SendFrame(create).ok());
+    ASSERT_TRUE((*conn)->RecvFrame().ok());
+    ASSERT_TRUE((*conn)->SendFrame(query).ok());
+    (*conn)->Close();  // gone before the batch even closes
+  });
+  for (auto& t : threads) t.join();
+
+  for (int s = 0; s < kSurvivors; ++s) {
+    EXPECT_NE(answers[s].find("ok\nAVG = "), std::string::npos)
+        << "session " << s << ": " << answers[s];
+  }
+  server.Stop();
 }
 
 }  // namespace

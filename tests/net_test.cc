@@ -20,6 +20,7 @@
 #include "distributed/worker.h"
 #include "net/connection.h"
 #include "net/frame.h"
+#include "net/partial.h"
 #include "net/query_server.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
@@ -527,6 +528,175 @@ TEST(QueryServer, RestartAcceptsNewSessions) {
   EXPECT_NE(again.Send("SHOW TABLES").find("ok\n"), std::string::npos);
   server.Stop();
   EXPECT_EQ(server.sessions_served(), 2u);
+}
+
+/// Blanks the wall-clock segment ("..., 1.2345 ms]") of a response so two
+/// executions can be compared on their answer bytes alone.
+std::string StripTiming(std::string s) {
+  size_t end = s.find(" ms]");
+  if (end == std::string::npos) return s;
+  size_t start = s.rfind(", ", end);
+  if (start == std::string::npos) return s;
+  return s.erase(start, end - start);
+}
+
+/// Sends a statement and splits the response stream into PARTIAL frames
+/// plus the final text response.
+std::string SendStreaming(TestClient* client, const std::string& statement,
+                          std::vector<PartialFrame>* partials) {
+  EXPECT_TRUE(client->conn()->SendFrame(statement).ok());
+  while (true) {
+    auto response = client->conn()->RecvFrame();
+    EXPECT_TRUE(response.ok()) << response.status();
+    if (!response.ok()) return std::string();
+    if (!IsPartialFrame(*response)) return *response;
+    auto frame = DecodePartialFrame(*response);
+    EXPECT_TRUE(frame.ok()) << frame.status();
+    if (frame.ok()) partials->push_back(*frame);
+  }
+}
+
+TEST(QueryServer, StreamingSelectEmitsTighteningPartials) {
+  QueryServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  client.Send("CREATE TABLE s FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4");
+  EXPECT_NE(client.Send("SET stream 3").find("ok\n"), std::string::npos);
+
+  std::vector<PartialFrame> partials;
+  std::string final_response = SendStreaming(
+      &client, "SELECT AVG(value) FROM s WITHIN 0.2", &partials);
+  EXPECT_NE(final_response.find("ok\nAVG = "), std::string::npos)
+      << final_response;
+  EXPECT_NE(final_response.find("rounds=3"), std::string::npos)
+      << final_response;
+
+  // The ladder: three rounds at e·2^(R−r) = 0.8, 0.4, 0.2, strictly
+  // tightening CIs, monotone cumulative sample counts.
+  ASSERT_EQ(partials.size(), 3u);
+  for (size_t i = 0; i < partials.size(); ++i) {
+    EXPECT_EQ(partials[i].round, i + 1);
+    EXPECT_EQ(partials[i].total_rounds, 3u);
+    EXPECT_EQ(partials[i].confidence, 0.95);
+    EXPECT_NEAR(partials[i].value, 100.0, 5.0);
+  }
+  EXPECT_EQ(partials[0].ci_half_width, 0.8);
+  EXPECT_EQ(partials[1].ci_half_width, 0.4);
+  EXPECT_EQ(partials[2].ci_half_width, 0.2);
+  EXPECT_LE(partials[0].samples, partials[1].samples);
+  EXPECT_LE(partials[1].samples, partials[2].samples);
+
+  // The final round's answer IS the final response's answer.
+  size_t at = final_response.find("AVG = ");
+  ASSERT_NE(at, std::string::npos);
+  double final_avg = std::strtod(final_response.c_str() + at + 6, nullptr);
+  EXPECT_NEAR(final_avg, partials[2].value, 1e-4);
+
+  // SET stream 0 turns streaming back off: no partial frames.
+  client.Send("SET stream 0");
+  std::vector<PartialFrame> none;
+  std::string plain = SendStreaming(
+      &client, "SELECT AVG(value) FROM s WITHIN 0.2", &none);
+  EXPECT_NE(plain.find("ok\nAVG = "), std::string::npos) << plain;
+  EXPECT_TRUE(none.empty());
+  server.Stop();
+}
+
+TEST(QueryServer, StreamingIsDeterministicAcrossSessions) {
+  QueryServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto run = [&](std::vector<PartialFrame>* partials) {
+    TestClient client(server.port());
+    client.Send("CREATE TABLE s FROM NORMAL(100, 20) ROWS 1e6 BLOCKS 4");
+    client.Send("SET stream 4");
+    return SendStreaming(&client, "SELECT SUM(value) FROM s WITHIN 0.4",
+                         partials);
+  };
+  std::vector<PartialFrame> a, b;
+  std::string final_a = run(&a);
+  std::string final_b = run(&b);
+  EXPECT_EQ(StripTiming(final_a), StripTiming(final_b));
+  EXPECT_NE(final_a.find("ok\nSUM = "), std::string::npos) << final_a;
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value) << "round " << i + 1;
+    EXPECT_EQ(a[i].ci_half_width, b[i].ci_half_width) << "round " << i + 1;
+    EXPECT_EQ(a[i].samples, b[i].samples) << "round " << i + 1;
+  }
+  server.Stop();
+}
+
+TEST(QueryServer, StreamingSkipsIneligibleStatements) {
+  // GROUP BY / WHERE / COUNT / non-isla methods run single-shot even with
+  // stream set: exactly one response frame, no partials.
+  QueryServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  client.Send(
+      "CREATE TABLE g FROM NORMAL(100, 20) ROWS 1e5 BLOCKS 4 GROUPS 4");
+  client.Send("SET stream 3");
+  for (const char* statement :
+       {"SELECT AVG(value) FROM g GROUP BY grp WITHIN 0.5",
+        "SELECT AVG(value) FROM g WHERE value >= 100 WITHIN 0.5",
+        "SELECT COUNT(value) FROM g WITHIN 0.5",
+        "SELECT AVG(value) FROM g WITHIN 0.5 USING uniform"}) {
+    std::vector<PartialFrame> partials;
+    std::string response = SendStreaming(&client, statement, &partials);
+    EXPECT_NE(response.find("ok\n"), std::string::npos)
+        << statement << " -> " << response;
+    EXPECT_TRUE(partials.empty()) << statement;
+  }
+  server.Stop();
+}
+
+TEST(QueryServer, ShowStatsSurfacesKernelTierAndCacheCounters) {
+  QueryServer server;
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  std::string stats = client.Send("SHOW STATS");
+  EXPECT_NE(stats.find("kernels = "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("scan_scheduler = on"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("result_cache_hits = 0"), std::string::npos) << stats;
+
+  // SHOW SETTINGS also reports the kernel tier and the stream knob.
+  std::string settings = client.Send("SHOW SETTINGS");
+  EXPECT_NE(settings.find("kernels = "), std::string::npos) << settings;
+  EXPECT_NE(settings.find("stream = 0"), std::string::npos) << settings;
+
+  // A repeated sampled grouped query flows through the shared scheduler:
+  // the second run is a result-cache hit, visible in SHOW STATS.
+  client.Send("CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e5 BLOCKS 4");
+  std::string first =
+      client.Send("SELECT AVG(value) FROM t WHERE value >= 90 WITHIN 0.5");
+  EXPECT_NE(first.find("ok\nAVG = "), std::string::npos) << first;
+  std::string second =
+      client.Send("SELECT AVG(value) FROM t WHERE value >= 90 WITHIN 0.5");
+  // The cache hit returns the exact answer bytes (timing aside).
+  EXPECT_EQ(StripTiming(first), StripTiming(second));
+  stats = client.Send("SHOW STATS");
+  EXPECT_NE(stats.find("result_cache_hits = 1"), std::string::npos) << stats;
+  server.Stop();
+}
+
+TEST(QueryServer, SchedulerCachesAreSharedAcrossSessions) {
+  // Two sessions with identical CREATE recipes produce content-identical
+  // generator columns, so the second session's identical query is a
+  // result-cache hit — the cross-session reuse the scheduler exists for.
+  QueryServer server;
+  ASSERT_TRUE(server.Start().ok());
+  std::string create = "CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e5 BLOCKS 4";
+  std::string query = "SELECT AVG(value) FROM t WHERE value >= 90 WITHIN 0.5";
+  TestClient a(server.port());
+  a.Send(create);
+  std::string answer_a = a.Send(query);
+  TestClient b(server.port());
+  b.Send(create);
+  std::string answer_b = b.Send(query);
+  EXPECT_EQ(StripTiming(answer_a), StripTiming(answer_b));
+  std::string stats = b.Send("SHOW STATS");
+  EXPECT_NE(stats.find("result_cache_hits = 1"), std::string::npos) << stats;
+  server.Stop();
 }
 
 TEST(QueryServer, SessionLimitRefusesLoudly) {

@@ -19,6 +19,7 @@
 
 #include "distributed/message.h"
 #include "net/frame.h"
+#include "net/partial.h"
 
 namespace isla {
 namespace distributed {
@@ -302,6 +303,63 @@ TEST(WireFormat, NetFrameEmptyPayload) {
   // Magic "ISLF", zero length, CRC32 of the empty string (0).
   ExpectGolden(net::EncodeFrame(""), "49534c460000000000000000",
                "net frame (empty)");
+}
+
+// ---------------------------------------------------------------------------
+// The query-server PARTIAL streaming frame.
+// ---------------------------------------------------------------------------
+
+net::PartialFrame GoldenPartialFrame() {
+  net::PartialFrame m;
+  m.round = 3;
+  m.total_rounds = 8;
+  m.samples = 12345;
+  m.value = 100.25;
+  m.ci_half_width = 0.125;
+  m.confidence = 0.95;
+  return m;
+}
+// "partial\n" tag, then LE u32 round, u32 total_rounds, u64 samples,
+// f64 value, f64 ci_half_width, f64 confidence — 48 bytes total.
+constexpr char kPartialFrameHex[] =
+    "7061727469616c0a030000000800000039300000000000000000000000105940"
+    "000000000000c03f666666666666ee3f";
+
+TEST(WireFormat, PartialFrameGoldenBytes) {
+  std::string payload = net::EncodePartialFrame(GoldenPartialFrame());
+  EXPECT_EQ(payload.size(), net::kPartialFrameBytes);
+  ExpectGolden(payload, kPartialFrameHex, "PARTIAL frame");
+}
+
+TEST(WireFormat, PartialFrameDecodesGoldenBytes) {
+  auto decoded = net::DecodePartialFrame(FromHex(kPartialFrameHex));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const net::PartialFrame want = GoldenPartialFrame();
+  EXPECT_EQ(decoded->round, want.round);
+  EXPECT_EQ(decoded->total_rounds, want.total_rounds);
+  EXPECT_EQ(decoded->samples, want.samples);
+  EXPECT_EQ(decoded->value, want.value);
+  EXPECT_EQ(decoded->ci_half_width, want.ci_half_width);
+  EXPECT_EQ(decoded->confidence, want.confidence);
+}
+
+TEST(WireFormat, PartialFrameTagDistinguishesFromTextResponses) {
+  EXPECT_TRUE(net::IsPartialFrame(net::EncodePartialFrame({})));
+  // The tag can never collide with the query server's text responses.
+  EXPECT_FALSE(net::IsPartialFrame("ok\nAVG = 100.0"));
+  EXPECT_FALSE(net::IsPartialFrame("error: InvalidArgument: nope"));
+  EXPECT_FALSE(net::IsPartialFrame(""));
+}
+
+TEST(WireFormat, PartialFrameRejectsTruncationAndTrailingBytes) {
+  std::string frame = FromHex(kPartialFrameHex);
+  EXPECT_TRUE(net::DecodePartialFrame(frame.substr(0, frame.size() - 1))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(net::DecodePartialFrame(frame + "x").status().IsCorruption());
+  EXPECT_TRUE(net::DecodePartialFrame("partial?" + frame.substr(8))
+                  .status()
+                  .IsCorruption());
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 
 #include "distributed/coordinator.h"
 #include "net/connection.h"
+#include "net/partial.h"
 #include "net/tcp_transport.h"
 
 namespace {
@@ -79,7 +80,25 @@ int RunSession(const std::string& host, uint16_t port) {
       std::fprintf(stderr, "error: %s\n", sent.ToString().c_str());
       return 1;
     }
-    auto response = (*conn)->RecvFrame();
+    // Streaming statements interleave PARTIAL frames before the final
+    // "ok\n"/"error: " response — print each round as it lands so the
+    // user watches the confidence interval tighten live.
+    isla::Result<std::string> response = std::string();
+    while (true) {
+      response = (*conn)->RecvFrame();
+      if (!response.ok() || !isla::net::IsPartialFrame(*response)) break;
+      auto frame = isla::net::DecodePartialFrame(*response);
+      if (!frame.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     frame.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("~ round %u/%u: %.4f +/- %.4f @%.2f (%llu samples)\n",
+                  frame->round, frame->total_rounds, frame->value,
+                  frame->ci_half_width, frame->confidence,
+                  static_cast<unsigned long long>(frame->samples));
+      std::fflush(stdout);
+    }
     if (!response.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    response.status().ToString().c_str());

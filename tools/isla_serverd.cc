@@ -48,7 +48,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: isla_serverd [--port P] [--precision e] "
                "[--confidence b]\n"
-               "                    [--parallelism n] [--max-sessions n]\n"
+               "                    [--parallelism n] [--max-sessions n] "
+               "[--batch-window us]\n"
                "       isla_serverd --worker --shard v.islb "
                "[--predicate-shard p.islb]\n"
                "                    [--key-shard k.islb] [--worker-id N] "
@@ -112,6 +113,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-sessions") {
       query_options.max_sessions =
           std::strtoull(next("--max-sessions"), nullptr, 10);
+    } else if (arg == "--batch-window") {
+      // Shared-scan admission window in microseconds; 0 disables batching
+      // (the pilot/result caches stay on).
+      query_options.scheduler.admission_window_micros =
+          std::strtoll(next("--batch-window"), nullptr, 10);
     } else {
       Usage();
       return 2;
