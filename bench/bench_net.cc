@@ -11,11 +11,21 @@
 //      the bench instead of stalling it.
 // The interesting number is the overhead ratio — how much of a query's
 // wall clock the wire adds once real sampling work is on the other side.
+//
+// The many-clients sweep (--sessions, default 100,500,1000) then drives
+// N concurrent sessions through the epoll event-loop server from a small
+// driver-thread pool, hard-checks that every session's answer is
+// bit-identical, and emits BENCH_net.json with stmts/s plus the server's
+// own p50/p99 statement latency (from SHOW SERVER STATS).
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +39,7 @@
 #include "net/query_server.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
+#include "runtime/kernels/kernels.h"
 #include "storage/block.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -76,10 +87,187 @@ double MedianMillis(std::vector<double>* times) {
   return (*times)[times->size() / 2];
 }
 
+/// Blanks the wall-clock segment ("..., 1.2345 ms]") of a response so two
+/// sessions' answers can be compared on their answer bytes alone.
+std::string StripTiming(std::string s) {
+  size_t end = s.find(" ms]");
+  if (end == std::string::npos) return s;
+  size_t start = s.rfind(", ", end);
+  if (start == std::string::npos) return s;
+  return s.erase(start, end - start);
+}
+
+/// Pulls "key = <double>" out of a SHOW SERVER STATS body; -1 if absent.
+double StatsValue(const std::string& stats, const std::string& key) {
+  size_t at = stats.find(key + " = ");
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(stats.c_str() + at + key.size() + 3, nullptr);
+}
+
+struct SweepRow {
+  int sessions = 0;
+  uint64_t statements = 0;
+  double stmts_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool identical = false;
+};
+
+/// N concurrent sessions against one event-loop query server, driven by a
+/// fixed pool of driver threads (each owning N/kDrivers blocking client
+/// connections, pipelining round-robin across them). Every session runs
+/// the same seeded CREATE + WHERE query, so the shared scheduler's result
+/// cache coalesces the work — and every answer must be bit-identical.
+bool RunManyClientsSweep(int n_sessions, int stmts_per_session,
+                         SweepRow* out) {
+  net::QueryServerOptions qopts;
+  qopts.max_sessions = 2048;
+  net::QueryServer server(qopts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "sweep(%d): server failed to start\n", n_sessions);
+    return false;
+  }
+
+  const int kDrivers = std::min(32, n_sessions);
+  std::vector<std::unique_ptr<net::Connection>> conns(n_sessions);
+  std::atomic<bool> ok{true};
+  {
+    std::vector<std::thread> threads;
+    for (int d = 0; d < kDrivers; ++d) {
+      threads.emplace_back([&, d] {
+        for (int i = d; i < n_sessions && ok.load(); i += kDrivers) {
+          auto conn = net::TcpConnect("127.0.0.1", server.port(), 30'000);
+          if (!conn.ok()) { ok = false; return; }
+          (*conn)->set_deadline_millis(120'000);
+          if (!(*conn)->RecvFrame().ok()) { ok = false; return; }  // greeting
+          conns[i] = std::move(*conn);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (!ok.load()) {
+    std::fprintf(stderr, "sweep(%d): failed to establish sessions\n",
+                 n_sessions);
+    return false;
+  }
+
+  const std::string create =
+      "CREATE TABLE t FROM NORMAL(100, 20) ROWS 1e5 BLOCKS 4";
+  const std::string query =
+      "SELECT AVG(value) FROM t WHERE value >= 90 WITHIN 0.5";
+  std::vector<std::string> answers(n_sessions);
+
+  Timer timer;
+  {
+    std::vector<std::thread> threads;
+    for (int d = 0; d < kDrivers; ++d) {
+      threads.emplace_back([&, d] {
+        auto round = [&](const std::string& statement, bool keep) {
+          for (int i = d; i < n_sessions; i += kDrivers) {
+            if (!conns[i]->SendFrame(statement).ok()) { ok = false; return; }
+          }
+          for (int i = d; i < n_sessions; i += kDrivers) {
+            auto r = conns[i]->RecvFrame();
+            if (!r.ok()) { ok = false; return; }
+            if (keep) answers[i] = *std::move(r);
+          }
+        };
+        round(create, /*keep=*/false);
+        for (int q = 0; q < stmts_per_session && ok.load(); ++q) {
+          round(query, /*keep=*/true);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  double wall_ms = timer.ElapsedMillis();
+  if (!ok.load()) {
+    std::fprintf(stderr, "sweep(%d): statement round failed\n", n_sessions);
+    return false;
+  }
+
+  // Hard bit-identity across every concurrent session.
+  bool identical = true;
+  std::string reference = StripTiming(answers[0]);
+  for (int i = 1; i < n_sessions && identical; ++i) {
+    identical = StripTiming(answers[i]) == reference;
+  }
+  if (reference.rfind("ok\n", 0) != 0) identical = false;
+
+  // Tail latency as the server itself measured it, per statement.
+  std::string stats;
+  if (conns[0]->SendFrame("SHOW SERVER STATS").ok()) {
+    auto r = conns[0]->RecvFrame();
+    if (r.ok()) stats = *std::move(r);
+  }
+
+  out->sessions = n_sessions;
+  out->statements =
+      static_cast<uint64_t>(n_sessions) * (1 + stmts_per_session);
+  out->stmts_per_sec =
+      1000.0 * static_cast<double>(out->statements) / wall_ms;
+  out->p50_ms = StatsValue(stats, "latency_p50_ms");
+  out->p99_ms = StatsValue(stats, "latency_p99_ms");
+  out->identical = identical;
+  server.Stop();
+  return identical;
+}
+
+/// 2 fds per session (client + server end) at 1000 sessions outgrows the
+/// common 1024 soft cap; raise it toward the hard limit up front.
+void RaiseFdLimit() {
+  struct rlimit rl;
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  rlim_t want = 16384;
+  if (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max) want = rl.rlim_max;
+  if (rl.rlim_cur < want) {
+    rl.rlim_cur = want;
+    (void)::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace isla;
+  std::vector<int> sweep_sessions = {100, 500, 1000};
+  int stmts_per_session = 3;
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      sweep_sessions.clear();
+      std::string list = next("--sessions");
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string item = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!item.empty()) sweep_sessions.push_back(std::atoi(item.c_str()));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--stmts") {
+      stmts_per_session = std::atoi(next("--stmts"));
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_net [--sessions n,n,...] [--stmts n] "
+                   "[--out file]\n");
+      return 2;
+    }
+  }
+  RaiseFdLimit();
   bench::PrintHeader(
       "TCP transport overhead",
       "Grouped WHERE+GROUP BY aggregation, 4 shards, loopback vs TCP "
@@ -222,6 +410,19 @@ int main() {
       1000.0 * kClients * kStatementsPerClient / session_ms;
   query_server.Stop();
 
+  // --- Many-clients sweep over the event-loop server. ---
+  std::vector<SweepRow> sweep;
+  bool sweep_ok = true;
+  for (int n : sweep_sessions) {
+    SweepRow row;
+    if (!RunManyClientsSweep(n, stmts_per_session, &row)) sweep_ok = false;
+    sweep.push_back(row);
+    std::printf("sweep: %d sessions -> %.0f stmts/s (p50 %.3f ms, p99 "
+                "%.3f ms, identical: %s)\n",
+                row.sessions, row.stmts_per_sec, row.p50_ms, row.p99_ms,
+                row.identical ? "yes" : "NO");
+  }
+
   TablePrinter table({"metric", "value"});
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.2f ms", loop_ms);
@@ -236,13 +437,67 @@ int main() {
                 stmts_per_sec, kClients);
   table.AddRow({"query server throughput", buf});
   table.AddRow({"TCP answer bit-identical", identical ? "YES" : "DIFF"});
+  for (const SweepRow& row : sweep) {
+    std::snprintf(buf, sizeof(buf), "%.0f stmts/s, p99 %.3f ms%s",
+                  row.stmts_per_sec, row.p99_ms,
+                  row.identical ? "" : " (DIVERGED)");
+    table.AddRow({"sweep, " + std::to_string(row.sessions) + " sessions",
+                  buf});
+  }
   table.Print();
+
+  // --- Emit BENCH_net.json. ---
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --out file %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"net\",\n");
+  std::fprintf(f, "  \"kernel_dispatch\": \"%s\",\n",
+               std::string(runtime::kernels::ActiveLevelName()).c_str());
+  std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+               runtime::kernels::CpuFeatureString().c_str());
+  std::fprintf(f, "  \"transport\": {\n");
+  std::fprintf(f, "    \"loopback_ms\": %.3f,\n", loop_ms);
+  std::fprintf(f, "    \"tcp_ms\": %.3f,\n", tcp_ms);
+  std::fprintf(f, "    \"round_trip_ms\": %.4f,\n", ping_ms);
+  std::fprintf(f, "    \"bit_identical\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"query_server\": {\n");
+  std::fprintf(f, "    \"clients\": %d,\n", kClients);
+  std::fprintf(f, "    \"stmts_per_sec\": %.1f\n", stmts_per_sec);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"many_clients\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& row = sweep[i];
+    std::fprintf(f,
+                 "    {\"sessions\": %d, \"statements\": %llu, "
+                 "\"stmts_per_sec\": %.1f, \"latency_p50_ms\": %.3f, "
+                 "\"latency_p99_ms\": %.3f, \"bit_identical\": %s}%s\n",
+                 row.sessions,
+                 static_cast<unsigned long long>(row.statements),
+                 row.stmts_per_sec, row.p50_ms, row.p99_ms,
+                 row.identical ? "true" : "false",
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
 
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: TCP answer diverged from loopback answer\n");
     return 1;
   }
-  std::printf("\nOK: TCP grouped answers bit-identical to loopback.\n");
+  if (!sweep_ok) {
+    std::fprintf(stderr,
+                 "FAIL: many-clients sweep diverged or did not complete\n");
+    return 1;
+  }
+  std::printf("\nOK: TCP grouped answers bit-identical to loopback; "
+              "sweep answers bit-identical across sessions.\n");
   return 0;
 }

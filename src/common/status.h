@@ -62,6 +62,16 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  /// An IOError that is specifically a deadline expiry. Carries a typed
+  /// timeout marker so callers (server idle ticks, transport retries) can
+  /// distinguish "the deadline fired" from any other I/O failure without
+  /// substring-matching the message — a user-visible error that merely
+  /// *contains* "timed out" is not a timeout.
+  static Status IOTimeout(std::string msg) {
+    Status s(StatusCode::kIOError, std::move(msg));
+    s.timeout_ = true;
+    return s;
+  }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
@@ -97,6 +107,8 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  /// True only for statuses built with IOTimeout (a deadline expiry).
+  bool IsTimedOut() const { return timeout_; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
@@ -109,6 +121,11 @@ class Status {
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  /// Typed deadline-expiry marker (see IOTimeout). Deliberately excluded
+  /// from operator== — two statuses with the same code and message stay
+  /// equal whether or not one crossed a serialization boundary (ErrorFrame
+  /// drops the marker; timeouts are a local-endpoint concept).
+  bool timeout_ = false;
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);

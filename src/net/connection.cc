@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -45,9 +46,9 @@ Status PollFor(int fd, short events, int64_t deadline_at, const char* what) {
     if (deadline_at > 0) {
       int64_t remaining = deadline_at - NowMillis();
       if (remaining <= 0) {
-        return Status::IOError(std::string(what) + " timed out");
+        return Status::IOTimeout(std::string(what) + " timed out");
       }
-      timeout = static_cast<int>(remaining);
+      timeout = ClampPollTimeoutMillis(remaining);
     }
     struct pollfd pfd;
     pfd.fd = fd;
@@ -55,7 +56,7 @@ Status PollFor(int fd, short events, int64_t deadline_at, const char* what) {
     pfd.revents = 0;
     int rc = ::poll(&pfd, 1, timeout);
     if (rc > 0) return Status::OK();  // Ready (or error/hup: read surfaces it).
-    if (rc == 0) return Status::IOError(std::string(what) + " timed out");
+    if (rc == 0) return Status::IOTimeout(std::string(what) + " timed out");
     if (errno == EINTR) continue;
     return Errno("poll");
   }
@@ -72,6 +73,12 @@ Result<in_addr> ResolveHost(const std::string& host) {
 }
 
 }  // namespace
+
+int ClampPollTimeoutMillis(int64_t remaining_millis) {
+  if (remaining_millis <= 0) return 0;
+  if (remaining_millis > INT_MAX) return INT_MAX;
+  return static_cast<int>(remaining_millis);
+}
 
 Connection::Connection(int fd) : fd_(fd) {
   // Request frames are small and latency-bound; don't let Nagle batch them.

@@ -19,6 +19,14 @@ namespace net {
 /// defence).
 inline constexpr int64_t kDefaultDeadlineMillis = 30'000;
 
+/// Clamps a remaining-deadline budget to poll(2)'s int timeout domain.
+/// Exposed (rather than buried in the poll loop) because the truncation it
+/// guards against is subtle: a remaining budget past INT_MAX milliseconds
+/// (~24.8 days) cast straight to int wraps negative, which poll(2) reads
+/// as "wait forever" — the exact opposite of a deadline. Clamping to
+/// INT_MAX merely re-polls after ~24.8 days with the rest of the budget.
+int ClampPollTimeoutMillis(int64_t remaining_millis);
+
 /// A blocking, deadline-guarded, frame-oriented TCP connection. Every
 /// Send/Recv applies the connection's deadline to the whole operation via
 /// poll(2), so a stalled or vanished peer surfaces as a clean IOError
@@ -42,7 +50,10 @@ class Connection {
   /// Reads one frame and returns its verified payload. A peer that closes
   /// cleanly between frames yields IOError("connection closed by peer");
   /// a close in the middle of a frame yields Corruption (truncated frame);
-  /// an exceeded deadline yields IOError mentioning the timeout.
+  /// an exceeded deadline at a frame boundary yields a typed timeout
+  /// (IOError with Status::IsTimedOut() set — check that, not the message
+  /// text). A deadline that fires mid-frame is Corruption: the stream is
+  /// desynchronised and cannot be reused.
   virtual Result<std::string> RecvFrame();
 
   /// Writes exact bytes with no framing. Exists for fault injection (a
@@ -113,10 +124,14 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// Accepts one connection, waiting at most `timeout_millis` (<= 0 waits
-  /// forever). Timeout is IOError mentioning "timed out".
+  /// forever). Timeout is a typed IOError (Status::IsTimedOut()).
   Result<std::unique_ptr<Connection>> Accept(int64_t timeout_millis);
 
   uint16_t port() const { return port_; }
+
+  /// Raw listening descriptor, for event-loop registration (the epoll
+  /// accept path polls it for EPOLLIN). The listener keeps ownership.
+  int fd() const { return fd_; }
 
   /// Wakes any blocked Accept with an error WITHOUT releasing the fd.
   /// Server shutdown calls this first, joins the accept thread, and only

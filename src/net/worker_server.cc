@@ -61,12 +61,10 @@ void WorkerServer::Serve(std::unique_ptr<Connection> conn) {
     Result<std::string> request = conn->RecvFrame();
     if (!request.ok()) {
       // Timeout ticks keep idle connections alive; anything else (peer
-      // disconnect, truncated frame, CRC failure) ends the session.
-      if (request.status().IsIOError() &&
-          request.status().message().find("timed out") !=
-              std::string::npos) {
-        continue;
-      }
+      // disconnect, truncated frame, CRC failure) ends the session. The
+      // typed marker is what distinguishes a genuine deadline expiry from
+      // an error whose message merely contains "timed out".
+      if (request.status().IsTimedOut()) continue;
       return;
     }
     Result<std::string> response = worker_->HandleRequest(*request);

@@ -58,6 +58,11 @@ class WorkerServer {
   /// Bound port; valid after Start().
   uint16_t port() const { return port_; }
 
+  /// The accept/session thread group (monitoring/tests: the session-thread
+  /// leak regression asserts spawned_count() >> live_count() after many
+  /// sequential sessions).
+  const runtime::ThreadGroup& thread_group() const { return threads_; }
+
  private:
   void AcceptLoop();
   void Serve(std::unique_ptr<Connection> conn);

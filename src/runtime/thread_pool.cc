@@ -84,9 +84,25 @@ ThreadPool* ThreadPool::Shared() {
 }
 
 void ThreadGroup::Spawn(std::function<void()> fn) {
-  std::thread t(std::move(fn));
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread t([fn = std::move(fn), done] {
+    fn();
+    done->store(true, std::memory_order_release);
+  });
   std::lock_guard<std::mutex> lock(mu_);
-  threads_.push_back(std::move(t));
+  // Reap: join-and-drop every thread whose body already returned. The join
+  // is effectively instant (the flag is the last thing the body sets), so
+  // Spawn stays cheap while the handle list tracks only live sessions.
+  for (size_t i = 0; i < threads_.size();) {
+    if (threads_[i].done->load(std::memory_order_acquire)) {
+      threads_[i].thread.join();
+      threads_[i] = std::move(threads_.back());
+      threads_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  threads_.push_back(Tracked{std::move(t), std::move(done)});
   spawned_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -94,14 +110,19 @@ void ThreadGroup::JoinAll() {
   // Joined threads may Spawn more (an accept loop handing off a session
   // just as shutdown starts), so drain in rounds until the list is empty.
   for (;;) {
-    std::vector<std::thread> batch;
+    std::vector<Tracked> batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (threads_.empty()) return;
       batch.swap(threads_);
     }
-    for (std::thread& t : batch) t.join();
+    for (Tracked& t : batch) t.thread.join();
   }
+}
+
+uint64_t ThreadGroup::live_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
 }
 
 }  // namespace runtime

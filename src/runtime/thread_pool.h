@@ -79,6 +79,12 @@ class ThreadPool {
 ///
 /// Thread-safe: Spawn may be called from any thread, including from a
 /// spawned thread (a server's accept loop spawning session loops).
+///
+/// Finished threads are reaped: each Spawn first joins-and-drops every
+/// tracked thread whose body has already returned (joining a finished
+/// thread completes immediately), so a long-lived server spawning one
+/// session loop per connection holds handles only for sessions still
+/// running — not one dead std::thread per session served since startup.
 class ThreadGroup {
  public:
   ThreadGroup() = default;
@@ -89,7 +95,8 @@ class ThreadGroup {
   ThreadGroup(const ThreadGroup&) = delete;
   ThreadGroup& operator=(const ThreadGroup&) = delete;
 
-  /// Runs `fn` on a new dedicated thread tracked by this group.
+  /// Runs `fn` on a new dedicated thread tracked by this group, reaping
+  /// finished threads first.
   void Spawn(std::function<void()> fn);
 
   /// Joins all threads spawned so far (including ones spawned while the
@@ -102,9 +109,22 @@ class ThreadGroup {
     return spawned_.load(std::memory_order_relaxed);
   }
 
+  /// Thread handles currently held (running or finished-but-unreaped).
+  /// Bounded by live threads plus whatever finished since the last Spawn;
+  /// the leak regression test pins spawned_count() >> live_count().
+  uint64_t live_count() const;
+
  private:
-  std::mutex mu_;
-  std::vector<std::thread> threads_;
+  /// A tracked thread plus its finished flag. shared_ptr because the
+  /// thread body must outlive-safely write the flag even while Spawn
+  /// concurrently reaps the entry that owns it.
+  struct Tracked {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Tracked> threads_;
   std::atomic<uint64_t> spawned_{0};
 };
 

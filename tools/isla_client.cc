@@ -34,9 +34,38 @@ namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: isla_client --port P [--host h]\n"
+               "usage: isla_client --port P [--host h] [--stats]\n"
                "       isla_client --workers h:p,h:p,... [--within e] "
                "[--confidence b]\n");
+}
+
+/// One-shot `SHOW SERVER STATS` probe: connect, print the stats body,
+/// exit. For scripts and dashboards that just want the gauges.
+int RunStatsProbe(const std::string& host, uint16_t port) {
+  auto conn = isla::net::TcpConnect(host, port, /*timeout_millis=*/5'000);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "error: %s\n", conn.status().ToString().c_str());
+    return 1;
+  }
+  auto greeting = (*conn)->RecvFrame();
+  if (!greeting.ok() || greeting->rfind("error: ", 0) == 0) {
+    std::fprintf(stderr, "error: %s\n",
+                 greeting.ok() ? greeting->c_str()
+                               : greeting.status().ToString().c_str());
+    return 1;
+  }
+  if (!(*conn)->SendFrame("SHOW SERVER STATS").ok()) return 1;
+  auto response = (*conn)->RecvFrame();
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->rfind("ok\n", 0) == 0
+                          ? response->c_str() + 3
+                          : response->c_str());
+  (void)(*conn)->SendFrame("quit");
+  return 0;
 }
 
 int RunSession(const std::string& host, uint16_t port) {
@@ -169,6 +198,7 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   double precision = 0.1;
   double confidence = 0.95;
+  bool stats_probe = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -189,6 +219,8 @@ int main(int argc, char** argv) {
       precision = std::atof(next("--within"));
     } else if (arg == "--confidence") {
       confidence = std::atof(next("--confidence"));
+    } else if (arg == "--stats") {
+      stats_probe = true;
     } else {
       Usage();
       return 2;
@@ -200,5 +232,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (stats_probe) return RunStatsProbe(host, port);
   return RunSession(host, port);
 }

@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -50,21 +51,31 @@ void Usage() {
                "[--confidence b]\n"
                "                    [--parallelism n] [--max-sessions n] "
                "[--batch-window us]\n"
+               "                    [--io-threads n] [--exec-threads n] "
+               "[--stats]\n"
                "       isla_serverd --worker --shard v.islb "
                "[--predicate-shard p.islb]\n"
                "                    [--key-shard k.islb] [--worker-id N] "
                "[--port P]\n");
 }
 
-/// Blocks until stdin closes or a termination signal arrives.
-void WaitForShutdown() {
+/// Blocks until stdin closes or a termination signal arrives, invoking
+/// `on_tick` (nullable) roughly every 10 seconds in between.
+void WaitForShutdown(const std::function<void()>& on_tick = nullptr) {
+  int ticks = 0;
   while (!g_stop) {
     struct pollfd pfd;
     pfd.fd = STDIN_FILENO;
     pfd.events = POLLIN;
     pfd.revents = 0;
     int rc = ::poll(&pfd, 1, 200);
-    if (rc <= 0) continue;  // Tick (or EINTR from a handled signal).
+    if (rc <= 0) {  // Tick (or EINTR from a handled signal).
+      if (on_tick && ++ticks >= 50) {
+        ticks = 0;
+        on_tick();
+      }
+      continue;
+    }
     char buf[256];
     ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
     if (n <= 0) return;  // EOF: supervisor dropped the pipe.
@@ -75,6 +86,7 @@ void WaitForShutdown() {
 
 int main(int argc, char** argv) {
   bool worker_mode = false;
+  bool print_stats = false;
   uint16_t port = 0;
   uint64_t worker_id = 0;
   std::string shard, predicate_shard, key_shard;
@@ -118,6 +130,14 @@ int main(int argc, char** argv) {
       // (the pilot/result caches stay on).
       query_options.scheduler.admission_window_micros =
           std::strtoll(next("--batch-window"), nullptr, 10);
+    } else if (arg == "--io-threads") {
+      query_options.io_threads =
+          static_cast<unsigned>(std::atoi(next("--io-threads")));
+    } else if (arg == "--exec-threads") {
+      query_options.exec_threads =
+          static_cast<unsigned>(std::atoi(next("--exec-threads")));
+    } else if (arg == "--stats") {
+      print_stats = true;
     } else {
       Usage();
       return 2;
@@ -181,7 +201,16 @@ int main(int argc, char** argv) {
   }
   std::printf("listening on 127.0.0.1:%u (query server)\n", server.port());
   std::fflush(stdout);
-  WaitForShutdown();
+  if (print_stats) {
+    // The same body `SHOW SERVER STATS` returns, on a 10s ticker —
+    // supervisor-friendly introspection without opening a session.
+    WaitForShutdown([&server] {
+      std::printf("--- server stats ---\n%s\n", server.StatsText().c_str());
+      std::fflush(stdout);
+    });
+  } else {
+    WaitForShutdown();
+  }
   server.Stop();
   return 0;
 }
