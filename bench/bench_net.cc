@@ -33,6 +33,7 @@
 
 #include "core/group_by.h"
 #include "distributed/coordinator.h"
+#include "distributed/failover.h"
 #include "distributed/worker.h"
 #include "harness.h"
 #include "net/connection.h"
@@ -214,6 +215,70 @@ bool RunManyClientsSweep(int n_sessions, int stmts_per_session,
   return identical;
 }
 
+bool BitIdentical(const core::GroupedAggregateResult& a,
+                  const core::GroupedAggregateResult& b) {
+  if (a.groups.size() != b.groups.size()) return false;
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    if (a.groups[g].average != b.groups[g].average ||
+        a.groups[g].sum != b.groups[g].sum ||
+        a.groups[g].count_estimate != b.groups[g].count_estimate ||
+        a.groups[g].ci_half_width != b.groups[g].ci_half_width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct FailoverRow {
+  double stmts_per_sec = 0.0;
+  double p99_ms = 0.0;
+  bool identical = false;
+  uint64_t failovers = 0;
+};
+
+/// Runs `reps` grouped queries against a replicated cluster (2 replicas
+/// per shard; `dead` kills the coordinator-preferred replica of every
+/// shard first), hard-checking every answer bit-identical to `reference`.
+bool RunFailoverRun(const std::vector<net::Endpoint>& endpoints,
+                    const std::vector<std::vector<uint64_t>>& placement,
+                    const core::IslaOptions& options,
+                    const distributed::GroupedQuerySpec& wire, int reps,
+                    const std::vector<core::GroupedAggregateResult>& reference,
+                    FailoverRow* out) {
+  net::TcpTransportOptions topts;
+  topts.reconnect_attempts = 1;
+  net::TcpTransport inner(endpoints, topts);
+  distributed::FailoverOptions fopts;
+  fopts.enable_hedging = false;  // measure the retry path, not the race
+  fopts.backoff_base_millis = 1;
+  fopts.backoff_max_millis = 5;
+  distributed::FailoverTransport transport(&inner, placement, fopts);
+
+  std::vector<double> times;
+  bool identical = true;
+  Timer wall;
+  for (int rep = 0; rep < reps; ++rep) {
+    distributed::Coordinator coordinator(&transport, options);
+    Timer timer;
+    auto r = coordinator.AggregateGrouped(wire, /*query_id=*/rep + 1,
+                                          /*seed_salt=*/rep);
+    times.push_back(timer.ElapsedMillis());
+    if (!r.ok()) {
+      std::fprintf(stderr, "failover query %d failed: %s\n", rep,
+                   r.status().ToString().c_str());
+      return false;
+    }
+    identical = identical && BitIdentical(*r, reference[rep]);
+  }
+  double wall_ms = wall.ElapsedMillis();
+  std::sort(times.begin(), times.end());
+  out->stmts_per_sec = 1000.0 * reps / wall_ms;
+  out->p99_ms = times[(times.size() * 99) / 100];
+  out->identical = identical;
+  out->failovers = transport.failover_snapshot().failovers;
+  return identical;
+}
+
 /// 2 fds per session (client + server end) at 1000 sessions outgrows the
 /// common 1024 soft cap; raise it toward the hard limit up front.
 void RaiseFdLimit() {
@@ -234,6 +299,7 @@ int main(int argc, char** argv) {
   std::vector<int> sweep_sessions = {100, 500, 1000};
   int stmts_per_session = 3;
   std::string out_path = "BENCH_net.json";
+  std::string failover_out_path = "BENCH_failover.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -260,10 +326,12 @@ int main(int argc, char** argv) {
       stmts_per_session = std::atoi(next("--stmts"));
     } else if (arg == "--out") {
       out_path = next("--out");
+    } else if (arg == "--failover-out") {
+      failover_out_path = next("--failover-out");
     } else {
       std::fprintf(stderr,
                    "usage: bench_net [--sessions n,n,...] [--stmts n] "
-                   "[--out file]\n");
+                   "[--out file] [--failover-out file]\n");
       return 2;
     }
   }
@@ -423,6 +491,70 @@ int main(int argc, char** argv) {
                 row.identical ? "yes" : "NO");
   }
 
+  // --- Failover sweep: replicated cluster, healthy vs one dead replica
+  // per shard. The degraded run must stay bit-identical (failover finds
+  // the survivor) and the numbers quantify what a dead replica costs. ---
+  constexpr int kFailoverReps = 15;
+  std::vector<core::GroupedAggregateResult> failover_reference;
+  for (int rep = 0; rep < kFailoverReps; ++rep) {
+    distributed::Coordinator coordinator(&loopback, options);
+    auto r = coordinator.AggregateGrouped(wire, /*query_id=*/rep + 1,
+                                          /*seed_salt=*/rep);
+    if (!r.ok()) {
+      std::fprintf(stderr, "failover reference failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    failover_reference.push_back(*std::move(r));
+  }
+
+  std::vector<std::unique_ptr<net::WorkerServer>> replica_servers;
+  std::vector<net::Endpoint> replica_endpoints;
+  std::vector<std::vector<uint64_t>> placement;
+  for (uint64_t w = 0; w < kBlocks; ++w) {
+    placement.emplace_back();
+    for (int r = 0; r < 2; ++r) {
+      auto server = std::make_unique<net::WorkerServer>(
+          std::make_unique<distributed::Worker>(w, shards.triples[w][0],
+                                                shards.triples[w][1],
+                                                shards.triples[w][2]));
+      if (!server->Start().ok()) {
+        std::fprintf(stderr, "replica server failed to start\n");
+        return 1;
+      }
+      placement.back().push_back(replica_endpoints.size());
+      replica_endpoints.push_back({"127.0.0.1", server->port()});
+      replica_servers.push_back(std::move(server));
+    }
+  }
+
+  FailoverRow healthy_row, degraded_row;
+  bool failover_ok =
+      RunFailoverRun(replica_endpoints, placement, options, wire,
+                     kFailoverReps, failover_reference, &healthy_row);
+  // Kill the replica the transport tries FIRST for every shard
+  // (placement[w][w % 2]), so each degraded query has to fail over.
+  for (uint64_t w = 0; w < kBlocks; ++w) {
+    replica_servers[placement[w][w % 2]]->Stop();
+  }
+  failover_ok = RunFailoverRun(replica_endpoints, placement, options, wire,
+                               kFailoverReps, failover_reference,
+                               &degraded_row) &&
+                failover_ok;
+  if (degraded_row.failovers == 0) {
+    std::fprintf(stderr,
+                 "FAIL: degraded run never exercised the failover path\n");
+    failover_ok = false;
+  }
+  for (auto& server : replica_servers) server->Stop();
+  std::printf("failover: healthy %.0f stmts/s (p99 %.3f ms) vs one dead "
+              "replica %.0f stmts/s (p99 %.3f ms, %llu failovers, "
+              "identical: %s)\n",
+              healthy_row.stmts_per_sec, healthy_row.p99_ms,
+              degraded_row.stmts_per_sec, degraded_row.p99_ms,
+              static_cast<unsigned long long>(degraded_row.failovers),
+              degraded_row.identical ? "yes" : "NO");
+
   TablePrinter table({"metric", "value"});
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.2f ms", loop_ms);
@@ -437,6 +569,13 @@ int main(int argc, char** argv) {
                 stmts_per_sec, kClients);
   table.AddRow({"query server throughput", buf});
   table.AddRow({"TCP answer bit-identical", identical ? "YES" : "DIFF"});
+  std::snprintf(buf, sizeof(buf), "%.0f stmts/s, p99 %.3f ms",
+                healthy_row.stmts_per_sec, healthy_row.p99_ms);
+  table.AddRow({"failover sweep, healthy replicas", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f stmts/s, p99 %.3f ms%s",
+                degraded_row.stmts_per_sec, degraded_row.p99_ms,
+                degraded_row.identical ? "" : " (DIVERGED)");
+  table.AddRow({"failover sweep, one dead replica", buf});
   for (const SweepRow& row : sweep) {
     std::snprintf(buf, sizeof(buf), "%.0f stmts/s, p99 %.3f ms%s",
                   row.stmts_per_sec, row.p99_ms,
@@ -487,6 +626,37 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
+  // --- Emit BENCH_failover.json. ---
+  std::FILE* ff = std::fopen(failover_out_path.c_str(), "w");
+  if (ff == nullptr) {
+    std::fprintf(stderr, "cannot open --failover-out file %s\n",
+                 failover_out_path.c_str());
+    return 1;
+  }
+  std::fprintf(ff, "{\n");
+  std::fprintf(ff, "  \"bench\": \"failover\",\n");
+  std::fprintf(ff, "  \"kernel_dispatch\": \"%s\",\n",
+               std::string(runtime::kernels::ActiveLevelName()).c_str());
+  std::fprintf(ff, "  \"shards\": %llu,\n",
+               static_cast<unsigned long long>(kBlocks));
+  std::fprintf(ff, "  \"replicas_per_shard\": 2,\n");
+  std::fprintf(ff, "  \"queries\": %d,\n", kFailoverReps);
+  std::fprintf(ff,
+               "  \"healthy\": {\"stmts_per_sec\": %.1f, "
+               "\"latency_p99_ms\": %.3f, \"bit_identical\": %s},\n",
+               healthy_row.stmts_per_sec, healthy_row.p99_ms,
+               healthy_row.identical ? "true" : "false");
+  std::fprintf(ff,
+               "  \"one_dead_replica\": {\"stmts_per_sec\": %.1f, "
+               "\"latency_p99_ms\": %.3f, \"bit_identical\": %s, "
+               "\"failovers\": %llu}\n",
+               degraded_row.stmts_per_sec, degraded_row.p99_ms,
+               degraded_row.identical ? "true" : "false",
+               static_cast<unsigned long long>(degraded_row.failovers));
+  std::fprintf(ff, "}\n");
+  std::fclose(ff);
+  std::printf("wrote %s\n", failover_out_path.c_str());
+
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: TCP answer diverged from loopback answer\n");
@@ -497,7 +667,14 @@ int main(int argc, char** argv) {
                  "FAIL: many-clients sweep diverged or did not complete\n");
     return 1;
   }
+  if (!failover_ok) {
+    std::fprintf(stderr,
+                 "FAIL: failover sweep diverged, failed, or never failed "
+                 "over\n");
+    return 1;
+  }
   std::printf("\nOK: TCP grouped answers bit-identical to loopback; "
-              "sweep answers bit-identical across sessions.\n");
+              "sweep answers bit-identical across sessions; degraded "
+              "replicated answers bit-identical to healthy.\n");
   return 0;
 }

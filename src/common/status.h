@@ -110,6 +110,17 @@ class Status {
   /// True only for statuses built with IOTimeout (a deadline expiry).
   bool IsTimedOut() const { return timeout_; }
 
+  /// True for failures a replica retry can plausibly cure: wire-level
+  /// damage (IOError — including typed timeouts — and Corruption). Every
+  /// distributed request is a pure deterministic computation, so re-issuing
+  /// one is always semantically safe; what this predicate guards against is
+  /// *pointless* retries — a request-level failure (InvalidArgument,
+  /// FailedPrecondition, ...) is a property of the request itself and every
+  /// replica will answer it identically.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kIOError || code_ == StatusCode::kCorruption;
+  }
+
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
 

@@ -89,6 +89,7 @@ Result<DistributedResult> Coordinator::AggregateAvg(uint64_t query_id) {
     out.average = pooled_mean;
     out.sketch0 = pooled_mean;
     out.sum = out.average * static_cast<double>(data_size);
+    out.failover = transport_->failover_snapshot();
     return out;
   }
 
@@ -196,6 +197,7 @@ Result<DistributedResult> Coordinator::AggregateAvg(uint64_t query_id) {
                         core::SummarizePartials(partial_avgs, partial_rows));
   out.average = avg_shifted - shift;
   out.sum = out.average * static_cast<double>(data_size);
+  out.failover = transport_->failover_snapshot();
   return out;
 }
 

@@ -15,6 +15,18 @@
 namespace isla {
 namespace distributed {
 
+/// Plain snapshot of a transport's fault-recovery activity. All zeros for
+/// transports without replica awareness (loopback, raw TCP); populated by
+/// FailoverTransport so callers (tools, DistributedResult consumers) can
+/// report how a query survived.
+struct FailoverCounters {
+  uint64_t retries = 0;      // re-attempts after a retryable failure
+  uint64_t failovers = 0;    // re-attempts that switched replica
+  uint64_t hedges = 0;       // duplicate requests sent to a second replica
+  uint64_t hedge_wins = 0;   // hedged duplicates that answered first
+  uint64_t exhausted = 0;    // shards that failed on every replica
+};
+
 /// The transport between coordinator and workers: a request frame in, a
 /// response frame out. Implementations may add latency, drop frames, or
 /// corrupt bytes (the fault-injection tests do exactly that). Call must be
@@ -30,6 +42,11 @@ class Transport {
 
   /// Number of reachable workers; worker ids are [0, size).
   virtual size_t size() const = 0;
+
+  /// Fault-recovery counters accumulated by this transport so far. The
+  /// base implementation reports zeros — only replica-aware transports
+  /// (FailoverTransport) retry, fail over, or hedge.
+  virtual FailoverCounters failover_snapshot() const { return {}; }
 };
 
 /// In-process transport over a set of workers. Every call still serializes
@@ -55,6 +72,9 @@ struct DistributedResult {
   double sigma_estimate = 0.0;
   double sketch0 = 0.0;
   std::vector<PartialResult> partials;
+  /// What it took to get the answer: retry/failover/hedge activity of the
+  /// transport over this query (cumulative snapshot at completion).
+  FailoverCounters failover;
 };
 
 /// Predicate/group clauses of a distributed grouped query. Only the clause

@@ -218,13 +218,36 @@ std::string Encode(const ErrorFrame& m) {
   return out;
 }
 
+std::string Encode(const RegisterFrame& m) {
+  // Same truncate-at-encode contract as ErrorFrame: a worker with an
+  // oversized advertised host must still register, not die to a decode
+  // Corruption at the registry.
+  size_t len = std::min<size_t>(m.host.size(), kMaxHostBytes);
+  Writer w(MessageType::kRegister);
+  w.PutU64(m.shard_id);
+  w.PutU64(m.port);
+  w.PutU64(m.block_rows);
+  w.PutU64(len);
+  std::string out = w.Take();
+  out.append(m.host, 0, len);
+  return out;
+}
+
+std::string Encode(const RegisterAck& m) {
+  Writer w(MessageType::kRegisterAck);
+  w.PutU64(m.shard_id);
+  w.PutU64(m.accepted);
+  w.PutU64(m.known_shards);
+  return w.Take();
+}
+
 Result<MessageType> PeekType(const std::string& frame) {
   if (frame.size() < sizeof(uint32_t)) {
     return Status::Corruption("frame shorter than a type tag");
   }
   uint32_t tag = 0;
   std::memcpy(&tag, frame.data(), sizeof(tag));
-  if (tag < 1 || tag > 7) {
+  if (tag < 1 || tag > 9) {
     return Status::Corruption("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -367,6 +390,46 @@ Result<ErrorFrame> DecodeErrorFrame(const std::string& frame) {
     return Status::Corruption("error frame length mismatch");
   }
   m.message = frame.substr(fixed);
+  return m;
+}
+
+Result<RegisterFrame> DecodeRegisterFrame(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kRegister));
+  RegisterFrame m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.shard_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.port));
+  if (m.port == 0 || m.port > 65535) {
+    return Status::Corruption("register frame carries an invalid port");
+  }
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.block_rows));
+  uint64_t host_len = 0;
+  ISLA_RETURN_NOT_OK(r.GetU64(&host_len));
+  if (host_len > kMaxHostBytes) {
+    return Status::Corruption("register frame host exceeds the length cap");
+  }
+  size_t fixed = sizeof(uint32_t) + 4 * sizeof(uint64_t);
+  if (frame.size() != fixed + host_len) {
+    return Status::Corruption("register frame length mismatch");
+  }
+  m.host = frame.substr(fixed);
+  if (m.host.empty()) {
+    return Status::Corruption("register frame carries an empty host");
+  }
+  return m;
+}
+
+Result<RegisterAck> DecodeRegisterAck(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kRegisterAck));
+  RegisterAck m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.shard_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.accepted));
+  if (m.accepted > 1) {
+    return Status::Corruption("register ack carries a non-boolean flag");
+  }
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.known_shards));
+  ISLA_RETURN_NOT_OK(r.Finish());
   return m;
 }
 

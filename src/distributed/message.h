@@ -26,6 +26,8 @@ enum class MessageType : uint32_t {
   kGroupedScanRequest = 5,
   kGroupedScanResponse = 6,
   kError = 7,
+  kRegister = 8,
+  kRegisterAck = 9,
 };
 
 /// Coordinator → worker: draw `sample_count` uniform pilot samples.
@@ -124,6 +126,34 @@ struct ErrorFrame {
 /// (a garbage length field must not drive a huge allocation).
 inline constexpr uint64_t kMaxErrorMessageBytes = 4096;
 
+/// Worker → registry: "shard `shard_id` is servable at host:port". Sent
+/// once when a worker daemon starts and then re-sent as a heartbeat on the
+/// same connection; the registry treats a dropped connection or a stale
+/// heartbeat as the replica going dark. Re-sending after a reconnect is
+/// re-registration — that is how a restarted worker heals the cluster
+/// without anyone else restarting. `shard_id` doubles as the worker id the
+/// RNG streams derive from, so every replica of a shard must announce the
+/// same id (which is exactly what makes replica failover answer-preserving).
+struct RegisterFrame {
+  uint64_t shard_id = 0;
+  uint64_t port = 0;        // where the worker's WorkerServer listens
+  uint64_t block_rows = 0;  // |B_j| of the announced shard
+  std::string host;         // advertised address, e.g. "127.0.0.1"
+};
+
+/// Registry → worker: heartbeat acknowledgement. `known_shards` is the
+/// registry's current count of live shards — a worker daemon can log it to
+/// show cluster convergence.
+struct RegisterAck {
+  uint64_t shard_id = 0;  // echoed
+  uint64_t accepted = 0;  // 0/1
+  uint64_t known_shards = 0;
+};
+
+/// Cap on the advertised host of a RegisterFrame (same rationale as
+/// kMaxErrorMessageBytes).
+inline constexpr uint64_t kMaxHostBytes = 256;
+
 /// Serialization: little-endian fixed-width frames with a leading
 /// MessageType tag. Decoding validates the tag and the exact frame length
 /// and fails with Corruption otherwise.
@@ -134,6 +164,8 @@ std::string Encode(const PartialResult& m);
 std::string Encode(const GroupedScanRequest& m);
 std::string Encode(const GroupedScanResponse& m);
 std::string Encode(const ErrorFrame& m);
+std::string Encode(const RegisterFrame& m);
+std::string Encode(const RegisterAck& m);
 
 /// Peeks the type tag of a frame.
 Result<MessageType> PeekType(const std::string& frame);
@@ -146,6 +178,8 @@ Result<GroupedScanRequest> DecodeGroupedScanRequest(const std::string& frame);
 Result<GroupedScanResponse> DecodeGroupedScanResponse(
     const std::string& frame);
 Result<ErrorFrame> DecodeErrorFrame(const std::string& frame);
+Result<RegisterFrame> DecodeRegisterFrame(const std::string& frame);
+Result<RegisterAck> DecodeRegisterAck(const std::string& frame);
 
 }  // namespace distributed
 }  // namespace isla

@@ -6,8 +6,12 @@ namespace isla {
 namespace net {
 
 Status FaultyConnection::SendFrame(std::string_view payload) {
-  uint64_t index = sends_++;
-  if (mode_ == FaultMode::kNone || index < after_sends_) {
+  uint64_t index = shared_sends_
+                       ? shared_sends_->fetch_add(1, std::memory_order_relaxed)
+                       : sends_++;
+  bool past_window =
+      fail_first_n_ > 0 && index >= after_sends_ + fail_first_n_;
+  if (mode_ == FaultMode::kNone || index < after_sends_ || past_window) {
     return inner_->SendFrame(payload);
   }
   switch (mode_) {

@@ -1,6 +1,7 @@
 #ifndef ISLA_NET_FAULTY_CONNECTION_H_
 #define ISLA_NET_FAULTY_CONNECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -33,14 +34,31 @@ enum class FaultMode {
 /// disconnect mid-scan" is staged: the pilot rounds succeed, the fault
 /// hits the plan round). Receives are always passed through.
 ///
+/// Transient mode: a non-zero `fail_first_n` bounds the fault window —
+/// sends [after_sends, after_sends + fail_first_n) fault, everything after
+/// passes through again. That is how retry logic is tested end to end: the
+/// first attempt deterministically fails, the failover retry
+/// deterministically succeeds. `fail_first_n == 0` keeps the legacy
+/// semantics (faulty forever once triggered).
+///
+/// The send counter is per-connection by default; passing a shared
+/// `counter` makes the window span connections — necessary for transient
+/// faults, because the peer reconnects after the fault and a fresh
+/// per-connection counter would restart the window and fault forever.
+///
 /// Lives in src/net rather than tests/ so the fault hooks in WorkerServer
 /// and QueryServer compile against one definition, but nothing in
 /// production paths constructs one.
 class FaultyConnection : public Connection {
  public:
   FaultyConnection(std::unique_ptr<Connection> inner, FaultMode mode,
-                   uint64_t after_sends = 0)
-      : inner_(std::move(inner)), mode_(mode), after_sends_(after_sends) {}
+                   uint64_t after_sends = 0, uint64_t fail_first_n = 0,
+                   std::shared_ptr<std::atomic<uint64_t>> counter = nullptr)
+      : inner_(std::move(inner)),
+        mode_(mode),
+        after_sends_(after_sends),
+        fail_first_n_(fail_first_n),
+        shared_sends_(std::move(counter)) {}
 
   Status SendFrame(std::string_view payload) override;
   Result<std::string> RecvFrame() override { return inner_->RecvFrame(); }
@@ -50,6 +68,8 @@ class FaultyConnection : public Connection {
   std::unique_ptr<Connection> inner_;
   FaultMode mode_;
   uint64_t after_sends_;
+  uint64_t fail_first_n_;
+  std::shared_ptr<std::atomic<uint64_t>> shared_sends_;
   uint64_t sends_ = 0;
 };
 

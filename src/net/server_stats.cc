@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "distributed/failover.h"
+
 namespace isla {
 namespace net {
 
@@ -124,6 +126,23 @@ std::string ServerStatsRegistry::Render(uint64_t active_sessions,
                 latency_.PercentileMicros(0.99) / 1000.0);
   os << "\nlatency_p99_ms = " << buf;
   os << "\nkernels = " << kernel_tier;
+  // Cluster fault-recovery counters: process-global (see FailoverStats)
+  // because the transports doing the retrying are per-query objects the
+  // stats registry never sees.
+  const distributed::FailoverStats& fo = distributed::GlobalFailoverStats();
+  os << "\ntransport_reconnects = "
+     << fo.transport_reconnects.load(std::memory_order_relaxed)
+     << "\nshard_retries = "
+     << fo.shard_retries.load(std::memory_order_relaxed)
+     << "\nshard_failovers = "
+     << fo.shard_failovers.load(std::memory_order_relaxed)
+     << "\nhedged_requests = "
+     << fo.hedged_requests.load(std::memory_order_relaxed)
+     << "\nhedge_wins = " << fo.hedge_wins.load(std::memory_order_relaxed)
+     << "\nshards_exhausted = "
+     << fo.shards_exhausted.load(std::memory_order_relaxed)
+     << "\nworkers_registered = "
+     << fo.workers_registered.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(table_mu_);
     for (const auto& [table, scans] : table_scans_) {

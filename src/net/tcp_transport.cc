@@ -1,8 +1,10 @@
 #include "net/tcp_transport.h"
 
+#include <atomic>
 #include <charconv>
 #include <utility>
 
+#include "distributed/failover.h"
 #include "distributed/message.h"
 
 namespace isla {
@@ -48,36 +50,51 @@ Result<std::string> TcpTransport::Call(uint64_t worker_id,
   Slot& slot = *slots_[worker_id];
   std::lock_guard<std::mutex> lock(slot.mu);
 
-  if (slot.conn == nullptr) {
-    ISLA_ASSIGN_OR_RETURN(
-        slot.conn, TcpConnect(slot.endpoint.host, slot.endpoint.port,
-                              options_.connect_timeout_millis));
-    slot.conn->set_deadline_millis(options_.call_deadline_millis);
-  }
-
   // One request frame out, one response frame back. Any wire failure
-  // poisons the connection (a later call reconnects): after a partial
-  // exchange there is no way to know where the stream stands.
-  auto exchange = [&]() -> Result<std::string> {
-    ISLA_RETURN_NOT_OK(slot.conn->SendFrame(frame));
-    return slot.conn->RecvFrame();
-  };
-  Result<std::string> response = exchange();
-  if (!response.ok()) {
-    slot.conn.reset();
-    return response.status();
-  }
+  // poisons the connection: after a partial exchange there is no way to
+  // know where the stream stands, so the slot is reset and the next
+  // attempt (in-call if reconnect_attempts allows, otherwise the next
+  // Call) redials from scratch.
+  uint32_t reconnect_budget = options_.reconnect_attempts;
+  for (;;) {
+    bool fresh = slot.conn == nullptr;
+    if (fresh) {
+      ISLA_ASSIGN_OR_RETURN(
+          slot.conn, TcpConnect(slot.endpoint.host, slot.endpoint.port,
+                                options_.connect_timeout_millis));
+      slot.conn->set_deadline_millis(options_.call_deadline_millis);
+    }
 
-  // A well-formed ErrorFrame is the worker reporting a request-level
-  // failure; unwrap it so the coordinator sees the worker's own Status.
-  Result<distributed::MessageType> type =
-      distributed::PeekType(*response);
-  if (type.ok() && *type == distributed::MessageType::kError) {
-    ISLA_ASSIGN_OR_RETURN(distributed::ErrorFrame err,
-                          distributed::DecodeErrorFrame(*response));
-    return err.ToStatus();
+    auto exchange = [&]() -> Result<std::string> {
+      ISLA_RETURN_NOT_OK(slot.conn->SendFrame(frame));
+      return slot.conn->RecvFrame();
+    };
+    Result<std::string> response = exchange();
+    if (!response.ok()) {
+      slot.conn.reset();
+      // Only a cached connection earns an in-call retry: it may simply be
+      // stale (the worker restarted since the last query). A connection
+      // dialed inside this very call failed live — surface that.
+      if (!fresh && reconnect_budget > 0) {
+        --reconnect_budget;
+        distributed::GlobalFailoverStats().transport_reconnects.fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+      return response.status();
+    }
+
+    // A well-formed ErrorFrame is the worker reporting a request-level
+    // failure; unwrap it so the coordinator sees the worker's own Status.
+    Result<distributed::MessageType> type =
+        distributed::PeekType(*response);
+    if (type.ok() && *type == distributed::MessageType::kError) {
+      ISLA_ASSIGN_OR_RETURN(distributed::ErrorFrame err,
+                            distributed::DecodeErrorFrame(*response));
+      return err.ToStatus();
+    }
+    return response;
   }
-  return response;
 }
 
 }  // namespace net

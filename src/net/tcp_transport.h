@@ -31,6 +31,16 @@ struct TcpTransportOptions {
   /// A worker that stalls past this surfaces as IOError at the
   /// coordinator — the "no hang" guarantee of the fault-injection suite.
   int64_t call_deadline_millis = kDefaultDeadlineMillis;
+  /// In-call reconnect budget for exchanges that fail on a *cached*
+  /// connection. A worker daemon restarted between queries leaves every
+  /// client holding a dead socket; with a reconnect budget the transport
+  /// drops the stale connection, redials, and replays the request inside
+  /// the same Call — safe because every request is a pure deterministic
+  /// computation. A fresh connection that fails is never retried here
+  /// (that is a live failure for the caller — or FailoverTransport — to
+  /// handle). Default 0: single-replica fault-injection semantics are
+  /// strict fail-fast; cluster paths opt in.
+  uint32_t reconnect_attempts = 0;
 };
 
 /// distributed::Transport over real TCP connections, one per worker. Call

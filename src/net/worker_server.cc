@@ -1,6 +1,9 @@
 #include "net/worker_server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "distributed/message.h"
@@ -20,7 +23,17 @@ Status WorkerServer::Start() {
   port_ = listener_->port();
   stop_.store(false, std::memory_order_relaxed);  // Stop() leaves it set.
   started_ = true;
+  if (options_.fault != FaultMode::kNone && options_.fault_first_n > 0 &&
+      fault_sends_ == nullptr) {
+    // Server-wide send counter: the transient window must survive client
+    // reconnects, so it cannot live in any one FaultyConnection. Created
+    // once — a Stop()/Start() cycle keeps the window's progress.
+    fault_sends_ = std::make_shared<std::atomic<uint64_t>>(0);
+  }
   threads_.Spawn([this] { AcceptLoop(); });
+  if (!options_.coordinator_host.empty() && options_.coordinator_port != 0) {
+    threads_.Spawn([this] { RegisterLoop(); });
+  }
   return Status::OK();
 }
 
@@ -46,7 +59,8 @@ void WorkerServer::AcceptLoop() {
     conn->set_recv_deadline_millis(options_.tick_millis);
     if (options_.fault != FaultMode::kNone) {
       conn = std::make_unique<FaultyConnection>(
-          std::move(conn), options_.fault, options_.fault_after_sends);
+          std::move(conn), options_.fault, options_.fault_after_sends,
+          options_.fault_first_n, fault_sends_);
     }
     // One dedicated thread per coordinator connection: session loops block
     // on socket reads, which must not occupy the shared compute pool.
@@ -74,6 +88,63 @@ void WorkerServer::Serve(std::unique_ptr<Connection> conn) {
             : conn->SendFrame(distributed::Encode(
                   distributed::ErrorFrame::FromStatus(response.status())));
     if (!sent.ok()) return;
+  }
+}
+
+bool WorkerServer::SleepUnlessStopped(int64_t millis) {
+  // Sliced sleep so Stop() never waits a full heartbeat interval.
+  while (millis > 0) {
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    int64_t slice = std::min<int64_t>(millis, 50);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    millis -= slice;
+  }
+  return !stop_.load(std::memory_order_relaxed);
+}
+
+void WorkerServer::RegisterLoop() {
+  distributed::RegisterFrame reg;
+  reg.shard_id = worker_->worker_id();
+  reg.port = port_;
+  reg.block_rows = worker_->block_rows();
+  reg.host = options_.advertised_host;
+  const std::string frame = distributed::Encode(reg);
+
+  std::unique_ptr<Connection> conn;
+  int64_t redial_backoff_millis = 50;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (conn == nullptr) {
+      auto dialed = TcpConnect(options_.coordinator_host,
+                               options_.coordinator_port, 1'000);
+      if (!dialed.ok()) {
+        // Registry not up (yet, or anymore): back off and redial. Workers
+        // may legitimately start before their coordinator.
+        if (!SleepUnlessStopped(redial_backoff_millis)) return;
+        redial_backoff_millis = std::min<int64_t>(redial_backoff_millis * 2,
+                                                  2'000);
+        continue;
+      }
+      conn = std::move(*dialed);
+      // An ack should come back within a heartbeat; anything slower means
+      // the registry is wedged and redialing beats waiting.
+      conn->set_deadline_millis(options_.heartbeat_millis + 1'000);
+      redial_backoff_millis = 50;
+    }
+
+    // (Re-)announce; the same frame doubles as the heartbeat.
+    Status sent = conn->SendFrame(frame);
+    Result<std::string> ack_frame =
+        sent.ok() ? conn->RecvFrame() : Result<std::string>(sent);
+    Result<distributed::RegisterAck> ack =
+        ack_frame.ok() ? distributed::DecodeRegisterAck(*ack_frame)
+                       : Result<distributed::RegisterAck>(ack_frame.status());
+    if (!ack.ok() || ack->accepted == 0) {
+      conn.reset();
+      if (!SleepUnlessStopped(redial_backoff_millis)) return;
+      continue;
+    }
+    heartbeats_acked_.fetch_add(1, std::memory_order_relaxed);
+    if (!SleepUnlessStopped(options_.heartbeat_millis)) return;
   }
 }
 

@@ -25,9 +25,11 @@
 #include "core/group_by.h"
 #include "core/options.h"
 #include "distributed/coordinator.h"
+#include "distributed/failover.h"
 #include "distributed/worker.h"
 #include "engine/executor.h"
 #include "engine/scan_scheduler.h"
+#include "net/faulty_connection.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
 #include "storage/block.h"
@@ -476,6 +478,222 @@ TEST_F(DifferentialTest, RecreatedTableNeverServesStaleCacheEntries) {
   ExpectBitIdentical(*rebuilt, *first, "rebuilt-same-bytes", 2);
   EXPECT_EQ(scheduler.stats().result_cache_hits, 1u);
   EXPECT_EQ(scheduler.stats().result_cache_misses, 3u);
+}
+
+// --- Degraded-cluster differentials: failed replicas never change answers ---
+//
+// The replicated deployment's contract mirrors the suite's headline one:
+// replica failure is an operational event, never a semantic one. Each shard
+// gets two replica workers (same worker id, same shard triple — so their
+// RNG streams, and therefore their answers, are bit-identical), and the
+// coordinator runs through a FailoverTransport. The suite then breaks the
+// PREFERRED replica of every shard — down before the query, killed midway
+// through the frame sequence, or stalled until a hedge overtakes it — and
+// requires every query to complete bit-identical to the healthy loopback
+// answer, across the same parallelism sweep as the healthy suite.
+
+/// Two replica WorkerServers per shard. Channel layout [A0, B0, A1, B1,
+/// ...] with placement[w] = {2w, 2w+1}; the failover transport prefers
+/// placement[w][w % 2], and `preferred_options` is applied to exactly that
+/// server so each test can break the replica the coordinator tries first.
+struct ReplicatedCluster {
+  std::vector<std::unique_ptr<net::WorkerServer>> servers;
+  std::vector<net::Endpoint> endpoints;
+  std::vector<std::vector<uint64_t>> placement;
+
+  void StopPreferred() {
+    for (size_t w = 0; w < placement.size(); ++w) {
+      servers[placement[w][w % placement[w].size()]]->Stop();
+    }
+  }
+  void StopAll() {
+    for (auto& server : servers) server->Stop();
+  }
+};
+
+ReplicatedCluster MakeReplicatedCluster(
+    const Fixture& fixture,
+    const net::WorkerServerOptions& preferred_options =
+        net::WorkerServerOptions{}) {
+  ReplicatedCluster cluster;
+  for (uint64_t w = 0; w < fixture.shards.size(); ++w) {
+    cluster.placement.emplace_back();
+    for (uint64_t r = 0; r < 2; ++r) {
+      auto worker = std::make_unique<distributed::Worker>(
+          w, fixture.shards[w][0], fixture.shards[w][1],
+          fixture.shards[w][2]);
+      auto server = std::make_unique<net::WorkerServer>(
+          std::move(worker), r == w % 2 ? preferred_options
+                                        : net::WorkerServerOptions{});
+      EXPECT_TRUE(server->Start().ok());
+      cluster.placement.back().push_back(cluster.endpoints.size());
+      cluster.endpoints.push_back({"127.0.0.1", server->port()});
+      cluster.servers.push_back(std::move(server));
+    }
+  }
+  return cluster;
+}
+
+/// Tight-backoff, no-hedging policy: the degraded sweeps must prove the
+/// retry/failover path alone reproduces healthy answers (hedging gets its
+/// own test), and millisecond backoff keeps the 34-query sweeps fast.
+distributed::FailoverOptions SweepFailoverOptions() {
+  distributed::FailoverOptions fopts;
+  fopts.enable_hedging = false;
+  fopts.backoff_base_millis = 1;
+  fopts.backoff_max_millis = 5;
+  return fopts;
+}
+
+/// Runs the full clause-shape sweep (17 shapes x 2 seeds, parallelism
+/// 1..3) through `transport` and requires every answer bit-identical to
+/// the healthy loopback execution of the same query.
+void ExpectSweepMatchesHealthy(distributed::Transport* transport,
+                               const Fixture& fixture, const char* mode) {
+  std::vector<QueryShape> shapes = Shapes();
+  int query = 0;
+  for (const QueryShape& shape : shapes) {
+    for (uint64_t seed_salt = 1; seed_salt <= 2; ++seed_salt, ++query) {
+      core::IslaOptions options;
+      options.precision = shape.precision;
+      options.parallelism = 1 + (query % 3);
+
+      distributed::GroupedQuerySpec wire;
+      wire.has_predicate = shape.has_predicate;
+      wire.op = shape.op;
+      wire.literal = shape.literal;
+      wire.has_group = shape.has_group;
+
+      distributed::LoopbackTransport loopback(fixture.MakeWorkers());
+      distributed::Coordinator healthy_coord(&loopback, options);
+      auto healthy = healthy_coord.AggregateGrouped(
+          wire, /*query_id=*/query + 1, seed_salt);
+      ASSERT_TRUE(healthy.ok())
+          << mode << " healthy reference query " << query << ": "
+          << healthy.status();
+
+      distributed::Coordinator degraded_coord(transport, options);
+      auto degraded = degraded_coord.AggregateGrouped(
+          wire, /*query_id=*/query + 1, seed_salt);
+      ASSERT_TRUE(degraded.ok())
+          << mode << " query " << query << ": " << degraded.status();
+      ExpectBitIdentical(*degraded, *healthy, mode, query);
+    }
+  }
+}
+
+TEST_F(DifferentialTest, ReplicatedHealthyClusterBitIdenticalToLoopback) {
+  // Baseline for the degraded runs: with both replicas of every shard
+  // alive, the failover transport is a pass-through and must not perturb a
+  // single bit.
+  ReplicatedCluster cluster = MakeReplicatedCluster(*fixture_);
+  net::TcpTransport inner(cluster.endpoints);
+  distributed::FailoverTransport transport(&inner, cluster.placement,
+                                           SweepFailoverOptions());
+  ExpectSweepMatchesHealthy(&transport, *fixture_, "replicated-healthy");
+  EXPECT_EQ(transport.failover_snapshot().failovers, 0u);
+  cluster.StopAll();
+}
+
+TEST_F(DifferentialTest, ReplicaDownFromStartBitIdenticalToHealthy) {
+  // One of two replicas per shard — the PREFERRED one — is already dead
+  // when the sweep begins: every call's first attempt is refused and the
+  // whole suite runs on the survivors.
+  ReplicatedCluster cluster = MakeReplicatedCluster(*fixture_);
+  cluster.StopPreferred();
+
+  net::TcpTransportOptions topts;
+  topts.reconnect_attempts = 1;
+  net::TcpTransport inner(cluster.endpoints, topts);
+  distributed::FailoverTransport transport(&inner, cluster.placement,
+                                           SweepFailoverOptions());
+  ExpectSweepMatchesHealthy(&transport, *fixture_, "replica-down");
+
+  distributed::FailoverCounters counters = transport.failover_snapshot();
+  EXPECT_GT(counters.failovers, 0u);
+  EXPECT_EQ(counters.exhausted, 0u);
+  cluster.StopAll();
+}
+
+TEST_F(DifferentialTest, ReplicaKilledMidQueryBitIdenticalToHealthy) {
+  // The preferred replica of every shard dies MID-QUERY: it serves the
+  // first two frames of the sweep (metadata + pilot of its shard's first
+  // query) and then drops every connection at the next send, forever — a
+  // server-wide shared fault counter keeps it dead across the transport's
+  // reconnect attempts, exactly like a crashed process whose port still
+  // refuses half-open sockets. Every query — the one in flight and all
+  // that follow — must complete bit-identical to healthy.
+  net::WorkerServerOptions dying;
+  dying.fault = net::FaultMode::kCloseInsteadOfSend;
+  dying.fault_after_sends = 2;
+  dying.fault_first_n = 1'000'000'000;  // a window that never closes
+  ReplicatedCluster cluster = MakeReplicatedCluster(*fixture_, dying);
+
+  net::TcpTransportOptions topts;
+  topts.reconnect_attempts = 1;
+  net::TcpTransport inner(cluster.endpoints, topts);
+  distributed::FailoverTransport transport(&inner, cluster.placement,
+                                           SweepFailoverOptions());
+  ExpectSweepMatchesHealthy(&transport, *fixture_, "replica-killed-midquery");
+
+  distributed::FailoverCounters counters = transport.failover_snapshot();
+  EXPECT_GT(counters.failovers, 0u);
+  EXPECT_EQ(counters.exhausted, 0u);
+  cluster.StopAll();
+}
+
+TEST_F(DifferentialTest, HedgedStragglerWinBitIdenticalToLoopback) {
+  // The preferred replica of every shard answers its pilots, then stalls
+  // on the plan-round response. The hedge (30ms, far under the 400ms call
+  // deadline) must overtake it on the second replica, and "first answer
+  // wins" must be invisible in the result — the RNG-prefix property makes
+  // both replicas' answers the same bytes.
+  net::WorkerServerOptions stalling;
+  stalling.fault = net::FaultMode::kStall;
+  stalling.fault_after_sends = 2;  // sigma + sketch pilots pass, plan stalls
+  ReplicatedCluster cluster = MakeReplicatedCluster(*fixture_, stalling);
+
+  for (uint64_t q = 1; q <= 3; ++q) {
+    core::IslaOptions options;
+    options.precision = 0.4;
+    options.parallelism = 1 + (q % 3);
+    options.seed = 0x15a15a15aULL + q;
+
+    std::vector<std::unique_ptr<distributed::Worker>> loop_workers;
+    for (uint64_t w = 0; w < fixture_->shards.size(); ++w) {
+      loop_workers.push_back(std::make_unique<distributed::Worker>(
+          w, fixture_->shards[w][0]));
+    }
+    distributed::LoopbackTransport loopback(std::move(loop_workers));
+    distributed::Coordinator loop_coord(&loopback, options);
+    auto healthy = loop_coord.AggregateAvg(/*query_id=*/q);
+    ASSERT_TRUE(healthy.ok()) << healthy.status();
+
+    // Fresh transports per query: a stalled plan call parks the slot of
+    // the straggler's channel until the call deadline, and queries must
+    // not contend on it.
+    net::TcpTransportOptions topts;
+    topts.call_deadline_millis = 400;
+    net::TcpTransport inner(cluster.endpoints, topts);
+    distributed::FailoverOptions fopts;
+    fopts.hedge_delay_millis = 30;
+    distributed::FailoverTransport transport(&inner, cluster.placement,
+                                             fopts);
+    distributed::Coordinator coordinator(&transport, options);
+    auto hedged = coordinator.AggregateAvg(/*query_id=*/q);
+    ASSERT_TRUE(hedged.ok()) << "query " << q << ": " << hedged.status();
+
+    EXPECT_GE(hedged->failover.hedges, 1u) << "query " << q;
+    EXPECT_GE(hedged->failover.hedge_wins, 1u) << "query " << q;
+    EXPECT_EQ(hedged->average, healthy->average) << "query " << q;
+    EXPECT_EQ(hedged->sum, healthy->sum) << "query " << q;
+    EXPECT_EQ(hedged->total_samples, healthy->total_samples)
+        << "query " << q;
+    EXPECT_EQ(hedged->sigma_estimate, healthy->sigma_estimate)
+        << "query " << q;
+    EXPECT_EQ(hedged->sketch0, healthy->sketch0) << "query " << q;
+  }
+  cluster.StopAll();
 }
 
 }  // namespace

@@ -50,8 +50,17 @@ std::vector<std::string> AllFrames() {
   gresp.partial.groups[0.0].Add(1.0);
   gresp.partial.groups[2.0].Add(2.0);
   gresp.partial.groups[2.0].Add(5.0);
-  return {Encode(pr),   Encode(resp),  Encode(plan),
-          Encode(part), Encode(greq), Encode(gresp)};
+  RegisterFrame reg;
+  reg.shard_id = 3;
+  reg.port = 7101;
+  reg.block_rows = 25'000;
+  reg.host = "10.0.0.7";
+  RegisterAck ack;
+  ack.shard_id = 3;
+  ack.accepted = 1;
+  ack.known_shards = 4;
+  return {Encode(pr),   Encode(resp), Encode(plan),  Encode(part),
+          Encode(greq), Encode(gresp), Encode(reg),  Encode(ack)};
 }
 
 /// Attempts every decoder against a frame; returns how many accepted.
@@ -63,6 +72,8 @@ int CountAccepts(const std::string& frame) {
   accepts += DecodePartialResult(frame).ok();
   accepts += DecodeGroupedScanRequest(frame).ok();
   accepts += DecodeGroupedScanResponse(frame).ok();
+  accepts += DecodeRegisterFrame(frame).ok();
+  accepts += DecodeRegisterAck(frame).ok();
   return accepts;
 }
 
@@ -85,7 +96,7 @@ TEST_P(TruncationFuzz, EveryPrefixRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessages, TruncationFuzz,
-                         ::testing::Range(0, 6));
+                         ::testing::Range(0, 8));
 
 /// Every single-byte extension must also be rejected (frames are
 /// fixed-length per type).
@@ -99,7 +110,7 @@ TEST_P(ExtensionFuzz, PaddedFramesRejected) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllMessages, ExtensionFuzz, ::testing::Range(0, 6));
+INSTANTIATE_TEST_SUITE_P(AllMessages, ExtensionFuzz, ::testing::Range(0, 8));
 
 TEST(MessageFuzz, RandomBitFlipsNeverCrashAndTagFlipsAreCaught) {
   Xoshiro256 rng(0xf122);

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 
 #include "core/options.h"
 #include "distributed/coordinator.h"
+#include "distributed/failover.h"
 #include "distributed/worker.h"
 #include "net/connection.h"
 #include "net/faulty_connection.h"
@@ -28,6 +30,7 @@
 #include "stats/distribution.h"
 #include "storage/block.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace isla {
 namespace net {
@@ -294,6 +297,103 @@ TEST(FaultInjection, ConcurrentBatchMembersSurviveOneMemberDisconnect) {
         << "session " << s << ": " << answers[s];
   }
   server.Stop();
+}
+
+TEST(WorkerKill, KilledMidQuerySurfacesCleanStatusWithoutHang) {
+  // A worker process dying mid-query (not a wire glitch: the whole server
+  // goes away while the coordinator waits on the plan-round response) must
+  // surface as a clean Status well before the call deadline — the kill
+  // closes the socket, and that EOF is what unblocks the coordinator.
+  auto healthy = std::make_unique<WorkerServer>(NormalWorker(0, 100'000));
+  ASSERT_TRUE(healthy->Start().ok());
+
+  // The victim stalls at the plan round so the coordinator is provably
+  // in-flight against it when the kill lands.
+  WorkerServerOptions victim_options;
+  victim_options.fault = FaultMode::kStall;
+  victim_options.fault_after_sends = 2;
+  auto victim = std::make_unique<WorkerServer>(NormalWorker(1, 100'000),
+                                               victim_options);
+  ASSERT_TRUE(victim->Start().ok());
+
+  TcpTransportOptions topts;
+  topts.call_deadline_millis = 10'000;  // The kill, not this, must unblock.
+  TcpTransport transport(
+      {{"127.0.0.1", healthy->port()}, {"127.0.0.1", victim->port()}},
+      topts);
+  core::IslaOptions options;
+  options.precision = 0.3;
+  distributed::Coordinator coordinator(&transport, options);
+
+  std::thread killer([&victim] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    victim->Stop();
+  });
+  Timer timer;
+  Status status = coordinator.AggregateAvg().status();
+  double elapsed = timer.ElapsedMillis();
+  killer.join();
+
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIOError() || status.IsCorruption()) << status;
+  // Far under both the 10s call deadline and the ctest timeout: the
+  // coordinator noticed the death, it did not wait anything out.
+  EXPECT_LT(elapsed, 5'000.0) << "kill did not unblock the coordinator";
+  healthy->Stop();
+}
+
+TEST(WorkerKill, ReplicatedShardSurvivesKillMidQueryBitIdentical) {
+  // Same kill, but the shard has a second replica (same worker id, same
+  // shard data): the failover transport must absorb the death and finish
+  // the query with the answer the healthy cluster would have given.
+  WorkerServerOptions victim_options;
+  victim_options.fault = FaultMode::kStall;
+  victim_options.fault_after_sends = 2;  // pilots pass, plan round stalls
+  auto victim = std::make_unique<WorkerServer>(NormalWorker(0, 100'000),
+                                               victim_options);
+  ASSERT_TRUE(victim->Start().ok());
+  auto replica = std::make_unique<WorkerServer>(NormalWorker(0, 100'000));
+  ASSERT_TRUE(replica->Start().ok());
+
+  TcpTransportOptions topts;
+  topts.call_deadline_millis = 10'000;
+  topts.reconnect_attempts = 1;
+  TcpTransport inner(
+      {{"127.0.0.1", victim->port()}, {"127.0.0.1", replica->port()}},
+      topts);
+  distributed::FailoverOptions fopts;
+  fopts.enable_hedging = false;  // the kill, not a hedge, must save us
+  fopts.backoff_base_millis = 1;
+  fopts.backoff_max_millis = 5;
+  // Shard 0 prefers channel 0 — exactly the server we kill mid-query.
+  distributed::FailoverTransport transport(&inner, {{0, 1}}, fopts);
+
+  core::IslaOptions options;
+  options.precision = 0.3;
+  distributed::Coordinator coordinator(&transport, options);
+
+  std::thread killer([&victim] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    victim->Stop();
+  });
+  auto degraded = coordinator.AggregateAvg();
+  killer.join();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_GE(degraded->failover.failovers, 1u);
+  EXPECT_EQ(degraded->failover.exhausted, 0u);
+
+  // Bit-identical to the healthy answer: per-block RNG streams make the
+  // surviving replica produce exactly what the dead one would have.
+  std::vector<std::unique_ptr<distributed::Worker>> local;
+  local.push_back(NormalWorker(0, 100'000));
+  distributed::LoopbackTransport loopback(std::move(local));
+  distributed::Coordinator reference(&loopback, options);
+  auto healthy = reference.AggregateAvg();
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_EQ(degraded->average, healthy->average);
+  EXPECT_EQ(degraded->sum, healthy->sum);
+  EXPECT_EQ(degraded->total_samples, healthy->total_samples);
+  replica->Stop();
 }
 
 }  // namespace

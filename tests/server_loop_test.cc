@@ -407,6 +407,16 @@ TEST(QueryServerLoop, ShowServerStatsReportsSessionsLatencyAndScans) {
   EXPECT_NE(stats.find("latency_p50_ms = "), std::string::npos) << stats;
   EXPECT_NE(stats.find("latency_p99_ms = "), std::string::npos) << stats;
   EXPECT_NE(stats.find("kernels = "), std::string::npos) << stats;
+  // Fault-recovery counters (process-global; zero here, but the lines
+  // must render so operators can watch failover activity).
+  EXPECT_NE(stats.find("transport_reconnects = "), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("shard_retries = "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("shard_failovers = "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("hedged_requests = "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("hedge_wins = "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("shards_exhausted = "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("workers_registered = "), std::string::npos) << stats;
   EXPECT_NE(stats.find("scans[t] = 1"), std::string::npos) << stats;
 
   // Case-insensitive, like the rest of the mini-SQL surface.

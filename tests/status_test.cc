@@ -43,6 +43,23 @@ TEST(Status, EachFactoryMapsToItsCode) {
             StatusCode::kResourceExhausted);
 }
 
+TEST(Status, RetryableCoversExactlyTransportFaults) {
+  // The failover transport's retry predicate: wire-level faults (IO
+  // errors, including timeouts, and corrupted frames) are worth another
+  // replica; request-level verdicts are not — every replica would answer
+  // them identically.
+  EXPECT_TRUE(Status::IOError("conn reset").IsRetryable());
+  EXPECT_TRUE(Status::IOTimeout("recv timed out").IsRetryable());
+  EXPECT_TRUE(Status::Corruption("bad crc").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetryable());
+  EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsRetryable());
+}
+
 TEST(Status, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
   EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));

@@ -211,5 +211,49 @@ TEST(IslaServerd, WorkerDaemonsServeDistributedAvg) {
   fs::remove_all(dir);
 }
 
+TEST(IslaServerd, ReplicaGroupsFailOverPastDeadPreferredReplicas) {
+  // The '|' replica syntax with the coordinator-preferred replica of BOTH
+  // shards pointing at a dead port (nothing listens on 127.0.0.1:1): the
+  // client must fail over to the live replica of each shard and still
+  // produce the exact same answer — and report the failovers it took.
+  fs::path dir = fs::temp_directory_path() / "isla_replicas_test";
+  fs::create_directories(dir);
+
+  std::vector<double> shard0 = {10.0, 10.0, 10.0, 10.0};
+  std::vector<double> shard1 = {30.0, 30.0, 30.0, 30.0};
+  fs::path islb0 = dir / "s0.islb";
+  fs::path islb1 = dir / "s1.islb";
+  ASSERT_TRUE(storage::WriteBlockFile(islb0.string(), shard0).ok());
+  ASSERT_TRUE(storage::WriteBlockFile(islb1.string(), shard1).ok());
+
+  fs::path log0 = dir / "w0.out";
+  fs::path log1 = dir / "w1.out";
+  StartDaemon(ToolPath("isla_serverd") + " --worker --shard " +
+                  islb0.string() + " --worker-id 0 --port 0",
+              log0, 20);
+  StartDaemon(ToolPath("isla_serverd") + " --worker --shard " +
+                  islb1.string() + " --worker-id 1 --port 0",
+              log1, 20);
+  int port0 = WaitForPort(log0);
+  int port1 = WaitForPort(log1);
+  ASSERT_GT(port0, 0);
+  ASSERT_GT(port1, 0);
+
+  // Shard 0 prefers its first replica (dead), shard 1 its second (dead).
+  std::string out = RunWithInput(
+      ToolPath("isla_client") + " --workers '127.0.0.1:1|127.0.0.1:" +
+          std::to_string(port0) + ",127.0.0.1:" + std::to_string(port1) +
+          "|127.0.0.1:1' --within 0.5",
+      "");
+  size_t at = out.find("AVG = ");
+  ASSERT_NE(at, std::string::npos) << out;
+  EXPECT_NEAR(std::strtod(out.c_str() + at + 6, nullptr), 20.0, 0.5) << out;
+  size_t fo = out.find("failovers=");
+  ASSERT_NE(fo, std::string::npos) << out;
+  EXPECT_GT(std::atoi(out.c_str() + fo + 10), 0) << out;
+  EXPECT_NE(out.find("exhausted=0"), std::string::npos) << out;
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace isla

@@ -152,6 +152,28 @@ constexpr char kGroupedScanResponseHex[] =
     "000000400000000000001e400100000000000000000000000000004000000000"
     "00000000";
 
+RegisterFrame GoldenRegisterFrame() {
+  RegisterFrame m;
+  m.shard_id = 3;
+  m.port = 7101;
+  m.block_rows = 25'000;
+  m.host = "10.0.0.7";
+  return m;
+}
+constexpr char kRegisterFrameHex[] =
+    "080000000300000000000000bd1b000000000000a861000000000000"
+    "080000000000000031302e302e302e37";
+
+RegisterAck GoldenRegisterAck() {
+  RegisterAck m;
+  m.shard_id = 3;
+  m.accepted = 1;
+  m.known_shards = 4;
+  return m;
+}
+constexpr char kRegisterAckHex[] =
+    "09000000030000000000000001000000000000000400000000000000";
+
 ErrorFrame GoldenErrorFrame() {
   ErrorFrame m;
   m.code = 7;  // FailedPrecondition
@@ -197,6 +219,15 @@ TEST(WireFormat, GroupedScanResponse) {
 
 TEST(WireFormat, ErrorFrame) {
   ExpectGolden(Encode(GoldenErrorFrame()), kErrorFrameHex, "ErrorFrame");
+}
+
+TEST(WireFormat, RegisterFrame) {
+  ExpectGolden(Encode(GoldenRegisterFrame()), kRegisterFrameHex,
+               "RegisterFrame");
+}
+
+TEST(WireFormat, RegisterAck) {
+  ExpectGolden(Encode(GoldenRegisterAck()), kRegisterAckHex, "RegisterAck");
 }
 
 // ---------------------------------------------------------------------------
@@ -262,6 +293,48 @@ TEST(WireFormat, DecodesPinnedErrorFrame) {
   ASSERT_TRUE(m.ok()) << m.status();
   EXPECT_TRUE(m->ToStatus().IsFailedPrecondition());
   EXPECT_EQ(m->message, "worker has no group column shard");
+}
+
+TEST(WireFormat, DecodesPinnedRegisterFrame) {
+  auto m = DecodeRegisterFrame(FromHex(kRegisterFrameHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  RegisterFrame want = GoldenRegisterFrame();
+  EXPECT_EQ(m->shard_id, want.shard_id);
+  EXPECT_EQ(m->port, want.port);
+  EXPECT_EQ(m->block_rows, want.block_rows);
+  EXPECT_EQ(m->host, want.host);
+}
+
+TEST(WireFormat, DecodesPinnedRegisterAck) {
+  auto m = DecodeRegisterAck(FromHex(kRegisterAckHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  RegisterAck want = GoldenRegisterAck();
+  EXPECT_EQ(m->shard_id, want.shard_id);
+  EXPECT_EQ(m->accepted, want.accepted);
+  EXPECT_EQ(m->known_shards, want.known_shards);
+}
+
+TEST(WireFormat, RegisterFrameTruncatesOversizedHosts) {
+  // Same encoder-side clamp discipline as ErrorFrame: an absurd hostname
+  // still produces a decodable (truncated) frame instead of one every
+  // registry rejects.
+  RegisterFrame big;
+  big.shard_id = 1;
+  big.port = 7101;
+  big.host.assign(3 * kMaxHostBytes, 'h');
+  auto decoded = DecodeRegisterFrame(Encode(big));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->host.size(), kMaxHostBytes);
+}
+
+TEST(WireFormat, RegisterFrameRejectsDamage) {
+  std::string frame = FromHex(kRegisterFrameHex);
+  EXPECT_FALSE(DecodeRegisterFrame(frame.substr(0, frame.size() - 1)).ok());
+  EXPECT_FALSE(DecodeRegisterFrame(frame + "x").ok());
+  std::string bad_port = frame;
+  // Zero the port field (bytes 12..19): workers cannot serve on port 0.
+  for (size_t i = 12; i < 20; ++i) bad_port[i] = '\0';
+  EXPECT_FALSE(DecodeRegisterFrame(bad_port).ok());
 }
 
 TEST(WireFormat, ErrorFrameTruncatesOversizedMessages) {

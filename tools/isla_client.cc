@@ -15,6 +15,19 @@
 //
 // Worker order on the command line defines worker ids; each daemon must
 // have been started with the matching --worker-id.
+//
+// Replicated shards: '|' groups replicas of one shard. Every endpoint in
+// a group must serve the same shard files under the same --worker-id —
+// replicas answer bit-identically, and the coordinator retries, fails
+// over, and hedges between them (tune with --hedge-millis):
+//
+//   $ ./isla_client --workers 'h:7101|h:7201,h:7102|h:7202' --within 0.1
+//
+// Registry mode replaces the static worker list with dynamic membership:
+// the client hosts the registry, workers started with --coordinator
+// announce themselves, and the query runs on whoever registered:
+//
+//   $ ./isla_client --registry-port 7200 --expect-shards 2 --replicas 2
 
 #include <unistd.h>
 
@@ -26,17 +39,23 @@
 #include <vector>
 
 #include "distributed/coordinator.h"
+#include "distributed/failover.h"
 #include "net/connection.h"
 #include "net/partial.h"
 #include "net/tcp_transport.h"
+#include "net/worker_registry.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
                "usage: isla_client --port P [--host h] [--stats]\n"
-               "       isla_client --workers h:p,h:p,... [--within e] "
-               "[--confidence b]\n");
+               "       isla_client --workers h:p[|h:p...],... [--within e] "
+               "[--confidence b]\n"
+               "                   [--hedge-millis n]\n"
+               "       isla_client --registry-port P --expect-shards N\n"
+               "                   [--replicas R] [--wait-millis n] "
+               "[--within e]\n");
 }
 
 /// One-shot `SHOW SERVER STATS` probe: connect, print the stats body,
@@ -144,34 +163,30 @@ int RunSession(const std::string& host, uint16_t port) {
   return 0;
 }
 
-int RunDistributed(const std::string& workers_arg, double precision,
-                   double confidence) {
-  std::vector<isla::net::Endpoint> endpoints;
-  size_t start = 0;
-  while (start <= workers_arg.size()) {
-    size_t comma = workers_arg.find(',', start);
-    std::string spec =
-        workers_arg.substr(start, comma == std::string::npos
-                                      ? std::string::npos
-                                      : comma - start);
-    if (!spec.empty()) {
-      auto endpoint = isla::net::ParseEndpoint(spec);
-      if (!endpoint.ok()) {
-        std::fprintf(stderr, "error: %s\n",
-                     endpoint.status().ToString().c_str());
-        return 2;
-      }
-      endpoints.push_back(*endpoint);
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  if (endpoints.empty()) {
-    std::fprintf(stderr, "error: --workers needs at least one endpoint\n");
-    return 2;
-  }
+/// Runs one distributed AVG over `endpoints` with the given shard →
+/// endpoint-index placement, replica failover and hedging on.
+int RunWithPlacement(const std::vector<isla::net::Endpoint>& endpoints,
+                     std::vector<std::vector<uint64_t>> placement,
+                     double precision, double confidence,
+                     int64_t hedge_millis) {
+  isla::net::TcpTransportOptions transport_options;
+  // The cluster paths opt into in-call reconnects: a worker restarted
+  // between queries should cost a redial, not a failed query.
+  transport_options.reconnect_attempts = 1;
+  isla::net::TcpTransport inner(endpoints, transport_options);
 
-  isla::net::TcpTransport transport(endpoints);
+  isla::distributed::FailoverOptions failover_options;
+  if (hedge_millis > 0) {
+    failover_options.hedge_delay_millis =
+        static_cast<uint64_t>(hedge_millis);
+  } else if (hedge_millis < 0) {
+    failover_options.enable_hedging = false;
+  }
+  size_t n_shards = placement.size();
+  isla::distributed::FailoverTransport transport(&inner,
+                                                 std::move(placement),
+                                                 failover_options);
+
   isla::core::IslaOptions options;
   options.precision = precision;
   options.confidence = confidence;
@@ -182,12 +197,113 @@ int RunDistributed(const std::string& workers_arg, double precision,
     return 1;
   }
   std::printf("AVG = %.6f  (sum=%.6g, rows=%llu, samples=%llu, "
-              "workers=%zu)\n",
+              "shards=%zu, endpoints=%zu)\n",
               r->average, r->sum,
               static_cast<unsigned long long>(r->data_size),
               static_cast<unsigned long long>(r->total_samples),
-              endpoints.size());
+              n_shards, endpoints.size());
+  const isla::distributed::FailoverCounters& fo = r->failover;
+  std::printf("failover: retries=%llu failovers=%llu hedges=%llu "
+              "hedge_wins=%llu exhausted=%llu\n",
+              static_cast<unsigned long long>(fo.retries),
+              static_cast<unsigned long long>(fo.failovers),
+              static_cast<unsigned long long>(fo.hedges),
+              static_cast<unsigned long long>(fo.hedge_wins),
+              static_cast<unsigned long long>(fo.exhausted));
   return 0;
+}
+
+int RunDistributed(const std::string& workers_arg, double precision,
+                   double confidence, int64_t hedge_millis) {
+  // Comma separates shards; '|' separates replicas of one shard.
+  std::vector<isla::net::Endpoint> endpoints;
+  std::vector<std::vector<uint64_t>> placement;
+  size_t start = 0;
+  while (start <= workers_arg.size()) {
+    size_t comma = workers_arg.find(',', start);
+    std::string group =
+        workers_arg.substr(start, comma == std::string::npos
+                                      ? std::string::npos
+                                      : comma - start);
+    if (!group.empty()) {
+      std::vector<uint64_t> replicas;
+      size_t gstart = 0;
+      while (gstart <= group.size()) {
+        size_t bar = group.find('|', gstart);
+        std::string spec =
+            group.substr(gstart, bar == std::string::npos
+                                     ? std::string::npos
+                                     : bar - gstart);
+        if (!spec.empty()) {
+          auto endpoint = isla::net::ParseEndpoint(spec);
+          if (!endpoint.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         endpoint.status().ToString().c_str());
+            return 2;
+          }
+          replicas.push_back(endpoints.size());
+          endpoints.push_back(*endpoint);
+        }
+        if (bar == std::string::npos) break;
+        gstart = bar + 1;
+      }
+      if (!replicas.empty()) placement.push_back(std::move(replicas));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "error: --workers needs at least one endpoint\n");
+    return 2;
+  }
+  return RunWithPlacement(endpoints, std::move(placement), precision,
+                          confidence, hedge_millis);
+}
+
+int RunRegistryDistributed(uint16_t registry_port, size_t expect_shards,
+                           size_t min_replicas, int64_t wait_millis,
+                           double precision, double confidence,
+                           int64_t hedge_millis) {
+  isla::net::WorkerRegistryOptions registry_options;
+  registry_options.port = registry_port;
+  isla::net::WorkerRegistry registry(registry_options);
+  isla::Status st = registry.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("registry on 127.0.0.1:%u, waiting for %zu shard(s) x %zu "
+              "replica(s)...\n",
+              registry.port(), expect_shards, min_replicas);
+  std::fflush(stdout);
+  if (!registry.WaitForShards(expect_shards, min_replicas, wait_millis)) {
+    std::fprintf(stderr,
+                 "error: cluster did not converge within %lld ms\n",
+                 static_cast<long long>(wait_millis));
+    registry.Stop();
+    return 1;
+  }
+
+  // Freeze the membership into a placement: shard ids must be dense
+  // [0, expect_shards) — they double as the positional worker ids the RNG
+  // streams derive from.
+  std::vector<isla::net::Endpoint> endpoints;
+  std::vector<std::vector<uint64_t>> placement(expect_shards);
+  auto live = registry.Placement();
+  for (size_t s = 0; s < expect_shards; ++s) {
+    for (const auto& replica : live[s]) {
+      placement[s].push_back(endpoints.size());
+      endpoints.push_back({replica.host, replica.port});
+      std::printf("shard %zu replica: %s:%u (%llu rows)\n", s,
+                  replica.host.c_str(), replica.port,
+                  static_cast<unsigned long long>(replica.block_rows));
+    }
+  }
+  std::fflush(stdout);
+  int rc = RunWithPlacement(endpoints, std::move(placement), precision,
+                            confidence, hedge_millis);
+  registry.Stop();
+  return rc;
 }
 
 }  // namespace
@@ -196,9 +312,15 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string workers;
   uint16_t port = 0;
+  uint16_t registry_port = 0;
+  size_t expect_shards = 0;
+  size_t replicas = 1;
+  int64_t wait_millis = 10'000;
+  int64_t hedge_millis = 0;  // 0 = auto (p99-derived); <0 disables hedging.
   double precision = 0.1;
   double confidence = 0.95;
   bool stats_probe = false;
+  bool registry_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -215,6 +337,19 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(next("--port")));
     } else if (arg == "--workers") {
       workers = next("--workers");
+    } else if (arg == "--registry-port") {
+      registry_port = static_cast<uint16_t>(std::atoi(next("--registry-port")));
+      registry_mode = true;
+    } else if (arg == "--expect-shards") {
+      expect_shards = std::strtoull(next("--expect-shards"), nullptr, 10);
+    } else if (arg == "--replicas") {
+      replicas = std::strtoull(next("--replicas"), nullptr, 10);
+    } else if (arg == "--wait-millis") {
+      wait_millis = std::strtoll(next("--wait-millis"), nullptr, 10);
+    } else if (arg == "--hedge-millis") {
+      hedge_millis = std::strtoll(next("--hedge-millis"), nullptr, 10);
+    } else if (arg == "--no-hedge") {
+      hedge_millis = -1;
     } else if (arg == "--within") {
       precision = std::atof(next("--within"));
     } else if (arg == "--confidence") {
@@ -227,7 +362,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!workers.empty()) return RunDistributed(workers, precision, confidence);
+  if (registry_mode) {
+    if (expect_shards == 0) {
+      std::fprintf(stderr, "error: --registry-port needs --expect-shards\n");
+      return 2;
+    }
+    return RunRegistryDistributed(registry_port, expect_shards, replicas,
+                                  wait_millis, precision, confidence,
+                                  hedge_millis);
+  }
+  if (!workers.empty()) {
+    return RunDistributed(workers, precision, confidence, hedge_millis);
+  }
   if (port == 0) {
     Usage();
     return 2;

@@ -18,7 +18,17 @@
 // --workers host:7101,host:7102 addresses them as workers 0 and 1, and the
 // daemon must be started with the matching --worker-id so its RNG streams
 // line up with the single-node engine's per-block streams (that is what
-// makes distributed answers bit-identical).
+// makes distributed answers bit-identical). Two workers started with the
+// SAME --worker-id and the same shard files are replicas: they produce
+// bit-identical answers, which is what lets a coordinator fail over or
+// hedge between them freely.
+//
+// With --coordinator the worker announces its shard to a coordinator-side
+// registry (isla_client --registry-port) and keeps heartbeating, so the
+// cluster can grow or heal without restarting anything:
+//
+//   $ ./isla_serverd --worker --shard v0.islb --port 7101
+//       --coordinator 127.0.0.1:7200
 //
 // The daemon runs until stdin reaches EOF or SIGINT/SIGTERM arrives, so it
 // works both interactively and under a supervisor with a pipe held open.
@@ -36,6 +46,7 @@
 
 #include "distributed/worker.h"
 #include "net/query_server.h"
+#include "net/tcp_transport.h"
 #include "net/worker_server.h"
 #include "runtime/kernels/kernels.h"
 #include "storage/file_block.h"
@@ -56,7 +67,10 @@ void Usage() {
                "       isla_serverd --worker --shard v.islb "
                "[--predicate-shard p.islb]\n"
                "                    [--key-shard k.islb] [--worker-id N] "
-               "[--port P]\n");
+               "[--port P]\n"
+               "                    [--coordinator host:port] "
+               "[--advertise host]\n"
+               "                    [--heartbeat-millis n]\n");
 }
 
 /// Blocks until stdin closes or a termination signal arrives, invoking
@@ -90,6 +104,9 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   uint64_t worker_id = 0;
   std::string shard, predicate_shard, key_shard;
+  std::string coordinator_spec;
+  std::string advertise_host = "127.0.0.1";
+  int64_t heartbeat_millis = 500;
   isla::net::QueryServerOptions query_options;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +130,12 @@ int main(int argc, char** argv) {
       predicate_shard = next("--predicate-shard");
     } else if (arg == "--key-shard") {
       key_shard = next("--key-shard");
+    } else if (arg == "--coordinator") {
+      coordinator_spec = next("--coordinator");
+    } else if (arg == "--advertise") {
+      advertise_host = next("--advertise");
+    } else if (arg == "--heartbeat-millis") {
+      heartbeat_millis = std::strtoll(next("--heartbeat-millis"), nullptr, 10);
     } else if (arg == "--precision") {
       query_options.session_defaults.precision =
           std::atof(next("--precision"));
@@ -176,6 +199,18 @@ int main(int argc, char** argv) {
 
     isla::net::WorkerServerOptions options;
     options.port = port;
+    if (!coordinator_spec.empty()) {
+      auto endpoint = isla::net::ParseEndpoint(coordinator_spec);
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "error: --coordinator: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      options.coordinator_host = endpoint->host;
+      options.coordinator_port = endpoint->port;
+      options.advertised_host = advertise_host;
+      options.heartbeat_millis = heartbeat_millis;
+    }
     isla::net::WorkerServer server(std::move(worker), options);
     isla::Status st = server.Start();
     if (!st.ok()) {
@@ -186,6 +221,12 @@ int main(int argc, char** argv) {
                 server.port(),
                 static_cast<unsigned long long>(worker_id),
                 static_cast<unsigned long long>(values->size()));
+    if (!coordinator_spec.empty()) {
+      std::printf("registering shard %llu with %s (heartbeat %lld ms)\n",
+                  static_cast<unsigned long long>(worker_id),
+                  coordinator_spec.c_str(),
+                  static_cast<long long>(heartbeat_millis));
+    }
     std::fflush(stdout);
     WaitForShutdown();
     server.Stop();
