@@ -93,6 +93,11 @@ Status GroupedBlockPartial::Merge(const GroupedBlockPartial& other) {
           " distinct keys");
     }
   }
+  // Sketches merge in the same deterministic (key-ascending, partial-order)
+  // sequence as the moments, preserving bit identity at any parallelism.
+  for (const auto& [key, sketch] : other.sketches) {
+    ISLA_RETURN_NOT_OK(sketches[key].Merge(sketch));
+  }
   return Status::OK();
 }
 
@@ -121,7 +126,7 @@ Status CheckAligned(const storage::Column& values,
 
 Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
                        const double* key, double value, GroupMoments* all,
-                       GroupMap* groups) {
+                       GroupMap* groups, SketchMap* sketches) {
   if (pred != nullptr && !EvalPredicate(op, *pred, literal)) {
     return Status::OK();
   }
@@ -132,6 +137,7 @@ Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
   }
   if (all != nullptr) all->Add(value);
   (*groups)[group_key].Add(value);
+  if (sketches != nullptr) (*sketches)[group_key].Add(value);
   if (groups->size() > kMaxGroups) {
     return Status::ResourceExhausted(
         "GROUP BY produced more than " + std::to_string(kMaxGroups) +
@@ -148,7 +154,8 @@ Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
 
 Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
                          const double* keys, GroupMoments* all,
-                         GroupMap* groups, runtime::ScratchArena* scratch) {
+                         GroupMap* groups, runtime::ScratchArena* scratch,
+                         SketchMap* sketches) {
   if (groups == nullptr) {
     return Status::InvalidArgument("groups must not be null");
   }
@@ -185,6 +192,7 @@ Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
     }
     if (all != nullptr) all->Add(v[i]);
     (*groups)[group_key].Add(v[i]);
+    if (sketches != nullptr) (*sketches)[group_key].Add(v[i]);
     if (groups->size() > kMaxGroups) {
       return Status::ResourceExhausted(
           "GROUP BY produced more than " + std::to_string(kMaxGroups) +
@@ -217,7 +225,8 @@ Status RunGroupedBlockPass(const storage::Block& values,
                            const storage::Block* key_block,
                            uint64_t sample_count, Xoshiro256* rng,
                            GroupedBlockPartial* out,
-                           runtime::ScratchArena* scratch) {
+                           runtime::ScratchArena* scratch,
+                           bool want_sketch) {
   if (rng == nullptr || out == nullptr) {
     return Status::InvalidArgument("rng and out must not be null");
   }
@@ -259,8 +268,9 @@ Status RunGroupedBlockPass(const storage::Block& values,
           storage::GatherInto(*key_block, s->indices, s->keys.data()));
       keys = s->keys.data();
     }
-    ISLA_RETURN_NOT_OK(RouteGroupedBatch({s->values.data(), batch}, mask,
-                                         keys, &out->all, &out->groups, s));
+    ISLA_RETURN_NOT_OK(RouteGroupedBatch(
+        {s->values.data(), batch}, mask, keys, &out->all, &out->groups, s,
+        want_sketch ? &out->sketches : nullptr));
     done += batch;
   }
   out->scanned += sample_count;
@@ -269,7 +279,7 @@ Status RunGroupedBlockPass(const storage::Block& values,
 
 Result<uint64_t> PlanGroupedScan(const GroupedPilot& pilot,
                                  const IslaOptions& options,
-                                 uint64_t data_size) {
+                                 uint64_t data_size, bool want_sketch) {
   ISLA_RETURN_NOT_OK(options.Validate());
   if (data_size == 0) {
     return Status::InvalidArgument("data size must be > 0");
@@ -285,6 +295,17 @@ Result<uint64_t> PlanGroupedScan(const GroupedPilot& pilot,
         std::min(fallback, static_cast<double>(data_size)));
   }
 
+  // Quantile runs also satisfy the DKW rank contract per group:
+  // m ≥ ln(2/(1−β))/(2e²) matching samples for a ±e rank band at β, with
+  // the requested precision read in rank space (a rank error is at most
+  // 1, so e clamps to 1).
+  double m_dkw = 0.0;
+  if (want_sketch) {
+    const double e = std::min(options.precision, 1.0);
+    m_dkw = std::ceil(std::log(2.0 / (1.0 - options.confidence)) /
+                      (2.0 * e * e));
+  }
+
   const double pilot_n = static_cast<double>(pilot.pilot_samples);
   double scan = 2.0;
   for (const auto& [key, moments] : pilot.groups) {
@@ -297,8 +318,8 @@ Result<uint64_t> PlanGroupedScan(const GroupedPilot& pilot,
                             stats::RequiredSampleSize(sigma, options.precision,
                                                       options.confidence));
     }
-    scan = std::max(scan,
-                    std::ceil(static_cast<double>(m_g) / selectivity));
+    const double m_need = std::max(static_cast<double>(m_g), m_dkw);
+    scan = std::max(scan, std::ceil(m_need / selectivity));
   }
   scan = std::ceil(scan * options.sampling_rate_scale);
   if (!(scan >= 2.0)) scan = 2.0;
@@ -341,7 +362,70 @@ Result<GroupedAggregateResult> SummarizeGroups(const GroupMap& merged,
     g.meets_precision = g.ci_half_width <= options.precision;
     out.groups.push_back(g);
   }
+  out.total_groups = out.groups.size();
   return out;
+}
+
+Status ApplyQuantileSummary(const SketchMap& sketches,
+                            const QuantileSummarySpec& summary,
+                            const IslaOptions& options, bool sampled,
+                            GroupedAggregateResult* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("result must not be null");
+  }
+  const bool want_quantile = summary.quantile_q >= 0.0;
+  const bool want_histogram = summary.histogram_bins > 0;
+  if (!want_quantile && !want_histogram) return Status::OK();
+  for (GroupResult& g : result->groups) {
+    auto it = sketches.find(g.key);
+    if (it == sketches.end() || it->second.count() == 0) {
+      return Status::Internal(
+          "group has moments but no quantile sketch — sketch accumulation "
+          "was not enabled on the scan");
+    }
+    const stats::QuantileSketch& s = it->second;
+    g.sketch_samples = s.count();
+    // Reported rank band: the deterministic sketch bound, plus the DKW
+    // uniform-CDF sampling term when the sketch saw a sample rather than
+    // every matching row.
+    double eps = s.RankErrorFraction();
+    if (sampled) {
+      eps += std::sqrt(std::log(2.0 / (1.0 - options.confidence)) /
+                       (2.0 * static_cast<double>(s.count())));
+    }
+    if (eps > 1.0) eps = 1.0;
+    g.rank_error = eps;
+    if (want_quantile) {
+      const double q = summary.quantile_q;
+      g.quantile_value = s.Query(q);
+      g.quantile_lo = s.Query(q - eps);
+      g.quantile_hi = s.Query(q + eps);
+      g.meets_precision = eps <= options.precision;
+    }
+    if (want_histogram) {
+      g.histogram = s.Histogram(summary.histogram_bins);
+      // Scale sample weights to estimated matching rows.
+      const double factor =
+          g.count_estimate / static_cast<double>(s.count());
+      for (double& b : g.histogram) b *= factor;
+      g.histogram_lo = s.min();
+      g.histogram_hi = s.max();
+    }
+  }
+  return Status::OK();
+}
+
+void ApplyTopK(uint64_t top_k, GroupedAggregateResult* result) {
+  result->total_groups = result->groups.size();
+  if (top_k == 0 || top_k >= result->groups.size()) return;
+  std::stable_sort(result->groups.begin(), result->groups.end(),
+                   [](const GroupResult& a, const GroupResult& b) {
+                     if (a.count_estimate != b.count_estimate) {
+                       return a.count_estimate > b.count_estimate;
+                     }
+                     return a.key < b.key;
+                   });
+  result->groups.resize(top_k);
 }
 
 Result<GroupedAggregateResult> GroupByEngine::Aggregate(
@@ -363,7 +447,8 @@ Result<GroupedAggregateResult> GroupByEngine::Aggregate(
   // streams, then a deterministic merge in block order.
   auto run_phase = [&](uint64_t phase_salt,
                        const std::vector<uint64_t>& alloc,
-                       GroupedBlockPartial* merged) -> Status {
+                       GroupedBlockPartial* merged,
+                       bool want_sketch) -> Status {
     std::vector<GroupedBlockPartial> partials(num_blocks);
     ISLA_RETURN_NOT_OK(runtime::ParallelFor(
         num_blocks, options_.parallelism, [&](uint64_t j) -> Status {
@@ -375,7 +460,7 @@ Result<GroupedAggregateResult> GroupByEngine::Aggregate(
                                      block_of(spec.predicate, j), spec.op,
                                      spec.literal, block_of(spec.keys, j),
                                      alloc[j], &rng, &partials[j],
-                                     lease.get());
+                                     lease.get(), want_sketch);
         }));
     for (const GroupedBlockPartial& partial : partials) {
       ISLA_RETURN_NOT_OK(merged->Merge(partial));
@@ -390,7 +475,7 @@ Result<GroupedAggregateResult> GroupByEngine::Aggregate(
   ISLA_RETURN_NOT_OK(run_phase(kGroupPilotSalt,
                                sampling::ProportionalAllocation(sizes,
                                                                 pilot_size),
-                               &pilot_merged));
+                               &pilot_merged, /*want_sketch=*/false));
   GroupedPilot pilot;
   pilot.pilot_samples = pilot_merged.scanned;
   pilot.all = pilot_merged.all;
@@ -398,17 +483,27 @@ Result<GroupedAggregateResult> GroupByEngine::Aggregate(
 
   // --- Calculation: one shared scan sized for the weakest group ---
   ISLA_ASSIGN_OR_RETURN(uint64_t scan,
-                        PlanGroupedScan(pilot, options_, values.num_rows()));
+                        PlanGroupedScan(pilot, options_, values.num_rows(),
+                                        spec.want_sketch));
   GroupedBlockPartial main_merged;
   if (scan > 0) {
     ISLA_RETURN_NOT_OK(run_phase(kGroupCalcSalt,
                                  sampling::ProportionalAllocation(sizes, scan),
-                                 &main_merged));
+                                 &main_merged, spec.want_sketch));
   }
 
   // --- Summarization: per-group answers + (e, β) contracts ---
-  return SummarizeGroups(main_merged.groups, values.num_rows(),
-                         main_merged.scanned, pilot.pilot_samples, options_);
+  ISLA_ASSIGN_OR_RETURN(
+      GroupedAggregateResult result,
+      SummarizeGroups(main_merged.groups, values.num_rows(),
+                      main_merged.scanned, pilot.pilot_samples, options_));
+  if (spec.want_sketch) {
+    ISLA_RETURN_NOT_OK(ApplyQuantileSummary(main_merged.sketches,
+                                            spec.summary, options_,
+                                            /*sampled=*/true, &result));
+  }
+  ApplyTopK(spec.summary.top_k, &result);
+  return result;
 }
 
 }  // namespace core

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "core/options.h"
 #include "runtime/scratch_arena.h"
+#include "stats/sketch.h"
 #include "storage/table.h"
 #include "util/rng.h"
 
@@ -80,6 +81,10 @@ struct GroupMoments {
 /// ordered map makes every merge and summarization iteration deterministic.
 using GroupMap = std::map<double, GroupMoments>;
 
+/// Per-group quantile sketches, keyed like GroupMap (ordered, so sketch
+/// merges iterate deterministically).
+using SketchMap = std::map<double, stats::QuantileSketch>;
+
 /// Hard cap on distinct keys: GROUP BY on an effectively continuous column
 /// is a usage error, not a workload.
 inline constexpr size_t kMaxGroups = 4096;
@@ -90,6 +95,7 @@ struct GroupedBlockPartial {
   uint64_t scanned = 0;  // rows sampled (before the predicate)
   GroupMoments all;      // every matching row, regardless of group
   GroupMap groups;       // matching rows routed by group key
+  SketchMap sketches;    // per-group quantile sketches (want_sketch runs)
 
   /// Folds `other` into this partial. Call in block order.
   Status Merge(const GroupedBlockPartial& other);
@@ -98,12 +104,24 @@ struct GroupedBlockPartial {
 /// A grouped, optionally predicated aggregation over row-aligned columns.
 /// `predicate`/`keys` may be null (no WHERE / single implicit group). All
 /// non-null columns must have the same block structure as `values`.
+/// Post-merge summary of a quantile/histogram/top-k query. These are pure
+/// post-processing parameters: they never cross the distributed wire (only
+/// want_sketch does) — the coordinator applies them after merging, exactly
+/// like the local engine.
+struct QuantileSummarySpec {
+  double quantile_q = -1.0;     // in [0,1] fills quantile fields; < 0 = off
+  uint64_t histogram_bins = 0;  // > 0 fills per-group histogram fields
+  uint64_t top_k = 0;           // > 0 keeps only the k largest groups
+};
+
 struct GroupedSpec {
   const storage::Column* values = nullptr;
   const storage::Column* predicate = nullptr;
   PredicateOp op = PredicateOp::kGe;
   double literal = 0.0;
   const storage::Column* keys = nullptr;
+  bool want_sketch = false;  // accumulate per-group quantile sketches
+  QuantileSummarySpec summary;
 };
 
 /// Checks that predicate/key columns are row-aligned with the value column
@@ -118,7 +136,7 @@ Status ValidateGroupedSpec(const GroupedSpec& spec);
 /// Returns ResourceExhausted when the group cap is exceeded.
 Status RouteGroupedRow(const double* pred, PredicateOp op, double literal,
                        const double* key, double value, GroupMoments* all,
-                       GroupMap* groups);
+                       GroupMap* groups, SketchMap* sketches = nullptr);
 
 /// Batch form of the router consumed by both the sampler and the exact
 /// full scan: rows with mask[i] == 0 are skipped (pass mask == nullptr for
@@ -138,7 +156,8 @@ Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
 /// scalar accumulator walk. A null `scratch` falls back to the row loop.
 Status RouteGroupedBatch(std::span<const double> values, const uint8_t* mask,
                          const double* keys, GroupMoments* all,
-                         GroupMap* groups, runtime::ScratchArena* scratch);
+                         GroupMap* groups, runtime::ScratchArena* scratch,
+                         SketchMap* sketches = nullptr);
 
 /// Samples `sample_count` rows with replacement from one block shard (the
 /// value block plus the aligned predicate/key blocks, either of which may be
@@ -153,7 +172,8 @@ Status RunGroupedBlockPass(const storage::Block& values,
                            const storage::Block* key_block,
                            uint64_t sample_count, Xoshiro256* rng,
                            GroupedBlockPartial* out,
-                           runtime::ScratchArena* scratch = nullptr);
+                           runtime::ScratchArena* scratch = nullptr,
+                           bool want_sketch = false);
 
 /// The merged pilot of a grouped query, input to scan planning.
 struct GroupedPilot {
@@ -170,9 +190,15 @@ struct GroupedPilot {
 /// scanned rows but matched nothing plans a 100×-pilot fallback scan
 /// (clamped to data_size) so rare-but-present groups still surface; only a
 /// pilot that scanned nothing plans 0.
+/// When `want_sketch` is set, each group's matching-sample requirement also
+/// covers the quantile contract: the DKW inequality needs
+/// m ≥ ln(2/(1−β))/(2e²) matching samples for a uniform ±e rank band at
+/// confidence β, with e read as options.precision in rank space (clamped
+/// to ≤ 1).
 Result<uint64_t> PlanGroupedScan(const GroupedPilot& pilot,
                                  const IslaOptions& options,
-                                 uint64_t data_size);
+                                 uint64_t data_size,
+                                 bool want_sketch = false);
 
 /// One group's answer with its per-group precision contract.
 struct GroupResult {
@@ -184,16 +210,29 @@ struct GroupResult {
   double count_ci_half_width = 0.0;  // half-width of the COUNT CI at β
   uint64_t samples = 0;         // matching samples routed to this group
   bool meets_precision = false; // ci_half_width <= requested e
+
+  // Quantile surface, filled by ApplyQuantileSummary on want_sketch runs.
+  double quantile_value = 0.0;  // sketch value at the requested q
+  double rank_error = 0.0;      // reported ±ε rank band (fraction of rows)
+  double quantile_lo = 0.0;     // value band: Query(q − ε)
+  double quantile_hi = 0.0;     //             Query(q + ε)
+  uint64_t sketch_samples = 0;  // rows folded into this group's sketch
+  std::vector<double> histogram;  // estimated matching rows per bin
+  double histogram_lo = 0.0;    // histogram value range [lo, hi]
+  double histogram_hi = 0.0;
 };
 
 /// Everything a grouped run produces.
 struct GroupedAggregateResult {
-  std::vector<GroupResult> groups;  // ascending by key
+  // Ascending by key; after ApplyTopK, descending by count_estimate
+  // (ties: ascending key) and truncated to k.
+  std::vector<GroupResult> groups;
   uint64_t data_size = 0;           // M
   uint64_t scanned_samples = 0;     // main-pass rows scanned
   uint64_t pilot_samples = 0;
   double precision = 0.0;           // requested e
   double confidence = 0.0;          // requested β
+  uint64_t total_groups = 0;        // group count before any top-k cut
 };
 
 /// Turns merged main-pass partials into per-group answers. `scanned` is the
@@ -204,6 +243,25 @@ Result<GroupedAggregateResult> SummarizeGroups(const GroupMap& merged,
                                                uint64_t scanned,
                                                uint64_t pilot_samples,
                                                const IslaOptions& options);
+
+/// Fills the per-group quantile/histogram fields of `result` from the
+/// merged sketches. The reported rank band is the deterministic sketch
+/// bound plus, when `sampled`, the DKW sampling term
+/// √(ln(2/(1−β)) / (2·m_g)) at confidence β = options.confidence; the
+/// value band [quantile_lo, quantile_hi] is the sketch queried at q ∓ ε.
+/// Histogram bins are equal-width over the group's exact sampled
+/// [min, max], scaled to estimated matching rows (count_estimate).
+/// Pure post-processing: deterministic given the merged sketches.
+Status ApplyQuantileSummary(const SketchMap& sketches,
+                            const QuantileSummarySpec& summary,
+                            const IslaOptions& options, bool sampled,
+                            GroupedAggregateResult* result);
+
+/// Keeps the `top_k` groups with the largest count_estimate (ties: the
+/// smaller key wins), reordering them by descending count. A no-op when
+/// top_k is 0 or not smaller than the group count. total_groups records
+/// the pre-cut count either way.
+void ApplyTopK(uint64_t top_k, GroupedAggregateResult* result);
 
 /// Grouped online aggregation: Pre-estimation (shared grouped pilot) →
 /// Calculation (one shared scan, predicate evaluated on gathered batches,

@@ -219,11 +219,13 @@ Result<core::GroupedAggregateResult> Coordinator::AggregateGrouped(
   // Runs one phase: per-worker requests fanned out across
   // options_.parallelism threads, responses merged in worker order — the
   // same deterministic merge the local engine performs in block order.
-  // (Skip-above-first-failure as in AggregateAvg's plan round.)
+  // (Skip-above-first-failure as in AggregateAvg's plan round.) With
+  // `want_sketch`, the phase speaks the sketch frames instead and the
+  // merged partial carries per-group quantile sketches.
   auto run_phase = [&](uint64_t stream_seed,
-                       const std::vector<uint64_t>& alloc,
+                       const std::vector<uint64_t>& alloc, bool want_sketch,
                        core::GroupedBlockPartial* merged) -> Status {
-    std::vector<GroupedScanResponse> responses(n_workers);
+    std::vector<core::GroupedBlockPartial> partials(n_workers);
     std::atomic<uint64_t> first_failed{std::numeric_limits<uint64_t>::max()};
     ISLA_RETURN_NOT_OK(runtime::ParallelFor(
         n_workers, options_.parallelism, [&](uint64_t w) -> Status {
@@ -234,12 +236,25 @@ Result<core::GroupedAggregateResult> Coordinator::AggregateGrouped(
             GroupedScanRequest req = base;
             req.sample_count = alloc[w];
             req.stream_seed = stream_seed;
+            const std::string req_frame =
+                want_sketch ? Encode(SketchScanRequest{req}) : Encode(req);
             ISLA_ASSIGN_OR_RETURN(std::string resp_frame,
-                                  transport_->Call(w, Encode(req)));
-            ISLA_ASSIGN_OR_RETURN(responses[w],
-                                  DecodeGroupedScanResponse(resp_frame));
-            if (responses[w].query_id != query_id ||
-                responses[w].worker_id != w) {
+                                  transport_->Call(w, req_frame));
+            uint64_t resp_query = 0, resp_worker = 0;
+            if (want_sketch) {
+              ISLA_ASSIGN_OR_RETURN(SketchScanResponse resp,
+                                    DecodeSketchScanResponse(resp_frame));
+              resp_query = resp.query_id;
+              resp_worker = resp.worker_id;
+              partials[w] = std::move(resp.partial);
+            } else {
+              ISLA_ASSIGN_OR_RETURN(GroupedScanResponse resp,
+                                    DecodeGroupedScanResponse(resp_frame));
+              resp_query = resp.query_id;
+              resp_worker = resp.worker_id;
+              partials[w] = std::move(resp.partial);
+            }
+            if (resp_query != query_id || resp_worker != w) {
               return Status::Internal(
                   "grouped response for wrong query or worker");
             }
@@ -254,8 +269,8 @@ Result<core::GroupedAggregateResult> Coordinator::AggregateGrouped(
           }
           return s;
         }));
-    for (const GroupedScanResponse& resp : responses) {
-      ISLA_RETURN_NOT_OK(merged->Merge(resp.partial));
+    for (const core::GroupedBlockPartial& partial : partials) {
+      ISLA_RETURN_NOT_OK(merged->Merge(partial));
     }
     return Status::OK();
   };
@@ -283,14 +298,15 @@ Result<core::GroupedAggregateResult> Coordinator::AggregateGrouped(
     return Status::FailedPrecondition("workers hold no rows");
   }
 
-  // --- Phase 1: grouped pilot on the per-block pilot streams. ---
+  // --- Phase 1: grouped pilot on the per-block pilot streams. The pilot
+  // never folds sketches — exactly like the local engine's pilot phase. ---
   const uint64_t pilot_size =
       std::min<uint64_t>(options_.sigma_pilot_size, data_size);
   core::GroupedBlockPartial pilot_merged;
   ISLA_RETURN_NOT_OK(run_phase(
       SplitMix64::Hash(options_.seed, seed_salt ^ core::kGroupPilotSalt),
       sampling::ProportionalAllocation(shard_rows, pilot_size),
-      &pilot_merged));
+      /*want_sketch=*/false, &pilot_merged));
   core::GroupedPilot pilot;
   pilot.pilot_samples = pilot_merged.scanned;
   pilot.all = pilot_merged.all;
@@ -298,18 +314,30 @@ Result<core::GroupedAggregateResult> Coordinator::AggregateGrouped(
 
   // --- Phase 2: shared scan sized for the weakest group. ---
   ISLA_ASSIGN_OR_RETURN(uint64_t scan,
-                        core::PlanGroupedScan(pilot, options_, data_size));
+                        core::PlanGroupedScan(pilot, options_, data_size,
+                                              spec.want_sketch));
   core::GroupedBlockPartial main_merged;
   if (scan > 0) {
     ISLA_RETURN_NOT_OK(run_phase(
         SplitMix64::Hash(options_.seed, seed_salt ^ core::kGroupCalcSalt),
-        sampling::ProportionalAllocation(shard_rows, scan), &main_merged));
+        sampling::ProportionalAllocation(shard_rows, scan), spec.want_sketch,
+        &main_merged));
   }
 
-  // --- Summarization: identical pure function as the local engine. ---
-  return core::SummarizeGroups(main_merged.groups, data_size,
-                               main_merged.scanned, pilot.pilot_samples,
-                               options_);
+  // --- Summarization: identical pure functions as the local engine, so
+  // the distributed answer matches GroupByEngine::Aggregate bit for bit. ---
+  ISLA_ASSIGN_OR_RETURN(
+      core::GroupedAggregateResult result,
+      core::SummarizeGroups(main_merged.groups, data_size,
+                            main_merged.scanned, pilot.pilot_samples,
+                            options_));
+  if (spec.want_sketch) {
+    ISLA_RETURN_NOT_OK(core::ApplyQuantileSummary(main_merged.sketches,
+                                                  spec.summary, options_,
+                                                  /*sampled=*/true, &result));
+  }
+  core::ApplyTopK(spec.summary.top_k, &result);
+  return result;
 }
 
 }  // namespace distributed

@@ -79,11 +79,16 @@ struct DistributedResult {
 
 /// Predicate/group clauses of a distributed grouped query. Only the clause
 /// crosses the wire — each worker applies it to its own column shards.
+/// `want_sketch` switches the main scan to sketch frames (workers fold
+/// per-group quantile sketches); `summary` is coordinator-side
+/// post-processing only and never crosses the wire.
 struct GroupedQuerySpec {
   bool has_predicate = false;
   core::PredicateOp op = core::PredicateOp::kGe;
   double literal = 0.0;
   bool has_group = false;
+  bool want_sketch = false;
+  core::QuantileSummarySpec summary;
 };
 
 /// The center node (§VII-E): runs pre-estimation by broadcasting pilot

@@ -120,6 +120,75 @@ Status GetOptions(Reader* r, core::IslaOptions* o) {
   return Status::OK();
 }
 
+/// Shared body of kGroupedScanRequest and kSketchScanRequest — the two
+/// frames differ only by tag.
+void PutGroupedScanFields(Writer* w, const GroupedScanRequest& m) {
+  w->PutU64(m.query_id);
+  w->PutU64(m.sample_count);
+  w->PutU64(m.stream_seed);
+  w->PutU64(m.has_predicate);
+  w->PutU64(static_cast<uint64_t>(m.op));
+  w->PutF64(m.literal);
+  w->PutU64(m.has_group);
+}
+
+Status GetGroupedScanFields(Reader* r, GroupedScanRequest* m) {
+  ISLA_RETURN_NOT_OK(r->GetU64(&m->query_id));
+  ISLA_RETURN_NOT_OK(r->GetU64(&m->sample_count));
+  ISLA_RETURN_NOT_OK(r->GetU64(&m->stream_seed));
+  ISLA_RETURN_NOT_OK(r->GetU64(&m->has_predicate));
+  uint64_t op = 0;
+  ISLA_RETURN_NOT_OK(r->GetU64(&op));
+  if (op > static_cast<uint64_t>(core::PredicateOp::kGe)) {
+    return Status::Corruption("predicate operator out of range");
+  }
+  m->op = static_cast<core::PredicateOp>(op);
+  ISLA_RETURN_NOT_OK(r->GetF64(&m->literal));
+  ISLA_RETURN_NOT_OK(r->GetU64(&m->has_group));
+  return Status::OK();
+}
+
+/// Shared moments section of kGroupedScanResponse and kSketchScanResponse.
+void PutGroupedPartialFields(Writer* w, const core::GroupedBlockPartial& p) {
+  w->PutU64(p.block_rows);
+  w->PutU64(p.scanned);
+  w->PutU64(p.all.n);
+  w->PutF64(p.all.mean);
+  w->PutF64(p.all.m2);
+  w->PutU64(p.groups.size());
+  for (const auto& [key, moments] : p.groups) {
+    w->PutF64(key);
+    w->PutU64(moments.n);
+    w->PutF64(moments.mean);
+    w->PutF64(moments.m2);
+  }
+}
+
+Status GetGroupedPartialFields(Reader* r, core::GroupedBlockPartial* p) {
+  ISLA_RETURN_NOT_OK(r->GetU64(&p->block_rows));
+  ISLA_RETURN_NOT_OK(r->GetU64(&p->scanned));
+  ISLA_RETURN_NOT_OK(r->GetU64(&p->all.n));
+  ISLA_RETURN_NOT_OK(r->GetF64(&p->all.mean));
+  ISLA_RETURN_NOT_OK(r->GetF64(&p->all.m2));
+  uint64_t num_groups = 0;
+  ISLA_RETURN_NOT_OK(r->GetU64(&num_groups));
+  if (num_groups > core::kMaxGroups) {
+    return Status::Corruption("grouped response exceeds the group cap");
+  }
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    double key = 0.0;
+    core::GroupMoments moments;
+    ISLA_RETURN_NOT_OK(r->GetF64(&key));
+    ISLA_RETURN_NOT_OK(r->GetU64(&moments.n));
+    ISLA_RETURN_NOT_OK(r->GetF64(&moments.mean));
+    ISLA_RETURN_NOT_OK(r->GetF64(&moments.m2));
+    if (std::isnan(key) || !p->groups.emplace(key, moments).second) {
+      return Status::Corruption("grouped response has invalid group keys");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string Encode(const PilotRequest& m) {
@@ -176,13 +245,7 @@ std::string Encode(const PartialResult& m) {
 
 std::string Encode(const GroupedScanRequest& m) {
   Writer w(MessageType::kGroupedScanRequest);
-  w.PutU64(m.query_id);
-  w.PutU64(m.sample_count);
-  w.PutU64(m.stream_seed);
-  w.PutU64(m.has_predicate);
-  w.PutU64(static_cast<uint64_t>(m.op));
-  w.PutF64(m.literal);
-  w.PutU64(m.has_group);
+  PutGroupedScanFields(&w, m);
   return w.Take();
 }
 
@@ -190,17 +253,35 @@ std::string Encode(const GroupedScanResponse& m) {
   Writer w(MessageType::kGroupedScanResponse);
   w.PutU64(m.query_id);
   w.PutU64(m.worker_id);
-  w.PutU64(m.partial.block_rows);
-  w.PutU64(m.partial.scanned);
-  w.PutU64(m.partial.all.n);
-  w.PutF64(m.partial.all.mean);
-  w.PutF64(m.partial.all.m2);
-  w.PutU64(m.partial.groups.size());
-  for (const auto& [key, moments] : m.partial.groups) {
+  PutGroupedPartialFields(&w, m.partial);
+  return w.Take();
+}
+
+std::string Encode(const SketchScanRequest& m) {
+  Writer w(MessageType::kSketchScanRequest);
+  PutGroupedScanFields(&w, m.scan);
+  return w.Take();
+}
+
+std::string Encode(const SketchScanResponse& m) {
+  Writer w(MessageType::kSketchScanResponse);
+  w.PutU64(m.query_id);
+  w.PutU64(m.worker_id);
+  PutGroupedPartialFields(&w, m.partial);
+  w.PutU64(m.partial.sketches.size());
+  for (const auto& [key, s] : m.partial.sketches) {
     w.PutF64(key);
-    w.PutU64(moments.n);
-    w.PutF64(moments.mean);
-    w.PutF64(moments.m2);
+    w.PutU64(s.capacity());
+    w.PutU64(s.count());
+    w.PutF64(s.min());
+    w.PutF64(s.max());
+    w.PutU64(s.error_weight());
+    w.PutU64(s.num_levels());
+    for (size_t l = 0; l < s.num_levels(); ++l) {
+      w.PutU64(s.level_parity(l));
+      w.PutU64(s.level(l).size());
+      for (double v : s.level(l)) w.PutF64(v);
+    }
   }
   return w.Take();
 }
@@ -247,7 +328,7 @@ Result<MessageType> PeekType(const std::string& frame) {
   }
   uint32_t tag = 0;
   std::memcpy(&tag, frame.data(), sizeof(tag));
-  if (tag < 1 || tag > 9) {
+  if (tag < 1 || tag > 11) {
     return Status::Corruption("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -321,18 +402,7 @@ Result<GroupedScanRequest> DecodeGroupedScanRequest(const std::string& frame) {
   Reader r(frame);
   ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kGroupedScanRequest));
   GroupedScanRequest m;
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.sample_count));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.stream_seed));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.has_predicate));
-  uint64_t op = 0;
-  ISLA_RETURN_NOT_OK(r.GetU64(&op));
-  if (op > static_cast<uint64_t>(core::PredicateOp::kGe)) {
-    return Status::Corruption("predicate operator out of range");
-  }
-  m.op = static_cast<core::PredicateOp>(op);
-  ISLA_RETURN_NOT_OK(r.GetF64(&m.literal));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.has_group));
+  ISLA_RETURN_NOT_OK(GetGroupedScanFields(&r, &m));
   ISLA_RETURN_NOT_OK(r.Finish());
   return m;
 }
@@ -344,25 +414,78 @@ Result<GroupedScanResponse> DecodeGroupedScanResponse(
   GroupedScanResponse m;
   ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
   ISLA_RETURN_NOT_OK(r.GetU64(&m.worker_id));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.partial.block_rows));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.partial.scanned));
-  ISLA_RETURN_NOT_OK(r.GetU64(&m.partial.all.n));
-  ISLA_RETURN_NOT_OK(r.GetF64(&m.partial.all.mean));
-  ISLA_RETURN_NOT_OK(r.GetF64(&m.partial.all.m2));
-  uint64_t num_groups = 0;
-  ISLA_RETURN_NOT_OK(r.GetU64(&num_groups));
-  if (num_groups > core::kMaxGroups) {
-    return Status::Corruption("grouped response exceeds the group cap");
+  ISLA_RETURN_NOT_OK(GetGroupedPartialFields(&r, &m.partial));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<SketchScanRequest> DecodeSketchScanRequest(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kSketchScanRequest));
+  SketchScanRequest m;
+  ISLA_RETURN_NOT_OK(GetGroupedScanFields(&r, &m.scan));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<SketchScanResponse> DecodeSketchScanResponse(
+    const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kSketchScanResponse));
+  SketchScanResponse m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.query_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.worker_id));
+  ISLA_RETURN_NOT_OK(GetGroupedPartialFields(&r, &m.partial));
+  uint64_t num_sketches = 0;
+  ISLA_RETURN_NOT_OK(r.GetU64(&num_sketches));
+  if (num_sketches > core::kMaxGroups) {
+    return Status::Corruption("sketch response exceeds the group cap");
   }
-  for (uint64_t g = 0; g < num_groups; ++g) {
+  for (uint64_t i = 0; i < num_sketches; ++i) {
     double key = 0.0;
-    core::GroupMoments moments;
+    uint64_t capacity = 0, count = 0, error_weight = 0, num_levels = 0;
+    double min_v = 0.0, max_v = 0.0;
     ISLA_RETURN_NOT_OK(r.GetF64(&key));
-    ISLA_RETURN_NOT_OK(r.GetU64(&moments.n));
-    ISLA_RETURN_NOT_OK(r.GetF64(&moments.mean));
-    ISLA_RETURN_NOT_OK(r.GetF64(&moments.m2));
-    if (std::isnan(key) || !m.partial.groups.emplace(key, moments).second) {
-      return Status::Corruption("grouped response has invalid group keys");
+    ISLA_RETURN_NOT_OK(r.GetU64(&capacity));
+    ISLA_RETURN_NOT_OK(r.GetU64(&count));
+    ISLA_RETURN_NOT_OK(r.GetF64(&min_v));
+    ISLA_RETURN_NOT_OK(r.GetF64(&max_v));
+    ISLA_RETURN_NOT_OK(r.GetU64(&error_weight));
+    ISLA_RETURN_NOT_OK(r.GetU64(&num_levels));
+    // FromParts re-validates everything below, but the caps here keep a
+    // garbage length field from driving huge loops/allocations first.
+    if (num_levels > 64) {
+      return Status::Corruption("sketch blob has too many levels");
+    }
+    std::vector<std::vector<double>> levels;
+    std::vector<uint8_t> parities;
+    for (uint64_t l = 0; l < num_levels; ++l) {
+      uint64_t parity = 0, size = 0;
+      ISLA_RETURN_NOT_OK(r.GetU64(&parity));
+      if (parity > 1) {
+        return Status::Corruption("sketch blob has a non-boolean parity");
+      }
+      ISLA_RETURN_NOT_OK(r.GetU64(&size));
+      if (size >= capacity || capacity > 65536) {
+        return Status::Corruption("sketch blob level exceeds its capacity");
+      }
+      std::vector<double> level(size);
+      for (uint64_t j = 0; j < size; ++j) {
+        ISLA_RETURN_NOT_OK(r.GetF64(&level[j]));
+      }
+      levels.push_back(std::move(level));
+      parities.push_back(static_cast<uint8_t>(parity));
+    }
+    Result<stats::QuantileSketch> sketch = stats::QuantileSketch::FromParts(
+        capacity, count, min_v, max_v, error_weight, std::move(levels),
+        std::move(parities));
+    if (!sketch.ok()) {
+      return Status::Corruption("sketch blob failed validation: " +
+                                sketch.status().message());
+    }
+    if (std::isnan(key) ||
+        !m.partial.sketches.emplace(key, std::move(sketch).value()).second) {
+      return Status::Corruption("sketch response has invalid group keys");
     }
   }
   ISLA_RETURN_NOT_OK(r.Finish());

@@ -28,6 +28,8 @@ enum class MessageType : uint32_t {
   kError = 7,
   kRegister = 8,
   kRegisterAck = 9,
+  kSketchScanRequest = 10,
+  kSketchScanResponse = 11,
 };
 
 /// Coordinator → worker: draw `sample_count` uniform pilot samples.
@@ -104,6 +106,27 @@ struct GroupedScanResponse {
   core::GroupedBlockPartial partial;
 };
 
+/// Coordinator → worker: a grouped scan phase that additionally folds every
+/// routed value into one quantile sketch per group. Same fields as
+/// GroupedScanRequest — the tag alone turns sketch accumulation on. The
+/// summary parameters (q, bins, top-k) never cross the wire: they are pure
+/// post-processing the coordinator applies after the merge, so the shards
+/// stay oblivious to what question the sketches will answer.
+struct SketchScanRequest {
+  GroupedScanRequest scan;
+};
+
+/// Worker → coordinator: the shard's grouped partial plus its per-group
+/// sketch state. The sketch blobs carry the complete compactor state —
+/// levels, per-level parities, error weight — so the coordinator's merge of
+/// decoded sketches is bit-identical to the local engine's merge of
+/// in-memory ones.
+struct SketchScanResponse {
+  uint64_t query_id = 0;
+  uint64_t worker_id = 0;
+  core::GroupedBlockPartial partial;  // sketches ride in partial.sketches
+};
+
 /// Either direction: a Status crossing the wire. The in-process loopback
 /// transport returns Result errors directly, but over TCP a worker that
 /// fails a request must still answer — the server wraps the Status in this
@@ -163,6 +186,8 @@ std::string Encode(const QueryPlan& m);
 std::string Encode(const PartialResult& m);
 std::string Encode(const GroupedScanRequest& m);
 std::string Encode(const GroupedScanResponse& m);
+std::string Encode(const SketchScanRequest& m);
+std::string Encode(const SketchScanResponse& m);
 std::string Encode(const ErrorFrame& m);
 std::string Encode(const RegisterFrame& m);
 std::string Encode(const RegisterAck& m);
@@ -177,6 +202,8 @@ Result<PartialResult> DecodePartialResult(const std::string& frame);
 Result<GroupedScanRequest> DecodeGroupedScanRequest(const std::string& frame);
 Result<GroupedScanResponse> DecodeGroupedScanResponse(
     const std::string& frame);
+Result<SketchScanRequest> DecodeSketchScanRequest(const std::string& frame);
+Result<SketchScanResponse> DecodeSketchScanResponse(const std::string& frame);
 Result<ErrorFrame> DecodeErrorFrame(const std::string& frame);
 Result<RegisterFrame> DecodeRegisterFrame(const std::string& frame);
 Result<RegisterAck> DecodeRegisterAck(const std::string& frame);

@@ -40,6 +40,11 @@ Result<std::string> Worker::HandleRequest(const std::string& frame) const {
                             DecodeGroupedScanRequest(frame));
       return HandleGroupedScan(req);
     }
+    case MessageType::kSketchScanRequest: {
+      ISLA_ASSIGN_OR_RETURN(SketchScanRequest req,
+                            DecodeSketchScanRequest(frame));
+      return HandleSketchScan(req);
+    }
     default:
       return Status::InvalidArgument(
           "worker cannot handle this message type");
@@ -118,8 +123,9 @@ Result<std::string> Worker::HandlePlan(const QueryPlan& plan) const {
   return Encode(out);
 }
 
-Result<std::string> Worker::HandleGroupedScan(
-    const GroupedScanRequest& request) const {
+Status Worker::RunGroupedShardScan(const GroupedScanRequest& request,
+                                   bool want_sketch,
+                                   core::GroupedBlockPartial* partial) const {
   const storage::Block* pred = nullptr;
   const storage::Block* keys = nullptr;
   if (request.has_predicate != 0) {
@@ -144,10 +150,7 @@ Result<std::string> Worker::HandleGroupedScan(
     keys = key_block_.get();
   }
 
-  GroupedScanResponse resp;
-  resp.query_id = request.query_id;
-  resp.worker_id = worker_id_;
-  resp.partial.block_rows = block_->size();
+  partial->block_rows = block_->size();
   if (request.sample_count > 0) {
     // The identical stream the single-node engine derives for block
     // `worker_id_`: Hash(stream_seed, index).
@@ -155,8 +158,28 @@ Result<std::string> Worker::HandleGroupedScan(
     runtime::ScratchPool::Lease lease = scratch_pool_.Acquire();
     ISLA_RETURN_NOT_OK(core::RunGroupedBlockPass(
         *block_, pred, request.op, request.literal, keys,
-        request.sample_count, &rng, &resp.partial, lease.get()));
+        request.sample_count, &rng, partial, lease.get(), want_sketch));
   }
+  return Status::OK();
+}
+
+Result<std::string> Worker::HandleGroupedScan(
+    const GroupedScanRequest& request) const {
+  GroupedScanResponse resp;
+  resp.query_id = request.query_id;
+  resp.worker_id = worker_id_;
+  ISLA_RETURN_NOT_OK(RunGroupedShardScan(request, /*want_sketch=*/false,
+                                         &resp.partial));
+  return Encode(resp);
+}
+
+Result<std::string> Worker::HandleSketchScan(
+    const SketchScanRequest& request) const {
+  SketchScanResponse resp;
+  resp.query_id = request.scan.query_id;
+  resp.worker_id = worker_id_;
+  ISLA_RETURN_NOT_OK(RunGroupedShardScan(request.scan, /*want_sketch=*/true,
+                                         &resp.partial));
   return Encode(resp);
 }
 

@@ -31,7 +31,8 @@ class Worker {
 
   /// Dispatches one serialized request frame and returns a serialized
   /// response frame. Supported requests: PilotRequest → PilotResponse,
-  /// QueryPlan → PartialResult, GroupedScanRequest → GroupedScanResponse.
+  /// QueryPlan → PartialResult, GroupedScanRequest → GroupedScanResponse,
+  /// SketchScanRequest → SketchScanResponse.
   Result<std::string> HandleRequest(const std::string& frame) const;
 
   uint64_t worker_id() const { return worker_id_; }
@@ -42,6 +43,13 @@ class Worker {
   Result<std::string> HandlePlan(const QueryPlan& plan) const;
   Result<std::string> HandleGroupedScan(
       const GroupedScanRequest& request) const;
+  Result<std::string> HandleSketchScan(
+      const SketchScanRequest& request) const;
+  /// Shared body of the two scan handlers: validates shard alignment and
+  /// runs the block pass (with per-group sketches when `want_sketch`).
+  Status RunGroupedShardScan(const GroupedScanRequest& request,
+                             bool want_sketch,
+                             core::GroupedBlockPartial* partial) const;
 
   uint64_t worker_id_;
   storage::BlockPtr block_;

@@ -57,6 +57,7 @@ Result<core::GroupedAggregateResult> ExactGroupedScan(
   ISLA_RETURN_NOT_OK(core::ValidateGroupedSpec(spec));
   const storage::Column& values = *spec.values;
   core::GroupMap merged;
+  core::SketchMap sketches;
   std::vector<double> vals, preds, keys;
   std::vector<uint8_t> mask;
   for (size_t j = 0; j < values.num_blocks(); ++j) {
@@ -80,7 +81,8 @@ Result<core::GroupedAggregateResult> ExactGroupedScan(
       if (kb != nullptr) ISLA_RETURN_NOT_OK(kb->ReadRange(start, n, &keys));
       ISLA_RETURN_NOT_OK(core::RouteGroupedBatch(
           {vals.data(), n}, mask_ptr, kb != nullptr ? keys.data() : nullptr,
-          /*all=*/nullptr, &merged, scratch));
+          /*all=*/nullptr, &merged, scratch,
+          spec.want_sketch ? &sketches : nullptr));
     }
   }
 
@@ -100,6 +102,14 @@ Result<core::GroupedAggregateResult> ExactGroupedScan(
     g.meets_precision = true;
     out.groups.push_back(g);
   }
+  if (spec.want_sketch) {
+    // The sketch saw every matching row, so no sampling term — the rank
+    // band is the deterministic sketch bound alone.
+    ISLA_RETURN_NOT_OK(core::ApplyQuantileSummary(sketches, spec.summary,
+                                                  options, /*sampled=*/false,
+                                                  &out));
+  }
+  core::ApplyTopK(spec.summary.top_k, &out);
   return out;
 }
 
@@ -147,10 +157,12 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
   out.method = spec.method;
   Timer timer;
 
-  // Predicated, grouped, and COUNT queries run the shared-scan grouped
-  // pipeline: one sampling pass feeds every group's accumulator.
+  // Predicated, grouped, COUNT, and sketch-backed queries run the
+  // shared-scan grouped pipeline: one sampling pass feeds every group's
+  // accumulator (and, for MEDIAN/QUANTILE/HISTOGRAM, its sketch).
   if (spec.where.has_value() || !spec.group_by.empty() ||
-      spec.aggregate == AggregateKind::kCount) {
+      spec.aggregate == AggregateKind::kCount ||
+      IsSketchAggregate(spec.aggregate)) {
     core::GroupedSpec grouped;
     grouped.values = column;
     if (spec.where.has_value()) {
@@ -162,6 +174,15 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
     if (!spec.group_by.empty()) {
       ISLA_ASSIGN_OR_RETURN(grouped.keys, table->GetColumn(spec.group_by));
     }
+    grouped.want_sketch = IsSketchAggregate(spec.aggregate);
+    if (spec.aggregate == AggregateKind::kMedian ||
+        spec.aggregate == AggregateKind::kQuantile) {
+      grouped.summary.quantile_q = spec.quantile_q;
+    }
+    if (spec.aggregate == AggregateKind::kHistogram) {
+      grouped.summary.histogram_bins = spec.histogram_bins;
+    }
+    grouped.summary.top_k = spec.top_k;
 
     core::GroupedAggregateResult agg;
     switch (spec.method) {
@@ -174,10 +195,13 @@ Result<QueryResult> QueryExecutor::Execute(const QuerySpec& spec) const {
       case Method::kIsla:
       case Method::kIslaNonIid:
       case Method::kUniform: {
-        if (scheduler_ != nullptr) {
+        if (scheduler_ != nullptr && !grouped.want_sketch &&
+            grouped.summary.top_k == 0) {
           // The scheduler batches concurrent sessions into one shared
           // sampling pass and consults its pilot/result caches; the result
-          // bytes match the GroupByEngine path below exactly.
+          // bytes match the GroupByEngine path below exactly. Sketch and
+          // top-k queries go to the engine directly: their post-merge
+          // summaries are not part of the scheduler's cached shape.
           ISLA_ASSIGN_OR_RETURN(
               agg, scheduler_->Execute(grouped, options,
                                        GroupedMethodSalt(spec.method)));

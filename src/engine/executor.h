@@ -34,7 +34,9 @@ struct QueryResult {
   /// ascending by key) are the answer.
   std::optional<core::GroupedAggregateResult> grouped;
 
-  /// The scalar answer a group's row contributes for `aggregate`.
+  /// The scalar answer a group's row contributes for `aggregate`. A
+  /// histogram's scalar form is the group's estimated cardinality (the
+  /// bins live in GroupResult::histogram).
   static double GroupValue(const core::GroupResult& g, AggregateKind kind) {
     switch (kind) {
       case AggregateKind::kAvg:
@@ -43,10 +45,21 @@ struct QueryResult {
         return g.sum;
       case AggregateKind::kCount:
         return g.count_estimate;
+      case AggregateKind::kMedian:
+      case AggregateKind::kQuantile:
+        return g.quantile_value;
+      case AggregateKind::kHistogram:
+        return g.count_estimate;
     }
     return 0.0;
   }
 };
+
+/// True for the sketch-backed aggregates (MEDIAN/QUANTILE/HISTOGRAM).
+constexpr bool IsSketchAggregate(AggregateKind kind) {
+  return kind == AggregateKind::kMedian || kind == AggregateKind::kQuantile ||
+         kind == AggregateKind::kHistogram;
+}
 
 /// RNG decorrelation salts of the grouped sampler's `USING` variants (isla
 /// uses salt 0 so local execution lines up with the distributed

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -116,20 +117,44 @@ class Parser {
 
     // Aggregate function.
     const Token* fn = Peek();
-    if (fn == nullptr) return ErrorAt("expected AVG, SUM or COUNT", End());
+    if (fn == nullptr) {
+      return ErrorAt(
+          "expected AVG, SUM, COUNT, MEDIAN, QUANTILE or HISTOGRAM", End());
+    }
     if (fn->text == "avg") {
       spec.aggregate = AggregateKind::kAvg;
     } else if (fn->text == "sum") {
       spec.aggregate = AggregateKind::kSum;
     } else if (fn->text == "count") {
       spec.aggregate = AggregateKind::kCount;
+    } else if (fn->text == "median") {
+      spec.aggregate = AggregateKind::kMedian;
+      spec.quantile_q = 0.5;
+    } else if (fn->text == "quantile") {
+      spec.aggregate = AggregateKind::kQuantile;
+    } else if (fn->text == "histogram") {
+      spec.aggregate = AggregateKind::kHistogram;
     } else {
-      return ErrorAt("expected AVG, SUM or COUNT, got '" + fn->raw + "'",
-                     fn->position);
+      return ErrorAt(
+          "expected AVG, SUM, COUNT, MEDIAN, QUANTILE or HISTOGRAM, got '" +
+              fn->raw + "'",
+          fn->position);
     }
     Advance();
     ISLA_RETURN_NOT_OK(Expect("("));
     ISLA_ASSIGN_OR_RETURN(spec.column, Identifier("column name"));
+    if (spec.aggregate == AggregateKind::kQuantile) {
+      ISLA_RETURN_NOT_OK(Expect(","));
+      const size_t at = Position();
+      ISLA_ASSIGN_OR_RETURN(spec.quantile_q, Number("quantile q"));
+      if (!(spec.quantile_q >= 0.0 && spec.quantile_q <= 1.0)) {
+        return ErrorAt("quantile q must be in [0, 1]", at);
+      }
+    } else if (spec.aggregate == AggregateKind::kHistogram) {
+      ISLA_RETURN_NOT_OK(Expect(","));
+      ISLA_ASSIGN_OR_RETURN(spec.histogram_bins,
+                            Integer("histogram bin count", 1, 1024));
+    }
     ISLA_RETURN_NOT_OK(Expect(")"));
 
     ISLA_RETURN_NOT_OK(Expect("from"));
@@ -162,6 +187,14 @@ class Parser {
         Advance();
         ISLA_RETURN_NOT_OK(Expect("by"));
         ISLA_ASSIGN_OR_RETURN(spec.group_by, Identifier("group column"));
+        if (const Token* top = Peek(); top != nullptr &&
+                                       !top->is_string &&
+                                       top->text == "top") {
+          Advance();
+          ISLA_ASSIGN_OR_RETURN(
+              spec.top_k, Integer("TOP group count", 1,
+                                  core::kMaxGroups));
+        }
         continue;
       }
       if (t->text == "within") {
@@ -208,6 +241,10 @@ class Parser {
   void Advance() { ++index_; }
   size_t End() const {
     return tokens_.empty() ? 0 : tokens_.back().position + 1;
+  }
+  size_t Position() const {
+    const Token* t = Peek();
+    return t != nullptr ? t->position : End();
   }
 
   Status Expect(std::string_view keyword) {
@@ -303,6 +340,23 @@ class Parser {
     return value;
   }
 
+  /// A whole number in [min, max]: parsed as a double (so 1e3 spellings
+  /// work) but rejected when fractional or out of range.
+  Result<uint64_t> Integer(std::string_view what, uint64_t min,
+                           uint64_t max) {
+    const size_t at = Position();
+    ISLA_ASSIGN_OR_RETURN(double value, Number(what));
+    if (!(value >= static_cast<double>(min) &&
+          value <= static_cast<double>(max)) ||
+        value != std::floor(value)) {
+      return ErrorAt(std::string(what) + " must be a whole number in [" +
+                         std::to_string(min) + ", " + std::to_string(max) +
+                         "]",
+                     at);
+    }
+    return static_cast<uint64_t>(value);
+  }
+
   static Result<Method> MethodFromName(const std::string& name, size_t pos) {
     std::string lowered = name;
     for (char& ch : lowered) {
@@ -364,8 +418,23 @@ std::string PrintQuery(const QuerySpec& spec) {
     case AggregateKind::kCount:
       out += "COUNT";
       break;
+    case AggregateKind::kMedian:
+      out += "MEDIAN";
+      break;
+    case AggregateKind::kQuantile:
+      out += "QUANTILE";
+      break;
+    case AggregateKind::kHistogram:
+      out += "HISTOGRAM";
+      break;
   }
-  out += "(" + spec.column + ") FROM " + spec.table;
+  out += "(" + spec.column;
+  if (spec.aggregate == AggregateKind::kQuantile) {
+    out += ", " + PrintDouble(spec.quantile_q);
+  } else if (spec.aggregate == AggregateKind::kHistogram) {
+    out += ", " + std::to_string(spec.histogram_bins);
+  }
+  out += ") FROM " + spec.table;
   if (spec.where.has_value()) {
     out += " WHERE " + spec.where->column + " ";
     out += std::string(core::PredicateOpName(spec.where->op));
@@ -373,6 +442,7 @@ std::string PrintQuery(const QuerySpec& spec) {
   }
   if (!spec.group_by.empty()) {
     out += " GROUP BY " + spec.group_by;
+    if (spec.top_k > 0) out += " TOP " + std::to_string(spec.top_k);
   }
   out += " WITHIN " + PrintDouble(spec.precision);
   out += " CONFIDENCE " + PrintDouble(spec.confidence);

@@ -13,8 +13,16 @@ namespace isla {
 namespace engine {
 
 /// Aggregate function of a query. COUNT estimates the cardinality of the
-/// matching rows (exactly M when there is no predicate).
-enum class AggregateKind { kAvg, kSum, kCount };
+/// matching rows (exactly M when there is no predicate). MEDIAN, QUANTILE
+/// and HISTOGRAM are sketch-backed with a reported rank-error band.
+enum class AggregateKind {
+  kAvg,
+  kSum,
+  kCount,
+  kMedian,     // QUANTILE at q = 0.5
+  kQuantile,   // QUANTILE(col, q), q in [0, 1]
+  kHistogram,  // HISTOGRAM(col, bins), equal-width over the sampled range
+};
 
 /// Estimation method requested via `USING <method>`.
 enum class Method {
@@ -40,21 +48,28 @@ struct PredicateClause {
 /// A parsed approximate-aggregation query. The surface syntax follows the
 /// paper's §II-C query form, extended with explicit keywords:
 ///
-///   SELECT AVG(col)|SUM(col)|COUNT(col) FROM table
+///   SELECT AVG(col)|SUM(col)|COUNT(col)|MEDIAN(col)
+///          |QUANTILE(col, q)|HISTOGRAM(col, bins) FROM table
 ///     [WHERE col (=|!=|<>|<|<=|>|>=) literal]
-///     [GROUP BY col]
+///     [GROUP BY col [TOP k]]
 ///     [WITHIN e] [CONFIDENCE b] [USING method]
 ///
 /// Keywords are case-insensitive; `WITHIN` is the desired precision e and
 /// `CONFIDENCE` the level β — with GROUP BY, the (e, β) contract holds per
-/// group. Defaults: e = 0.1, β = 0.95, method = isla. Each optional clause
-/// may appear at most once.
+/// group. For the sketch-backed aggregates (MEDIAN/QUANTILE/HISTOGRAM) the
+/// precision is read in rank space: the answer carries a ±ε·n rank band at
+/// confidence β. `TOP k` keeps only the k groups with the largest
+/// estimated cardinality. Defaults: e = 0.1, β = 0.95, method = isla.
+/// Each optional clause may appear at most once.
 struct QuerySpec {
   AggregateKind aggregate = AggregateKind::kAvg;
   std::string column;
   std::string table;
   std::optional<PredicateClause> where;
-  std::string group_by;  // empty = no GROUP BY
+  std::string group_by;       // empty = no GROUP BY
+  uint64_t top_k = 0;         // GROUP BY ... TOP k; 0 = keep all groups
+  double quantile_q = 0.5;    // q of QUANTILE (MEDIAN pins 0.5)
+  uint64_t histogram_bins = 0;  // bins of HISTOGRAM
   double precision = 0.1;
   double confidence = 0.95;
   Method method = Method::kIsla;

@@ -361,8 +361,43 @@ std::string_view AggregateName(AggregateKind kind) {
       return "SUM";
     case AggregateKind::kCount:
       return "COUNT";
+    case AggregateKind::kMedian:
+      return "MEDIAN";
+    case AggregateKind::kQuantile:
+      return "QUANTILE";
+    case AggregateKind::kHistogram:
+      return "HISTOGRAM";
   }
   return "?";
+}
+
+/// The bracketed contract of a sketch-backed answer: the ±ε rank band at
+/// β, the value band (quantile) or value range (histogram), and the
+/// sample count behind the sketch.
+std::string SketchAnnotation(const core::GroupResult& row,
+                             AggregateKind kind, double confidence) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "rank +/- " << row.rank_error << " @" << confidence;
+  if (kind == AggregateKind::kHistogram) {
+    os << ", range [" << row.histogram_lo << ", " << row.histogram_hi << "]";
+  } else {
+    os << ", value in [" << row.quantile_lo << ", " << row.quantile_hi
+       << "]";
+  }
+  os << ", count~" << row.count_estimate << ", n=" << row.sketch_samples;
+  return os.str();
+}
+
+/// One line of estimated per-bin row counts.
+std::string HistogramBins(const core::GroupResult& row) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "bins:";
+  for (double b : row.histogram) os << " " << b;
+  return os.str();
 }
 
 }  // namespace
@@ -493,15 +528,29 @@ Result<std::string> Session::Select(std::string_view statement,
   os.precision(4);
   if (r.grouped.has_value() && !spec.group_by.empty()) {
     const core::GroupedAggregateResult& g = *r.grouped;
-    os << g.groups.size() << " group(s)  [method=" << MethodName(r.method)
+    if (g.total_groups > g.groups.size()) {
+      os << "top " << g.groups.size() << " of " << g.total_groups
+         << " group(s)";
+    } else {
+      os << g.groups.size() << " group(s)";
+    }
+    os << "  [method=" << MethodName(r.method)
        << ", samples=" << r.samples_used << ", " << r.elapsed_millis
        << " ms]";
     for (const core::GroupResult& row : g.groups) {
       os << "\n  " << spec.group_by << "=" << row.key << "  "
          << AggregateName(r.aggregate) << " = "
-         << QueryResult::GroupValue(row, r.aggregate) << "  [avg +/- "
-         << row.ci_half_width << " @" << g.confidence << ", count~"
-         << row.count_estimate << ", n=" << row.samples << "]";
+         << QueryResult::GroupValue(row, r.aggregate) << "  [";
+      if (IsSketchAggregate(r.aggregate)) {
+        os << SketchAnnotation(row, r.aggregate, g.confidence) << "]";
+        if (r.aggregate == AggregateKind::kHistogram) {
+          os << "\n    " << HistogramBins(row);
+        }
+      } else {
+        os << "avg +/- " << row.ci_half_width << " @" << g.confidence
+           << ", count~" << row.count_estimate << ", n=" << row.samples
+           << "]";
+      }
     }
     return os.str();
   }
@@ -510,9 +559,17 @@ Result<std::string> Session::Select(std::string_view statement,
      << ", " << r.elapsed_millis << " ms]";
   if (r.grouped.has_value() && !r.grouped->groups.empty()) {
     const core::GroupResult& row = r.grouped->groups.front();
-    os << "\n  avg +/- " << row.ci_half_width << " @"
-       << r.grouped->confidence << ", count~" << row.count_estimate
-       << ", n=" << row.samples;
+    if (IsSketchAggregate(r.aggregate)) {
+      os << "\n  "
+         << SketchAnnotation(row, r.aggregate, r.grouped->confidence);
+      if (r.aggregate == AggregateKind::kHistogram) {
+        os << "\n    " << HistogramBins(row);
+      }
+    } else {
+      os << "\n  avg +/- " << row.ci_half_width << " @"
+         << r.grouped->confidence << ", count~" << row.count_estimate
+         << ", n=" << row.samples;
+    }
   }
   if (r.isla_details.has_value()) {
     os << "\n  sketch0=" << r.isla_details->sketch0

@@ -41,6 +41,9 @@ double LatencyHistogram::PercentileMicros(double q) const {
     total += snap[b];
   }
   if (total == 0) return 0.0;
+  // Every sample sub-microsecond: the whole distribution lives in bucket 0
+  // ([0, 2) µs), whose only honest point estimate is its lower bound.
+  if (snap[0] == total) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
@@ -48,12 +51,23 @@ double LatencyHistogram::PercentileMicros(double q) const {
   for (int b = 0; b < kBuckets; ++b) {
     seen += snap[b];
     if (seen > rank) {
-      // Geometric midpoint of [2^b, 2^(b+1)); bucket 0 is [0, 2).
-      double lo = b == 0 ? 1.0 : std::ldexp(1.0, b);
-      return lo * std::sqrt(2.0);
+      // Interpolate the rank within [2^b, 2^(b+1)) (bucket 0 is [0, 2)).
+      // The old geometric-midpoint estimate reported p50 ≈ 1.41 µs for a
+      // workload whose every statement was sub-microsecond; interpolating
+      // from the bucket's lower bound keeps an all-bucket-0 histogram at 0.
+      if (b == kBuckets - 1) {
+        // The open-ended top bucket has no width to interpolate over;
+        // its lower bound is the only defensible point estimate.
+        return std::ldexp(1.0, b);
+      }
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b);
+      double hi = std::ldexp(1.0, b + 1);
+      uint64_t idx_in_bucket = rank - (seen - snap[b]);
+      return lo + (hi - lo) * static_cast<double>(idx_in_bucket) /
+                      static_cast<double>(snap[b]);
     }
   }
-  return std::ldexp(1.0, kBuckets);  // Unreachable.
+  return std::ldexp(1.0, kBuckets - 1);  // Unreachable.
 }
 
 void ServerStatsRegistry::RecordPeakSessions(uint64_t active_now) {

@@ -134,6 +134,15 @@ struct KernelOps {
   double (*max)(const double* v, size_t n);
   double (*masked_min)(const double* v, const uint8_t* mask, size_t n);
   double (*masked_max)(const double* v, const uint8_t* mask, size_t n);
+
+  /// Strided half-compaction — the survivor pass of the quantile-sketch
+  /// compactor: copies v[offset], v[offset + 2], ... (indices < n) into
+  /// `out`, returning the number copied. `offset` must be 0 or 1. `out`
+  /// needs room for (n + 1) / 2 values; in-place (out == v) is allowed
+  /// (writes trail reads). Pure element copies, so bit identity across
+  /// tiers is structural.
+  size_t (*compact_stride2)(const double* v, size_t n, size_t offset,
+                            double* out);
 };
 
 /// The dispatch table selected for this process: the strongest tier the CPU

@@ -419,6 +419,26 @@ double MaskedMaxAvx2(const double* v, const uint8_t* mask, size_t n) {
   return ReduceStripedMax(lanes);
 }
 
+size_t CompactStride2Avx2(const double* v, size_t n, size_t offset,
+                          double* out) {
+  size_t m = 0;
+  size_t i = offset;
+  // Eight input elements -> four survivors per step: shuffle_pd with
+  // imm 0 interleaves the even lanes per 128-bit half ([x0,x4,x2,x6]),
+  // and permute4x64 restores index order. Writes trail reads, so
+  // in-place (out == v) stays safe.
+  for (; i + 8 <= n; i += 8) {
+    const __m256d lo = _mm256_loadu_pd(v + i);
+    const __m256d hi = _mm256_loadu_pd(v + i + 4);
+    const __m256d even = _mm256_shuffle_pd(lo, hi, 0);
+    _mm256_storeu_pd(out + m,
+                     _mm256_permute4x64_pd(even, _MM_SHUFFLE(3, 1, 2, 0)));
+    m += 4;
+  }
+  for (; i < n; i += 2) out[m++] = v[i];
+  return m;
+}
+
 }  // namespace
 
 const KernelOps* Avx2Ops() {
@@ -444,6 +464,7 @@ const KernelOps* Avx2Ops() {
       MaxAvx2,
       MaskedMinAvx2,
       MaskedMaxAvx2,
+      CompactStride2Avx2,
   };
   return &ops;
 }

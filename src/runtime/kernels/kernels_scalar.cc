@@ -177,6 +177,13 @@ double MaskedMinScalar(const double* v, const uint8_t* mask, size_t n) {
   return ReduceStripedMin(lanes);
 }
 
+size_t CompactStride2Scalar(const double* v, size_t n, size_t offset,
+                            double* out) {
+  size_t m = 0;
+  for (size_t i = offset; i < n; i += 2) out[m++] = v[i];
+  return m;
+}
+
 double MaskedMaxScalar(const double* v, const uint8_t* mask, size_t n) {
   double lanes[kStripeLanes];
   for (double& lane : lanes) {
@@ -204,6 +211,7 @@ const KernelOps& ScalarOps() {
       MaxScalar,
       MaskedMinScalar,
       MaskedMaxScalar,
+      CompactStride2Scalar,
   };
   return ops;
 }

@@ -335,6 +335,23 @@ double MaskedMaxSse2(const double* v, const uint8_t* mask, size_t n) {
   return ReduceStripedMax(lanes);
 }
 
+size_t CompactStride2Sse2(const double* v, size_t n, size_t offset,
+                          double* out) {
+  size_t m = 0;
+  size_t i = offset;
+  // Four input elements -> two survivors per step: shuffle_pd(lo, hi, 0)
+  // picks the even lane of each pair. Writes trail reads, so in-place
+  // (out == v) stays safe.
+  for (; i + 4 <= n; i += 4) {
+    const __m128d lo = _mm_loadu_pd(v + i);
+    const __m128d hi = _mm_loadu_pd(v + i + 2);
+    _mm_storeu_pd(out + m, _mm_shuffle_pd(lo, hi, 0));
+    m += 2;
+  }
+  for (; i < n; i += 2) out[m++] = v[i];
+  return m;
+}
+
 }  // namespace
 
 const KernelOps* Sse2Ops() {
@@ -356,6 +373,7 @@ const KernelOps* Sse2Ops() {
       MaxSse2,
       MaskedMinSse2,
       MaskedMaxSse2,
+      CompactStride2Sse2,
   };
   return &ops;
 }

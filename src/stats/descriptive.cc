@@ -30,8 +30,15 @@ double SampleStdDev(std::span<const double> xs) {
 }
 
 double Median(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
-  std::vector<double> copy(xs.begin(), xs.end());
+  // NaNs are dropped before ranking: operator< is not a strict weak
+  // ordering in their presence, so feeding them to nth_element is UB.
+  // Dropping matches the SQL NULL rule the predicate kernels use.
+  std::vector<double> copy;
+  copy.reserve(xs.size());
+  for (double x : xs) {
+    if (!std::isnan(x)) copy.push_back(x);
+  }
+  if (copy.empty()) return 0.0;
   size_t mid = copy.size() / 2;
   std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
   double hi = copy[mid];

@@ -16,7 +16,10 @@ double SampleVariance(std::span<const double> xs);
 /// Square root of SampleVariance.
 double SampleStdDev(std::span<const double> xs);
 
-/// Median (copies and partially sorts); 0 for an empty span.
+/// Median (copies and partially sorts); 0 for an empty span. NaNs are
+/// dropped before ranking (the SQL rule the predicate kernels follow);
+/// an all-NaN span is therefore treated as empty. ±inf and -0.0 rank
+/// normally.
 double Median(std::span<const double> xs);
 
 /// Largest absolute value; 0 for an empty span.

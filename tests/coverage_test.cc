@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -148,6 +149,7 @@ class GroupedCoverage : public ::testing::Test {
           auto& [sum, count] = exact_[key];
           sum += value;
           ++count;
+          matching_[key].push_back(value);
         }
       }
       Append(&values_, std::move(vals));
@@ -156,6 +158,7 @@ class GroupedCoverage : public ::testing::Test {
     }
     options_.precision = 0.05;  // group σ ≈ 0.289 → m_g ≈ 128 per group
     options_.confidence = 0.95;
+    for (auto& [key, vals] : matching_) std::sort(vals.begin(), vals.end());
   }
 
   static void Append(storage::Column* col, std::vector<double> v) {
@@ -211,10 +214,28 @@ class GroupedCoverage : public ::testing::Test {
     }
   }
 
+  /// Observed rank error of `value` against the group's exact sorted
+  /// matching rows: distance from q to the value's (tie-aware) rank range.
+  double ObservedRankError(double key, double value, double q) const {
+    const std::vector<double>& sorted = matching_.at(key);
+    const double n = static_cast<double>(sorted.size());
+    const double lo = static_cast<double>(
+        std::lower_bound(sorted.begin(), sorted.end(), value) -
+        sorted.begin());
+    const double hi = static_cast<double>(
+        std::upper_bound(sorted.begin(), sorted.end(), value) -
+        sorted.begin());
+    const double target = q * n;
+    if (target < lo) return (lo - target) / n;
+    if (target > hi) return (target - hi) / n;
+    return 0.0;
+  }
+
   storage::Column values_{"v"};
   storage::Column preds_{"p"};
   storage::Column keys_{"k"};
   std::map<double, std::pair<double, uint64_t>> exact_;
+  std::map<double, std::vector<double>> matching_;
   core::IslaOptions options_;
 };
 
@@ -229,6 +250,39 @@ TEST_F(GroupedCoverage, NonIid) {
 
 TEST_F(GroupedCoverage, Uniform) {
   RunPerGroupCoverage(engine::kGroupedUniformSalt, "uniform");
+}
+
+TEST_F(GroupedCoverage, QuantileRankErrorBandsAreCalibrated) {
+  // The rank-error contract under test: QUANTILE(v, q) reports a band ±ε
+  // (deterministic sketch bound + DKW sampling term at β), and the TRUE
+  // rank of the returned value in the exact matching multiset must fall
+  // inside that band at least β − 3σ of the time, per group and per q.
+  for (double q : {0.1, 0.5, 0.9}) {
+    core::GroupByEngine engine(options_);
+    std::map<double, int> covered;
+    std::map<double, int> appeared;
+    for (int i = 0; i < kRuns; ++i) {
+      core::GroupedSpec spec = Spec();
+      spec.want_sketch = true;
+      spec.summary.quantile_q = q;
+      auto r = engine.Aggregate(spec, 0x9a11ULL ^ (4000ULL + i));
+      ASSERT_TRUE(r.ok()) << r.status();
+      ASSERT_EQ(r->groups.size(), kKeys) << "run " << i;
+      for (const core::GroupResult& g : r->groups) {
+        ++appeared[g.key];
+        ASSERT_GT(g.rank_error, 0.0) << "q=" << q << " group " << g.key;
+        if (ObservedRankError(g.key, g.quantile_value, q) <= g.rank_error) {
+          ++covered[g.key];
+        }
+      }
+    }
+    double floor = CoverageFloor(options_.confidence, kRuns);
+    for (const auto& [key, runs] : appeared) {
+      ASSERT_EQ(runs, kRuns);
+      EXPECT_GE(static_cast<double>(covered[key]) / kRuns, floor)
+          << "QUANTILE(" << q << ") rank-band coverage, group " << key;
+    }
+  }
 }
 
 TEST_F(GroupedCoverage, CountEstimatesAreCalibratedToo) {

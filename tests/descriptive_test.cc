@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "stats/descriptive.h"
@@ -65,6 +66,31 @@ TEST(Median, DoesNotMutateInput) {
 
 TEST(Median, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(Median, DropsNaNs) {
+  // NaNs break operator<'s strict weak ordering, so they must never reach
+  // nth_element; the SQL rule (and the predicate kernels') is to drop them.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs = {nan, 9.0, nan, 1.0, 5.0, nan};
+  EXPECT_DOUBLE_EQ(Median(xs), 5.0);
+}
+
+TEST(Median, AllNaNIsZero) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> xs = {nan, nan, nan};
+  EXPECT_DOUBLE_EQ(Median(xs), 0.0);
+}
+
+TEST(Median, InfinitiesRankNormally) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> xs = {-inf, 1.0, 2.0, 3.0, inf};
+  EXPECT_DOUBLE_EQ(Median(xs), 2.0);
+}
+
+TEST(Median, NegativeZeroRanks) {
+  std::vector<double> xs = {-0.0, 0.0, -1.0};
+  EXPECT_DOUBLE_EQ(Median(xs), 0.0);
 }
 
 TEST(MaxAbs, MixedSigns) {

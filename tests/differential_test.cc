@@ -194,7 +194,27 @@ void ExpectBitIdentical(const core::GroupedAggregateResult& got,
         << mode << " query " << query << " group " << g;
     EXPECT_EQ(a.meets_precision, b.meets_precision)
         << mode << " query " << query << " group " << g;
+    // The quantile surface (all-zero on non-sketch runs, so comparing it
+    // unconditionally is free).
+    EXPECT_EQ(a.quantile_value, b.quantile_value)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.rank_error, b.rank_error)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.quantile_lo, b.quantile_lo)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.quantile_hi, b.quantile_hi)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.sketch_samples, b.sketch_samples)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.histogram, b.histogram)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.histogram_lo, b.histogram_lo)
+        << mode << " query " << query << " group " << g;
+    EXPECT_EQ(a.histogram_hi, b.histogram_hi)
+        << mode << " query " << query << " group " << g;
   }
+  EXPECT_EQ(got.total_groups, want.total_groups)
+      << mode << " query " << query;
 }
 
 TEST_F(DifferentialTest, HundredSeededQueriesBitIdenticalAcrossModes) {
@@ -249,6 +269,99 @@ TEST_F(DifferentialTest, HundredSeededQueriesBitIdenticalAcrossModes) {
     }
   }
   EXPECT_EQ(query, kQueries);
+}
+
+TEST_F(DifferentialTest, SketchQueriesBitIdenticalAcrossModes) {
+  // The quantile/histogram/top-k pipeline through all three deployment
+  // modes: per-block sketches must merge to the same state whether the
+  // blocks live in one process or behind sockets, and the coordinator-side
+  // summary (quantile bands, histogram scaling, top-k cut) must reproduce
+  // the single-node bytes exactly.
+  struct SketchShape {
+    bool has_predicate;
+    core::PredicateOp op;
+    double literal;
+    bool has_group;
+    core::QuantileSummarySpec summary;
+  };
+  std::vector<SketchShape> shapes;
+  core::QuantileSummarySpec median;
+  median.quantile_q = 0.5;
+  core::QuantileSummarySpec p90_hist;
+  p90_hist.quantile_q = 0.9;
+  p90_hist.histogram_bins = 8;
+  core::QuantileSummarySpec hist_only;
+  hist_only.quantile_q = -1.0;
+  hist_only.histogram_bins = 16;
+  core::QuantileSummarySpec top2_median;
+  top2_median.quantile_q = 0.5;
+  top2_median.top_k = 2;
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, false, median});
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, true, median});
+  shapes.push_back({true, core::PredicateOp::kGe, 0.3, true, p90_hist});
+  shapes.push_back({true, core::PredicateOp::kLt, 0.7, false, hist_only});
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, true, top2_median});
+  shapes.push_back({true, core::PredicateOp::kGt, 0.5, true, top2_median});
+
+  int query = 0;
+  for (const SketchShape& shape : shapes) {
+    for (uint64_t seed_salt = 1; seed_salt <= 3; ++seed_salt, ++query) {
+      core::IslaOptions options;
+      options.precision = 0.4;
+      options.parallelism = 1 + (query % 3);
+
+      core::GroupedSpec spec;
+      spec.values = &fixture_->values;
+      if (shape.has_predicate) {
+        spec.predicate = &fixture_->preds;
+        spec.op = shape.op;
+        spec.literal = shape.literal;
+      }
+      if (shape.has_group) spec.keys = &fixture_->keys;
+      spec.want_sketch = true;
+      spec.summary = shape.summary;
+      core::GroupByEngine engine(options);
+      auto local = engine.Aggregate(spec, seed_salt);
+      ASSERT_TRUE(local.ok()) << "query " << query << ": " << local.status();
+
+      distributed::GroupedQuerySpec wire;
+      wire.has_predicate = shape.has_predicate;
+      wire.op = shape.op;
+      wire.literal = shape.literal;
+      wire.has_group = shape.has_group;
+      wire.want_sketch = true;
+      wire.summary = shape.summary;
+
+      distributed::LoopbackTransport loopback(fixture_->MakeWorkers());
+      distributed::Coordinator loop_coord(&loopback, options);
+      auto loop = loop_coord.AggregateGrouped(wire, /*query_id=*/query + 500,
+                                              seed_salt);
+      ASSERT_TRUE(loop.ok()) << "query " << query << ": " << loop.status();
+
+      distributed::Coordinator tcp_coord(transport_, options);
+      auto tcp = tcp_coord.AggregateGrouped(wire, /*query_id=*/query + 500,
+                                            seed_salt);
+      ASSERT_TRUE(tcp.ok()) << "query " << query << ": " << tcp.status();
+
+      ExpectBitIdentical(*loop, *local, "sketch-loopback-vs-local", query);
+      ExpectBitIdentical(*tcp, *local, "sketch-tcp-vs-local", query);
+
+      // The sketch surface must actually carry data on these runs.
+      ASSERT_FALSE(local->groups.empty()) << "query " << query;
+      if (shape.summary.quantile_q >= 0.0) {
+        for (const core::GroupResult& g : local->groups) {
+          EXPECT_GT(g.sketch_samples, 0u) << "query " << query;
+          EXPECT_GT(g.rank_error, 0.0) << "query " << query;
+        }
+      }
+      if (shape.summary.top_k > 0) {
+        EXPECT_LE(local->groups.size(), shape.summary.top_k)
+            << "query " << query;
+        EXPECT_GE(local->total_groups, local->groups.size())
+            << "query " << query;
+      }
+    }
+  }
 }
 
 TEST_F(DifferentialTest, UngroupedAvgTcpBitIdenticalToLoopbackAcrossSeeds) {

@@ -315,6 +315,99 @@ TEST(GroupByEngine, BitIdenticalAcrossParallelism) {
   }
 }
 
+TEST(GroupByEngine, SketchResultsBitIdenticalAcrossParallelism) {
+  // The quantile surface rides the same fixed-block-decomposition
+  // invariant as the moments: per-block sketches merge in block order no
+  // matter which thread built them, so every derived field must be
+  // bit-identical at any parallelism.
+  auto data = MakeAligned(100'000, 8, 5, 13);
+  std::vector<GroupedAggregateResult> results;
+  for (uint32_t parallelism : {1u, 3u, 8u}) {
+    IslaOptions options;
+    options.precision = 0.1;
+    options.parallelism = parallelism;
+    GroupedSpec spec = SpecOf(*data);
+    spec.want_sketch = true;
+    spec.summary.quantile_q = 0.9;
+    spec.summary.histogram_bins = 8;
+    GroupByEngine engine(options);
+    auto r = engine.Aggregate(spec);
+    ASSERT_TRUE(r.ok()) << r.status();
+    results.push_back(*std::move(r));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].groups.size(), results[0].groups.size());
+    for (size_t g = 0; g < results[0].groups.size(); ++g) {
+      const GroupResult& a = results[0].groups[g];
+      const GroupResult& b = results[i].groups[g];
+      EXPECT_EQ(b.key, a.key);
+      EXPECT_EQ(b.quantile_value, a.quantile_value);
+      EXPECT_EQ(b.rank_error, a.rank_error);
+      EXPECT_EQ(b.quantile_lo, a.quantile_lo);
+      EXPECT_EQ(b.quantile_hi, a.quantile_hi);
+      EXPECT_EQ(b.sketch_samples, a.sketch_samples);
+      EXPECT_EQ(b.histogram, a.histogram);
+      EXPECT_EQ(b.histogram_lo, a.histogram_lo);
+      EXPECT_EQ(b.histogram_hi, a.histogram_hi);
+    }
+  }
+  // And the sketch surface is actually populated: quantile near the
+  // heaviest group centres, bands ordered, histogram mass positive.
+  for (const GroupResult& g : results[0].groups) {
+    EXPECT_GT(g.sketch_samples, 0u);
+    EXPECT_GT(g.rank_error, 0.0);
+    EXPECT_LE(g.quantile_lo, g.quantile_value);
+    EXPECT_LE(g.quantile_value, g.quantile_hi);
+    ASSERT_EQ(g.histogram.size(), 8u);
+    double mass = 0.0;
+    for (double b : g.histogram) mass += b;
+    EXPECT_NEAR(mass, g.count_estimate, 1e-6 * (1.0 + g.count_estimate));
+  }
+}
+
+TEST(ApplyTopK, KeepsLargestGroupsAndRecordsTotal) {
+  GroupedAggregateResult r;
+  for (int i = 0; i < 5; ++i) {
+    GroupResult g;
+    g.key = static_cast<double>(i);
+    g.count_estimate = (i == 2) ? 90.0 : 10.0 * (i + 1);
+    r.groups.push_back(g);
+  }
+  ApplyTopK(2, &r);
+  EXPECT_EQ(r.total_groups, 5u);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].key, 2.0);  // count 90
+  EXPECT_EQ(r.groups[1].key, 4.0);  // count 50
+}
+
+TEST(ApplyTopK, TieBreaksOnSmallerKey) {
+  GroupedAggregateResult r;
+  for (double key : {3.0, 1.0, 2.0}) {
+    GroupResult g;
+    g.key = key;
+    g.count_estimate = 7.0;
+    r.groups.push_back(g);
+  }
+  ApplyTopK(2, &r);
+  ASSERT_EQ(r.groups.size(), 2u);
+  EXPECT_EQ(r.groups[0].key, 1.0);
+  EXPECT_EQ(r.groups[1].key, 2.0);
+  EXPECT_EQ(r.total_groups, 3u);
+}
+
+TEST(ApplyTopK, ZeroOrOversizedKIsANoOp) {
+  GroupedAggregateResult r;
+  GroupResult g;
+  g.key = 1.0;
+  g.count_estimate = 5.0;
+  r.groups.push_back(g);
+  ApplyTopK(0, &r);
+  EXPECT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.total_groups, 1u);
+  ApplyTopK(10, &r);
+  EXPECT_EQ(r.groups.size(), 1u);
+}
+
 TEST(GroupByEngine, SeedSaltDecorrelatesRuns) {
   auto data = MakeAligned(50'000, 4, 3, 17);
   IslaOptions options;

@@ -285,6 +285,46 @@ TEST(MaskKernelsEquivalence, CompactGroupedAllNullCombinations) {
   }
 }
 
+TEST(CompactStride2Equivalence, AllTiersOffsetsAndInPlace) {
+  const auto& scalar = kernels::OpsFor(kernels::DispatchLevel::kScalar);
+  for (auto level : SimdLevels()) {
+    const auto& simd = kernels::OpsFor(level);
+    for (size_t n : kSizes) {
+      const std::vector<double> data = SpecialData(n, 73 + n);
+      for (int align = 0; align < 2; ++align) {
+        const double* base = data.data() + align;
+        for (size_t offset : {size_t{0}, size_t{1}}) {
+          std::vector<double> want(n + 8, kNan), got(n + 8, kNan);
+          const size_t wm = scalar.compact_stride2(base, n, offset,
+                                                   want.data());
+          const size_t gm = simd.compact_stride2(base, n, offset,
+                                                 got.data());
+          ASSERT_EQ(wm, gm)
+              << LevelTag(level) << " n=" << n << " offset=" << offset;
+          ASSERT_EQ(wm, n > offset ? (n - offset + 1) / 2 : 0);
+          for (size_t i = 0; i < wm; ++i) {
+            ASSERT_PRED2(BitEqual, want[i], got[i])
+                << LevelTag(level) << " n=" << n << " offset=" << offset
+                << " i=" << i;
+            // The contract: survivor i is v[offset + 2i].
+            ASSERT_PRED2(BitEqual, want[i], base[offset + 2 * i]);
+          }
+          // In-place (out == v): writes must trail reads on every tier.
+          std::vector<double> in_place(data.begin() + align, data.end());
+          const size_t im = simd.compact_stride2(in_place.data(), n, offset,
+                                                 in_place.data());
+          ASSERT_EQ(im, wm) << LevelTag(level) << " n=" << n;
+          for (size_t i = 0; i < im; ++i) {
+            ASSERT_PRED2(BitEqual, in_place[i], want[i])
+                << LevelTag(level) << " n=" << n << " offset=" << offset
+                << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(ClassifyRegionsEquivalence, AllTiersWithSpecials) {
   const auto& scalar = kernels::OpsFor(kernels::DispatchLevel::kScalar);
   for (auto level : SimdLevels()) {
@@ -492,6 +532,8 @@ TEST(KernelAlloc, SteadyStateKernelsAreAllocationFree) {
   (void)ops.max(data.data(), n);
   (void)ops.masked_min(data.data(), mask.data(), n);
   (void)ops.masked_max(data.data(), mask.data(), n);
+  (void)ops.compact_stride2(data.data(), n, 0, out_v.data());
+  (void)ops.compact_stride2(data.data(), n, 1, out_v.data());
   const int64_t after = g_alloc_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0) << "kernels must never touch the heap";
 }

@@ -182,6 +182,52 @@ TEST(ParseQuery, ClausesInterleaveFreely) {
   EXPECT_EQ(q->method, Method::kUniform);
 }
 
+TEST(ParseQuery, SketchAggregates) {
+  auto med = ParseQuery("SELECT MEDIAN(v) FROM t");
+  ASSERT_TRUE(med.ok()) << med.status();
+  EXPECT_EQ(med->aggregate, AggregateKind::kMedian);
+  EXPECT_DOUBLE_EQ(med->quantile_q, 0.5);
+
+  auto q = ParseQuery("SELECT QUANTILE(v, 0.99) FROM t");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->aggregate, AggregateKind::kQuantile);
+  EXPECT_DOUBLE_EQ(q->quantile_q, 0.99);
+
+  auto h = ParseQuery("SELECT HISTOGRAM(v, 16) FROM t");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->aggregate, AggregateKind::kHistogram);
+  EXPECT_EQ(h->histogram_bins, 16u);
+}
+
+TEST(ParseQuery, TopKGroups) {
+  auto q = ParseQuery("SELECT COUNT(v) FROM t GROUP BY g TOP 5");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->group_by, "g");
+  EXPECT_EQ(q->top_k, 5u);
+  // No TOP → keep all groups.
+  EXPECT_EQ(ParseQuery("SELECT COUNT(v) FROM t GROUP BY g")->top_k, 0u);
+}
+
+TEST(ParseQuery, SketchAggregateBoundsEnforced) {
+  // q outside [0, 1].
+  EXPECT_FALSE(ParseQuery("SELECT QUANTILE(v, 1.5) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT QUANTILE(v, -0.1) FROM t").ok());
+  // Quantile endpoints are legal.
+  EXPECT_TRUE(ParseQuery("SELECT QUANTILE(v, 0) FROM t").ok());
+  EXPECT_TRUE(ParseQuery("SELECT QUANTILE(v, 1) FROM t").ok());
+  // Histogram bins: whole number in [1, 1024].
+  EXPECT_FALSE(ParseQuery("SELECT HISTOGRAM(v, 0) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT HISTOGRAM(v, 1025) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT HISTOGRAM(v, 2.5) FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT HISTOGRAM(v) FROM t").ok());
+  // TOP: whole positive number only.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(v) FROM t GROUP BY g TOP 0").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(v) FROM t GROUP BY g TOP 2.5").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(v) FROM t GROUP BY g TOP").ok());
+  // TOP requires GROUP BY (it binds to the GROUP BY clause).
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(v) FROM t TOP 3").ok());
+}
+
 TEST(ParseQuery, PrintParseRoundTripIsAFixedPoint) {
   // Property: Print(Parse(q)) == Print(Parse(Print(Parse(q)))) for every
   // accepted query — printing is a canonicalization, so one round settles
@@ -197,6 +243,13 @@ TEST(ParseQuery, PrintParseRoundTripIsAFixedPoint) {
       "SELECT AVG(v) FROM t WITHIN 0.1 CONFIDENCE 0.95 USING mvb",
       "SELECT COUNT(x) FROM t WHERE x < 0.333333333333333314829616256247;",
       "  SELECT   AVG( v )  FROM   t  USING   sts  ",
+      "SELECT MEDIAN(v) FROM t",
+      "select quantile(v, 0.9) from t group by g top 5",
+      "SELECT QUANTILE(v, 0.25) FROM t WHERE k > 2 WITHIN 0.05",
+      "SELECT HISTOGRAM(v, 16) FROM t WHERE k <= 0.5",
+      "SELECT HISTOGRAM(v, 1) FROM t GROUP BY g",
+      "SELECT COUNT(v) FROM t GROUP BY g TOP 1 CONFIDENCE 0.99",
+      "SELECT MEDIAN(lat) FROM trips GROUP BY city TOP 3 USING noniid",
   };
   for (const char* sql : corpus) {
     auto first = ParseQuery(sql);
@@ -218,6 +271,9 @@ TEST(ParseQuery, PrintParseRoundTripIsAFixedPoint) {
     EXPECT_EQ(first->precision, second->precision) << sql;
     EXPECT_EQ(first->confidence, second->confidence) << sql;
     EXPECT_EQ(first->method, second->method) << sql;
+    EXPECT_EQ(first->top_k, second->top_k) << sql;
+    EXPECT_EQ(first->quantile_q, second->quantile_q) << sql;
+    EXPECT_EQ(first->histogram_bins, second->histogram_bins) << sql;
   }
 }
 
@@ -253,6 +309,19 @@ TEST(ParseQuery, MalformedCorpusFailsCleanlyWithOffsets) {
       "SELECT (v) FROM t",
       "WHERE k > 3",
       "SELECT AVG(v) FROM t WITHIN 0.5 garbage",
+      // Sketch-aggregate argument damage.
+      "SELECT QUANTILE(v) FROM t",
+      "SELECT QUANTILE(v, 1.5) FROM t",
+      "SELECT QUANTILE(v, 'half') FROM t",
+      "SELECT MEDIAN(v, 0.5) FROM t",
+      "SELECT HISTOGRAM(v) FROM t",
+      "SELECT HISTOGRAM(v, 0) FROM t",
+      "SELECT HISTOGRAM(v, 2.5) FROM t",
+      // TOP damage.
+      "SELECT COUNT(v) FROM t GROUP BY g TOP 0",
+      "SELECT COUNT(v) FROM t GROUP BY g TOP",
+      "SELECT COUNT(v) FROM t GROUP BY g TOP k",
+      "SELECT COUNT(v) FROM t TOP 3",
   };
   for (const char* sql : corpus) {
     auto q = ParseQuery(sql);

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <climits>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <memory>
@@ -451,6 +452,54 @@ TEST(ServerStats, LatencyHistogramPercentilesAreOrdered) {
   EXPECT_GE(p99, p50);
   EXPECT_LT(p50, 1'000.0);   // the cluster at ~100us
   EXPECT_GT(p99, 10'000.0);  // the outlier at 50ms
+}
+
+TEST(ServerStats, AllSubMicrosecondWorkloadReportsZero) {
+  // The old geometric-midpoint estimate reported p50 = sqrt(1·2) ≈ 1.41 µs
+  // when every statement was sub-microsecond. Bucket 0 is [0, 2) µs and
+  // starts at 0, so 0 is the only honest answer.
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.Record(0);
+  for (int i = 0; i < 50; ++i) h.Record(1);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.PercentileMicros(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(ServerStats, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileMicros(0.5), 0.0);
+}
+
+TEST(ServerStats, RankInterpolatesLinearlyWithinItsBucket) {
+  // Four samples of 100 µs all land in bucket 6 ([64, 128)); rank r of
+  // {0..3} maps to 64 + 64·r/4.
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.Record(100);
+  EXPECT_EQ(h.PercentileMicros(0.0), 64.0);
+  EXPECT_EQ(h.PercentileMicros(0.5), 80.0);   // rank 1 of 4
+  EXPECT_EQ(h.PercentileMicros(1.0), 112.0);  // rank 3 of 4
+  // Never above the bucket's upper bound — the midpoint bug's other face.
+  EXPECT_LT(h.PercentileMicros(1.0), 128.0);
+}
+
+TEST(ServerStats, MixedBucketsInterpolateFromLowerBound) {
+  // Two sub-µs statements and two at ~100 µs: the low ranks sit in bucket
+  // 0 (which starts at 0), the high ranks interpolate inside bucket 6.
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(1);
+  h.Record(100);
+  h.Record(100);
+  EXPECT_EQ(h.PercentileMicros(0.0), 0.0);
+  EXPECT_EQ(h.PercentileMicros(1.0), 96.0);  // rank 3 → idx 1 of 2 in [64,128)
+}
+
+TEST(ServerStats, OpenEndedTopBucketReportsItsLowerBound) {
+  LatencyHistogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.PercentileMicros(1.0),
+            std::ldexp(1.0, LatencyHistogram::kBuckets - 1));
 }
 
 }  // namespace

@@ -175,6 +175,41 @@ TEST(Session, GroupsClauseAddsAlignedKeyColumn) {
   EXPECT_NE(count->find("COUNT = 100000"), std::string::npos) << *count;
 }
 
+TEST(Session, SketchAggregatesRenderRankBands) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(100, 10) ROWS 1e5 BLOCKS 4 "
+                "SEED 5 GROUPS 3")
+          .ok());
+
+  auto median = s.Execute("SELECT MEDIAN(value) FROM t");
+  ASSERT_TRUE(median.ok()) << median.status();
+  EXPECT_NE(median->find("MEDIAN = "), std::string::npos) << *median;
+  EXPECT_NE(median->find("rank +/- "), std::string::npos) << *median;
+  EXPECT_NE(median->find("value in ["), std::string::npos) << *median;
+
+  auto quant = s.Execute("SELECT QUANTILE(value, 0.9) FROM t GROUP BY grp");
+  ASSERT_TRUE(quant.ok()) << quant.status();
+  EXPECT_NE(quant->find("3 group(s)"), std::string::npos) << *quant;
+  EXPECT_NE(quant->find("rank +/- "), std::string::npos) << *quant;
+
+  auto hist = s.Execute("SELECT HISTOGRAM(value, 8) FROM t");
+  ASSERT_TRUE(hist.ok()) << hist.status();
+  EXPECT_NE(hist->find("bins:"), std::string::npos) << *hist;
+  EXPECT_NE(hist->find("range ["), std::string::npos) << *hist;
+}
+
+TEST(Session, TopKGroupsReportPreCutTotal) {
+  Session s;
+  ASSERT_TRUE(
+      s.Execute("CREATE TABLE t FROM NORMAL(100, 10) ROWS 1e5 BLOCKS 4 "
+                "SEED 5 GROUPS 4")
+          .ok());
+  auto top = s.Execute("SELECT AVG(value) FROM t GROUP BY grp TOP 2");
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_NE(top->find("top 2 of 4 group(s)"), std::string::npos) << *top;
+}
+
 TEST(Session, GroupsClauseValidatesCardinality) {
   Session s;
   EXPECT_FALSE(

@@ -114,6 +114,35 @@ TEST(IslaShell, SetRetunesSessionDefaults) {
   EXPECT_NE(out.find("error: InvalidArgument"), std::string::npos) << out;
 }
 
+TEST(FlagParsing, GarbageNumericFlagsAreFatalUsageErrors) {
+  // atof/strtoull silently read "abc" as 0 — a daemon would then bind port
+  // 0 or a client wait 0 ms, mysteriously. Both tools must instead refuse
+  // loudly with exit code 2.
+  struct Case {
+    const char* tool;
+    const char* args;
+  };
+  const Case cases[] = {
+      {"isla_client", "--port abc"},
+      {"isla_client", "--port 70000"},
+      {"isla_client", "--within 0.5x"},
+      {"isla_client", "--wait-millis twelve"},
+      {"isla_client", "--expect-shards 2.5"},
+      {"isla_serverd", "--port abc"},
+      {"isla_serverd", "--parallelism -"},
+      {"isla_serverd", "--precision 1e"},
+      {"isla_serverd", "--heartbeat-millis 1s"},
+  };
+  for (const Case& c : cases) {
+    std::string out = RunWithInput(
+        "( " + ToolPath(c.tool) + " " + c.args + "; echo rc=$? )", "");
+    EXPECT_NE(out.find("needs a number"), std::string::npos)
+        << c.tool << " " << c.args << ": " << out;
+    EXPECT_NE(out.find("rc=2"), std::string::npos)
+        << c.tool << " " << c.args << ": " << out;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // isla_serverd / isla_client: the network daemons end to end.
 // ---------------------------------------------------------------------------

@@ -16,8 +16,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "distributed/message.h"
+#include "stats/sketch.h"
 #include "net/frame.h"
 #include "net/partial.h"
 
@@ -152,6 +154,53 @@ constexpr char kGroupedScanResponseHex[] =
     "000000400000000000001e400100000000000000000000000000004000000000"
     "00000000";
 
+SketchScanRequest GoldenSketchScanRequest() {
+  SketchScanRequest m;
+  m.scan.query_id = 13;
+  m.scan.sample_count = 2048;
+  m.scan.stream_seed = 0xfedcba;
+  m.scan.has_predicate = 1;
+  m.scan.op = core::PredicateOp::kGt;
+  m.scan.literal = 6.25;
+  m.scan.has_group = 1;
+  return m;
+}
+constexpr char kSketchScanRequestHex[] =
+    "0a0000000d000000000000000008000000000000badcfe000000000001000000"
+    "00000000040000000000000000000000000019400100000000000000";
+
+SketchScanResponse GoldenSketchScanResponse() {
+  SketchScanResponse m;
+  m.query_id = 13;
+  m.worker_id = 2;
+  m.partial.block_rows = 1000;
+  m.partial.scanned = 500;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) m.partial.all.Add(v);
+  for (double v : {1.0, 3.0, 5.0}) m.partial.groups[0.0].Add(v);
+  for (double v : {2.0, 4.0}) m.partial.groups[7.5].Add(v);
+  // Tiny capacity so the fixture exercises a compacted level with a
+  // flipped parity — the state a real per-block sketch ships mid-query.
+  stats::QuantileSketch a(4);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) a.Add(v);
+  stats::QuantileSketch b(4);
+  for (double v : {2.0, 4.0}) b.Add(v);
+  m.partial.sketches.emplace(0.0, std::move(a));
+  m.partial.sketches.emplace(7.5, std::move(b));
+  return m;
+}
+constexpr char kSketchScanResponseHex[] =
+    "0b0000000d000000000000000200000000000000e803000000000000f4010000"
+    "0000000005000000000000000000000000000840000000000000244002000000"
+    "0000000000000000000000000300000000000000000000000000084000000000"
+    "000020400000000000001e400200000000000000000000000000084000000000"
+    "0000004002000000000000000000000000000000040000000000000005000000"
+    "00000000000000000000f03f0000000000001440010000000000000002000000"
+    "0000000001000000000000000100000000000000000000000000144000000000"
+    "000000000200000000000000000000000000f03f000000000000084000000000"
+    "00001e4004000000000000000200000000000000000000000000004000000000"
+    "0000104000000000000000000100000000000000000000000000000002000000"
+    "0000000000000000000000400000000000001040";
+
 RegisterFrame GoldenRegisterFrame() {
   RegisterFrame m;
   m.shard_id = 3;
@@ -215,6 +264,16 @@ TEST(WireFormat, GroupedScanRequest) {
 TEST(WireFormat, GroupedScanResponse) {
   ExpectGolden(Encode(GoldenGroupedScanResponse()),
                kGroupedScanResponseHex, "GroupedScanResponse");
+}
+
+TEST(WireFormat, SketchScanRequest) {
+  ExpectGolden(Encode(GoldenSketchScanRequest()), kSketchScanRequestHex,
+               "SketchScanRequest");
+}
+
+TEST(WireFormat, SketchScanResponse) {
+  ExpectGolden(Encode(GoldenSketchScanResponse()),
+               kSketchScanResponseHex, "SketchScanResponse");
 }
 
 TEST(WireFormat, ErrorFrame) {
@@ -286,6 +345,72 @@ TEST(WireFormat, DecodesPinnedGroupedScanResponse) {
   ASSERT_EQ(m->partial.groups.size(), want.partial.groups.size());
   EXPECT_EQ(m->partial.groups.at(0.0).n, 2u);
   EXPECT_EQ(m->partial.groups.at(7.5).mean, 2.0);
+}
+
+TEST(WireFormat, DecodesPinnedSketchScanRequest) {
+  auto m = DecodeSketchScanRequest(FromHex(kSketchScanRequestHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  SketchScanRequest want = GoldenSketchScanRequest();
+  EXPECT_EQ(m->scan.query_id, want.scan.query_id);
+  EXPECT_EQ(m->scan.sample_count, want.scan.sample_count);
+  EXPECT_EQ(m->scan.stream_seed, want.scan.stream_seed);
+  EXPECT_EQ(m->scan.has_predicate, want.scan.has_predicate);
+  EXPECT_EQ(m->scan.op, want.scan.op);
+  EXPECT_EQ(m->scan.literal, want.scan.literal);
+  EXPECT_EQ(m->scan.has_group, want.scan.has_group);
+}
+
+TEST(WireFormat, DecodesPinnedSketchScanResponse) {
+  auto m = DecodeSketchScanResponse(FromHex(kSketchScanResponseHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  SketchScanResponse want = GoldenSketchScanResponse();
+  EXPECT_EQ(m->query_id, want.query_id);
+  EXPECT_EQ(m->worker_id, want.worker_id);
+  EXPECT_EQ(m->partial.block_rows, want.partial.block_rows);
+  EXPECT_EQ(m->partial.scanned, want.partial.scanned);
+  ASSERT_EQ(m->partial.groups.size(), want.partial.groups.size());
+  ASSERT_EQ(m->partial.sketches.size(), want.partial.sketches.size());
+  for (const auto& [key, ws] : want.partial.sketches) {
+    const auto it = m->partial.sketches.find(key);
+    ASSERT_NE(it, m->partial.sketches.end()) << "missing sketch " << key;
+    const stats::QuantileSketch& ds = it->second;
+    EXPECT_EQ(ds.capacity(), ws.capacity());
+    EXPECT_EQ(ds.count(), ws.count());
+    EXPECT_EQ(ds.min(), ws.min());
+    EXPECT_EQ(ds.max(), ws.max());
+    EXPECT_EQ(ds.error_weight(), ws.error_weight());
+    ASSERT_EQ(ds.num_levels(), ws.num_levels());
+    for (size_t l = 0; l < ws.num_levels(); ++l) {
+      EXPECT_EQ(ds.level_parity(l), ws.level_parity(l)) << "level " << l;
+      EXPECT_EQ(ds.level(l), ws.level(l)) << "level " << l;
+    }
+  }
+}
+
+TEST(WireFormat, SketchScanResponseRejectsDamage) {
+  const std::string frame = FromHex(kSketchScanResponseHex);
+  EXPECT_TRUE(DecodeSketchScanResponse(frame.substr(0, frame.size() - 1))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(
+      DecodeSketchScanResponse(frame + "x").status().IsCorruption());
+  // A parity outside {0,1} must be refused: it would silently desync the
+  // deterministic compaction schedule on merge.
+  std::string bad_parity = frame;
+  bool flipped = false;
+  for (size_t i = 0; i + 16 <= bad_parity.size() && !flipped; ++i) {
+    // Locate the first per-level header (parity u64 = 1, size u64 = 1)
+    // of the key-0.0 sketch: parity 1 followed by size 1.
+    if (static_cast<unsigned char>(bad_parity[i]) == 1 &&
+        bad_parity.compare(i + 1, 7, std::string(7, '\0')) == 0 &&
+        static_cast<unsigned char>(bad_parity[i + 8]) == 1 &&
+        bad_parity.compare(i + 9, 7, std::string(7, '\0')) == 0) {
+      bad_parity[i] = 2;
+      flipped = true;
+    }
+  }
+  ASSERT_TRUE(flipped);
+  EXPECT_TRUE(DecodeSketchScanResponse(bad_parity).status().IsCorruption());
 }
 
 TEST(WireFormat, DecodesPinnedErrorFrame) {

@@ -1,0 +1,63 @@
+// Strict numeric flag parsing shared by the CLI tools. The atof/strtoull
+// family silently turns garbage into 0 — `--within abc` would run the
+// query at precision 0 instead of failing — so every numeric flag goes
+// through std::from_chars and any empty value, trailing garbage, or
+// out-of-range number is a fatal usage error (exit 2).
+
+#ifndef ISLA_TOOLS_FLAG_PARSE_H_
+#define ISLA_TOOLS_FLAG_PARSE_H_
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace isla {
+namespace tools {
+
+[[noreturn]] inline void FlagValueError(const char* flag, const char* value) {
+  std::fprintf(stderr, "error: %s needs a number, got '%s'\n", flag, value);
+  std::exit(2);
+}
+
+inline uint64_t ParseU64Flag(const char* flag, const char* value) {
+  uint64_t out = 0;
+  const char* end = value + std::strlen(value);
+  auto [ptr, ec] = std::from_chars(value, end, out);
+  if (ec != std::errc() || ptr != end || end == value) {
+    FlagValueError(flag, value);
+  }
+  return out;
+}
+
+inline int64_t ParseI64Flag(const char* flag, const char* value) {
+  int64_t out = 0;
+  const char* end = value + std::strlen(value);
+  auto [ptr, ec] = std::from_chars(value, end, out);
+  if (ec != std::errc() || ptr != end || end == value) {
+    FlagValueError(flag, value);
+  }
+  return out;
+}
+
+inline double ParseF64Flag(const char* flag, const char* value) {
+  double out = 0.0;
+  const char* end = value + std::strlen(value);
+  auto [ptr, ec] = std::from_chars(value, end, out);
+  if (ec != std::errc() || ptr != end || end == value) {
+    FlagValueError(flag, value);
+  }
+  return out;
+}
+
+inline uint16_t ParsePortFlag(const char* flag, const char* value) {
+  uint64_t out = ParseU64Flag(flag, value);
+  if (out > 65535) FlagValueError(flag, value);
+  return static_cast<uint16_t>(out);
+}
+
+}  // namespace tools
+}  // namespace isla
+
+#endif  // ISLA_TOOLS_FLAG_PARSE_H_

@@ -40,6 +40,7 @@
 
 #include "distributed/coordinator.h"
 #include "distributed/failover.h"
+#include "flag_parse.h"
 #include "net/connection.h"
 #include "net/partial.h"
 #include "net/tcp_transport.h"
@@ -334,26 +335,31 @@ int main(int argc, char** argv) {
     if (arg == "--host") {
       host = next("--host");
     } else if (arg == "--port") {
-      port = static_cast<uint16_t>(std::atoi(next("--port")));
+      port = isla::tools::ParsePortFlag("--port", next("--port"));
     } else if (arg == "--workers") {
       workers = next("--workers");
     } else if (arg == "--registry-port") {
-      registry_port = static_cast<uint16_t>(std::atoi(next("--registry-port")));
+      registry_port = isla::tools::ParsePortFlag("--registry-port",
+                                                 next("--registry-port"));
       registry_mode = true;
     } else if (arg == "--expect-shards") {
-      expect_shards = std::strtoull(next("--expect-shards"), nullptr, 10);
+      expect_shards = isla::tools::ParseU64Flag("--expect-shards",
+                                                next("--expect-shards"));
     } else if (arg == "--replicas") {
-      replicas = std::strtoull(next("--replicas"), nullptr, 10);
+      replicas = isla::tools::ParseU64Flag("--replicas", next("--replicas"));
     } else if (arg == "--wait-millis") {
-      wait_millis = std::strtoll(next("--wait-millis"), nullptr, 10);
+      wait_millis =
+          isla::tools::ParseI64Flag("--wait-millis", next("--wait-millis"));
     } else if (arg == "--hedge-millis") {
-      hedge_millis = std::strtoll(next("--hedge-millis"), nullptr, 10);
+      hedge_millis =
+          isla::tools::ParseI64Flag("--hedge-millis", next("--hedge-millis"));
     } else if (arg == "--no-hedge") {
       hedge_millis = -1;
     } else if (arg == "--within") {
-      precision = std::atof(next("--within"));
+      precision = isla::tools::ParseF64Flag("--within", next("--within"));
     } else if (arg == "--confidence") {
-      confidence = std::atof(next("--confidence"));
+      confidence =
+          isla::tools::ParseF64Flag("--confidence", next("--confidence"));
     } else if (arg == "--stats") {
       stats_probe = true;
     } else {

@@ -45,6 +45,7 @@
 #include <string>
 
 #include "distributed/worker.h"
+#include "flag_parse.h"
 #include "net/query_server.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
@@ -121,9 +122,10 @@ int main(int argc, char** argv) {
     if (arg == "--worker") {
       worker_mode = true;
     } else if (arg == "--port") {
-      port = static_cast<uint16_t>(std::atoi(next("--port")));
+      port = isla::tools::ParsePortFlag("--port", next("--port"));
     } else if (arg == "--worker-id") {
-      worker_id = std::strtoull(next("--worker-id"), nullptr, 10);
+      worker_id = isla::tools::ParseU64Flag("--worker-id",
+                                            next("--worker-id"));
     } else if (arg == "--shard") {
       shard = next("--shard");
     } else if (arg == "--predicate-shard") {
@@ -135,30 +137,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--advertise") {
       advertise_host = next("--advertise");
     } else if (arg == "--heartbeat-millis") {
-      heartbeat_millis = std::strtoll(next("--heartbeat-millis"), nullptr, 10);
+      heartbeat_millis = isla::tools::ParseI64Flag("--heartbeat-millis",
+                                                   next("--heartbeat-millis"));
     } else if (arg == "--precision") {
       query_options.session_defaults.precision =
-          std::atof(next("--precision"));
+          isla::tools::ParseF64Flag("--precision", next("--precision"));
     } else if (arg == "--confidence") {
       query_options.session_defaults.confidence =
-          std::atof(next("--confidence"));
+          isla::tools::ParseF64Flag("--confidence", next("--confidence"));
     } else if (arg == "--parallelism") {
-      query_options.session_defaults.parallelism =
-          static_cast<uint32_t>(std::atoi(next("--parallelism")));
+      query_options.session_defaults.parallelism = static_cast<uint32_t>(
+          isla::tools::ParseU64Flag("--parallelism", next("--parallelism")));
     } else if (arg == "--max-sessions") {
       query_options.max_sessions =
-          std::strtoull(next("--max-sessions"), nullptr, 10);
+          isla::tools::ParseU64Flag("--max-sessions", next("--max-sessions"));
     } else if (arg == "--batch-window") {
       // Shared-scan admission window in microseconds; 0 disables batching
       // (the pilot/result caches stay on).
       query_options.scheduler.admission_window_micros =
-          std::strtoll(next("--batch-window"), nullptr, 10);
+          isla::tools::ParseI64Flag("--batch-window", next("--batch-window"));
     } else if (arg == "--io-threads") {
-      query_options.io_threads =
-          static_cast<unsigned>(std::atoi(next("--io-threads")));
+      query_options.io_threads = static_cast<unsigned>(
+          isla::tools::ParseU64Flag("--io-threads", next("--io-threads")));
     } else if (arg == "--exec-threads") {
-      query_options.exec_threads =
-          static_cast<unsigned>(std::atoi(next("--exec-threads")));
+      query_options.exec_threads = static_cast<unsigned>(
+          isla::tools::ParseU64Flag("--exec-threads", next("--exec-threads")));
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
