@@ -1,0 +1,372 @@
+// Elastic-rebalancing overhead: steady-state query throughput on a live
+// registry-backed TCP cluster while a new replica joins by streaming its
+// shard from a live donor, versus the same cluster quiesced.
+//
+// Three hard checks ride along:
+//   1. bit-identity: every answer — quiesced, mid-join, and post-join —
+//      must equal the loopback answer bit for bit;
+//   2. the join must complete: the streamed replica registers and shows
+//      up in the next placement lease (epoch moved, shard grew 1 -> 2);
+//   3. no divergent registration: fingerprint_rejections stays zero.
+// The interesting number is the throughput ratio — how much of the
+// cluster's query capacity a concurrent shard stream steals.
+//
+// Emits BENCH_rebalance.json next to BENCH_failover.json.
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/group_by.h"
+#include "distributed/coordinator.h"
+#include "distributed/failover.h"
+#include "distributed/worker.h"
+#include "harness.h"
+#include "net/shard_streamer.h"
+#include "net/tcp_transport.h"
+#include "net/worker_registry.h"
+#include "net/worker_server.h"
+#include "runtime/kernels/kernels.h"
+#include "storage/block.h"
+#include "storage/file_block.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace isla;
+
+struct Shards {
+  std::vector<std::array<storage::BlockPtr, 3>> triples;
+};
+
+Shards MakeShards(uint64_t blocks, uint64_t rows_per_block) {
+  Shards out;
+  Xoshiro256 rng(424242);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    std::vector<double> vals, preds, keys;
+    for (uint64_t i = 0; i < rows_per_block; ++i) {
+      double key = static_cast<double>(rng.NextBounded(4));
+      vals.push_back(25.0 * (key + 1.0) + 3.0 * rng.NextDouble());
+      preds.push_back(rng.NextDouble());
+      keys.push_back(key);
+    }
+    out.triples.push_back(
+        {std::make_shared<storage::MemoryBlock>(std::move(vals)),
+         std::make_shared<storage::MemoryBlock>(std::move(preds)),
+         std::make_shared<storage::MemoryBlock>(std::move(keys))});
+  }
+  return out;
+}
+
+std::unique_ptr<distributed::Worker> MakeWorker(const Shards& shards,
+                                                uint64_t w) {
+  return std::make_unique<distributed::Worker>(
+      w, shards.triples[w][0], shards.triples[w][1], shards.triples[w][2]);
+}
+
+net::WorkerServerOptions RegisteringOptions(uint16_t registry_port) {
+  net::WorkerServerOptions options;
+  options.coordinator_host = "127.0.0.1";
+  options.coordinator_port = registry_port;
+  options.heartbeat_millis = 100;
+  return options;
+}
+
+/// One grouped query through `transport`; aborts on error (benches are
+/// deterministic, errors are bugs).
+core::GroupedAggregateResult RunQuery(distributed::Transport* transport,
+                                      uint64_t query_id, uint64_t seed) {
+  core::IslaOptions options;
+  options.precision = 0.2;
+  distributed::GroupedQuerySpec wire;
+  wire.has_predicate = true;
+  wire.op = core::PredicateOp::kGe;
+  wire.literal = 0.3;
+  wire.has_group = true;
+  distributed::Coordinator coordinator(transport, options);
+  auto r = coordinator.AggregateGrouped(wire, query_id, seed);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query %llu failed: %s\n",
+                 static_cast<unsigned long long>(query_id),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(r);
+}
+
+bool SameAnswer(const core::GroupedAggregateResult& a,
+                const core::GroupedAggregateResult& b) {
+  if (a.groups.size() != b.groups.size()) return false;
+  if (a.data_size != b.data_size) return false;
+  if (a.scanned_samples != b.scanned_samples) return false;
+  if (a.pilot_samples != b.pilot_samples) return false;
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    if (a.groups[g].key != b.groups[g].key) return false;
+    if (a.groups[g].average != b.groups[g].average) return false;
+    if (a.groups[g].sum != b.groups[g].sum) return false;
+    if (a.groups[g].count_estimate != b.groups[g].count_estimate)
+      return false;
+    if (a.groups[g].ci_half_width != b.groups[g].ci_half_width) return false;
+    if (a.groups[g].samples != b.groups[g].samples) return false;
+  }
+  return true;
+}
+
+struct PhaseRow {
+  uint64_t statements = 0;
+  double stmts_per_sec = 0.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isla;
+  std::string out_path = "BENCH_rebalance.json";
+  uint64_t rows_per_block = 200'000;
+  int quiesced_reps = 30;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next("--out");
+    } else if (arg == "--rows") {
+      rows_per_block = std::strtoull(next("--rows"), nullptr, 10);
+    } else if (arg == "--reps") {
+      quiesced_reps = std::atoi(next("--reps"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_rebalance [--rows n] [--reps n] "
+                   "[--out file]\n");
+      return 2;
+    }
+  }
+  bench::PrintHeader(
+      "Elastic rebalancing overhead",
+      "Grouped WHERE+GROUP BY on a registry-backed 2-shard TCP cluster; "
+      "steady-state stmts/s while a replica joins by shard streaming vs "
+      "quiesced; answers hard-checked bit-identical to loopback");
+
+  constexpr uint64_t kShardCount = 2;
+  Shards shards = MakeShards(kShardCount, rows_per_block);
+
+  // Loopback reference answers, one per (query_id, seed) the bench uses.
+  auto loopback_answer = [&](uint64_t query_id, uint64_t seed) {
+    std::vector<std::unique_ptr<distributed::Worker>> workers;
+    for (uint64_t w = 0; w < kShardCount; ++w) {
+      workers.push_back(MakeWorker(shards, w));
+    }
+    distributed::LoopbackTransport loopback(std::move(workers));
+    return RunQuery(&loopback, query_id, seed);
+  };
+
+  // --- The live cluster: registry + one registered worker per shard. ---
+  net::WorkerRegistry registry;
+  if (!registry.Start().ok()) return 1;
+  std::vector<std::unique_ptr<net::WorkerServer>> servers;
+  for (uint64_t w = 0; w < kShardCount; ++w) {
+    servers.push_back(std::make_unique<net::WorkerServer>(
+        MakeWorker(shards, w), RegisteringOptions(registry.port())));
+    if (!servers.back()->Start().ok()) return 1;
+  }
+  if (!registry.WaitForShards(kShardCount, 1, 10'000)) {
+    std::fprintf(stderr, "cluster did not converge\n");
+    return 1;
+  }
+  auto pre_join = registry.SnapshotCluster(kShardCount);
+  if (!pre_join.ok()) return 1;
+
+  auto make_transport = [](const net::WorkerRegistry::ClusterSnapshot& s) {
+    net::TcpTransportOptions options;
+    options.reconnect_attempts = 1;
+    auto inner = std::make_unique<net::TcpTransport>(s.endpoints, options);
+    distributed::FailoverOptions failover_options;
+    failover_options.placement_epoch = s.epoch;
+    auto transport = std::make_unique<distributed::FailoverTransport>(
+        inner.get(), s.placement, failover_options);
+    return std::make_pair(std::move(inner), std::move(transport));
+  };
+
+  // --- Phase 1: quiesced steady state. ---
+  PhaseRow quiesced;
+  {
+    auto [inner, transport] = make_transport(*pre_join);
+    Timer timer;
+    for (int q = 0; q < quiesced_reps; ++q) {
+      auto got = RunQuery(transport.get(), 1 + q, 1 + q);
+      quiesced.identical =
+          quiesced.identical && SameAnswer(got, loopback_answer(1 + q, 1 + q));
+      ++quiesced.statements;
+    }
+    quiesced.stmts_per_sec =
+        1000.0 * quiesced.statements / timer.ElapsedMillis();
+  }
+
+  // --- Phase 2: same loop while a replica joins by streaming. ---
+  std::filesystem::path join_dir =
+      std::filesystem::temp_directory_path() /
+      ("isla_bench_reb_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(join_dir);
+  std::atomic<bool> join_done{false};
+  std::atomic<uint64_t> streamed_rows{0};
+  std::atomic<uint64_t> streamed_chunks{0};
+  double join_ms = 0.0;
+  std::unique_ptr<net::WorkerServer> joiner;
+  std::thread join_thread([&] {
+    Timer join_timer;
+    const net::Endpoint donor =
+        pre_join->endpoints[pre_join->placement[0][0]];
+    auto streamed = net::FetchShard(donor, 0, join_dir.string());
+    if (!streamed.ok()) {
+      std::fprintf(stderr, "join stream failed: %s\n",
+                   streamed.status().ToString().c_str());
+      std::abort();
+    }
+    streamed_rows.store(streamed->rows);
+    streamed_chunks.store(streamed->chunks);
+    auto v = storage::FileBlock::Open(streamed->values_path);
+    auto p = storage::FileBlock::Open(streamed->predicate_path);
+    auto k = storage::FileBlock::Open(streamed->keys_path);
+    if (!v.ok() || !p.ok() || !k.ok()) std::abort();
+    joiner = std::make_unique<net::WorkerServer>(
+        std::make_unique<distributed::Worker>(0, *v, *p, *k),
+        RegisteringOptions(registry.port()));
+    if (!joiner->Start().ok()) std::abort();
+    while (registry.Placement()[0].size() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    join_ms = join_timer.ElapsedMillis();
+    join_done.store(true, std::memory_order_release);
+  });
+
+  PhaseRow joining;
+  {
+    auto [inner, transport] = make_transport(*pre_join);
+    Timer timer;
+    uint64_t q = 1000;
+    // Run at least the quiesced rep count, and keep going until the join
+    // has completed so the stream is fully inside the measured window.
+    while (!join_done.load(std::memory_order_acquire) ||
+           joining.statements < static_cast<uint64_t>(quiesced_reps)) {
+      auto got = RunQuery(transport.get(), q, q);
+      joining.identical =
+          joining.identical && SameAnswer(got, loopback_answer(q, q));
+      ++joining.statements;
+      ++q;
+    }
+    joining.stmts_per_sec =
+        1000.0 * joining.statements / timer.ElapsedMillis();
+  }
+  join_thread.join();
+
+  // --- Post-join: the lease moved, the shard grew, answers unchanged. ---
+  auto post_join = registry.SnapshotCluster(kShardCount);
+  if (!post_join.ok()) return 1;
+  const bool epoch_moved = post_join->epoch > pre_join->epoch;
+  const size_t shard0_replicas = post_join->placement[0].size();
+  bool post_identical = true;
+  {
+    auto [inner, transport] = make_transport(*post_join);
+    for (int q = 0; q < 5; ++q) {
+      auto got = RunQuery(transport.get(), 5000 + q, 5000 + q);
+      post_identical =
+          post_identical &&
+          SameAnswer(got, loopback_answer(5000 + q, 5000 + q));
+    }
+  }
+  const uint64_t rejections = registry.fingerprint_rejections();
+
+  TablePrinter table({"phase", "result"});
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.1f stmts/s%s", quiesced.stmts_per_sec,
+                quiesced.identical ? "" : " (DIVERGED)");
+  table.AddRow({"quiesced", buf});
+  std::snprintf(buf, sizeof(buf),
+                "%.1f stmts/s, join %.1f ms, %llu rows / %llu chunks%s",
+                joining.stmts_per_sec, join_ms,
+                static_cast<unsigned long long>(streamed_rows.load()),
+                static_cast<unsigned long long>(streamed_chunks.load()),
+                joining.identical ? "" : " (DIVERGED)");
+  table.AddRow({"replica joining", buf});
+  std::snprintf(buf, sizeof(buf),
+                "shard 0 at %zu replicas, epoch %llu -> %llu%s",
+                shard0_replicas,
+                static_cast<unsigned long long>(pre_join->epoch),
+                static_cast<unsigned long long>(post_join->epoch),
+                post_identical ? "" : " (DIVERGED)");
+  table.AddRow({"post-join", buf});
+  table.Print();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --out file %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"rebalance\",\n");
+  std::fprintf(f, "  \"kernel_dispatch\": \"%s\",\n",
+               std::string(runtime::kernels::ActiveLevelName()).c_str());
+  std::fprintf(f, "  \"shards\": %llu,\n",
+               static_cast<unsigned long long>(kShardCount));
+  std::fprintf(f, "  \"rows_per_shard\": %llu,\n",
+               static_cast<unsigned long long>(rows_per_block));
+  std::fprintf(f,
+               "  \"quiesced\": {\"statements\": %llu, "
+               "\"stmts_per_sec\": %.1f, \"bit_identical\": %s},\n",
+               static_cast<unsigned long long>(quiesced.statements),
+               quiesced.stmts_per_sec,
+               quiesced.identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"during_join\": {\"statements\": %llu, "
+               "\"stmts_per_sec\": %.1f, \"bit_identical\": %s, "
+               "\"join_ms\": %.1f, \"streamed_rows\": %llu, "
+               "\"streamed_chunks\": %llu},\n",
+               static_cast<unsigned long long>(joining.statements),
+               joining.stmts_per_sec, joining.identical ? "true" : "false",
+               join_ms,
+               static_cast<unsigned long long>(streamed_rows.load()),
+               static_cast<unsigned long long>(streamed_chunks.load()));
+  std::fprintf(f,
+               "  \"post_join\": {\"shard0_replicas\": %zu, "
+               "\"epoch_moved\": %s, \"bit_identical\": %s, "
+               "\"fingerprint_rejections\": %llu}\n",
+               shard0_replicas, epoch_moved ? "true" : "false",
+               post_identical ? "true" : "false",
+               static_cast<unsigned long long>(rejections));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (joiner) joiner->Stop();
+  for (auto& server : servers) server->Stop();
+  registry.Stop();
+  std::filesystem::remove_all(join_dir);
+
+  if (!quiesced.identical || !joining.identical || !post_identical) {
+    std::fprintf(stderr, "BIT-IDENTITY VIOLATION\n");
+    return 1;
+  }
+  if (!epoch_moved || shard0_replicas != 2 || rejections != 0) {
+    std::fprintf(stderr, "JOIN DID NOT COMPLETE CLEANLY\n");
+    return 1;
+  }
+  return 0;
+}

@@ -65,7 +65,8 @@ FailoverTransport::FailoverTransport(
     FailoverOptions options)
     : inner_(inner),
       placement_(std::move(placement)),
-      options_(options) {}
+      options_(options),
+      outstanding_(inner->size()) {}
 
 FailoverTransport::~FailoverTransport() { racers_.JoinAll(); }
 
@@ -76,15 +77,45 @@ FailoverCounters FailoverTransport::failover_snapshot() const {
   c.hedges = hedges_.load(std::memory_order_relaxed);
   c.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
   c.exhausted = exhausted_.load(std::memory_order_relaxed);
+  c.placement_epoch = options_.placement_epoch;
   return c;
+}
+
+uint64_t FailoverTransport::outstanding_on(uint64_t channel) const {
+  if (channel >= outstanding_.size()) return 0;
+  return outstanding_[channel].load(std::memory_order_relaxed);
+}
+
+size_t FailoverTransport::PickStart(
+    uint64_t shard_id, const std::vector<uint64_t>& replicas) const {
+  const size_t n = replicas.size();
+  const size_t rotation = static_cast<size_t>(shard_id) % n;
+  size_t best = rotation;
+  uint64_t best_load = outstanding_on(replicas[rotation]);
+  for (size_t i = 1; i < n; ++i) {
+    const size_t idx = (rotation + i) % n;
+    const uint64_t load = outstanding_on(replicas[idx]);
+    if (load < best_load) {
+      best = idx;
+      best_load = load;
+    }
+  }
+  return best;
 }
 
 Result<std::string> FailoverTransport::CallOnce(uint64_t shard_id,
                                                 uint64_t channel,
                                                 const std::string& frame) {
   (void)shard_id;
+  const bool tracked = channel < outstanding_.size();
+  if (tracked) {
+    outstanding_[channel].fetch_add(1, std::memory_order_relaxed);
+  }
   Timer timer;
   Result<std::string> result = inner_->Call(channel, frame);
+  if (tracked) {
+    outstanding_[channel].fetch_sub(1, std::memory_order_relaxed);
+  }
   if (result.ok()) {
     latency_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1000.0));
   }
@@ -176,9 +207,13 @@ Result<std::string> FailoverTransport::Call(uint64_t shard_id,
   }
   const std::vector<uint64_t>& replicas = placement_[shard_id];
   const size_t n = replicas.size();
-  // Rotate the preferred replica by shard id so a multi-shard fan-out
-  // spreads first-choice load across the replica set.
-  const size_t start = static_cast<size_t>(shard_id) % n;
+  // Preferred replica for this call: least outstanding requests, chosen
+  // once up front (not per attempt, so the retry rotation below stays the
+  // exhaustive sweep the failover tests pin). On an idle transport every
+  // load is zero and the deterministic tie-break degenerates to the
+  // static shard-id rotation, spreading first-choice load across the
+  // replica set exactly as before the balancer existed.
+  const size_t start = PickStart(shard_id, replicas);
   const uint64_t max_attempts = options_.max_rounds * n;
 
   Status last_error = Status::Internal("no attempt made");

@@ -28,6 +28,13 @@ struct FailoverStats {
   std::atomic<uint64_t> shards_exhausted{0};
   std::atomic<uint64_t> transport_reconnects{0};
   std::atomic<uint64_t> workers_registered{0};
+  /// Rebalance / replica-integrity counters (PR: elastic rebalancing).
+  std::atomic<uint64_t> replicas_joined{0};        // completed shard streams
+  std::atomic<uint64_t> shard_blocks_streamed{0};  // chunks served by donors
+  std::atomic<uint64_t> fingerprint_rejections{0};  // divergent replicas kept out
+  /// Gauge, not a counter: the registry's current placement-lease epoch
+  /// (stored on every membership change, never summed).
+  std::atomic<uint64_t> placement_epoch{0};
 };
 
 /// The process-global instance (never destroyed before exit).
@@ -57,6 +64,15 @@ struct FailoverOptions {
 
   /// Seed of the deterministic backoff jitter.
   uint64_t seed = 0x15a0f417ULL;
+
+  /// The placement-lease epoch this transport's placement was snapshotted
+  /// at (net::WorkerRegistry::SnapshotCluster). Purely informational —
+  /// echoed in failover_snapshot() so probes can tell which lease a
+  /// query ran under. The placement itself is immutable for the life of
+  /// the transport: callers pick up new replicas *between* queries by
+  /// snapshotting again and building a transport on the new lease, which
+  /// preserves the frozen-at-query-start determinism.
+  uint64_t placement_epoch = 0;
 };
 
 /// Lock-free log2-bucketed latency sketch feeding the auto hedge delay.
@@ -112,6 +128,10 @@ class FailoverTransport : public Transport {
   size_t size() const override { return placement_.size(); }
   FailoverCounters failover_snapshot() const override;
 
+  /// In-flight requests currently addressed to `channel` (tests observe
+  /// the balancer through this).
+  uint64_t outstanding_on(uint64_t channel) const;
+
  private:
   Result<std::string> CallOnce(uint64_t shard_id, uint64_t channel,
                                const std::string& frame);
@@ -119,12 +139,22 @@ class FailoverTransport : public Transport {
                                  uint64_t secondary,
                                  const std::string& frame);
   uint64_t HedgeDelayMillis() const;
+  /// Least-outstanding-requests replica selection: the rotation start for
+  /// this call is the replica with the fewest in-flight requests on its
+  /// channel, ties broken deterministically by scanning in rotation order
+  /// from `shard_id % n` with strict less-than — so an idle transport
+  /// reproduces the static `shard % n` preference bit for bit, and the
+  /// differential suites cannot tell the balancer ever shipped.
+  size_t PickStart(uint64_t shard_id,
+                   const std::vector<uint64_t>& replicas) const;
 
   Transport* inner_;
   std::vector<std::vector<uint64_t>> placement_;
   FailoverOptions options_;
   CallLatencySketch latency_;
   runtime::ThreadGroup racers_;
+  /// One in-flight counter per inner channel, maintained by CallOnce.
+  std::vector<std::atomic<uint64_t>> outstanding_;
 
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> failovers_{0};

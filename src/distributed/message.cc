@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "storage/file_block.h"
+
 namespace isla {
 namespace distributed {
 
@@ -308,6 +310,7 @@ std::string Encode(const RegisterFrame& m) {
   w.PutU64(m.shard_id);
   w.PutU64(m.port);
   w.PutU64(m.block_rows);
+  w.PutU64(m.fingerprint);
   w.PutU64(len);
   std::string out = w.Take();
   out.append(m.host, 0, len);
@@ -318,7 +321,31 @@ std::string Encode(const RegisterAck& m) {
   Writer w(MessageType::kRegisterAck);
   w.PutU64(m.shard_id);
   w.PutU64(m.accepted);
+  w.PutU64(m.reason);
   w.PutU64(m.known_shards);
+  w.PutU64(m.epoch);
+  return w.Take();
+}
+
+std::string Encode(const ShardFetchRequest& m) {
+  Writer w(MessageType::kShardFetchRequest);
+  w.PutU64(m.shard_id);
+  w.PutU64(m.column);
+  w.PutU64(m.start_row);
+  w.PutU64(m.max_rows);
+  return w.Take();
+}
+
+std::string Encode(const ShardBlockChunk& m) {
+  Writer w(MessageType::kShardBlockChunk);
+  w.PutU64(m.shard_id);
+  w.PutU64(m.column);
+  w.PutU64(m.column_present);
+  w.PutU64(m.total_rows);
+  w.PutU64(m.start_row);
+  w.PutU64(m.crc);
+  w.PutU64(m.rows.size());
+  for (double v : m.rows) w.PutF64(v);
   return w.Take();
 }
 
@@ -328,7 +355,7 @@ Result<MessageType> PeekType(const std::string& frame) {
   }
   uint32_t tag = 0;
   std::memcpy(&tag, frame.data(), sizeof(tag));
-  if (tag < 1 || tag > 11) {
+  if (tag < 1 || tag > 13) {
     return Status::Corruption("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -526,12 +553,13 @@ Result<RegisterFrame> DecodeRegisterFrame(const std::string& frame) {
     return Status::Corruption("register frame carries an invalid port");
   }
   ISLA_RETURN_NOT_OK(r.GetU64(&m.block_rows));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.fingerprint));
   uint64_t host_len = 0;
   ISLA_RETURN_NOT_OK(r.GetU64(&host_len));
   if (host_len > kMaxHostBytes) {
     return Status::Corruption("register frame host exceeds the length cap");
   }
-  size_t fixed = sizeof(uint32_t) + 4 * sizeof(uint64_t);
+  size_t fixed = sizeof(uint32_t) + 5 * sizeof(uint64_t);
   if (frame.size() != fixed + host_len) {
     return Status::Corruption("register frame length mismatch");
   }
@@ -551,8 +579,83 @@ Result<RegisterAck> DecodeRegisterAck(const std::string& frame) {
   if (m.accepted > 1) {
     return Status::Corruption("register ack carries a non-boolean flag");
   }
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.reason));
+  if (m.reason > static_cast<uint64_t>(RegisterRefusal::kRowsMismatch)) {
+    return Status::Corruption("register ack carries an unknown refusal");
+  }
+  if (m.accepted == 1 && m.reason != 0) {
+    return Status::Corruption("register ack both accepts and refuses");
+  }
   ISLA_RETURN_NOT_OK(r.GetU64(&m.known_shards));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.epoch));
   ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<ShardFetchRequest> DecodeShardFetchRequest(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kShardFetchRequest));
+  ShardFetchRequest m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.shard_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.column));
+  if (m.column > kShardColumnKeys) {
+    return Status::Corruption("shard fetch addresses an unknown column");
+  }
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.start_row));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.max_rows));
+  ISLA_RETURN_NOT_OK(r.Finish());
+  return m;
+}
+
+Result<ShardBlockChunk> DecodeShardBlockChunk(const std::string& frame) {
+  Reader r(frame);
+  ISLA_RETURN_NOT_OK(r.ExpectType(MessageType::kShardBlockChunk));
+  ShardBlockChunk m;
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.shard_id));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.column));
+  if (m.column > kShardColumnKeys) {
+    return Status::Corruption("shard chunk addresses an unknown column");
+  }
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.column_present));
+  if (m.column_present > 1) {
+    return Status::Corruption("shard chunk carries a non-boolean presence");
+  }
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.total_rows));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.start_row));
+  ISLA_RETURN_NOT_OK(r.GetU64(&m.crc));
+  if (m.crc > 0xffffffffULL) {
+    return Status::Corruption("shard chunk CRC exceeds 32 bits");
+  }
+  uint64_t row_count = 0;
+  ISLA_RETURN_NOT_OK(r.GetU64(&row_count));
+  // Caps before the allocation: a garbage length field must not drive a
+  // huge resize, and the chunk must lie inside the block it claims.
+  if (row_count > kMaxShardChunkRows) {
+    return Status::Corruption("shard chunk exceeds the row cap");
+  }
+  if (m.start_row > m.total_rows || row_count > m.total_rows - m.start_row) {
+    return Status::Corruption("shard chunk lies outside its block");
+  }
+  if (m.column_present == 0 && (row_count != 0 || m.total_rows != 0)) {
+    return Status::Corruption("shard chunk carries rows for an absent column");
+  }
+  // Exact-length check before reading the payload, so truncated and
+  // padded frames both fail the same way the fixed-width decoders do.
+  size_t fixed = sizeof(uint32_t) + 7 * sizeof(uint64_t);
+  if (frame.size() != fixed + row_count * sizeof(double)) {
+    return Status::Corruption("shard chunk length mismatch");
+  }
+  m.rows.resize(row_count);
+  for (uint64_t i = 0; i < row_count; ++i) {
+    ISLA_RETURN_NOT_OK(r.GetF64(&m.rows[i]));
+  }
+  ISLA_RETURN_NOT_OK(r.Finish());
+  // CRC-verify the payload last: a flipped bit anywhere in the rows is
+  // Corruption here, before a single damaged row can be written to disk.
+  uint32_t crc = storage::Crc32(m.rows.data(), m.rows.size() * sizeof(double));
+  if (crc != static_cast<uint32_t>(m.crc)) {
+    return Status::Corruption("shard chunk payload fails its CRC");
+  }
   return m;
 }
 

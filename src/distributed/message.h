@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -30,6 +31,8 @@ enum class MessageType : uint32_t {
   kRegisterAck = 9,
   kSketchScanRequest = 10,
   kSketchScanResponse = 11,
+  kShardFetchRequest = 12,
+  kShardBlockChunk = 13,
 };
 
 /// Coordinator → worker: draw `sample_count` uniform pilot samples.
@@ -161,21 +164,76 @@ struct RegisterFrame {
   uint64_t shard_id = 0;
   uint64_t port = 0;        // where the worker's WorkerServer listens
   uint64_t block_rows = 0;  // |B_j| of the announced shard
+  uint64_t fingerprint = 0;  // machine-portable shard data fingerprint
   std::string host;         // advertised address, e.g. "127.0.0.1"
+};
+
+/// Why a registration was refused. Carried in RegisterAck so a
+/// mis-provisioned worker daemon can log *why* it is being kept out of the
+/// placement instead of silently heartbeating into a refusal forever.
+enum class RegisterRefusal : uint64_t {
+  kNone = 0,
+  kFingerprintMismatch = 1,  // same shard id, different data — never place
+  kRowsMismatch = 2,         // row count disagrees with the canonical shard
 };
 
 /// Registry → worker: heartbeat acknowledgement. `known_shards` is the
 /// registry's current count of live shards — a worker daemon can log it to
-/// show cluster convergence.
+/// show cluster convergence. `epoch` is the registry's placement-lease
+/// epoch at ack time (bumped whenever membership changes), so workers and
+/// probes can observe placement convergence without a second protocol.
 struct RegisterAck {
   uint64_t shard_id = 0;  // echoed
   uint64_t accepted = 0;  // 0/1
+  uint64_t reason = 0;    // RegisterRefusal, kNone when accepted
   uint64_t known_shards = 0;
+  uint64_t epoch = 0;
 };
 
 /// Cap on the advertised host of a RegisterFrame (same rationale as
 /// kMaxErrorMessageBytes).
 inline constexpr uint64_t kMaxHostBytes = 256;
+
+/// Which row-aligned column of a shard a fetch addresses. A shard is up to
+/// three parallel blocks (values always; predicate/keys optional), and the
+/// streaming protocol moves them one column at a time so resume offsets
+/// stay per-block.
+inline constexpr uint64_t kShardColumnValues = 0;
+inline constexpr uint64_t kShardColumnPredicate = 1;
+inline constexpr uint64_t kShardColumnKeys = 2;
+
+/// Joiner → donor replica: "send me rows of shard `shard_id`, column
+/// `column`, starting at `start_row`". Chunked and offset-addressed so a
+/// stream that dies mid-transfer resumes at block granularity — the joiner
+/// re-asks from the first row it has not durably written, on a fresh
+/// connection if need be, and never has to restart the shard from zero.
+struct ShardFetchRequest {
+  uint64_t shard_id = 0;
+  uint64_t column = 0;     // kShardColumnValues/Predicate/Keys
+  uint64_t start_row = 0;  // resume offset
+  uint64_t max_rows = 0;   // cap on rows in the reply chunk; 0 = donor picks
+};
+
+/// Donor → joiner: one CRC-guarded chunk of a shard column. `total_rows`
+/// lets the joiner size the transfer up front; `column_present == 0` means
+/// the shard has no such column (predicate/keys are optional) and carries
+/// no rows. The CRC covers the raw f64 payload bytes and is verified at
+/// decode — a corrupted chunk surfaces as Corruption (retryable) before a
+/// single damaged row can reach the joiner's disk.
+struct ShardBlockChunk {
+  uint64_t shard_id = 0;        // echoed
+  uint64_t column = 0;          // echoed
+  uint64_t column_present = 0;  // 0/1
+  uint64_t total_rows = 0;      // rows in the whole column block
+  uint64_t start_row = 0;       // first row of this chunk
+  uint64_t crc = 0;             // CRC32 of the payload bytes (zero-extended)
+  std::vector<double> rows;
+};
+
+/// Cap on the rows of one ShardBlockChunk; fetches asking for more are
+/// clamped by the donor and frames claiming more are Corruption (a garbage
+/// length field must not drive a huge allocation).
+inline constexpr uint64_t kMaxShardChunkRows = 65536;
 
 /// Serialization: little-endian fixed-width frames with a leading
 /// MessageType tag. Decoding validates the tag and the exact frame length
@@ -191,6 +249,8 @@ std::string Encode(const SketchScanResponse& m);
 std::string Encode(const ErrorFrame& m);
 std::string Encode(const RegisterFrame& m);
 std::string Encode(const RegisterAck& m);
+std::string Encode(const ShardFetchRequest& m);
+std::string Encode(const ShardBlockChunk& m);
 
 /// Peeks the type tag of a frame.
 Result<MessageType> PeekType(const std::string& frame);
@@ -207,6 +267,8 @@ Result<SketchScanResponse> DecodeSketchScanResponse(const std::string& frame);
 Result<ErrorFrame> DecodeErrorFrame(const std::string& frame);
 Result<RegisterFrame> DecodeRegisterFrame(const std::string& frame);
 Result<RegisterAck> DecodeRegisterAck(const std::string& frame);
+Result<ShardFetchRequest> DecodeShardFetchRequest(const std::string& frame);
+Result<ShardBlockChunk> DecodeShardBlockChunk(const std::string& frame);
 
 }  // namespace distributed
 }  // namespace isla

@@ -6,9 +6,11 @@
 #include "core/block_solver.h"
 #include "core/boundaries.h"
 #include "core/group_by.h"
+#include "distributed/failover.h"
 #include "runtime/kernels/kernels.h"
 #include "sampling/samplers.h"
 #include "stats/moments.h"
+#include "storage/file_block.h"
 #include "util/rng.h"
 
 namespace isla {
@@ -45,10 +47,76 @@ Result<std::string> Worker::HandleRequest(const std::string& frame) const {
                             DecodeSketchScanRequest(frame));
       return HandleSketchScan(req);
     }
+    case MessageType::kShardFetchRequest: {
+      ISLA_ASSIGN_OR_RETURN(ShardFetchRequest req,
+                            DecodeShardFetchRequest(frame));
+      return HandleShardFetch(req);
+    }
     default:
       return Status::InvalidArgument(
           "worker cannot handle this message type");
   }
+}
+
+uint64_t Worker::ShardFingerprint() const {
+  // Chain the per-column data fingerprints in column order, folding an
+  // absent optional column in as 0 — DataFingerprint() never returns 0,
+  // so "no predicate column" cannot alias any real one.
+  uint64_t h = SplitMix64::Hash(0x5a4dULL, block_->DataFingerprint());
+  h = SplitMix64::Hash(
+      h, predicate_block_ != nullptr ? predicate_block_->DataFingerprint()
+                                     : 0);
+  h = SplitMix64::Hash(
+      h, key_block_ != nullptr ? key_block_->DataFingerprint() : 0);
+  return h == 0 ? 1 : h;
+}
+
+Result<std::string> Worker::HandleShardFetch(
+    const ShardFetchRequest& request) const {
+  if (request.shard_id != worker_id_) {
+    return Status::NotFound("this worker does not hold the requested shard");
+  }
+  const storage::Block* col = nullptr;
+  switch (request.column) {
+    case kShardColumnValues:
+      col = block_.get();
+      break;
+    case kShardColumnPredicate:
+      col = predicate_block_.get();
+      break;
+    case kShardColumnKeys:
+      col = key_block_.get();
+      break;
+    default:
+      return Status::InvalidArgument(
+          "shard fetch addresses an unknown column");
+  }
+  ShardBlockChunk chunk;
+  chunk.shard_id = request.shard_id;
+  chunk.column = request.column;
+  if (col == nullptr) {
+    // Absent optional column: zero rows, presence flag down. The joiner
+    // learns it must not fabricate a file for this column.
+    return Encode(chunk);
+  }
+  chunk.column_present = 1;
+  chunk.total_rows = col->size();
+  if (request.start_row > chunk.total_rows) {
+    return Status::OutOfRange("shard fetch starts past the end of the block");
+  }
+  chunk.start_row = request.start_row;
+  uint64_t want = request.max_rows == 0
+                      ? kMaxShardChunkRows
+                      : std::min(request.max_rows, kMaxShardChunkRows);
+  want = std::min(want, chunk.total_rows - request.start_row);
+  if (want > 0) {
+    ISLA_RETURN_NOT_OK(col->ReadRange(request.start_row, want, &chunk.rows));
+    GlobalFailoverStats().shard_blocks_streamed.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  chunk.crc = storage::Crc32(chunk.rows.data(),
+                             chunk.rows.size() * sizeof(double));
+  return Encode(chunk);
 }
 
 Result<std::string> Worker::HandlePilot(const PilotRequest& request) const {

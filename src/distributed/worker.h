@@ -38,6 +38,15 @@ class Worker {
   uint64_t worker_id() const { return worker_id_; }
   uint64_t block_rows() const { return block_->size(); }
 
+  /// Machine-portable identity of the whole shard: the per-column
+  /// DataFingerprints (values, predicate, keys) chained through
+  /// SplitMix64, with an absent optional column folded in as 0 so a shard
+  /// with a predicate column can never alias one without. Carried in
+  /// RegisterFrame; the registry refuses replicas whose fingerprints
+  /// disagree with the shard's canonical one. Computed lazily per column
+  /// and cached inside the blocks, so heartbeats stay O(1).
+  uint64_t ShardFingerprint() const;
+
  private:
   Result<std::string> HandlePilot(const PilotRequest& request) const;
   Result<std::string> HandlePlan(const QueryPlan& plan) const;
@@ -45,6 +54,7 @@ class Worker {
       const GroupedScanRequest& request) const;
   Result<std::string> HandleSketchScan(
       const SketchScanRequest& request) const;
+  Result<std::string> HandleShardFetch(const ShardFetchRequest& request) const;
   /// Shared body of the two scan handlers: validates shard alignment and
   /// runs the block pass (with per-group sketches when `want_sketch`).
   Status RunGroupedShardScan(const GroupedScanRequest& request,

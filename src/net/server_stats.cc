@@ -156,7 +156,15 @@ std::string ServerStatsRegistry::Render(uint64_t active_sessions,
      << "\nshards_exhausted = "
      << fo.shards_exhausted.load(std::memory_order_relaxed)
      << "\nworkers_registered = "
-     << fo.workers_registered.load(std::memory_order_relaxed);
+     << fo.workers_registered.load(std::memory_order_relaxed)
+     << "\nreplicas_joined = "
+     << fo.replicas_joined.load(std::memory_order_relaxed)
+     << "\nshard_blocks_streamed = "
+     << fo.shard_blocks_streamed.load(std::memory_order_relaxed)
+     << "\nfingerprint_rejections = "
+     << fo.fingerprint_rejections.load(std::memory_order_relaxed)
+     << "\nplacement_epoch = "
+     << fo.placement_epoch.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(table_mu_);
     for (const auto& [table, scans] : table_scans_) {

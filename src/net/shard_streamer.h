@@ -1,0 +1,66 @@
+#ifndef ISLA_NET_SHARD_STREAMER_H_
+#define ISLA_NET_SHARD_STREAMER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/tcp_transport.h"
+
+namespace isla {
+namespace net {
+
+/// Knobs of a worker-to-worker shard stream.
+struct ShardStreamOptions {
+  /// Rows per ShardFetchRequest; clamped to kMaxShardChunkRows by the
+  /// donor. Small chunks mean fine-grained resume; big chunks mean fewer
+  /// round trips.
+  uint64_t chunk_rows = 8192;
+
+  /// Per-chunk transport deadlines. reconnect_attempts = 1 reuses the
+  /// TcpTransport in-call redial: a chunk exchange that dies on a cached
+  /// connection is replayed once on a fresh dial — safe because a fetch
+  /// at a fixed (column, start_row) is a pure read.
+  int64_t connect_timeout_millis = 2'000;
+  int64_t call_deadline_millis = 10'000;
+  uint32_t reconnect_attempts = 1;
+
+  /// Retries per chunk on a retryable failure (IOError, Corruption — e.g.
+  /// a chunk that failed its CRC), re-asking the same start_row. The
+  /// resume offset never advances past durably written rows, so a
+  /// truncated or corrupted chunk costs one round trip, not the stream.
+  uint64_t max_chunk_retries = 3;
+};
+
+/// Where a completed stream landed: one ISLB block file per column the
+/// donor holds (empty path = the donor has no such column).
+struct ShardStreamResult {
+  std::string values_path;
+  std::string predicate_path;
+  std::string keys_path;
+  uint64_t rows = 0;    // rows in the values column
+  uint64_t chunks = 0;  // chunk exchanges that carried rows
+};
+
+/// Pulls every column block of shard `shard_id` from the live replica at
+/// `donor` and writes them as ISLB block files under `dest_dir`
+/// (shard_<id>_<column>.islb). This is how a shard scales 1→N replicas
+/// without hand-copied files: start an empty worker, FetchShard from any
+/// live replica, open the files, register.
+///
+/// All-or-nothing: files are written as .part and renamed only when their
+/// column completes; on any failure every file this call created is
+/// removed and a clean error returns. The joiner is left exactly as it
+/// started — un-registered and free to retry — never half-provisioned.
+/// Each chunk's CRC is verified at decode and the whole payload CRC again
+/// by FileBlock::Open, so a corrupted stream cannot produce an openable
+/// file.
+Result<ShardStreamResult> FetchShard(const Endpoint& donor, uint64_t shard_id,
+                                     const std::string& dest_dir,
+                                     const ShardStreamOptions& options = {});
+
+}  // namespace net
+}  // namespace isla
+
+#endif  // ISLA_NET_SHARD_STREAMER_H_

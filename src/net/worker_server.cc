@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "distributed/message.h"
+#include "util/rng.h"
 
 namespace isla {
 namespace net {
@@ -107,11 +108,27 @@ void WorkerServer::RegisterLoop() {
   reg.shard_id = worker_->worker_id();
   reg.port = port_;
   reg.block_rows = worker_->block_rows();
+  // The shard's machine-portable data identity rides on every
+  // announcement, so the registry can refuse a divergent replica before
+  // it ever appears in a placement.
+  reg.fingerprint = worker_->ShardFingerprint();
   reg.host = options_.advertised_host;
   const std::string frame = distributed::Encode(reg);
 
   std::unique_ptr<Connection> conn;
   int64_t redial_backoff_millis = 50;
+  uint64_t redial_attempt = 0;
+  // Deterministic redial jitter (same scheme as FailoverTransport's
+  // backoff: no wall clock, reproducible schedules). Salted with the
+  // listen port as well as the shard id so replicas of one shard — which
+  // share shard_id — don't thundering-herd the registry after a mass
+  // restart.
+  auto jitter_millis = [&]() -> int64_t {
+    return static_cast<int64_t>(
+        SplitMix64::Hash(0x4eb0ULL, (reg.shard_id << 16) | port_,
+                         redial_attempt++) %
+        51);
+  };
   while (!stop_.load(std::memory_order_relaxed)) {
     if (conn == nullptr) {
       auto dialed = TcpConnect(options_.coordinator_host,
@@ -119,7 +136,9 @@ void WorkerServer::RegisterLoop() {
       if (!dialed.ok()) {
         // Registry not up (yet, or anymore): back off and redial. Workers
         // may legitimately start before their coordinator.
-        if (!SleepUnlessStopped(redial_backoff_millis)) return;
+        if (!SleepUnlessStopped(redial_backoff_millis + jitter_millis())) {
+          return;
+        }
         redial_backoff_millis = std::min<int64_t>(redial_backoff_millis * 2,
                                                   2'000);
         continue;
@@ -139,8 +158,13 @@ void WorkerServer::RegisterLoop() {
         ack_frame.ok() ? distributed::DecodeRegisterAck(*ack_frame)
                        : Result<distributed::RegisterAck>(ack_frame.status());
     if (!ack.ok() || ack->accepted == 0) {
+      if (ack.ok() && ack->reason != 0) {
+        register_refusals_.fetch_add(1, std::memory_order_relaxed);
+      }
       conn.reset();
-      if (!SleepUnlessStopped(redial_backoff_millis)) return;
+      if (!SleepUnlessStopped(redial_backoff_millis + jitter_millis())) {
+        return;
+      }
       continue;
     }
     heartbeats_acked_.fetch_add(1, std::memory_order_relaxed);

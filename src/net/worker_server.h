@@ -89,6 +89,12 @@ class WorkerServer {
     return heartbeats_acked_.load(std::memory_order_relaxed);
   }
 
+  /// Announcements the registry answered with a typed refusal (tests wait
+  /// on this to know a divergent worker was detected and kept out).
+  uint64_t register_refusals() const {
+    return register_refusals_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void Serve(std::unique_ptr<Connection> conn);
@@ -104,6 +110,7 @@ class WorkerServer {
   bool started_ = false;
   std::shared_ptr<std::atomic<uint64_t>> fault_sends_;
   std::atomic<uint64_t> heartbeats_acked_{0};
+  std::atomic<uint64_t> register_refusals_{0};
   runtime::ThreadGroup threads_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef ISLA_STORAGE_BLOCK_H_
 #define ISLA_STORAGE_BLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -67,8 +68,28 @@ class Block {
   /// makes cache invalidation automatic (stale keys become unreachable).
   virtual uint64_t ContentFingerprint() const { return unique_fingerprint_; }
 
+  /// Machine-portable content identity for replica integrity checks
+  /// (net::WorkerRegistry): a pure function of the row data — row count and
+  /// payload CRC32 — never of paths, mmap addresses, or process-local ids,
+  /// so two workers holding the same rows (hand-provisioned, streamed
+  /// worker-to-worker, or regenerated from the same DDL) agree on it across
+  /// machines. This is deliberately distinct from ContentFingerprint():
+  /// that one may be process-unique (cache invalidation wants re-created
+  /// tables to NOT alias), this one must be stable (replica verification
+  /// wants identical data to alias). Never returns 0; computed on first
+  /// call and cached (blocks are immutable).
+  uint64_t DataFingerprint() const;
+
+ protected:
+  /// Hook for sources that can summarize their content without streaming
+  /// it. The default reads every row through ReadRange and CRC32s the raw
+  /// f64 payload — exactly the bytes WriteBlockFile would persist, so a
+  /// block round-tripped through the ISLB file format keeps its identity.
+  virtual uint64_t ComputeDataFingerprint() const;
+
  private:
   uint64_t unique_fingerprint_;
+  mutable std::atomic<uint64_t> data_fingerprint_{0};
 };
 
 using BlockPtr = std::shared_ptr<const Block>;

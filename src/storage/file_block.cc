@@ -137,6 +137,13 @@ uint64_t FileBlock::ContentFingerprint() const {
   return h == 0 ? 1 : h;
 }
 
+uint64_t FileBlock::ComputeDataFingerprint() const {
+  // Must equal the base-class streaming computation bit-for-bit: the rows
+  // hashed with the finalized CRC32 of the raw f64 payload — which is
+  // exactly what the open-time verification already computed.
+  return SplitMix64::Hash(count_, payload_crc_);
+}
+
 FileBlock::~FileBlock() {
 #ifdef ISLA_HAVE_MMAP
   if (map_base_ != nullptr) ::munmap(map_base_, map_len_);

@@ -112,6 +112,11 @@ class FileBlock : public Block {
   /// True when reads are served zero-copy from an mmap'd view.
   bool mmapped() const { return payload_ != nullptr; }
 
+ protected:
+  /// The payload CRC was already verified on open, so the machine-portable
+  /// data identity is O(1) here — no second pass over the file.
+  uint64_t ComputeDataFingerprint() const override;
+
  private:
   FileBlock(std::string path, std::FILE* file, uint64_t count,
             uint32_t payload_crc);

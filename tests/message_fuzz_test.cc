@@ -12,6 +12,7 @@
 
 #include "distributed/message.h"
 #include "stats/sketch.h"
+#include "storage/file_block.h"
 #include "util/rng.h"
 
 namespace isla {
@@ -56,11 +57,27 @@ std::vector<std::string> AllFrames() {
   reg.shard_id = 3;
   reg.port = 7101;
   reg.block_rows = 25'000;
+  reg.fingerprint = 0xfeedface;
   reg.host = "10.0.0.7";
   RegisterAck ack;
   ack.shard_id = 3;
   ack.accepted = 1;
   ack.known_shards = 4;
+  ack.epoch = 9;
+  ShardFetchRequest fetch;
+  fetch.shard_id = 3;
+  fetch.column = kShardColumnValues;
+  fetch.start_row = 128;
+  fetch.max_rows = 64;
+  ShardBlockChunk chunk;
+  chunk.shard_id = 3;
+  chunk.column = kShardColumnValues;
+  chunk.column_present = 1;
+  chunk.total_rows = 50;
+  chunk.start_row = 10;
+  chunk.rows = {0.5, 1.5, 2.5, -3.5};
+  chunk.crc = storage::Crc32(chunk.rows.data(),
+                             chunk.rows.size() * sizeof(double));
   SketchScanRequest sreq;
   sreq.scan = greq;
   sreq.scan.query_id = 10;
@@ -74,9 +91,9 @@ std::vector<std::string> AllFrames() {
   for (double v : {2.0, 5.0}) s2.Add(v);
   sresp.partial.sketches.emplace(0.0, std::move(s0));
   sresp.partial.sketches.emplace(2.0, std::move(s2));
-  return {Encode(pr),   Encode(resp),  Encode(plan), Encode(part),
-          Encode(greq), Encode(gresp), Encode(reg),  Encode(ack),
-          Encode(sreq), Encode(sresp)};
+  return {Encode(pr),   Encode(resp),  Encode(plan),  Encode(part),
+          Encode(greq), Encode(gresp), Encode(reg),   Encode(ack),
+          Encode(sreq), Encode(sresp), Encode(fetch), Encode(chunk)};
 }
 
 /// Attempts every decoder against a frame; returns how many accepted.
@@ -92,6 +109,8 @@ int CountAccepts(const std::string& frame) {
   accepts += DecodeRegisterAck(frame).ok();
   accepts += DecodeSketchScanRequest(frame).ok();
   accepts += DecodeSketchScanResponse(frame).ok();
+  accepts += DecodeShardFetchRequest(frame).ok();
+  accepts += DecodeShardBlockChunk(frame).ok();
   return accepts;
 }
 
@@ -114,7 +133,7 @@ TEST_P(TruncationFuzz, EveryPrefixRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessages, TruncationFuzz,
-                         ::testing::Range(0, 10));
+                         ::testing::Range(0, 12));
 
 /// Every single-byte extension must also be rejected (frames are
 /// fixed-length per type).
@@ -129,7 +148,7 @@ TEST_P(ExtensionFuzz, PaddedFramesRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMessages, ExtensionFuzz,
-                         ::testing::Range(0, 10));
+                         ::testing::Range(0, 12));
 
 TEST(MessageFuzz, RandomBitFlipsNeverCrashAndTagFlipsAreCaught) {
   Xoshiro256 rng(0xf122);

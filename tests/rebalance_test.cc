@@ -1,0 +1,724 @@
+// Elastic-rebalancing suite: the machinery that lets a shard scale from
+// one replica to N on a live cluster without changing a single answer
+// bit.
+//
+//   - Machine-portable data fingerprints: every Block kind computing the
+//     same identity for the same rows, which is what lets a streamed copy
+//     register as a replica of its donor.
+//   - Worker-to-worker shard streaming (FetchShard): CRC-guarded chunks,
+//     all-or-nothing files, a died stream leaving the joiner clean and
+//     retryable.
+//   - Fingerprint-verified registration: the registry refusing a replica
+//     whose data diverges from the shard's canonical fingerprint — even
+//     after every honest replica has died.
+//   - Lease-guarded placement: epoch-stamped cluster snapshots, the epoch
+//     bumping exactly on live-membership changes.
+//   - Least-outstanding replica balancing that is provably inert when
+//     idle, so every existing differential pin still holds.
+//   - The end-to-end chaos bar: a replica joins *while queries run*, and
+//     a 34-query differential sweep over the post-join cluster is
+//     bit-identical to healthy loopback.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/group_by.h"
+#include "core/options.h"
+#include "distributed/coordinator.h"
+#include "distributed/failover.h"
+#include "distributed/message.h"
+#include "distributed/worker.h"
+#include "net/faulty_connection.h"
+#include "net/shard_streamer.h"
+#include "net/tcp_transport.h"
+#include "net/worker_registry.h"
+#include "net/worker_server.h"
+#include "stats/distribution.h"
+#include "storage/block.h"
+#include "storage/file_block.h"
+#include "util/rng.h"
+
+namespace isla {
+namespace distributed {
+namespace {
+
+class RebalanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("isla_reb_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::string Dir() const { return dir_.string(); }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<double> SeededRows(uint64_t seed, uint64_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<double> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) rows.push_back(rng.NextDouble() * 100.0);
+  return rows;
+}
+
+std::unique_ptr<Worker> SeededWorker(uint64_t id, uint64_t seed,
+                                     uint64_t rows) {
+  return std::make_unique<Worker>(
+      id, std::make_shared<storage::MemoryBlock>(SeededRows(seed, rows)));
+}
+
+net::WorkerServerOptions RegisteringOptions(uint16_t registry_port) {
+  net::WorkerServerOptions options;
+  options.coordinator_host = "127.0.0.1";
+  options.coordinator_port = registry_port;
+  options.heartbeat_millis = 100;
+  return options;
+}
+
+// --- Data fingerprints ----------------------------------------------------
+
+TEST_F(RebalanceTest, DataFingerprintIsDataDerivedAcrossBlockKinds) {
+  // The same rows must fingerprint identically no matter which Block kind
+  // holds them — that equality is what lets a streamed FileBlock copy
+  // register as a replica of a MemoryBlock (or generator) donor.
+  std::vector<double> rows = SeededRows(41, 4'000);
+  auto memory = std::make_shared<storage::MemoryBlock>(rows);
+  ASSERT_TRUE(storage::WriteBlockFile(Path("fp.islb"), rows).ok());
+  auto file = storage::FileBlock::Open(Path("fp.islb"));
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(memory->DataFingerprint(), (*file)->DataFingerprint());
+  EXPECT_NE(memory->DataFingerprint(), 0u);
+
+  // Different data must diverge (one flipped row is enough).
+  rows[123] += 1.0;
+  storage::MemoryBlock other(std::move(rows));
+  EXPECT_NE(other.DataFingerprint(), memory->DataFingerprint());
+}
+
+TEST_F(RebalanceTest, GeneratorBlockMatchesItsMaterializedCopy) {
+  auto generator = std::make_shared<storage::GeneratorBlock>(
+      std::make_shared<stats::NormalDistribution>(100.0, 20.0), 10'000,
+      SplitMix64::Hash(7, 0));
+  std::vector<double> materialized;
+  ASSERT_TRUE(
+      generator->ReadRange(0, generator->size(), &materialized).ok());
+  ASSERT_TRUE(storage::WriteBlockFile(Path("g.islb"), materialized).ok());
+  auto file = storage::FileBlock::Open(Path("g.islb"));
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(generator->DataFingerprint(), (*file)->DataFingerprint());
+}
+
+TEST_F(RebalanceTest, ShardFingerprintDivergesOnlyWithData) {
+  auto a = SeededWorker(0, 1, 5'000);
+  auto a_twin = SeededWorker(0, 1, 5'000);
+  auto b = SeededWorker(0, 2, 5'000);
+  EXPECT_EQ(a->ShardFingerprint(), a_twin->ShardFingerprint());
+  EXPECT_NE(a->ShardFingerprint(), b->ShardFingerprint());
+  EXPECT_NE(a->ShardFingerprint(), 0u);
+}
+
+// --- Least-outstanding replica balancing ---------------------------------
+
+struct ChannelScript {
+  uint64_t fail_first = 0;
+  Status error = Status::IOError("scripted failure");
+  int64_t delay_millis = 0;
+};
+
+class ScriptedTransport : public Transport {
+ public:
+  explicit ScriptedTransport(std::vector<ChannelScript> channels)
+      : channels_(std::move(channels)) {
+    for (size_t i = 0; i < channels_.size(); ++i) {
+      calls_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    }
+  }
+
+  Result<std::string> Call(uint64_t channel,
+                           const std::string& frame) override {
+    (void)frame;
+    if (channel >= channels_.size()) return Status::NotFound("no channel");
+    const ChannelScript& script = channels_[channel];
+    uint64_t call = calls_[channel]->fetch_add(1, std::memory_order_relaxed);
+    if (script.delay_millis > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(script.delay_millis));
+    }
+    if (call < script.fail_first) return script.error;
+    return std::string("ch") + std::to_string(channel);
+  }
+
+  size_t size() const override { return channels_.size(); }
+
+  uint64_t calls(uint64_t channel) const {
+    return calls_[channel]->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<ChannelScript> channels_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> calls_;
+};
+
+FailoverOptions FastOptions() {
+  FailoverOptions options;
+  options.backoff_base_millis = 1;
+  options.backoff_max_millis = 5;
+  options.enable_hedging = false;
+  return options;
+}
+
+TEST(LeastOutstanding, IdleClusterKeepsStaticRotation) {
+  // With nothing in flight the balancer must reproduce the old static
+  // shard % n rotation exactly — that inertness is what keeps every
+  // pre-existing differential and failover pin bit-identical.
+  ScriptedTransport inner({{}, {}, {}, {}});
+  FailoverTransport transport(&inner, {{0, 1}, {2, 3}}, FastOptions());
+  auto r = transport.Call(1, "req");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "ch3");  // shard 1 starts at replica index 1 % 2.
+  EXPECT_EQ(inner.calls(2), 0u);
+  auto r0 = transport.Call(0, "req");
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(*r0, "ch0");
+}
+
+TEST(LeastOutstanding, BusyPreferredReplicaIsAvoided) {
+  // Channel 0 is busy serving a slow call; a concurrent call for the same
+  // shard must start on the idle replica instead of queueing behind it.
+  ScriptedTransport inner({{0, Status::OK(), /*delay_millis=*/400}, {}});
+  FailoverTransport transport(&inner, {{0, 1}}, FastOptions());
+  std::thread slow([&] {
+    auto r = transport.Call(0, "req");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, "ch0");
+  });
+  // Let the slow call enter the channel before sampling load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(transport.outstanding_on(0), 1u);
+  auto fast = transport.Call(0, "req");
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*fast, "ch1");
+  slow.join();
+  EXPECT_EQ(transport.outstanding_on(0), 0u);
+  EXPECT_EQ(transport.outstanding_on(1), 0u);
+}
+
+// --- Shard streaming ------------------------------------------------------
+
+TEST_F(RebalanceTest, FetchShardRoundTripsAllColumns) {
+  const uint64_t kRows = 3'000;
+  auto values = std::make_shared<storage::MemoryBlock>(SeededRows(1, kRows));
+  auto preds = std::make_shared<storage::MemoryBlock>(SeededRows(2, kRows));
+  auto keys = std::make_shared<storage::MemoryBlock>(SeededRows(3, kRows));
+  auto donor_worker = std::make_unique<Worker>(5, values, preds, keys);
+  const uint64_t donor_fingerprint = donor_worker->ShardFingerprint();
+  net::WorkerServer donor(std::move(donor_worker));
+  ASSERT_TRUE(donor.Start().ok());
+
+  net::ShardStreamOptions stream_options;
+  stream_options.chunk_rows = 512;  // Forces multi-chunk streams.
+  auto streamed = net::FetchShard({"127.0.0.1", donor.port()}, 5, Dir(),
+                                  stream_options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  EXPECT_EQ(streamed->rows, kRows);
+  EXPECT_GE(streamed->chunks, 3 * (kRows / 512));
+
+  // The streamed files must open (whole-payload CRC verified) and carry
+  // exactly the donor's rows.
+  auto v = storage::FileBlock::Open(streamed->values_path);
+  auto p = storage::FileBlock::Open(streamed->predicate_path);
+  auto k = storage::FileBlock::Open(streamed->keys_path);
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_TRUE(k.ok()) << k.status();
+  std::vector<double> got;
+  ASSERT_TRUE((*v)->ReadRange(0, kRows, &got).ok());
+  EXPECT_EQ(got, SeededRows(1, kRows));
+
+  // And the joiner built from them is fingerprint-identical to the donor
+  // — the registry will accept it as a legitimate replica.
+  Worker joiner(5, *v, *p, *k);
+  EXPECT_EQ(joiner.ShardFingerprint(), donor_fingerprint);
+  donor.Stop();
+}
+
+TEST_F(RebalanceTest, FetchShardSkipsColumnsTheDonorLacks) {
+  net::WorkerServer donor(SeededWorker(2, 9, 1'000));
+  ASSERT_TRUE(donor.Start().ok());
+  auto streamed = net::FetchShard({"127.0.0.1", donor.port()}, 2, Dir());
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  EXPECT_FALSE(streamed->values_path.empty());
+  EXPECT_TRUE(streamed->predicate_path.empty());
+  EXPECT_TRUE(streamed->keys_path.empty());
+  donor.Stop();
+}
+
+TEST_F(RebalanceTest, FetchShardRefusesWrongShardId) {
+  net::WorkerServer donor(SeededWorker(2, 9, 1'000));
+  ASSERT_TRUE(donor.Start().ok());
+  auto streamed = net::FetchShard({"127.0.0.1", donor.port()}, 3, Dir());
+  EXPECT_FALSE(streamed.ok());
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+  donor.Stop();
+}
+
+TEST_F(RebalanceTest, DiedStreamLeavesJoinerCleanAndRetrySucceeds) {
+  // The donor stalls after three response sends — the stream dies
+  // mid-values-column with rows already on disk in the .part file. The
+  // failed FetchShard must remove everything (the joiner is exactly as it
+  // started, never half-provisioned), and a retry against a healthy donor
+  // must succeed from scratch.
+  const uint64_t kRows = 1'000;
+  net::WorkerServerOptions faulty_options;
+  faulty_options.fault = net::FaultMode::kStall;
+  faulty_options.fault_after_sends = 3;
+  net::WorkerServer faulty(SeededWorker(4, 77, kRows), faulty_options);
+  ASSERT_TRUE(faulty.Start().ok());
+
+  net::ShardStreamOptions stream_options;
+  stream_options.chunk_rows = 256;  // 4 chunks; the 4th send stalls.
+  stream_options.call_deadline_millis = 300;
+  stream_options.reconnect_attempts = 0;
+  stream_options.max_chunk_retries = 0;
+  auto died = net::FetchShard({"127.0.0.1", faulty.port()}, 4, Dir(),
+                              stream_options);
+  ASSERT_FALSE(died.ok());
+  EXPECT_TRUE(died.status().IsIOError()) << died.status();
+  EXPECT_TRUE(std::filesystem::is_empty(dir_))
+      << "a died stream must leave no files behind";
+  faulty.Stop();
+
+  net::WorkerServer healthy(SeededWorker(4, 77, kRows));
+  ASSERT_TRUE(healthy.Start().ok());
+  auto retried = net::FetchShard({"127.0.0.1", healthy.port()}, 4, Dir());
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(retried->rows, kRows);
+  auto block = storage::FileBlock::Open(retried->values_path);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ((*block)->DataFingerprint(),
+            storage::MemoryBlock(SeededRows(77, kRows)).DataFingerprint());
+  healthy.Stop();
+}
+
+TEST_F(RebalanceTest, TransientMidStreamFaultsAreRiddenOutByChunkRetries) {
+  // A bounded fault window (two dropped responses mid-stream, spanning
+  // reconnects via the server-wide counter) must cost retries, never a
+  // failed stream or a byte of divergence in the landed file.
+  const uint64_t kRows = 2'000;
+  net::WorkerServerOptions faulty_options;
+  faulty_options.fault = net::FaultMode::kCloseInsteadOfSend;
+  faulty_options.fault_after_sends = 2;
+  faulty_options.fault_first_n = 2;
+  net::WorkerServer donor(SeededWorker(6, 123, kRows), faulty_options);
+  ASSERT_TRUE(donor.Start().ok());
+
+  net::ShardStreamOptions stream_options;
+  stream_options.chunk_rows = 256;
+  stream_options.call_deadline_millis = 1'000;
+  auto streamed = net::FetchShard({"127.0.0.1", donor.port()}, 6, Dir(),
+                                  stream_options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  auto block = storage::FileBlock::Open(streamed->values_path);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ((*block)->DataFingerprint(),
+            storage::MemoryBlock(SeededRows(123, kRows)).DataFingerprint());
+  donor.Stop();
+}
+
+// --- Fingerprint-verified registration -----------------------------------
+
+TEST(Registration, DivergentReplicaIsRefusedHonestTwinAccepted) {
+  net::WorkerRegistry registry;
+  ASSERT_TRUE(registry.Start().ok());
+
+  net::WorkerServer canonical(SeededWorker(0, 1, 5'000),
+                              RegisteringOptions(registry.port()));
+  ASSERT_TRUE(canonical.Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(1, 1, 5'000));
+
+  // An honest twin (same data) joins as a second replica.
+  net::WorkerServer twin(SeededWorker(0, 1, 5'000),
+                         RegisteringOptions(registry.port()));
+  ASSERT_TRUE(twin.Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(1, 2, 5'000));
+
+  // A divergent worker claiming the same shard id with different data
+  // must be refused — it would silently change answers.
+  net::WorkerServer divergent(SeededWorker(0, 2, 5'000),
+                              RegisteringOptions(registry.port()));
+  ASSERT_TRUE(divergent.Start().ok());
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (divergent.register_refusals() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(divergent.register_refusals(), 0u);
+  EXPECT_GT(registry.fingerprint_rejections(), 0u);
+  auto placement = registry.Placement();
+  ASSERT_EQ(placement.size(), 1u);
+  EXPECT_EQ(placement[0].size(), 2u)
+      << "the divergent replica must never appear in a placement";
+
+  divergent.Stop();
+  twin.Stop();
+  canonical.Stop();
+  registry.Stop();
+}
+
+TEST(Registration, CanonicalFingerprintOutlivesEveryHonestReplica) {
+  // Sticky canonical identity: after the last honest replica dies, a
+  // divergent claimant is still refused — unavailability is strictly
+  // better than silently changed answers.
+  net::WorkerRegistry registry;
+  ASSERT_TRUE(registry.Start().ok());
+
+  auto honest = std::make_unique<net::WorkerServer>(
+      SeededWorker(0, 1, 5'000), RegisteringOptions(registry.port()));
+  ASSERT_TRUE(honest->Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(1, 1, 5'000));
+
+  honest->Stop();
+  honest.reset();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!registry.Placement().empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(registry.Placement().empty());
+
+  net::WorkerServer divergent(SeededWorker(0, 2, 5'000),
+                              RegisteringOptions(registry.port()));
+  ASSERT_TRUE(divergent.Start().ok());
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (divergent.register_refusals() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(divergent.register_refusals(), 0u);
+  EXPECT_TRUE(registry.Placement().empty());
+
+  divergent.Stop();
+  registry.Stop();
+}
+
+// --- Placement leases -----------------------------------------------------
+
+TEST(PlacementLease, EpochBumpsOnJoinAndDeathNotOnHeartbeats) {
+  net::WorkerRegistry registry;
+  ASSERT_TRUE(registry.Start().ok());
+  EXPECT_EQ(registry.epoch(), 0u);
+
+  auto worker = std::make_unique<net::WorkerServer>(
+      SeededWorker(0, 1, 5'000), RegisteringOptions(registry.port()));
+  ASSERT_TRUE(worker->Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(1, 1, 5'000));
+  const uint64_t after_join = registry.epoch();
+  EXPECT_GT(after_join, 0u);
+
+  // Heartbeats of an already-live replica are not membership changes.
+  uint64_t acked = worker->heartbeats_acked();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (worker->heartbeats_acked() < acked + 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(registry.epoch(), after_join);
+
+  worker->Stop();
+  worker.reset();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (registry.epoch() == after_join &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(registry.epoch(), after_join);
+  registry.Stop();
+}
+
+TEST(PlacementLease, SnapshotClusterIsEpochStampedAndRefusesHoles) {
+  net::WorkerRegistry registry;
+  ASSERT_TRUE(registry.Start().ok());
+
+  net::WorkerServer shard0(SeededWorker(0, 1, 5'000),
+                           RegisteringOptions(registry.port()));
+  net::WorkerServer shard1(SeededWorker(1, 2, 5'000),
+                           RegisteringOptions(registry.port()));
+  ASSERT_TRUE(shard0.Start().ok());
+  ASSERT_TRUE(shard1.Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(2, 1, 5'000));
+
+  auto snapshot = registry.SnapshotCluster(2);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot->epoch, registry.epoch());
+  ASSERT_EQ(snapshot->placement.size(), 2u);
+  ASSERT_EQ(snapshot->endpoints.size(), 2u);
+  EXPECT_EQ(snapshot->placement[0].size(), 1u);
+  EXPECT_EQ(snapshot->placement[1].size(), 1u);
+
+  // A shard with no live replica makes the lease refuse, not limp.
+  auto hole = registry.SnapshotCluster(3);
+  ASSERT_FALSE(hole.ok());
+  EXPECT_TRUE(hole.status().IsFailedPrecondition()) << hole.status();
+
+  shard0.Stop();
+  shard1.Stop();
+  registry.Stop();
+}
+
+// --- End to end: join during queries, then a differential sweep ----------
+
+/// The differential query mix: 17 shapes x 2 seeds = 34 queries covering
+/// plain aggregates, every predicate operator, GROUP BY, and the
+/// combinations.
+struct QueryShape {
+  bool has_predicate = false;
+  core::PredicateOp op = core::PredicateOp::kGe;
+  double literal = 0.0;
+  bool has_group = false;
+  double precision = 0.4;
+};
+
+std::vector<QueryShape> SweepShapes() {
+  std::vector<QueryShape> shapes;
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, false, 0.3});
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, false, 0.5});
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, true, 0.3});
+  shapes.push_back({false, core::PredicateOp::kGe, 0.0, true, 0.5});
+  for (core::PredicateOp op :
+       {core::PredicateOp::kGe, core::PredicateOp::kGt,
+        core::PredicateOp::kLe, core::PredicateOp::kLt}) {
+    shapes.push_back({true, op, 0.1, false, 0.4});
+    shapes.push_back({true, op, 0.7, false, 0.4});
+  }
+  shapes.push_back({true, core::PredicateOp::kGe, 0.3, true, 0.4});
+  shapes.push_back({true, core::PredicateOp::kLt, 0.8, true, 0.4});
+  shapes.push_back({true, core::PredicateOp::kGt, 0.55, true, 0.5});
+  shapes.push_back({true, core::PredicateOp::kLe, 0.02, false, 0.5});
+  shapes.push_back({true, core::PredicateOp::kGe, 0.98, true, 0.6});
+  return shapes;
+}
+
+/// Row-aligned (value, predicate, key) shard triples for `n_shards`.
+std::vector<std::array<std::vector<double>, 3>> SweepShards(
+    uint64_t n_shards, uint64_t rows_per_shard) {
+  std::vector<std::array<std::vector<double>, 3>> shards;
+  Xoshiro256 rng(20260808);
+  for (uint64_t s = 0; s < n_shards; ++s) {
+    std::array<std::vector<double>, 3> cols;
+    for (uint64_t i = 0; i < rows_per_shard; ++i) {
+      double key = static_cast<double>(rng.NextBounded(4));
+      cols[0].push_back(25.0 * (key + 1.0) + 3.0 * rng.NextDouble());
+      cols[1].push_back(rng.NextDouble());
+      cols[2].push_back(key);
+    }
+    shards.push_back(std::move(cols));
+  }
+  return shards;
+}
+
+std::unique_ptr<Worker> ShardWorker(
+    uint64_t id, const std::array<std::vector<double>, 3>& cols) {
+  return std::make_unique<Worker>(
+      id, std::make_shared<storage::MemoryBlock>(cols[0]),
+      std::make_shared<storage::MemoryBlock>(cols[1]),
+      std::make_shared<storage::MemoryBlock>(cols[2]));
+}
+
+void ExpectGroupsBitIdentical(const core::GroupedAggregateResult& got,
+                              const core::GroupedAggregateResult& want,
+                              int query) {
+  ASSERT_EQ(got.groups.size(), want.groups.size()) << "query " << query;
+  EXPECT_EQ(got.data_size, want.data_size) << "query " << query;
+  EXPECT_EQ(got.scanned_samples, want.scanned_samples) << "query " << query;
+  EXPECT_EQ(got.pilot_samples, want.pilot_samples) << "query " << query;
+  for (size_t g = 0; g < want.groups.size(); ++g) {
+    const core::GroupResult& a = got.groups[g];
+    const core::GroupResult& b = want.groups[g];
+    EXPECT_EQ(a.key, b.key) << "query " << query << " group " << g;
+    EXPECT_EQ(a.average, b.average) << "query " << query << " group " << g;
+    EXPECT_EQ(a.sum, b.sum) << "query " << query << " group " << g;
+    EXPECT_EQ(a.count_estimate, b.count_estimate)
+        << "query " << query << " group " << g;
+    EXPECT_EQ(a.ci_half_width, b.ci_half_width)
+        << "query " << query << " group " << g;
+    EXPECT_EQ(a.samples, b.samples) << "query " << query << " group " << g;
+  }
+}
+
+TEST_F(RebalanceTest, ReplicaJoinsByStreamingWhileQueriesRunThenSweeps) {
+  // The acceptance bar, end to end on a live TCP cluster: shard 0 scales
+  // 1 -> 2 replicas via worker-to-worker streaming while queries run;
+  // queries in flight during the join all succeed bit-identically; the
+  // lease epoch moves; and a 34-query differential sweep over the
+  // post-join cluster is bit-identical to healthy loopback.
+  const uint64_t kRows = 10'000;
+  auto shards = SweepShards(2, kRows);
+
+  net::WorkerRegistry registry;
+  ASSERT_TRUE(registry.Start().ok());
+  net::WorkerServer donor0(ShardWorker(0, shards[0]),
+                           RegisteringOptions(registry.port()));
+  net::WorkerServer worker1(ShardWorker(1, shards[1]),
+                            RegisteringOptions(registry.port()));
+  ASSERT_TRUE(donor0.Start().ok());
+  ASSERT_TRUE(worker1.Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(2, 1, 5'000));
+
+  auto pre_join = registry.SnapshotCluster(2);
+  ASSERT_TRUE(pre_join.ok()) << pre_join.status();
+
+  // Reference answers come from loopback — the healthy-cluster baseline.
+  core::IslaOptions options;
+  options.precision = 0.4;
+  auto loopback_answer = [&](const QueryShape& shape, uint64_t query_id,
+                             uint64_t seed) {
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.push_back(ShardWorker(0, shards[0]));
+    workers.push_back(ShardWorker(1, shards[1]));
+    LoopbackTransport loopback(std::move(workers));
+    core::IslaOptions query_options = options;
+    query_options.precision = shape.precision;
+    Coordinator coordinator(&loopback, query_options);
+    GroupedQuerySpec wire;
+    wire.has_predicate = shape.has_predicate;
+    wire.op = shape.op;
+    wire.literal = shape.literal;
+    wire.has_group = shape.has_group;
+    return coordinator.AggregateGrouped(wire, query_id, seed);
+  };
+
+  // Query loop: hammer the pre-join placement while the replica streams
+  // in. Every answer must match loopback even with the join racing it.
+  std::atomic<bool> stop_queries{false};
+  std::atomic<int> queries_during_join{0};
+  std::thread query_loop([&] {
+    net::TcpTransportOptions transport_options;
+    transport_options.reconnect_attempts = 1;
+    net::TcpTransport inner(pre_join->endpoints, transport_options);
+    FailoverOptions failover_options = FastOptions();
+    failover_options.placement_epoch = pre_join->epoch;
+    FailoverTransport transport(&inner, pre_join->placement,
+                                failover_options);
+    const QueryShape shape{false, core::PredicateOp::kGe, 0.0, true, 0.4};
+    for (uint64_t q = 1; !stop_queries.load(std::memory_order_relaxed);
+         ++q) {
+      Coordinator coordinator(&transport, options);
+      GroupedQuerySpec wire;
+      wire.has_group = true;
+      auto got = coordinator.AggregateGrouped(wire, q, /*seed=*/q);
+      ASSERT_TRUE(got.ok()) << got.status();
+      auto want = loopback_answer(shape, q, q);
+      ASSERT_TRUE(want.ok()) << want.status();
+      ExpectGroupsBitIdentical(*got, *want, static_cast<int>(q));
+      queries_during_join.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // The join: stream shard 0 from its live replica, open the files, and
+  // register — all while the query loop runs.
+  const net::Endpoint donor_endpoint =
+      pre_join->endpoints[pre_join->placement[0][0]];
+  auto streamed = net::FetchShard(donor_endpoint, 0, Dir());
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  auto v = storage::FileBlock::Open(streamed->values_path);
+  auto p = storage::FileBlock::Open(streamed->predicate_path);
+  auto k = storage::FileBlock::Open(streamed->keys_path);
+  ASSERT_TRUE(v.ok() && p.ok() && k.ok());
+  net::WorkerServer joiner(std::make_unique<Worker>(0, *v, *p, *k),
+                           RegisteringOptions(registry.port()));
+  ASSERT_TRUE(joiner.Start().ok());
+  ASSERT_TRUE(registry.WaitForShards(2, 1, 5'000));
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (registry.Placement()[0].size() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(registry.Placement()[0].size(), 2u)
+      << "the streamed joiner must register as a second replica";
+  EXPECT_EQ(registry.fingerprint_rejections(), 0u);
+
+  // Let at least a few queries overlap the joined state, then stop.
+  int seen = queries_during_join.load(std::memory_order_relaxed);
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (queries_during_join.load(std::memory_order_relaxed) < seen + 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop_queries.store(true, std::memory_order_relaxed);
+  query_loop.join();
+  EXPECT_GT(queries_during_join.load(std::memory_order_relaxed), 0);
+
+  // The new lease sees the grown shard and a moved epoch.
+  auto post_join = registry.SnapshotCluster(2);
+  ASSERT_TRUE(post_join.ok()) << post_join.status();
+  EXPECT_GT(post_join->epoch, pre_join->epoch);
+  ASSERT_EQ(post_join->placement[0].size(), 2u);
+  ASSERT_EQ(post_join->placement[1].size(), 1u);
+
+  // 34-query differential sweep over the post-join cluster vs loopback.
+  net::TcpTransportOptions transport_options;
+  transport_options.reconnect_attempts = 1;
+  net::TcpTransport inner(post_join->endpoints, transport_options);
+  FailoverOptions failover_options = FastOptions();
+  failover_options.placement_epoch = post_join->epoch;
+  FailoverTransport transport(&inner, post_join->placement,
+                              failover_options);
+  std::vector<QueryShape> sweep = SweepShapes();
+  ASSERT_EQ(sweep.size() * 2, 34u);
+  int query = 0;
+  for (const QueryShape& shape : sweep) {
+    for (uint64_t seed = 1; seed <= 2; ++seed, ++query) {
+      core::IslaOptions query_options;
+      query_options.precision = shape.precision;
+      Coordinator coordinator(&transport, query_options);
+      GroupedQuerySpec wire;
+      wire.has_predicate = shape.has_predicate;
+      wire.op = shape.op;
+      wire.literal = shape.literal;
+      wire.has_group = shape.has_group;
+      auto got =
+          coordinator.AggregateGrouped(wire, /*query_id=*/1000 + query, seed);
+      ASSERT_TRUE(got.ok()) << "query " << query << ": " << got.status();
+      auto want = loopback_answer(shape, 1000 + query, seed);
+      ASSERT_TRUE(want.ok()) << want.status();
+      ExpectGroupsBitIdentical(*got, *want, query);
+    }
+  }
+  EXPECT_EQ(query, 34);
+  // The lease epoch rides on the transport's counters for the whole
+  // sweep — probes can tell which membership answered.
+  EXPECT_EQ(transport.failover_snapshot().placement_epoch,
+            post_join->epoch);
+
+  joiner.Stop();
+  donor0.Stop();
+  worker1.Stop();
+  registry.Stop();
+}
+
+}  // namespace
+}  // namespace distributed
+}  // namespace isla

@@ -206,22 +206,66 @@ RegisterFrame GoldenRegisterFrame() {
   m.shard_id = 3;
   m.port = 7101;
   m.block_rows = 25'000;
+  m.fingerprint = 0x1122334455667788;
   m.host = "10.0.0.7";
   return m;
 }
 constexpr char kRegisterFrameHex[] =
-    "080000000300000000000000bd1b000000000000a861000000000000"
-    "080000000000000031302e302e302e37";
+    "080000000300000000000000bd1b000000000000a86100000000000088776655"
+    "44332211080000000000000031302e302e302e37";
 
 RegisterAck GoldenRegisterAck() {
   RegisterAck m;
   m.shard_id = 3;
   m.accepted = 1;
   m.known_shards = 4;
+  m.epoch = 5;
   return m;
 }
 constexpr char kRegisterAckHex[] =
-    "09000000030000000000000001000000000000000400000000000000";
+    "0900000003000000000000000100000000000000000000000000000004000000"
+    "000000000500000000000000";
+
+RegisterAck GoldenRefusalAck() {
+  RegisterAck m;
+  m.shard_id = 3;
+  m.accepted = 0;
+  m.reason = static_cast<uint64_t>(RegisterRefusal::kFingerprintMismatch);
+  m.known_shards = 4;
+  m.epoch = 7;
+  return m;
+}
+constexpr char kRefusalAckHex[] =
+    "0900000003000000000000000000000000000000010000000000000004000000"
+    "000000000700000000000000";
+
+ShardFetchRequest GoldenShardFetchRequest() {
+  ShardFetchRequest m;
+  m.shard_id = 3;
+  m.column = kShardColumnPredicate;
+  m.start_row = 4096;
+  m.max_rows = 512;
+  return m;
+}
+constexpr char kShardFetchRequestHex[] =
+    "0c00000003000000000000000100000000000000001000000000000000020000"
+    "00000000";
+
+ShardBlockChunk GoldenShardBlockChunk() {
+  ShardBlockChunk m;
+  m.shard_id = 3;
+  m.column = kShardColumnValues;
+  m.column_present = 1;
+  m.total_rows = 100;
+  m.start_row = 8;
+  m.rows = {1.5, -2.25, 64.0};
+  m.crc = 0x5cb64106;  // Crc32 of the three rows' raw f64 bytes.
+  return m;
+}
+constexpr char kShardBlockChunkHex[] =
+    "0d00000003000000000000000000000000000000010000000000000064000000"
+    "0000000008000000000000000641b65c00000000030000000000000000000000"
+    "0000f83f00000000000002c00000000000005040";
 
 ErrorFrame GoldenErrorFrame() {
   ErrorFrame m;
@@ -287,6 +331,21 @@ TEST(WireFormat, RegisterFrame) {
 
 TEST(WireFormat, RegisterAck) {
   ExpectGolden(Encode(GoldenRegisterAck()), kRegisterAckHex, "RegisterAck");
+}
+
+TEST(WireFormat, RefusalRegisterAck) {
+  ExpectGolden(Encode(GoldenRefusalAck()), kRefusalAckHex,
+               "RegisterAck (refusal)");
+}
+
+TEST(WireFormat, ShardFetchRequest) {
+  ExpectGolden(Encode(GoldenShardFetchRequest()), kShardFetchRequestHex,
+               "ShardFetchRequest");
+}
+
+TEST(WireFormat, ShardBlockChunk) {
+  ExpectGolden(Encode(GoldenShardBlockChunk()), kShardBlockChunkHex,
+               "ShardBlockChunk");
 }
 
 // ---------------------------------------------------------------------------
@@ -427,6 +486,7 @@ TEST(WireFormat, DecodesPinnedRegisterFrame) {
   EXPECT_EQ(m->shard_id, want.shard_id);
   EXPECT_EQ(m->port, want.port);
   EXPECT_EQ(m->block_rows, want.block_rows);
+  EXPECT_EQ(m->fingerprint, want.fingerprint);
   EXPECT_EQ(m->host, want.host);
 }
 
@@ -436,7 +496,93 @@ TEST(WireFormat, DecodesPinnedRegisterAck) {
   RegisterAck want = GoldenRegisterAck();
   EXPECT_EQ(m->shard_id, want.shard_id);
   EXPECT_EQ(m->accepted, want.accepted);
+  EXPECT_EQ(m->reason, want.reason);
   EXPECT_EQ(m->known_shards, want.known_shards);
+  EXPECT_EQ(m->epoch, want.epoch);
+}
+
+TEST(WireFormat, DecodesPinnedRefusalAck) {
+  auto m = DecodeRegisterAck(FromHex(kRefusalAckHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  RegisterAck want = GoldenRefusalAck();
+  EXPECT_EQ(m->accepted, 0u);
+  EXPECT_EQ(m->reason, want.reason);
+  EXPECT_EQ(m->epoch, want.epoch);
+}
+
+TEST(WireFormat, RegisterAckRejectsDamage) {
+  std::string frame = FromHex(kRegisterAckHex);
+  EXPECT_FALSE(DecodeRegisterAck(frame.substr(0, frame.size() - 1)).ok());
+  EXPECT_FALSE(DecodeRegisterAck(frame + "x").ok());
+  // A refusal reason out of the typed range must be refused, not mapped
+  // onto some arbitrary enum value the worker then misreports.
+  std::string bad_reason = frame;
+  bad_reason[20] = 99;
+  EXPECT_FALSE(DecodeRegisterAck(bad_reason).ok());
+  // accepted=1 with a non-zero refusal reason is self-contradictory.
+  std::string contradicting = frame;
+  contradicting[20] = 1;
+  EXPECT_FALSE(DecodeRegisterAck(contradicting).ok());
+}
+
+TEST(WireFormat, DecodesPinnedShardFetchRequest) {
+  auto m = DecodeShardFetchRequest(FromHex(kShardFetchRequestHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardFetchRequest want = GoldenShardFetchRequest();
+  EXPECT_EQ(m->shard_id, want.shard_id);
+  EXPECT_EQ(m->column, want.column);
+  EXPECT_EQ(m->start_row, want.start_row);
+  EXPECT_EQ(m->max_rows, want.max_rows);
+}
+
+TEST(WireFormat, ShardFetchRequestRejectsDamage) {
+  std::string frame = FromHex(kShardFetchRequestHex);
+  EXPECT_FALSE(
+      DecodeShardFetchRequest(frame.substr(0, frame.size() - 1)).ok());
+  EXPECT_FALSE(DecodeShardFetchRequest(frame + "x").ok());
+  std::string bad_column = frame;
+  bad_column[12] = 9;  // Columns are {values, predicate, keys} only.
+  EXPECT_FALSE(DecodeShardFetchRequest(bad_column).ok());
+}
+
+TEST(WireFormat, DecodesPinnedShardBlockChunk) {
+  auto m = DecodeShardBlockChunk(FromHex(kShardBlockChunkHex));
+  ASSERT_TRUE(m.ok()) << m.status();
+  ShardBlockChunk want = GoldenShardBlockChunk();
+  EXPECT_EQ(m->shard_id, want.shard_id);
+  EXPECT_EQ(m->column, want.column);
+  EXPECT_EQ(m->column_present, want.column_present);
+  EXPECT_EQ(m->total_rows, want.total_rows);
+  EXPECT_EQ(m->start_row, want.start_row);
+  EXPECT_EQ(m->crc, want.crc);
+  EXPECT_EQ(m->rows, want.rows);
+}
+
+TEST(WireFormat, ShardBlockChunkRejectsDamage) {
+  const std::string frame = FromHex(kShardBlockChunkHex);
+  // Truncated mid-payload and oversized frames both fail the exact-length
+  // check before any row is trusted.
+  EXPECT_TRUE(DecodeShardBlockChunk(frame.substr(0, frame.size() - 1))
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(DecodeShardBlockChunk(frame + "x").status().IsCorruption());
+  // Oversized row_count (beyond kMaxShardChunkRows) must be refused at
+  // the header, before the decoder allocates or walks a payload.
+  std::string bad_count = frame;
+  bad_count[4 + 6 * 8] = '\xff';
+  bad_count[4 + 6 * 8 + 1] = '\xff';
+  bad_count[4 + 6 * 8 + 2] = '\xff';
+  EXPECT_TRUE(DecodeShardBlockChunk(bad_count).status().IsCorruption());
+  // A flipped payload bit fails the chunk CRC: a damaged chunk can never
+  // land rows in a streamed shard file.
+  std::string bad_payload = frame;
+  bad_payload[frame.size() - 3] ^= 0x20;
+  EXPECT_TRUE(DecodeShardBlockChunk(bad_payload).status().IsCorruption());
+  // A chunk reaching past its own block bounds is structural damage even
+  // when the CRC matches the rows it carries.
+  std::string bad_bounds = frame;
+  bad_bounds[4 + 3 * 8] = 9;  // total_rows 100 -> 9 < start_row + rows
+  EXPECT_TRUE(DecodeShardBlockChunk(bad_bounds).status().IsCorruption());
 }
 
 TEST(WireFormat, RegisterFrameTruncatesOversizedHosts) {

@@ -169,7 +169,7 @@ int RunSession(const std::string& host, uint16_t port) {
 int RunWithPlacement(const std::vector<isla::net::Endpoint>& endpoints,
                      std::vector<std::vector<uint64_t>> placement,
                      double precision, double confidence,
-                     int64_t hedge_millis) {
+                     int64_t hedge_millis, uint64_t placement_epoch = 0) {
   isla::net::TcpTransportOptions transport_options;
   // The cluster paths opt into in-call reconnects: a worker restarted
   // between queries should cost a redial, not a failed query.
@@ -177,6 +177,7 @@ int RunWithPlacement(const std::vector<isla::net::Endpoint>& endpoints,
   isla::net::TcpTransport inner(endpoints, transport_options);
 
   isla::distributed::FailoverOptions failover_options;
+  failover_options.placement_epoch = placement_epoch;
   if (hedge_millis > 0) {
     failover_options.hedge_delay_millis =
         static_cast<uint64_t>(hedge_millis);
@@ -205,12 +206,13 @@ int RunWithPlacement(const std::vector<isla::net::Endpoint>& endpoints,
               n_shards, endpoints.size());
   const isla::distributed::FailoverCounters& fo = r->failover;
   std::printf("failover: retries=%llu failovers=%llu hedges=%llu "
-              "hedge_wins=%llu exhausted=%llu\n",
+              "hedge_wins=%llu exhausted=%llu epoch=%llu\n",
               static_cast<unsigned long long>(fo.retries),
               static_cast<unsigned long long>(fo.failovers),
               static_cast<unsigned long long>(fo.hedges),
               static_cast<unsigned long long>(fo.hedge_wins),
-              static_cast<unsigned long long>(fo.exhausted));
+              static_cast<unsigned long long>(fo.exhausted),
+              static_cast<unsigned long long>(fo.placement_epoch));
   return 0;
 }
 
@@ -285,24 +287,30 @@ int RunRegistryDistributed(uint16_t registry_port, size_t expect_shards,
     return 1;
   }
 
-  // Freeze the membership into a placement: shard ids must be dense
-  // [0, expect_shards) — they double as the positional worker ids the RNG
-  // streams derive from.
-  std::vector<isla::net::Endpoint> endpoints;
-  std::vector<std::vector<uint64_t>> placement(expect_shards);
-  auto live = registry.Placement();
-  for (size_t s = 0; s < expect_shards; ++s) {
-    for (const auto& replica : live[s]) {
-      placement[s].push_back(endpoints.size());
-      endpoints.push_back({replica.host, replica.port});
-      std::printf("shard %zu replica: %s:%u (%llu rows)\n", s,
-                  replica.host.c_str(), replica.port,
-                  static_cast<unsigned long long>(replica.block_rows));
+  // Take a placement lease: shard ids must be dense [0, expect_shards) —
+  // they double as the positional worker ids the RNG streams derive from.
+  // The snapshot is epoch-stamped; the query runs against this frozen
+  // membership, and a replica joining mid-query is picked up by the next
+  // lease, never by a placement already in flight.
+  auto snapshot = registry.SnapshotCluster(expect_shards);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 snapshot.status().ToString().c_str());
+    registry.Stop();
+    return 1;
+  }
+  std::printf("placement lease epoch %llu:\n",
+              static_cast<unsigned long long>(snapshot->epoch));
+  for (size_t s = 0; s < snapshot->placement.size(); ++s) {
+    for (uint64_t idx : snapshot->placement[s]) {
+      const isla::net::Endpoint& e = snapshot->endpoints[idx];
+      std::printf("shard %zu replica: %s:%u\n", s, e.host.c_str(), e.port);
     }
   }
   std::fflush(stdout);
-  int rc = RunWithPlacement(endpoints, std::move(placement), precision,
-                            confidence, hedge_millis);
+  int rc = RunWithPlacement(snapshot->endpoints,
+                            std::move(snapshot->placement), precision,
+                            confidence, hedge_millis, snapshot->epoch);
   registry.Stop();
   return rc;
 }

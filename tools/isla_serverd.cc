@@ -30,6 +30,17 @@
 //   $ ./isla_serverd --worker --shard v0.islb --port 7101
 //       --coordinator 127.0.0.1:7200
 //
+// With --join an *empty* worker pulls its shard from a live replica over
+// the worker-to-worker streaming protocol before serving — scaling a
+// shard 1→2 replicas with no hand-copied files:
+//
+//   $ ./isla_serverd --worker --worker-id 0 --join 127.0.0.1:7101
+//       --shard-dir /var/lib/isla --coordinator 127.0.0.1:7200
+//
+// The streamed files land as ISLB blocks under --shard-dir and the worker
+// then registers normally; its fingerprint matches the donor's, so the
+// registry accepts it as a legitimate replica.
+//
 // The daemon runs until stdin reaches EOF or SIGINT/SIGTERM arrives, so it
 // works both interactively and under a supervisor with a pipe held open.
 
@@ -47,6 +58,7 @@
 #include "distributed/worker.h"
 #include "flag_parse.h"
 #include "net/query_server.h"
+#include "net/shard_streamer.h"
 #include "net/tcp_transport.h"
 #include "net/worker_server.h"
 #include "runtime/kernels/kernels.h"
@@ -71,7 +83,11 @@ void Usage() {
                "[--port P]\n"
                "                    [--coordinator host:port] "
                "[--advertise host]\n"
-               "                    [--heartbeat-millis n]\n");
+               "                    [--heartbeat-millis n]\n"
+               "       isla_serverd --worker --worker-id N "
+               "--join host:port\n"
+               "                    [--shard-dir dir] [--port P] "
+               "[--coordinator host:port]\n");
 }
 
 /// Blocks until stdin closes or a termination signal arrives, invoking
@@ -106,6 +122,8 @@ int main(int argc, char** argv) {
   uint64_t worker_id = 0;
   std::string shard, predicate_shard, key_shard;
   std::string coordinator_spec;
+  std::string join_spec;
+  std::string shard_dir = ".";
   std::string advertise_host = "127.0.0.1";
   int64_t heartbeat_millis = 500;
   isla::net::QueryServerOptions query_options;
@@ -134,6 +152,10 @@ int main(int argc, char** argv) {
       key_shard = next("--key-shard");
     } else if (arg == "--coordinator") {
       coordinator_spec = next("--coordinator");
+    } else if (arg == "--join") {
+      join_spec = next("--join");
+    } else if (arg == "--shard-dir") {
+      shard_dir = next("--shard-dir");
     } else if (arg == "--advertise") {
       advertise_host = next("--advertise");
     } else if (arg == "--heartbeat-millis") {
@@ -181,9 +203,36 @@ int main(int argc, char** argv) {
               isla::runtime::kernels::CpuFeatureString().c_str());
 
   if (worker_mode) {
-    if (shard.empty()) {
-      std::fprintf(stderr, "error: --worker needs --shard\n");
+    if (shard.empty() && join_spec.empty()) {
+      std::fprintf(stderr, "error: --worker needs --shard or --join\n");
       return 2;
+    }
+    if (!join_spec.empty() && shard.empty()) {
+      // Empty worker joining the cluster: pull the shard from a live
+      // replica first, then serve it like any hand-provisioned worker. A
+      // stream that dies leaves no files behind and the daemon exits
+      // non-zero — a supervisor restart is a clean retry.
+      auto donor = isla::net::ParseEndpoint(join_spec);
+      if (!donor.ok()) {
+        std::fprintf(stderr, "error: --join: %s\n",
+                     donor.status().ToString().c_str());
+        return 2;
+      }
+      auto streamed =
+          isla::net::FetchShard(*donor, worker_id, shard_dir);
+      if (!streamed.ok()) {
+        std::fprintf(stderr, "error: join stream failed: %s\n",
+                     streamed.status().ToString().c_str());
+        return 1;
+      }
+      shard = streamed->values_path;
+      predicate_shard = streamed->predicate_path;
+      key_shard = streamed->keys_path;
+      std::printf("joined shard %llu from %s (%llu rows, %llu chunks)\n",
+                  static_cast<unsigned long long>(worker_id),
+                  join_spec.c_str(),
+                  static_cast<unsigned long long>(streamed->rows),
+                  static_cast<unsigned long long>(streamed->chunks));
     }
     auto open = [](const std::string& path)
         -> isla::storage::BlockPtr {
